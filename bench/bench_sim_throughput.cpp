@@ -1,0 +1,148 @@
+// PERF-SIM: google-benchmark microbenchmarks of the simulation substrate
+// every experiment rests on: state-vector gate throughput, noisy
+// trajectory sampling, tableau operations, syndrome extraction and
+// decoder throughput, plus the language front-end.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "llm/templates.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "qec/logical_error.hpp"
+#include "qec/pauli_frame.hpp"
+#include "qec/surface_code.hpp"
+#include "sim/noise.hpp"
+#include "sim/statevector.hpp"
+#include "sim/tableau.hpp"
+
+using namespace qcgen;
+
+namespace {
+
+void BM_StateVectorHadamardLayer(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const sim::Matrix2 h = sim::gate_matrix_1q(sim::GateKind::kH, {});
+  for (auto _ : state) {
+    for (std::size_t q = 0; q < n; ++q) sv.apply_1q(h, q);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_StateVectorHadamardLayer)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_StateVectorCxChain(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::StateVector sv(n);
+  const sim::Matrix2 x = sim::gate_matrix_1q(sim::GateKind::kX, {});
+  for (auto _ : state) {
+    for (std::size_t q = 0; q + 1 < n; ++q) sv.apply_controlled_1q(x, q, q + 1);
+    benchmark::DoNotOptimize(sv.amplitudes().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n - 1));
+}
+BENCHMARK(BM_StateVectorCxChain)->Arg(8)->Arg(12)->Arg(16)->Arg(20);
+
+void BM_IdealGhzSampling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const sim::Circuit circuit = sim::circuits::ghz(n);
+  for (auto _ : state) {
+    const Counts counts = sim::run_ideal(circuit, sim::RunOptions{1024, 7});
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_IdealGhzSampling)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_NoisyDeutschJozsa(benchmark::State& state) {
+  const sim::Circuit circuit = sim::circuits::deutsch_jozsa(3, true);
+  const sim::NoiseModel noise = sim::NoiseModel::ibm_brisbane();
+  for (auto _ : state) {
+    const Counts counts =
+        sim::run_noisy(circuit, noise, sim::NoisyRunOptions{256, 3});
+    benchmark::DoNotOptimize(counts.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_NoisyDeutschJozsa);
+
+void BM_TableauGhzMeasure(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Tableau tab(n);
+  Rng rng(5);
+  for (auto _ : state) {
+    tab.reset_all();
+    tab.h(0);
+    for (std::size_t q = 1; q < n; ++q) tab.cx(q - 1, q);
+    bool bit = false;
+    for (std::size_t q = 0; q < n; ++q) bit ^= tab.measure(q, rng);
+    benchmark::DoNotOptimize(bit);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_TableauGhzMeasure)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SyndromeSampling(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const qec::SurfaceCode code = qec::SurfaceCode::rotated(d);
+  qec::PhenomenologicalNoise noise{0.01, 0.01};
+  Rng rng(11);
+  for (auto _ : state) {
+    const auto history =
+        qec::sample_history(code, noise, static_cast<std::size_t>(d), rng);
+    benchmark::DoNotOptimize(history.rounds.size());
+  }
+}
+BENCHMARK(BM_SyndromeSampling)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_DecoderTrial(benchmark::State& state) {
+  const int d = static_cast<int>(state.range(0));
+  const auto kind = static_cast<qec::DecoderKind>(state.range(1));
+  const qec::SurfaceCode code = qec::SurfaceCode::rotated(d);
+  auto z_dec = qec::make_decoder(kind, code, qec::PauliType::kZ);
+  auto x_dec = qec::make_decoder(kind, code, qec::PauliType::kX);
+  qec::PhenomenologicalNoise noise{0.02, 0.02};
+  Rng rng(13);
+  for (auto _ : state) {
+    const auto history =
+        qec::sample_history(code, noise, static_cast<std::size_t>(d), rng);
+    const auto outcome = qec::decode_history(code, *z_dec, *x_dec, history);
+    benchmark::DoNotOptimize(outcome.corrections_applied);
+  }
+}
+BENCHMARK(BM_DecoderTrial)
+    ->Args({3, static_cast<int>(qec::DecoderKind::kMwpm)})
+    ->Args({5, static_cast<int>(qec::DecoderKind::kMwpm)})
+    ->Args({3, static_cast<int>(qec::DecoderKind::kUnionFind)})
+    ->Args({5, static_cast<int>(qec::DecoderKind::kUnionFind)})
+    ->Args({3, static_cast<int>(qec::DecoderKind::kGreedy)})
+    ->Args({5, static_cast<int>(qec::DecoderKind::kGreedy)});
+
+void BM_ParseAnalyzeBuild(benchmark::State& state) {
+  llm::TaskSpec task;
+  task.algorithm = llm::AlgorithmId::kGrover;
+  task.params = {{"n", 3.0}, {"marked", 5.0}, {"iterations", 2.0}};
+  const std::string source = qasm::print_program(llm::gold_program(task));
+  for (auto _ : state) {
+    const sim::Circuit circuit = qasm::compile_or_throw(source);
+    benchmark::DoNotOptimize(circuit.size());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(source.size()));
+}
+BENCHMARK(BM_ParseAnalyzeBuild);
+
+void BM_ExactDistribution(benchmark::State& state) {
+  const sim::Circuit circuit = sim::circuits::teleportation(1.1);
+  for (auto _ : state) {
+    const auto dist = sim::exact_distribution(circuit);
+    benchmark::DoNotOptimize(dist.size());
+  }
+}
+BENCHMARK(BM_ExactDistribution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// TAB1: reproduces the paper's Table I — Qiskit-HumanEval-style scores
+// per model configuration.
+//
+// Paper rows: Starcoder2-7B 17.9 / +QK 24.5 / +QKRAG 33.8 / +QKCoT 41.4 /
+// IBM Granite-20B-CODE-QK 46.5. The QHE suite stresses library-specific
+// syntax (evaluated at elevated syntax difficulty), which is why RAG
+// helps here much more than on the semantic suite (Sec V-C).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "eval/runner.hpp"
+
+using namespace qcgen;
+
+int main(int argc, char** argv) {
+  std::size_t samples = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") samples = 1;
+  }
+  const auto suite = eval::qhe_suite();
+  std::printf("TAB1: Qiskit-HumanEval-style scores (%zu prompts, syntax "
+              "difficulty x%.2f)\n\n",
+              suite.size(), eval::kQheSyntaxDifficulty);
+
+  eval::RunnerOptions options;
+  options.samples_per_case = samples;
+
+  using agents::TechniqueConfig;
+  using llm::ModelProfile;
+  struct Row {
+    std::string name;
+    TechniqueConfig config;
+    double paper;
+  };
+  const auto qhe = [](TechniqueConfig c) {
+    c.syntax_difficulty = eval::kQheSyntaxDifficulty;
+    return c;
+  };
+  // Granite ships already Qiskit-tuned: its base knowledge profile IS the
+  // "-QK" row, so no extra fine-tuning pass is applied.
+  TechniqueConfig granite = TechniqueConfig::base(ModelProfile::kGranite20B);
+  const std::vector<Row> rows = {
+      {"starcoder2-7b", qhe(TechniqueConfig::base(ModelProfile::kStarCoder7B)),
+       17.9},
+      {"starcoder2-7b-qk",
+       qhe(TechniqueConfig::fine_tuned_only(ModelProfile::kStarCoder7B)), 24.5},
+      {"starcoder2-7b-qkrag",
+       qhe(TechniqueConfig::with_rag(ModelProfile::kStarCoder7B)), 33.8},
+      {"starcoder2-7b-qkcot",
+       qhe(TechniqueConfig::with_cot(ModelProfile::kStarCoder7B)), 41.4},
+      {"granite-20b-code-qk", qhe(granite), 46.5},
+  };
+
+  Table table({"model", "QHE score %", "syntactic %", "paper %"});
+  table.set_title("Table I reproduction");
+  std::vector<std::pair<std::string, double>> chart;
+  for (const Row& row : rows) {
+    const eval::AccuracyReport report =
+        eval::evaluate_technique(row.config, suite, options);
+    table.add_row({row.name, format_double(100 * report.semantic_rate, 1),
+                   format_double(100 * report.syntactic_rate, 1),
+                   format_double(row.paper, 1)});
+    chart.emplace_back(row.name, 100 * report.semantic_rate);
+    std::fflush(stdout);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("%s\n", bar_chart(chart, 50.0, 50, "%").c_str());
+  std::printf("Shape checks: QK > base; RAG and CoT both add large gains on "
+              "this syntax-heavy benchmark; the 20B reference model stays on "
+              "top with a ~5%% gap to 7B+CoT.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Fault-tolerant Deutsch-Jozsa: the paper's flagship QEC demonstration
+// (Fig 4) exposed as a configurable example.
+//
+//   ./build/examples/fault_tolerant_dj [distance] [decoder]
+//     distance: odd >= 3 (default 3)
+//     decoder:  lookup | greedy | mwpm | union-find (default mwpm)
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "agents/pipeline.hpp"
+#include "agents/qec_agent.hpp"
+#include "agents/topology.hpp"
+#include "common/strings.hpp"
+#include "common/table.hpp"
+#include "sim/circuit.hpp"
+#include "sim/noise.hpp"
+
+using namespace qcgen;
+
+int main(int argc, char** argv) {
+  int distance = 3;
+  qec::DecoderKind decoder = qec::DecoderKind::kMwpm;
+  if (argc > 1) distance = std::atoi(argv[1]);
+  if (argc > 2) {
+    const char* name = argv[2];
+    if (!std::strcmp(name, "lookup")) decoder = qec::DecoderKind::kLookup;
+    else if (!std::strcmp(name, "greedy")) decoder = qec::DecoderKind::kGreedy;
+    else if (!std::strcmp(name, "mwpm")) decoder = qec::DecoderKind::kMwpm;
+    else if (!std::strcmp(name, "union-find")) decoder = qec::DecoderKind::kUnionFind;
+    else {
+      std::printf("unknown decoder '%s'\n", name);
+      return 1;
+    }
+  }
+  if (distance < 3 || distance % 2 == 0) {
+    std::printf("distance must be odd and >= 3\n");
+    return 1;
+  }
+
+  const agents::DeviceTopology device = agents::DeviceTopology::ibm_brisbane();
+  std::printf("Device: %s (%zu qubits, max code distance %d)\n",
+              device.name().c_str(), device.num_qubits(),
+              device.max_surface_code_distance());
+
+  agents::QecDecoderAgent::Options qec_options;
+  qec_options.target_distance = distance;
+  qec_options.decoder = decoder;
+  const agents::QecDecoderAgent agent(qec_options);
+  const agents::QecPlan plan = agent.plan_for(device);
+  if (!plan.feasible) {
+    std::printf("QEC plan infeasible: %s\n", plan.reason.c_str());
+    return 1;
+  }
+
+  Table table({"quantity", "value"});
+  table.set_title("QEC plan");
+  table.add_row({"code distance", std::to_string(plan.distance)});
+  table.add_row({"decoder", std::string(qec::decoder_kind_name(plan.decoder))});
+  table.add_row({"physical error / round",
+                 format_double(plan.lifetime.physical_error_per_round, 4)});
+  table.add_row({"logical error / round",
+                 format_double(plan.lifetime.logical_error_per_round, 5)});
+  table.add_row({"qubit lifetime extension",
+                 format_double(plan.lifetime.lifetime_extension, 1) + "x"});
+  std::printf("%s\n", table.to_string().c_str());
+
+  // The protected workload: constant-oracle DJ over 3 inputs.
+  const sim::Circuit circuit = sim::circuits::deutsch_jozsa(3, true);
+  const std::uint64_t shots = 4096;
+  const Counts noisy =
+      sim::run_noisy(circuit, device.noise(), sim::NoisyRunOptions{shots, 5});
+  const Counts protected_counts = sim::run_noisy(
+      circuit, plan.effective_noise, sim::NoisyRunOptions{shots, 6});
+
+  Table results({"run", "P(|000>)", "residual error"});
+  results.set_title("Deutsch-Jozsa (constant oracle) outcome quality");
+  const double p_noisy = outcome_probability(noisy, "000");
+  const double p_protected = outcome_probability(protected_counts, "000");
+  results.add_row({"noisy device", format_double(p_noisy, 4),
+                   format_double(100 * (1 - p_noisy), 2) + "%"});
+  results.add_row({"with QEC corrections", format_double(p_protected, 4),
+                   format_double(100 * (1 - p_protected), 2) + "%"});
+  std::printf("%s\n", results.to_string().c_str());
+  std::printf("Error reduced by a factor of %.2f (decoder suppression "
+              "factor %.3f).\n",
+              (1 - p_noisy) / std::max(1e-9, 1 - p_protected),
+              plan.lifetime.suppression_factor);
+  return 0;
+}

@@ -1,0 +1,98 @@
+#include "agents/codegen_agent.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::agents {
+
+std::string TechniqueConfig::label() const {
+  std::string out = fine_tuned ? "ft" : "base";
+  if (rag_api || rag_guides) out += "+rag";
+  if (cot.has_value()) {
+    out += cot == llm::CotStyle::kStructured ? "+scot" : "+cot";
+  }
+  if (max_passes > 1) out += "+mp" + std::to_string(max_passes);
+  return out;
+}
+
+TechniqueConfig TechniqueConfig::base(llm::ModelProfile profile) {
+  TechniqueConfig c;
+  c.profile = profile;
+  return c;
+}
+
+TechniqueConfig TechniqueConfig::fine_tuned_only(llm::ModelProfile profile) {
+  TechniqueConfig c = base(profile);
+  c.fine_tuned = true;
+  return c;
+}
+
+TechniqueConfig TechniqueConfig::with_rag(llm::ModelProfile profile) {
+  TechniqueConfig c = fine_tuned_only(profile);
+  c.rag_api = true;
+  c.rag_guides = true;
+  return c;
+}
+
+TechniqueConfig TechniqueConfig::with_cot(llm::ModelProfile profile) {
+  TechniqueConfig c = fine_tuned_only(profile);
+  c.cot = llm::CotStyle::kManual;
+  return c;
+}
+
+TechniqueConfig TechniqueConfig::with_scot(llm::ModelProfile profile) {
+  TechniqueConfig c = fine_tuned_only(profile);
+  c.cot = llm::CotStyle::kStructured;
+  return c;
+}
+
+TechniqueConfig TechniqueConfig::with_multipass(llm::ModelProfile profile,
+                                                int passes) {
+  TechniqueConfig c = fine_tuned_only(profile);
+  c.max_passes = passes;
+  return c;
+}
+
+CodeGenAgent::CodeGenAgent(const TechniqueConfig& config, std::uint64_t seed)
+    : config_(config),
+      model_(config.fine_tuned
+                 ? llm::apply_finetuning(llm::base_knowledge(config.profile),
+                                         config.finetune)
+                 : llm::base_knowledge(config.profile),
+             seed) {
+  require(config.max_passes >= 1, "CodeGenAgent: max_passes >= 1");
+  if (config_.rag_api) {
+    api_store_ = std::make_unique<llm::VectorStore>(llm::chunk_documents(
+        llm::qiskit_api_corpus(config_.api_stale_fraction), config_.chunking));
+  }
+  if (config_.rag_guides) {
+    guide_store_ = std::make_unique<llm::VectorStore>(
+        llm::chunk_documents(llm::algorithm_guide_corpus(), config_.chunking));
+  }
+}
+
+llm::GenerationContext CodeGenAgent::make_context(
+    std::size_t prompt_index) const {
+  llm::GenerationContext ctx;
+  ctx.api_store = api_store_.get();
+  ctx.guide_store = guide_store_.get();
+  ctx.rag_top_k = config_.rag_top_k;
+  ctx.cot = config_.cot;
+  ctx.cot_hand_written = prompt_index < config_.cot_hand_written;
+  ctx.syntax_difficulty = config_.syntax_difficulty;
+  return ctx;
+}
+
+llm::GenerationResult CodeGenAgent::generate(const llm::TaskSpec& task,
+                                             std::size_t prompt_index) {
+  return model_.generate(task, make_context(prompt_index));
+}
+
+llm::GenerationResult CodeGenAgent::repair(
+    const llm::TaskSpec& task, const llm::GenerationResult& previous,
+    const std::vector<qasm::Diagnostic>& diagnostics, bool semantic_failure,
+    std::size_t prompt_index, int pass_number) {
+  return model_.repair(task, previous, diagnostics, semantic_failure,
+                       make_context(prompt_index), pass_number);
+}
+
+}  // namespace qcgen::agents

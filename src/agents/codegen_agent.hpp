@@ -1,0 +1,80 @@
+#pragma once
+// Code Generation Agent (paper Sec III-A, first agent).
+//
+// Wraps the (simulated) fine-tuned model together with its inference-time
+// technique stack: RAG vector stores, CoT/SCoT scaffolding and the
+// technique configuration under evaluation.
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "llm/cot.hpp"
+#include "llm/finetune.hpp"
+#include "llm/knowledge.hpp"
+#include "llm/simlm.hpp"
+#include "llm/tasks.hpp"
+#include "llm/vectorstore.hpp"
+
+namespace qcgen::agents {
+
+/// Full configuration of a code-generation setup under evaluation; one
+/// TechniqueConfig corresponds to one bar of Fig 3 / one row of Table I.
+struct TechniqueConfig {
+  llm::ModelProfile profile = llm::ModelProfile::kStarCoder3B;
+  bool fine_tuned = false;
+  llm::FineTuneConfig finetune;  ///< used when fine_tuned
+  bool rag_api = false;
+  bool rag_guides = false;
+  llm::ChunkStrategy chunking = llm::ChunkStrategy::kBasic;
+  double api_stale_fraction = 0.35;
+  std::size_t rag_top_k = 4;
+  std::optional<llm::CotStyle> cot;
+  /// The first N suite prompts carry hand-written scaffolds (Sec IV-C).
+  std::size_t cot_hand_written = 5;
+  int max_passes = 1;  ///< 1 = single-shot; >1 enables multi-pass repair
+  double syntax_difficulty = 1.0;
+
+  /// Display label, e.g. "ft+scot" or "base".
+  std::string label() const;
+
+  // Named presets matching the paper's evaluated configurations.
+  static TechniqueConfig base(llm::ModelProfile profile);
+  static TechniqueConfig fine_tuned_only(llm::ModelProfile profile);
+  static TechniqueConfig with_rag(llm::ModelProfile profile);
+  static TechniqueConfig with_cot(llm::ModelProfile profile);
+  static TechniqueConfig with_scot(llm::ModelProfile profile);
+  static TechniqueConfig with_multipass(llm::ModelProfile profile,
+                                        int passes);
+};
+
+/// The agent: owns the model instance and retrieval indexes.
+class CodeGenAgent {
+ public:
+  CodeGenAgent(const TechniqueConfig& config, std::uint64_t seed);
+
+  const TechniqueConfig& config() const noexcept { return config_; }
+  const llm::KnowledgeState& knowledge() const { return model_.knowledge(); }
+
+  /// Generates one program sample. `prompt_index` selects hand-written
+  /// vs. generated CoT scaffolds.
+  llm::GenerationResult generate(const llm::TaskSpec& task,
+                                 std::size_t prompt_index);
+
+  /// Repair pass (multi-pass inference).
+  llm::GenerationResult repair(const llm::TaskSpec& task,
+                               const llm::GenerationResult& previous,
+                               const std::vector<qasm::Diagnostic>& diagnostics,
+                               bool semantic_failure, std::size_t prompt_index,
+                               int pass_number);
+
+ private:
+  llm::GenerationContext make_context(std::size_t prompt_index) const;
+
+  TechniqueConfig config_;
+  std::unique_ptr<llm::VectorStore> api_store_;
+  std::unique_ptr<llm::VectorStore> guide_store_;
+  llm::SimLM model_;
+};
+
+}  // namespace qcgen::agents

@@ -1,0 +1,69 @@
+#include "agents/pipeline.hpp"
+
+namespace qcgen::agents {
+
+MultiAgentPipeline::MultiAgentPipeline(
+    const TechniqueConfig& technique,
+    SemanticAnalyzerAgent::Options analyzer_options,
+    std::optional<QecDecoderAgent::Options> qec_options,
+    std::optional<DeviceTopology> device, std::uint64_t seed)
+    : codegen_(technique, seed),
+      analyzer_(analyzer_options),
+      device_(std::move(device)) {
+  if (qec_options.has_value()) qec_agent_.emplace(*qec_options);
+}
+
+PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
+                                       const sim::Distribution& reference,
+                                       std::size_t prompt_index) {
+  PipelineResult result;
+  llm::GenerationResult generation = codegen_.generate(task, prompt_index);
+  const int max_passes = codegen_.config().max_passes;
+
+  for (int pass = 1; pass <= max_passes; ++pass) {
+    PassTrace trace;
+    trace.pass = pass;
+    const StaticReport static_report = analyzer_.analyze(generation.source);
+    trace.syntactic_ok = static_report.syntactic_ok;
+    trace.error_trace = static_report.error_trace;
+    trace.error_count = static_report.diagnostics.size();
+
+    bool semantic_ok = false;
+    if (static_report.syntactic_ok) {
+      if (reference.empty()) {
+        // Static-only mode: semantic verdict mirrors syntactic.
+        semantic_ok = true;
+        trace.tvd = 0.0;
+      } else {
+        const BehaviorReport behavior =
+            analyzer_.check_behavior(*static_report.circuit, reference);
+        semantic_ok = behavior.matches;
+        trace.tvd = behavior.tvd;
+      }
+    }
+    trace.semantic_ok = semantic_ok;
+    result.trace.push_back(trace);
+    result.passes_used = pass;
+
+    if (semantic_ok || pass == max_passes) {
+      result.syntactic_ok = trace.syntactic_ok;
+      result.semantic_ok = semantic_ok;
+      result.generation = generation;
+      if (static_report.circuit.has_value()) {
+        result.circuit = static_report.circuit;
+      }
+      break;
+    }
+    // Feed the error trace back for the next inference pass.
+    generation = codegen_.repair(task, generation, static_report.diagnostics,
+                                 /*semantic_failure=*/static_report.syntactic_ok,
+                                 prompt_index, pass);
+  }
+
+  if (qec_agent_.has_value() && device_.has_value() && result.semantic_ok) {
+    result.qec = qec_agent_->plan_for(*device_);
+  }
+  return result;
+}
+
+}  // namespace qcgen::agents

@@ -1,0 +1,65 @@
+#pragma once
+// Multi-agent pipeline (paper Fig 1): code generation -> semantic
+// analysis -> iterative multi-pass repair -> optional QEC planning.
+
+#include <optional>
+#include <vector>
+
+#include "agents/codegen_agent.hpp"
+#include "agents/qec_agent.hpp"
+#include "agents/semantic_agent.hpp"
+#include "agents/topology.hpp"
+#include "common/stats.hpp"
+
+namespace qcgen::agents {
+
+/// Per-pass trace entry.
+struct PassTrace {
+  int pass = 0;
+  bool syntactic_ok = false;
+  bool semantic_ok = false;
+  double tvd = 1.0;
+  std::size_t error_count = 0;
+  std::string error_trace;
+};
+
+/// Final pipeline outcome for one task.
+struct PipelineResult {
+  bool syntactic_ok = false;
+  bool semantic_ok = false;
+  int passes_used = 0;
+  std::vector<PassTrace> trace;
+  llm::GenerationResult generation;  ///< final artifact
+  std::optional<sim::Circuit> circuit;
+  std::optional<QecPlan> qec;
+};
+
+class MultiAgentPipeline {
+ public:
+  /// `device` enables the QEC agent stage; nullopt skips it (the Fig 3 /
+  /// Table I experiments run without QEC, Fig 4 with it).
+  MultiAgentPipeline(const TechniqueConfig& technique,
+                     SemanticAnalyzerAgent::Options analyzer_options,
+                     std::optional<QecDecoderAgent::Options> qec_options,
+                     std::optional<DeviceTopology> device,
+                     std::uint64_t seed);
+
+  CodeGenAgent& codegen() { return codegen_; }
+  const SemanticAnalyzerAgent& analyzer() const { return analyzer_; }
+
+  /// Runs generation + analysis (+ repair passes up to the technique's
+  /// max_passes) on one task. `reference` enables the behavioural check;
+  /// pass an empty distribution to restrict to static verification.
+  /// `prompt_index` feeds the CoT hand-written-scaffold rule.
+  PipelineResult run(const llm::TaskSpec& task,
+                     const sim::Distribution& reference,
+                     std::size_t prompt_index);
+
+ private:
+  CodeGenAgent codegen_;
+  SemanticAnalyzerAgent analyzer_;
+  std::optional<QecDecoderAgent> qec_agent_;
+  std::optional<DeviceTopology> device_;
+};
+
+}  // namespace qcgen::agents

@@ -1,0 +1,81 @@
+#include "agents/qec_agent.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qcgen::agents {
+
+QecDecoderAgent::QecDecoderAgent(Options options) : options_(options) {
+  require(options_.target_distance >= 3 && options_.target_distance % 2 == 1,
+          "QecDecoderAgent: distance must be odd and >= 3");
+  require(options_.trials >= 100, "QecDecoderAgent: trials >= 100");
+}
+
+double physical_data_error(const sim::NoiseModel& noise) {
+  // Per-round data error: dominated by two-qubit gate depolarization plus
+  // the single-qubit channel. Idle error is absorbed into the syndrome
+  // measurement channel rather than double-counted here.
+  return std::clamp(noise.depolarizing_2q + noise.depolarizing_1q, 1e-6, 0.5);
+}
+
+QecPlan QecDecoderAgent::plan_for(const DeviceTopology& device) const {
+  QecPlan plan;
+  plan.physical_noise = device.noise();
+  plan.decoder = options_.decoder;
+
+  const int max_d = device.max_surface_code_distance();
+  if (max_d < options_.target_distance) {
+    plan.reason = "device '" + device.name() + "' (" +
+                  std::string(topology_kind_name(device.kind())) +
+                  ") cannot host a distance-" +
+                  std::to_string(options_.target_distance) +
+                  " rotated surface code (max distance " +
+                  std::to_string(max_d) + ")";
+    return plan;
+  }
+  plan.feasible = true;
+  plan.distance = options_.target_distance;
+
+  // Decoder synthesis cost model: proportional to the matching-graph
+  // size, doubled on heavy-hex (embedding + per-topology retraining) and
+  // halved on fully-connected simulators.
+  const double graph_nodes =
+      static_cast<double>(plan.distance * plan.distance - 1);
+  double topology_factor = 1.0;
+  switch (device.kind()) {
+    case TopologyKind::kGrid: topology_factor = 1.0; break;
+    case TopologyKind::kHeavyHex: topology_factor = 2.2; break;
+    case TopologyKind::kFull: topology_factor = 0.6; break;
+    case TopologyKind::kLinear: topology_factor = 10.0; break;
+  }
+  plan.synthesis_cost = graph_nodes * graph_nodes * topology_factor;
+
+  const qec::SurfaceCode code = qec::SurfaceCode::rotated(plan.distance);
+  qec::LifetimeConfig config;
+  config.decoder = options_.decoder;
+  const double p_data = physical_data_error(device.noise());
+  // Ancilla readout contributes the syndrome-flip channel; the ratio is
+  // capped because repeated extraction averages single-shot readout
+  // error down.
+  config.meas_error_ratio =
+      device.noise().readout_error > 0.0
+          ? std::clamp(device.noise().readout_error / p_data, 0.5, 1.2)
+          : 1.0;
+  config.trials = options_.trials;
+  config.seed = options_.seed;
+  plan.lifetime = qec::measure_lifetime(code, p_data, config);
+  plan.effective_noise =
+      qec::qec_effective_noise(device.noise(), plan.lifetime);
+  return plan;
+}
+
+std::pair<std::unique_ptr<qec::Decoder>, std::unique_ptr<qec::Decoder>>
+QecDecoderAgent::build_decoders(const QecPlan& plan) {
+  require(plan.feasible, "build_decoders: plan is infeasible");
+  const qec::SurfaceCode code = qec::SurfaceCode::rotated(plan.distance);
+  return {qec::make_decoder(plan.decoder, code, qec::PauliType::kZ),
+          qec::make_decoder(plan.decoder, code, qec::PauliType::kX)};
+}
+
+}  // namespace qcgen::agents

@@ -1,0 +1,66 @@
+#pragma once
+// QEC Decoder Generation Agent (paper Sec III-A, third agent).
+//
+// Given the target device topology, validates that a surface code of the
+// requested distance embeds into it, synthesises the decoder, measures
+// the resulting logical-error suppression, and derives the effective
+// (post-QEC) noise model used to resimulate results — the paper's Fig 4
+// methodology. The agent is topology-specific: non-lattice devices incur
+// a retraining/synthesis cost, the scalability problem Sec V-E flags.
+
+#include <optional>
+#include <string>
+
+#include "agents/topology.hpp"
+#include "qec/decoder.hpp"
+#include "qec/lifetime.hpp"
+#include "qec/surface_code.hpp"
+
+namespace qcgen::agents {
+
+/// Output of the QEC agent for one device.
+struct QecPlan {
+  bool feasible = false;
+  std::string reason;  ///< set when infeasible
+  int distance = 0;
+  qec::DecoderKind decoder = qec::DecoderKind::kMwpm;
+  qec::LifetimeReport lifetime;
+  sim::NoiseModel physical_noise;
+  sim::NoiseModel effective_noise;
+  /// Decoder synthesis cost in abstract work units; lattice devices host
+  /// the code natively, heavy-hex devices pay the embedding/retraining
+  /// overhead (ABL-TOPO measures this).
+  double synthesis_cost = 0.0;
+};
+
+class QecDecoderAgent {
+ public:
+  struct Options {
+    int target_distance = 3;
+    qec::DecoderKind decoder = qec::DecoderKind::kMwpm;
+    std::size_t trials = 3000;
+    std::uint64_t seed = 5;
+  };
+
+  QecDecoderAgent() : QecDecoderAgent(Options()) {}
+  explicit QecDecoderAgent(Options options);
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Plans QEC for a device; infeasible plans carry a reason.
+  QecPlan plan_for(const DeviceTopology& device) const;
+
+  /// Constructs the decoders for a feasible plan (both stabilizer types).
+  static std::pair<std::unique_ptr<qec::Decoder>,
+                   std::unique_ptr<qec::Decoder>>
+  build_decoders(const QecPlan& plan);
+
+ private:
+  Options options_;
+};
+
+/// Extracts the per-round physical data-error probability from a device
+/// noise model (two-qubit depolarizing dominates the error budget).
+double physical_data_error(const sim::NoiseModel& noise);
+
+}  // namespace qcgen::agents

@@ -1,0 +1,49 @@
+#include "agents/semantic_agent.hpp"
+
+#include "common/error.hpp"
+#include "qasm/builder.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen::agents {
+
+SemanticAnalyzerAgent::SemanticAnalyzerAgent(Options options)
+    : options_(options) {
+  require(options_.shots >= 1, "SemanticAnalyzerAgent: shots >= 1");
+  require(options_.tvd_threshold > 0.0 && options_.tvd_threshold < 1.0,
+          "SemanticAnalyzerAgent: tvd_threshold in (0,1)");
+}
+
+StaticReport SemanticAnalyzerAgent::analyze(const std::string& source) const {
+  StaticReport report;
+  qasm::ParseResult parsed = qasm::parse(source);
+  report.diagnostics = parsed.diagnostics;
+  if (!parsed.ok()) {
+    report.error_trace = qasm::format_error_trace(report.diagnostics);
+    return report;
+  }
+  qasm::AnalysisReport analysis = qasm::analyze(*parsed.program);
+  report.diagnostics.insert(report.diagnostics.end(),
+                            analysis.diagnostics.begin(),
+                            analysis.diagnostics.end());
+  report.error_trace = qasm::format_error_trace(report.diagnostics);
+  if (!analysis.ok()) return report;
+  report.syntactic_ok = true;
+  report.circuit = qasm::build_circuit(*parsed.program);
+  return report;
+}
+
+BehaviorReport SemanticAnalyzerAgent::check_behavior(
+    const sim::Circuit& circuit, const sim::Distribution& reference) const {
+  BehaviorReport report;
+  report.checked = true;
+  if (reference.empty()) {
+    report.matches = false;
+    return report;
+  }
+  const sim::Distribution observed = sim::exact_distribution(circuit);
+  report.tvd = total_variation_distance(observed, reference);
+  report.matches = !observed.empty() && report.tvd <= options_.tvd_threshold;
+  return report;
+}
+
+}  // namespace qcgen::agents

@@ -1,0 +1,62 @@
+#pragma once
+// Semantic Analysis Agent (paper Sec III-A, second agent).
+//
+// Performs static analysis (parse + semantic checks) and behavioural
+// verification (simulate and compare against a reference distribution),
+// producing the error traces that drive the multi-pass repair loop.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "qasm/analyzer.hpp"
+#include "qasm/parser.hpp"
+#include "sim/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen::agents {
+
+/// Static analysis outcome of one generated source.
+struct StaticReport {
+  bool syntactic_ok = false;  ///< parsed and no error diagnostics
+  std::vector<qasm::Diagnostic> diagnostics;
+  /// Lowered circuit; present iff syntactic_ok.
+  std::optional<sim::Circuit> circuit;
+  /// Formatted trace for the repair prompt (Sec IV-A).
+  std::string error_trace;
+};
+
+/// Behavioural check outcome.
+struct BehaviorReport {
+  bool checked = false;  ///< false when no reference was available
+  bool matches = false;
+  double tvd = 1.0;  ///< total variation distance to the reference
+};
+
+class SemanticAnalyzerAgent {
+ public:
+  struct Options {
+    std::uint64_t shots = 2048;
+    double tvd_threshold = 0.05;
+    std::uint64_t seed = 11;
+  };
+
+  SemanticAnalyzerAgent() : SemanticAnalyzerAgent(Options()) {}
+  explicit SemanticAnalyzerAgent(Options options);
+
+  const Options& options() const noexcept { return options_; }
+
+  /// Parse + semantic analysis + lowering.
+  StaticReport analyze(const std::string& source) const;
+
+  /// Computes the circuit's exact measurement distribution and compares
+  /// it to the reference under total variation distance.
+  BehaviorReport check_behavior(const sim::Circuit& circuit,
+                                const sim::Distribution& reference) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace qcgen::agents

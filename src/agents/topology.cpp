@@ -1,0 +1,189 @@
+#include "agents/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qcgen::agents {
+
+std::string_view topology_kind_name(TopologyKind kind) {
+  switch (kind) {
+    case TopologyKind::kLinear: return "linear";
+    case TopologyKind::kGrid: return "grid";
+    case TopologyKind::kHeavyHex: return "heavy-hex";
+    case TopologyKind::kFull: return "fully-connected";
+  }
+  return "?";
+}
+
+void DeviceTopology::add_edge(std::size_t a, std::size_t b) {
+  require(a < num_qubits_ && b < num_qubits_ && a != b,
+          "DeviceTopology: bad edge");
+  if (a > b) std::swap(a, b);
+  if (!are_coupled(a, b)) edges_.emplace_back(a, b);
+}
+
+DeviceTopology DeviceTopology::linear(std::size_t n) {
+  require(n >= 2, "linear topology needs >= 2 qubits");
+  DeviceTopology t;
+  t.name_ = "linear-" + std::to_string(n);
+  t.kind_ = TopologyKind::kLinear;
+  t.num_qubits_ = n;
+  for (std::size_t q = 0; q + 1 < n; ++q) t.add_edge(q, q + 1);
+  return t;
+}
+
+DeviceTopology DeviceTopology::grid(std::size_t rows, std::size_t cols) {
+  require(rows >= 2 && cols >= 2, "grid topology needs >= 2x2");
+  DeviceTopology t;
+  t.name_ = "grid-" + std::to_string(rows) + "x" + std::to_string(cols);
+  t.kind_ = TopologyKind::kGrid;
+  t.num_qubits_ = rows * cols;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  const auto at = [&](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) t.add_edge(at(r, c), at(r, c + 1));
+      if (r + 1 < rows) t.add_edge(at(r, c), at(r + 1, c));
+    }
+  }
+  return t;
+}
+
+DeviceTopology DeviceTopology::heavy_hex(std::size_t unit_rows,
+                                         std::size_t unit_cols) {
+  require(unit_rows >= 1 && unit_cols >= 1, "heavy_hex: unit counts >= 1");
+  // Heavy-hex construction: horizontal qubit rows of length
+  // (4 * unit_cols + 3), connected by vertical bridge qubits placed with
+  // alternating offsets every 4 columns — the IBM Eagle family pattern.
+  DeviceTopology t;
+  t.kind_ = TopologyKind::kHeavyHex;
+  const std::size_t row_len = 4 * unit_cols + 3;
+  const std::size_t num_rows = unit_rows + 1;
+  const std::size_t row_qubits = num_rows * row_len;
+  // Bridges between row r and r+1 at columns congruent to offset mod 4.
+  std::vector<std::pair<std::size_t, std::size_t>> bridges;  // (row, col)
+  for (std::size_t r = 0; r + 1 < num_rows; ++r) {
+    const std::size_t offset = (r % 2 == 0) ? 0 : 2;
+    for (std::size_t c = offset; c < row_len; c += 4) {
+      bridges.emplace_back(r, c);
+    }
+  }
+  t.num_qubits_ = row_qubits + bridges.size();
+  t.name_ = "heavy-hex-" + std::to_string(t.num_qubits_);
+  const auto row_at = [&](std::size_t r, std::size_t c) {
+    return r * row_len + c;
+  };
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    for (std::size_t c = 0; c + 1 < row_len; ++c) {
+      t.add_edge(row_at(r, c), row_at(r, c + 1));
+    }
+  }
+  for (std::size_t i = 0; i < bridges.size(); ++i) {
+    const auto [r, c] = bridges[i];
+    const std::size_t bridge = row_qubits + i;
+    t.add_edge(bridge, row_at(r, c));
+    t.add_edge(bridge, row_at(r + 1, c));
+  }
+  return t;
+}
+
+DeviceTopology DeviceTopology::fully_connected(std::size_t n) {
+  require(n >= 2 && n <= 64, "fully_connected: n in 2..64");
+  DeviceTopology t;
+  t.name_ = "full-" + std::to_string(n);
+  t.kind_ = TopologyKind::kFull;
+  t.num_qubits_ = n;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) t.add_edge(a, b);
+  }
+  return t;
+}
+
+DeviceTopology DeviceTopology::ibm_brisbane() {
+  // 6x3 heavy-hex units -> 127 qubits (Eagle r3 layout scale).
+  DeviceTopology t = heavy_hex(6, 3);
+  t.name_ = "ibm-brisbane";
+  t.noise_ = sim::NoiseModel::ibm_brisbane();
+  return t;
+}
+
+std::size_t DeviceTopology::degree(std::size_t qubit) const {
+  require(qubit < num_qubits_, "degree: qubit out of range");
+  std::size_t d = 0;
+  for (const auto& [a, b] : edges_) {
+    if (a == qubit || b == qubit) ++d;
+  }
+  return d;
+}
+
+bool DeviceTopology::are_coupled(std::size_t a, std::size_t b) const {
+  if (a > b) std::swap(a, b);
+  return std::any_of(edges_.begin(), edges_.end(), [&](const auto& e) {
+    return e.first == a && e.second == b;
+  });
+}
+
+bool DeviceTopology::is_connected() const {
+  if (num_qubits_ == 0) return false;
+  std::vector<std::vector<std::size_t>> adj(num_qubits_);
+  for (const auto& [a, b] : edges_) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<bool> seen(num_qubits_, false);
+  std::queue<std::size_t> queue;
+  queue.push(0);
+  seen[0] = true;
+  std::size_t count = 1;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (std::size_t v : adj[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+        queue.push(v);
+      }
+    }
+  }
+  return count == num_qubits_;
+}
+
+int DeviceTopology::max_surface_code_distance() const {
+  const auto best_for_qubits = [&](double overhead) {
+    // Largest odd d with overhead * (2d-1)^2 <= num_qubits.
+    int best = 0;
+    for (int d = 3;; d += 2) {
+      const double need =
+          overhead * static_cast<double>((2 * d - 1) * (2 * d - 1));
+      if (need > static_cast<double>(num_qubits_)) break;
+      best = d;
+    }
+    return best;
+  };
+  switch (kind_) {
+    case TopologyKind::kLinear:
+      return 0;  // no 2D lattice available
+    case TopologyKind::kGrid: {
+      const std::size_t side = std::min(rows_, cols_);
+      int best = 0;
+      for (int d = 3; static_cast<std::size_t>(2 * d - 1) <= side; d += 2) {
+        best = d;
+      }
+      return best;
+    }
+    case TopologyKind::kHeavyHex:
+      // Heavy-hex embeddings of the rotated code reuse the bridge qubits
+      // as part of the ancilla set, costing ~1.3x the qubits of the plain
+      // grid embedding (heavy-hex code family).
+      return best_for_qubits(1.3);
+    case TopologyKind::kFull:
+      return best_for_qubits(1.0);
+  }
+  return 0;
+}
+
+}  // namespace qcgen::agents

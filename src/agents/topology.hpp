@@ -1,0 +1,77 @@
+#pragma once
+// Quantum device topology model.
+//
+// The QEC decoder agent is topology-specific (paper Sec IV-B: surface
+// codes "are topology-dependent", and the agent "uses the topology of
+// the quantum device to generate a decoder"). This module models the
+// device graphs the paper touches: IBM heavy-hex (Brisbane) and the
+// fully-connected-lattice (grid) design the current agent requires.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/noise.hpp"
+
+namespace qcgen::agents {
+
+enum class TopologyKind { kLinear, kGrid, kHeavyHex, kFull };
+
+std::string_view topology_kind_name(TopologyKind kind);
+
+/// An undirected device coupling graph plus a calibration noise model.
+class DeviceTopology {
+ public:
+  /// Linear chain of n qubits.
+  static DeviceTopology linear(std::size_t n);
+  /// rows x cols square lattice with nearest-neighbour couplings.
+  static DeviceTopology grid(std::size_t rows, std::size_t cols);
+  /// Heavy-hex lattice with the given number of unit rows/cols (IBM
+  /// Eagle style); qubit count grows accordingly.
+  static DeviceTopology heavy_hex(std::size_t unit_rows, std::size_t unit_cols);
+  /// All-to-all coupling (simulator backends).
+  static DeviceTopology fully_connected(std::size_t n);
+
+  /// 127-qubit heavy-hex device with Brisbane-like calibration noise.
+  static DeviceTopology ibm_brisbane();
+
+  const std::string& name() const noexcept { return name_; }
+  TopologyKind kind() const noexcept { return kind_; }
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  const std::vector<std::pair<std::size_t, std::size_t>>& edges() const {
+    return edges_;
+  }
+  const sim::NoiseModel& noise() const noexcept { return noise_; }
+  void set_noise(const sim::NoiseModel& noise) { noise_ = noise; }
+
+  std::size_t degree(std::size_t qubit) const;
+  bool are_coupled(std::size_t a, std::size_t b) const;
+  /// True when the graph is connected.
+  bool is_connected() const;
+
+  /// Largest rotated-surface-code distance the device can host.
+  /// A distance-d code needs a (2d-1)x(2d-1) interleaved data/ancilla
+  /// grid; grid and fully-connected devices host it directly, heavy-hex
+  /// devices need the (qubit-hungry) heavy-hex embedding, and linear
+  /// chains host none.
+  int max_surface_code_distance() const;
+
+  /// Grid rows/cols (valid only for kGrid).
+  std::size_t grid_rows() const noexcept { return rows_; }
+  std::size_t grid_cols() const noexcept { return cols_; }
+
+ private:
+  DeviceTopology() = default;
+  void add_edge(std::size_t a, std::size_t b);
+
+  std::string name_;
+  TopologyKind kind_ = TopologyKind::kLinear;
+  std::size_t num_qubits_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges_;
+  sim::NoiseModel noise_;
+};
+
+}  // namespace qcgen::agents

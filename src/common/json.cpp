@@ -1,0 +1,105 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace qcgen {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = JsonObject{};
+  return std::get<JsonObject>(value_)[key];
+}
+
+void Json::push_back(Json v) {
+  if (std::holds_alternative<std::nullptr_t>(value_)) value_ = JsonArray{};
+  std::get<JsonArray>(value_).push_back(std::move(v));
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_impl(out, indent, 0);
+  return out;
+}
+
+void Json::dump_impl(std::string& out, int indent, int depth) const {
+  const std::string nl = indent >= 0 ? "\n" : "";
+  const auto pad = [&](int d) {
+    if (indent >= 0) out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out += *b ? "true" : "false";
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
+      out += std::to_string(static_cast<long long>(*d));
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.10g", *d);
+      out += buf;
+    }
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    out += '"';
+    out += json_escape(*s);
+    out += '"';
+  } else if (const JsonArray* a = std::get_if<JsonArray>(&value_)) {
+    if (a->empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      pad(depth + 1);
+      (*a)[i].dump_impl(out, indent, depth + 1);
+      if (i + 1 < a->size()) out += ',';
+      out += nl;
+    }
+    pad(depth);
+    out += ']';
+  } else if (const JsonObject* o = std::get_if<JsonObject>(&value_)) {
+    if (o->empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [k, v] : *o) {
+      pad(depth + 1);
+      out += '"';
+      out += json_escape(k);
+      out += indent >= 0 ? "\": " : "\":";
+      v.dump_impl(out, indent, depth + 1);
+      if (++i < o->size()) out += ',';
+      out += nl;
+    }
+    pad(depth);
+    out += '}';
+  }
+}
+
+}  // namespace qcgen

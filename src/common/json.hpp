@@ -1,0 +1,57 @@
+#pragma once
+// Minimal JSON value + writer for experiment reports.
+//
+// Intentionally write-only: the library never parses untrusted JSON; it only
+// serialises experiment results so downstream tooling can plot them.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qcgen {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value: null, bool, number, string, array or object.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(int v) : value_(static_cast<double>(v)) {}
+  Json(std::size_t v) : value_(static_cast<double>(v)) {}
+  Json(std::int64_t v) : value_(static_cast<double>(v)) {}
+  Json(double v) : value_(v) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  /// Serialises; indent < 0 gives compact output.
+  std::string dump(int indent = -1) const;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+
+  /// Object element access; converts a null value into an object first.
+  Json& operator[](const std::string& key);
+
+  /// Appends to an array; converts a null value into an array first.
+  void push_back(Json v);
+
+ private:
+  void dump_impl(std::string& out, int indent, int depth) const;
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+/// Escapes a string for inclusion in JSON output.
+std::string json_escape(const std::string& s);
+
+}  // namespace qcgen

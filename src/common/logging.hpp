@@ -1,0 +1,43 @@
+#pragma once
+// Leveled logging for agents and experiment runners.
+//
+// Log output is a development/debug aid; benchmark result tables are printed
+// directly by the bench binaries and never routed through the logger.
+
+#include <sstream>
+#include <string>
+
+namespace qcgen {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log level; defaults to kWarn so library use is quiet.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a log record to stderr when `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message);
+
+/// Stream-style logging helper: Log(kInfo, "agent") << "pass " << n;
+class Log {
+ public:
+  Log(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~Log() { log_message(level_, component_, stream_.str()); }
+  Log(const Log&) = delete;
+  Log& operator=(const Log&) = delete;
+
+  template <typename T>
+  Log& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+
+}  // namespace qcgen

@@ -1,0 +1,127 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace qcgen {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double stderr_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+}
+
+Interval wilson_interval(std::size_t successes, std::size_t trials, double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  return {std::max(0.0, centre - half), std::min(1.0, centre + half)};
+}
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::map<std::string, double> normalize(const Counts& counts) {
+  double total = 0.0;
+  for (const auto& [_, c] : counts) total += static_cast<double>(c);
+  std::map<std::string, double> out;
+  if (total <= 0.0) return out;
+  for (const auto& [k, c] : counts) out[k] = static_cast<double>(c) / total;
+  return out;
+}
+
+double total_variation_distance(const Counts& a, const Counts& b) {
+  const auto pa = normalize(a);
+  const auto pb = normalize(b);
+  std::set<std::string> keys;
+  for (const auto& [k, _] : pa) keys.insert(k);
+  for (const auto& [k, _] : pb) keys.insert(k);
+  double d = 0.0;
+  for (const auto& k : keys) {
+    const double x = pa.count(k) ? pa.at(k) : 0.0;
+    const double y = pb.count(k) ? pb.at(k) : 0.0;
+    d += std::abs(x - y);
+  }
+  return 0.5 * d;
+}
+
+double total_variation_distance(const std::map<std::string, double>& a,
+                                const std::map<std::string, double>& b) {
+  std::set<std::string> keys;
+  for (const auto& [k, _] : a) keys.insert(k);
+  for (const auto& [k, _] : b) keys.insert(k);
+  double d = 0.0;
+  for (const auto& k : keys) {
+    const auto ia = a.find(k);
+    const auto ib = b.find(k);
+    const double x = ia == a.end() ? 0.0 : ia->second;
+    const double y = ib == b.end() ? 0.0 : ib->second;
+    d += std::abs(x - y);
+  }
+  return 0.5 * d;
+}
+
+double classical_fidelity(const Counts& a, const Counts& b) {
+  const auto pa = normalize(a);
+  const auto pb = normalize(b);
+  double f = 0.0;
+  for (const auto& [k, x] : pa) {
+    auto it = pb.find(k);
+    if (it != pb.end()) f += std::sqrt(x * it->second);
+  }
+  return f * f;
+}
+
+double outcome_probability(const Counts& counts, const std::string& outcome) {
+  const auto p = normalize(counts);
+  auto it = p.find(outcome);
+  return it == p.end() ? 0.0 : it->second;
+}
+
+double hellinger_distance(const Counts& a, const Counts& b) {
+  const double f = std::sqrt(std::max(0.0, std::min(1.0, classical_fidelity(a, b))));
+  return std::sqrt(std::max(0.0, 1.0 - f));
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> sorted_by_count(
+    const Counts& counts) {
+  std::vector<std::pair<std::string, std::uint64_t>> v(counts.begin(),
+                                                       counts.end());
+  std::sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return v;
+}
+
+}  // namespace qcgen

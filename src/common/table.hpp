@@ -1,0 +1,36 @@
+#pragma once
+// ASCII table formatter used by benchmark binaries to print the same
+// rows/series as the paper's tables and figures.
+
+#include <string>
+#include <vector>
+
+namespace qcgen {
+
+/// Column-aligned ASCII table with an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  /// Adds a row; must have the same arity as the headers.
+  void add_row(std::vector<std::string> row);
+  /// Renders the table with box-drawing separators.
+  std::string to_string() const;
+  /// Renders as a GitHub-flavoured markdown table.
+  std::string to_markdown() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Text bar chart: one `#`-bar line per (label, value) pair, scaled to width.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& data,
+                      double max_value = 0.0, std::size_t width = 50,
+                      const std::string& unit = "");
+
+}  // namespace qcgen

@@ -1,0 +1,44 @@
+#include "eval/judge.hpp"
+
+#include <algorithm>
+
+#include "llm/templates.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/printer.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen::eval {
+
+ReferenceOracle::ReferenceOracle(Options options) : options_(options) {}
+
+const sim::Distribution& ReferenceOracle::reference_for(
+    const TestCase& test_case) {
+  auto it = cache_.find(test_case.id);
+  if (it != cache_.end()) return it->second;
+  const qasm::Program gold = llm::gold_program(test_case.task);
+  const sim::Circuit circuit = qasm::build_circuit(gold);
+  sim::Distribution reference = sim::exact_distribution(circuit);
+  return cache_.emplace(test_case.id, std::move(reference)).first->second;
+}
+
+Verdict judge_source(const std::string& source,
+                     const sim::Distribution& reference,
+                     const agents::SemanticAnalyzerAgent& analyzer) {
+  Verdict verdict;
+  const agents::StaticReport static_report = analyzer.analyze(source);
+  verdict.error_count = static_report.diagnostics.size();
+  verdict.only_syntactic_errors = std::all_of(
+      static_report.diagnostics.begin(), static_report.diagnostics.end(),
+      [](const qasm::Diagnostic& d) {
+        return d.severity != qasm::Severity::kError || qasm::is_syntactic(d.code);
+      });
+  verdict.syntactic_ok = static_report.syntactic_ok;
+  if (!verdict.syntactic_ok) return verdict;
+  const agents::BehaviorReport behavior =
+      analyzer.check_behavior(*static_report.circuit, reference);
+  verdict.semantic_ok = behavior.matches;
+  verdict.tvd = behavior.tvd;
+  return verdict;
+}
+
+}  // namespace qcgen::eval

@@ -1,0 +1,54 @@
+#pragma once
+// Reference oracle and correctness judge.
+//
+// A generated program is *syntactically* valid when it parses and passes
+// semantic analysis, and *semantically* valid when it additionally
+// simulates to a measurement distribution within TVD threshold of the
+// gold solution's (paper: "syntactically and semantically correct").
+
+#include <map>
+#include <string>
+
+#include "agents/semantic_agent.hpp"
+#include "common/stats.hpp"
+#include "eval/suite.hpp"
+
+namespace qcgen::eval {
+
+/// Caches reference counts per test case id (gold programs compiled and
+/// simulated once).
+class ReferenceOracle {
+ public:
+  struct Options {
+    std::uint64_t shots = 4096;
+    std::uint64_t seed = 97;
+  };
+
+  ReferenceOracle() : ReferenceOracle(Options()) {}
+  explicit ReferenceOracle(Options options);
+
+  /// Exact reference distribution for a case (cached on first use).
+  const sim::Distribution& reference_for(const TestCase& test_case);
+
+ private:
+  Options options_;
+  std::map<std::string, sim::Distribution> cache_;
+};
+
+/// Final verdict on one generated source.
+struct Verdict {
+  bool syntactic_ok = false;
+  bool semantic_ok = false;
+  double tvd = 1.0;
+  std::size_t error_count = 0;
+  /// True when every error diagnostic is syntactic-class (import/gate/
+  /// parse); used for the syntactic-vs-semantic split analysis.
+  bool only_syntactic_errors = true;
+};
+
+/// Judges one source against a case's reference distribution.
+Verdict judge_source(const std::string& source,
+                     const sim::Distribution& reference,
+                     const agents::SemanticAnalyzerAgent& analyzer);
+
+}  // namespace qcgen::eval

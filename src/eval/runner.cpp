@@ -1,0 +1,85 @@
+#include "eval/runner.hpp"
+
+#include "common/error.hpp"
+#include "llm/passk.hpp"
+
+namespace qcgen::eval {
+
+AccuracyReport evaluate_technique(const agents::TechniqueConfig& technique,
+                                  const std::vector<TestCase>& suite,
+                                  const RunnerOptions& options) {
+  require(!suite.empty(), "evaluate_technique: empty suite");
+  require(options.samples_per_case >= 1,
+          "evaluate_technique: samples_per_case >= 1");
+
+  agents::MultiAgentPipeline pipeline(technique, options.analyzer,
+                                      std::nullopt, std::nullopt,
+                                      options.seed);
+  ReferenceOracle oracle(options.oracle);
+
+  AccuracyReport report;
+  report.label = technique.label();
+  report.cases = suite.size();
+  report.samples_per_case = options.samples_per_case;
+
+  std::size_t syntactic = 0;
+  std::size_t semantic = 0;
+  std::size_t total = 0;
+  std::size_t passes_total = 0;
+  std::map<llm::Tier, std::pair<std::size_t, std::size_t>> by_tier;
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const TestCase& tc = suite[i];
+    const sim::Distribution& reference = oracle.reference_for(tc);
+    for (std::size_t s = 0; s < options.samples_per_case; ++s) {
+      const agents::PipelineResult result =
+          pipeline.run(tc.task, reference, i);
+      ++total;
+      passes_total += static_cast<std::size_t>(result.passes_used);
+      if (result.syntactic_ok) ++syntactic;
+      auto& tier_counts = by_tier[tc.tier];
+      ++tier_counts.second;
+      if (result.semantic_ok) {
+        ++semantic;
+        ++tier_counts.first;
+      }
+    }
+  }
+  report.syntactic_rate = static_cast<double>(syntactic) / total;
+  report.semantic_rate = static_cast<double>(semantic) / total;
+  report.mean_passes_used = static_cast<double>(passes_total) / total;
+  report.semantic_ci = wilson_interval(semantic, total);
+  for (const auto& [tier, counts] : by_tier) {
+    report.semantic_by_tier[tier] =
+        counts.second == 0
+            ? 0.0
+            : static_cast<double>(counts.first) / counts.second;
+  }
+  return report;
+}
+
+double evaluate_pass_at_k(const agents::TechniqueConfig& technique,
+                          const std::vector<TestCase>& suite,
+                          std::size_t n_samples, std::size_t k,
+                          const RunnerOptions& options) {
+  require(k >= 1 && k <= n_samples, "evaluate_pass_at_k: 1 <= k <= n");
+  agents::MultiAgentPipeline pipeline(technique, options.analyzer,
+                                      std::nullopt, std::nullopt,
+                                      options.seed);
+  ReferenceOracle oracle(options.oracle);
+  double total = 0.0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const TestCase& tc = suite[i];
+    const sim::Distribution& reference = oracle.reference_for(tc);
+    std::size_t correct = 0;
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      const agents::PipelineResult result =
+          pipeline.run(tc.task, reference, i);
+      if (result.semantic_ok) ++correct;
+    }
+    total += llm::pass_at_k(n_samples, correct, k);
+  }
+  return total / static_cast<double>(suite.size());
+}
+
+}  // namespace qcgen::eval

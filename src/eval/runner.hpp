@@ -1,0 +1,47 @@
+#pragma once
+// Experiment runner: evaluates a technique configuration over a suite and
+// produces the accuracy numbers the benchmark binaries print.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "agents/codegen_agent.hpp"
+#include "agents/pipeline.hpp"
+#include "eval/judge.hpp"
+#include "eval/suite.hpp"
+
+namespace qcgen::eval {
+
+/// Accuracy summary for one technique configuration over one suite.
+struct AccuracyReport {
+  std::string label;
+  std::size_t cases = 0;
+  std::size_t samples_per_case = 1;
+  double syntactic_rate = 0.0;
+  double semantic_rate = 0.0;  ///< syntactically AND semantically valid
+  std::map<llm::Tier, double> semantic_by_tier;
+  double mean_passes_used = 1.0;
+  Interval semantic_ci;  ///< Wilson 95% over all samples
+};
+
+/// Runner options shared across experiments.
+struct RunnerOptions {
+  std::size_t samples_per_case = 3;
+  std::uint64_t seed = 2025;
+  agents::SemanticAnalyzerAgent::Options analyzer;
+  ReferenceOracle::Options oracle;
+};
+
+/// Evaluates one technique configuration (pass@1 over samples).
+AccuracyReport evaluate_technique(const agents::TechniqueConfig& technique,
+                                  const std::vector<TestCase>& suite,
+                                  const RunnerOptions& options);
+
+/// pass@k over the suite with n samples per case.
+double evaluate_pass_at_k(const agents::TechniqueConfig& technique,
+                          const std::vector<TestCase>& suite,
+                          std::size_t n_samples, std::size_t k,
+                          const RunnerOptions& options);
+
+}  // namespace qcgen::eval

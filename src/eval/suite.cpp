@@ -1,0 +1,181 @@
+#include "eval/suite.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::eval {
+
+using llm::AlgorithmId;
+using llm::TaskSpec;
+using llm::Tier;
+
+namespace {
+
+TestCase make_case(AlgorithmId algorithm,
+                   std::map<std::string, double> params = {}) {
+  TestCase tc;
+  tc.task.algorithm = algorithm;
+  tc.task.params = std::move(params);
+  tc.tier = llm::algorithm_tier(algorithm);
+  tc.id = tc.task.id();
+  tc.prompt = llm::prompt_text(tc.task);
+  return tc;
+}
+
+}  // namespace
+
+std::vector<TestCase> semantic_suite() {
+  std::vector<TestCase> suite;
+  // --- Basic: 47 cases -----------------------------------------------
+  suite.push_back(make_case(AlgorithmId::kBellPair));
+  for (int n = 2; n <= 8; ++n) {
+    suite.push_back(make_case(AlgorithmId::kGhz, {{"n", double(n)}}));
+  }
+  for (int n = 1; n <= 8; ++n) {
+    suite.push_back(make_case(AlgorithmId::kSuperposition, {{"n", double(n)}}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    suite.push_back(make_case(AlgorithmId::kSingleQubitRotation,
+                              {{"theta", 0.25 + 0.3 * i}}));
+  }
+  suite.push_back(make_case(AlgorithmId::kBitflipEncoding, {{"value", 0}}));
+  suite.push_back(make_case(AlgorithmId::kBitflipEncoding, {{"value", 1}}));
+  for (int n = 2; n <= 6; ++n) {
+    suite.push_back(make_case(AlgorithmId::kRandomNumber, {{"n", double(n)}}));
+  }
+  for (int i = 0; i < 9; ++i) {
+    suite.push_back(make_case(
+        AlgorithmId::kSwapTest,
+        {{"theta1", 0.2 + 0.25 * i}, {"theta2", 1.9 - 0.2 * i}}));
+  }
+  for (int i = 0; i < 5; ++i) {
+    suite.push_back(make_case(AlgorithmId::kPhaseKickback, {{"variant", double(i)}}));
+  }
+  ensure(suite.size() == 47, "semantic_suite: basic tier must be 47 cases");
+
+  // --- Intermediate: 24 cases ----------------------------------------
+  for (int n = 2; n <= 4; ++n) {
+    suite.push_back(make_case(AlgorithmId::kDeutschJozsa,
+                              {{"n", double(n)}, {"constant", 1}}));
+    suite.push_back(make_case(AlgorithmId::kDeutschJozsa,
+                              {{"n", double(n)}, {"constant", 0}}));
+  }
+  for (int n = 3; n <= 5; ++n) {
+    for (int s : {1, (1 << n) - 2}) {
+      suite.push_back(make_case(AlgorithmId::kBernsteinVazirani,
+                                {{"n", double(n)}, {"secret", double(s)}}));
+    }
+  }
+  suite.push_back(make_case(AlgorithmId::kGrover,
+                            {{"n", 2}, {"marked", 3}, {"iterations", 1}}));
+  suite.push_back(make_case(AlgorithmId::kGrover,
+                            {{"n", 2}, {"marked", 1}, {"iterations", 1}}));
+  suite.push_back(make_case(AlgorithmId::kGrover,
+                            {{"n", 3}, {"marked", 5}, {"iterations", 2}}));
+  suite.push_back(make_case(AlgorithmId::kGrover,
+                            {{"n", 3}, {"marked", 6}, {"iterations", 2}}));
+  for (int n = 2; n <= 5; ++n) {
+    suite.push_back(
+        make_case(AlgorithmId::kQft, {{"n", double(n)}, {"input", 1}}));
+  }
+  suite.push_back(make_case(AlgorithmId::kQft, {{"n", 3}, {"input", 2}}));
+  suite.push_back(make_case(AlgorithmId::kQft, {{"n", 4}, {"input", 3}}));
+  suite.push_back(make_case(AlgorithmId::kShorPeriodFinding));
+  suite.push_back(make_case(AlgorithmId::kShorPeriodFinding, {{"variant", 1}}));
+  ensure(suite.size() == 71, "semantic_suite: intermediate tier must be 24");
+
+  // --- Advanced: 29 cases --------------------------------------------
+  for (int i = 0; i < 8; ++i) {
+    suite.push_back(
+        make_case(AlgorithmId::kTeleportation, {{"theta", 0.3 + 0.3 * i}}));
+  }
+  for (int steps = 1; steps <= 6; ++steps) {
+    suite.push_back(
+        make_case(AlgorithmId::kQuantumWalk, {{"steps", double(steps)}}));
+  }
+  for (int n = 2; n <= 4; ++n) {
+    for (int steps = 2; steps <= 4; ++steps) {
+      suite.push_back(make_case(AlgorithmId::kQuantumAnnealing,
+                                {{"n", double(n)}, {"steps", double(steps)}}));
+    }
+  }
+  for (int n = 2; n <= 4; ++n) {
+    suite.push_back(
+        make_case(AlgorithmId::kGhzParityOracle, {{"n", double(n)}}));
+  }
+  for (int n = 2; n <= 4; ++n) {
+    suite.push_back(make_case(AlgorithmId::kInverseQft,
+                              {{"n", double(n)}, {"input", 1}}));
+  }
+  ensure(suite.size() == 100, "semantic_suite: total must be 100 cases");
+  return suite;
+}
+
+std::vector<TestCase> qhe_suite() {
+  std::vector<TestCase> suite;
+  // Syntax-focused: basic circuit-construction prompts dominate.
+  suite.push_back(make_case(AlgorithmId::kBellPair));
+  for (int n = 2; n <= 7; ++n) {
+    suite.push_back(make_case(AlgorithmId::kGhz, {{"n", double(n)}}));
+  }
+  for (int n = 1; n <= 7; ++n) {
+    suite.push_back(make_case(AlgorithmId::kSuperposition, {{"n", double(n)}}));
+  }
+  for (int i = 0; i < 14; ++i) {
+    suite.push_back(make_case(AlgorithmId::kSingleQubitRotation,
+                              {{"theta", 0.2 + 0.22 * i}}));
+  }
+  suite.push_back(make_case(AlgorithmId::kBitflipEncoding, {{"value", 0}}));
+  suite.push_back(make_case(AlgorithmId::kBitflipEncoding, {{"value", 1}}));
+  for (int n = 2; n <= 7; ++n) {
+    suite.push_back(make_case(AlgorithmId::kRandomNumber, {{"n", double(n)}}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    suite.push_back(make_case(
+        AlgorithmId::kSwapTest,
+        {{"theta1", 0.3 + 0.2 * i}, {"theta2", 0.8 + 0.12 * i}}));
+  }
+  suite.push_back(make_case(AlgorithmId::kPhaseKickback));
+  suite.push_back(make_case(AlgorithmId::kPhaseKickback, {{"variant", 1}}));
+  ensure(suite.size() == 48, "qhe_suite: basic tier must be 48");
+  // Light intermediate tail.
+  for (int n = 2; n <= 4; ++n) {
+    suite.push_back(make_case(AlgorithmId::kDeutschJozsa,
+                              {{"n", double(n)}, {"constant", 1}}));
+  }
+  for (int n = 3; n <= 4; ++n) {
+    suite.push_back(make_case(AlgorithmId::kBernsteinVazirani,
+                              {{"n", double(n)}, {"secret", 3}}));
+  }
+  for (int n = 2; n <= 4; ++n) {
+    suite.push_back(
+        make_case(AlgorithmId::kQft, {{"n", double(n)}, {"input", 1}}));
+  }
+  suite.push_back(make_case(AlgorithmId::kGrover,
+                            {{"n", 2}, {"marked", 2}, {"iterations", 1}}));
+  suite.push_back(make_case(AlgorithmId::kGrover,
+                            {{"n", 3}, {"marked", 4}, {"iterations", 2}}));
+  suite.push_back(make_case(AlgorithmId::kShorPeriodFinding));
+  suite.push_back(make_case(AlgorithmId::kDeutschJozsa,
+                            {{"n", 4}, {"constant", 0}}));
+  ensure(suite.size() == 60, "qhe_suite: total must be 60 cases");
+  return suite;
+}
+
+TierMix tier_mix(const std::vector<TestCase>& suite) {
+  TierMix mix;
+  if (suite.empty()) return mix;
+  for (const TestCase& tc : suite) {
+    switch (tc.tier) {
+      case Tier::kBasic: mix.basic += 1.0; break;
+      case Tier::kIntermediate: mix.intermediate += 1.0; break;
+      case Tier::kAdvanced: mix.advanced += 1.0; break;
+    }
+  }
+  const double n = static_cast<double>(suite.size());
+  mix.basic /= n;
+  mix.intermediate /= n;
+  mix.advanced /= n;
+  return mix;
+}
+
+}  // namespace qcgen::eval

@@ -1,0 +1,42 @@
+#pragma once
+// Evaluation suites.
+//
+//  * semantic_suite(): the paper's custom 3-tier prompt set — 47% basic,
+//    24% intermediate, 29% advanced (Sec III-B), stressing algorithmic
+//    knowledge.
+//  * qhe_suite(): a Qiskit-HumanEval-style set — basic-syntax heavy,
+//    evaluated at elevated syntax difficulty (Sec V-C explains why the
+//    two suites rank techniques differently).
+
+#include <string>
+#include <vector>
+
+#include "llm/tasks.hpp"
+
+namespace qcgen::eval {
+
+struct TestCase {
+  std::string id;
+  llm::TaskSpec task;
+  llm::Tier tier = llm::Tier::kBasic;
+  std::string prompt;
+};
+
+/// 100 prompts: 47 basic / 24 intermediate / 29 advanced.
+std::vector<TestCase> semantic_suite();
+
+/// 60 prompts: 48 basic / 12 intermediate (syntax-focused benchmark).
+std::vector<TestCase> qhe_suite();
+
+/// Syntax-difficulty multiplier the QHE suite is evaluated at.
+constexpr double kQheSyntaxDifficulty = 2.2;
+
+/// Tier composition as fractions (for reporting).
+struct TierMix {
+  double basic = 0.0;
+  double intermediate = 0.0;
+  double advanced = 0.0;
+};
+TierMix tier_mix(const std::vector<TestCase>& suite);
+
+}  // namespace qcgen::eval

@@ -1,0 +1,184 @@
+#include "llm/corpus.hpp"
+
+#include "common/error.hpp"
+#include "llm/tokenizer.hpp"
+#include "qasm/language.hpp"
+
+namespace qcgen::llm {
+
+std::vector<Document> qiskit_api_corpus(double stale_fraction) {
+  require(stale_fraction >= 0.0 && stale_fraction <= 1.0,
+          "qiskit_api_corpus: stale_fraction in [0,1]");
+  std::vector<Document> docs;
+  const auto& registry = qasm::LanguageRegistry::current();
+
+  // Current module documentation.
+  for (const std::string& mod : registry.current_imports()) {
+    Document d;
+    d.id = "api:" + mod;
+    d.title = "Module " + mod;
+    d.text = "The module " + mod +
+             " is part of the current library release. Import it with "
+             "'import " + mod + ";'. It provides circuit construction, "
+             "primitives execution and transpilation utilities compatible "
+             "with version 1.x of the library.";
+    d.freshness = DocFreshness::kCurrent;
+    docs.push_back(std::move(d));
+  }
+  // Gate reference pages (current).
+  const char* kGatePages[][2] = {
+      {"h", "Hadamard gate h creates superposition; usage: h q[i];"},
+      {"cx", "Controlled-NOT gate cx entangles a control and target: "
+             "cx q[c], q[t];. The legacy alias cnot is deprecated."},
+      {"measure", "Measurement maps a qubit to a classical bit: "
+                  "measure q[i] -> c[j]; or measure_all; for all qubits."},
+      {"rz", "Rotation gates rx, ry, rz take one angle parameter, e.g. "
+             "rz(pi/4) q[i];. The u3 alias is deprecated; use u."},
+      {"ccx", "The Toffoli gate is spelled ccx; the alias toffoli is "
+              "deprecated. Usage: ccx q[a], q[b], q[t];"},
+      {"swap", "swap exchanges two qubits; cswap is the controlled "
+               "(Fredkin) variant whose alias fredkin is deprecated."},
+  };
+  for (const auto& page : kGatePages) {
+    Document d;
+    d.id = std::string("api:gate:") + page[0];
+    d.title = std::string("Gate ") + page[0];
+    d.text = page[1];
+    d.freshness = DocFreshness::kCurrent;
+    docs.push_back(std::move(d));
+  }
+
+  // Stale documentation: tutorials written against the pre-1.0 library
+  // surface, describing removed modules as if current. Their wording
+  // intentionally overlaps the generic "how do I import / run a circuit"
+  // queries the generator issues, so once the stale fraction grows they
+  // genuinely win retrievals and poison the context (paper Sec V-E: the
+  // available documentation "is not up to date"). Multiple tutorial
+  // variants exist per module; stale_fraction of the final corpus is
+  // stale.
+  std::vector<Document> stale;
+  const char* kStaleFlavours[] = {
+      "Tutorial: run your program on a simulator backend with ",
+      "Guide: executing a quantum program starts with ",
+      "How-to: collect counts from a backend job after ",
+  };
+  std::size_t flavour = 0;
+  for (const std::string& mod : registry.deprecated_imports()) {
+    for (std::size_t v = 0; v < std::size(kStaleFlavours); ++v) {
+      Document d;
+      d.id = "api:stale:" + mod + ":" + std::to_string(v);
+      d.title = "Module " + mod + " (legacy tutorial)";
+      d.text = std::string(kStaleFlavours[(flavour + v) % 3]) + "'import " +
+               mod + ";'. The module " + mod +
+               " provides gate application, measure and run helpers" +
+               (v == 2 ? " compatible with this library version."
+                       : " for the release this guide targets.");
+      d.freshness = DocFreshness::kStale;
+      stale.push_back(std::move(d));
+    }
+    ++flavour;
+  }
+  // Choose the stale count so stale/(current+stale) == stale_fraction.
+  const double current = static_cast<double>(docs.size());
+  const std::size_t target_stale =
+      stale_fraction >= 1.0
+          ? stale.size()
+          : std::min(stale.size(),
+                     static_cast<std::size_t>(
+                         current * stale_fraction / (1.0 - stale_fraction)));
+  for (std::size_t i = 0; i < target_stale; ++i) docs.push_back(stale[i]);
+  return docs;
+}
+
+std::vector<Document> algorithm_guide_corpus() {
+  std::vector<Document> docs;
+  const auto add = [&](AlgorithmId id, std::string text) {
+    Document d;
+    d.id = "guide:" + std::string(algorithm_name(id));
+    d.title = "Guide: " + std::string(algorithm_name(id));
+    d.text = std::move(text);
+    d.algorithm = id;
+    docs.push_back(std::move(d));
+  };
+  add(AlgorithmId::kBellPair,
+      "Bell pair preparation: apply a Hadamard h to qubit 0 then cx from "
+      "qubit 0 to qubit 1; measuring yields correlated 00/11 outcomes.");
+  add(AlgorithmId::kGhz,
+      "GHZ state: Hadamard on the first qubit followed by a chain of cx "
+      "gates propagating the superposition; all-zero and all-one outcomes "
+      "dominate.");
+  add(AlgorithmId::kSuperposition,
+      "Uniform superposition: apply h to every qubit; sampling gives each "
+      "bitstring with equal probability.");
+  add(AlgorithmId::kSingleQubitRotation,
+      "Single-qubit rotations: ry(theta) rotates |0> towards |1>; the "
+      "probability of measuring 1 is sin(theta/2)^2.");
+  add(AlgorithmId::kBitflipEncoding,
+      "Bit-flip repetition code: copy the payload onto two ancillas with "
+      "cx gates; the codeword is 000 or 111.");
+  add(AlgorithmId::kRandomNumber,
+      "Quantum RNG: Hadamard every qubit and measure; the register is a "
+      "uniform random integer.");
+  add(AlgorithmId::kSwapTest,
+      "Swap test: Hadamard an ancilla, cswap the two payload states "
+      "controlled on it, Hadamard again; P(0) encodes the state overlap.");
+  add(AlgorithmId::kPhaseKickback,
+      "Phase kickback: prepare the ancilla in |-> with x then h; a cx "
+      "controlled by a superposed qubit kicks the phase back onto the "
+      "control, flipping it in the Hadamard basis.");
+  add(AlgorithmId::kDeutschJozsa,
+      "Deutsch-Jozsa: ancilla in |->, Hadamard all inputs, apply the "
+      "oracle (constant: identity; balanced: cx from every input onto the "
+      "ancilla), Hadamard inputs and measure: all-zeros means constant.");
+  add(AlgorithmId::kBernsteinVazirani,
+      "Bernstein-Vazirani: same skeleton as Deutsch-Jozsa; the oracle "
+      "applies cx from input bit i onto the ancilla whenever secret bit i "
+      "is one. The measurement reveals the secret string directly.");
+  add(AlgorithmId::kGrover,
+      "Grover search: uniform superposition, then repeat oracle plus "
+      "diffusion. The oracle phase-flips the marked state using x "
+      "conjugation and a multi-controlled z; the diffusion operator is "
+      "h-x-mcz-x-h on all qubits.");
+  add(AlgorithmId::kQft,
+      "Quantum Fourier transform: for each qubit from the top, apply h "
+      "then controlled-phase cp(pi/2^k) from each lower qubit; finish by "
+      "swapping the register order.");
+  add(AlgorithmId::kShorPeriodFinding,
+      "Shor period finding for a=7, N=15: initialise the work register to "
+      "1, Hadamard the counting register, apply controlled modular "
+      "multiplications (U: y -> 7y mod 15 via cswap rotation plus cx "
+      "complement; U^2: y -> 4y mod 15 via two cswaps), then the inverse "
+      "QFT on the counting register. Peaks appear at multiples of 2.");
+  add(AlgorithmId::kTeleportation,
+      "Teleportation: share a Bell pair between qubits 1 and 2, Bell-"
+      "measure the payload and qubit 1, then apply classically "
+      "conditioned x (on the q1 outcome) and z (on the q0 outcome) "
+      "corrections to qubit 2 using if statements.");
+  add(AlgorithmId::kQuantumWalk,
+      "Discrete quantum walk on a 4-cycle: a coin qubit is Hadamard-"
+      "flipped each step; conditional increment (ccx + cx) moves the "
+      "walker one way for coin=1 and an x-conjugated decrement moves it "
+      "the other way for coin=0.");
+  add(AlgorithmId::kQuantumAnnealing,
+      "Trotterised quantum annealing: start in the uniform superposition; "
+      "alternate rzz couplings along the Ising chain with transverse rx "
+      "mixing, ramping the coupling up and the mixer down; final samples "
+      "concentrate on the ferromagnetic ground states 00..0 and 11..1.");
+  add(AlgorithmId::kGhzParityOracle,
+      "GHZ parity oracle: prepare GHZ, apply z on one qubit (a parity "
+      "phase flip), uncompute the GHZ preparation and measure qubit 0; the "
+      "phase converts to a deterministic bit flip.");
+  add(AlgorithmId::kInverseQft,
+      "Inverse QFT: run the adjoint circuit — reverse the swaps, then for "
+      "each qubit apply the negated controlled phases cp(-pi/2^k) before "
+      "its Hadamard. QFT followed by inverse QFT restores the input.");
+  return docs;
+}
+
+std::size_t corpus_tokens(const std::vector<Document>& docs) {
+  std::size_t total = 0;
+  for (const Document& d : docs) total += count_tokens(d.text);
+  return total;
+}
+
+}  // namespace qcgen::llm

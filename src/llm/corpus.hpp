@@ -1,0 +1,43 @@
+#pragma once
+// Document corpora for retrieval-augmented generation.
+//
+// Two built-in corpora mirror the paper's RAG datasets (Sec IV-C):
+//  1. API documentation scraped from the library docs — including a
+//     calibrated fraction of *stale* entries describing removed modules,
+//     which is the mechanism behind the paper's "documentation available
+//     for Qiskit is not up to date" finding.
+//  2. Algorithm guides/tutorials explaining the structure of the quantum
+//     algorithms in the task suite.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "llm/tasks.hpp"
+
+namespace qcgen::llm {
+
+/// Whether a document reflects the current library version.
+enum class DocFreshness { kCurrent, kStale };
+
+struct Document {
+  std::string id;
+  std::string title;
+  std::string text;
+  DocFreshness freshness = DocFreshness::kCurrent;
+  /// For algorithm guides: the algorithm the guide describes.
+  std::optional<AlgorithmId> algorithm;
+};
+
+/// API documentation corpus. `stale_fraction` in [0,1] controls how many
+/// module entries describe the pre-1.0 library surface (defaults to the
+/// calibrated value reproducing the paper's weak RAG improvement).
+std::vector<Document> qiskit_api_corpus(double stale_fraction = 0.35);
+
+/// Algorithm guide corpus covering every algorithm in the suite.
+std::vector<Document> algorithm_guide_corpus();
+
+/// Total token count of a corpus (paper-style dataset accounting).
+std::size_t corpus_tokens(const std::vector<Document>& docs);
+
+}  // namespace qcgen::llm

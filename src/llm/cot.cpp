@@ -1,0 +1,89 @@
+#include "llm/cot.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::llm {
+
+std::string_view cot_style_name(CotStyle style) {
+  switch (style) {
+    case CotStyle::kZeroShot: return "zero-shot-cot";
+    case CotStyle::kManual: return "cot";
+    case CotStyle::kStructured: return "scot";
+  }
+  return "?";
+}
+
+double scaffold_error_rate(CotStyle style) {
+  switch (style) {
+    case CotStyle::kZeroShot: return 0.25;
+    case CotStyle::kManual: return 0.12;
+    case CotStyle::kStructured: return 0.05;
+  }
+  return 0.0;
+}
+
+double semantic_boost(CotStyle style) {
+  switch (style) {
+    case CotStyle::kZeroShot: return 0.35;
+    case CotStyle::kManual: return 0.88;
+    case CotStyle::kStructured: return 0.95;
+  }
+  return 0.0;
+}
+
+double semantic_penalty(CotStyle style) {
+  switch (style) {
+    case CotStyle::kZeroShot: return -0.30;
+    case CotStyle::kManual: return -0.45;
+    case CotStyle::kStructured: return -0.40;
+  }
+  return 0.0;
+}
+
+double syntax_boost(CotStyle style) {
+  switch (style) {
+    case CotStyle::kZeroShot: return 0.04;
+    case CotStyle::kManual: return 0.20;
+    case CotStyle::kStructured: return 0.28;
+  }
+  return 0.0;
+}
+
+CotScaffold generate_scaffold(const TaskSpec& task, CotStyle style,
+                              bool hand_written, Rng& rng) {
+  CotScaffold scaffold;
+  scaffold.style = style;
+  scaffold.faithful =
+      hand_written || !rng.bernoulli(scaffold_error_rate(style));
+  const std::string algo = std::string(algorithm_name(task.algorithm));
+  switch (style) {
+    case CotStyle::kZeroShot:
+      scaffold.text = "Let's think step by step about how to implement " +
+                      algo + " before writing any code.";
+      break;
+    case CotStyle::kManual:
+      scaffold.text =
+          "Reasoning: (1) identify the registers the " + algo +
+          " workload needs; (2) recall the preparation layer; (3) apply "
+          "the core transformation; (4) add measurements matching the "
+          "question. Worked example follows the same four steps.";
+      break;
+    case CotStyle::kStructured:
+      scaffold.text =
+          "Structure:\n"
+          "  registers: derive qubit/classical counts from the task\n"
+          "  step 1: state preparation layer\n"
+          "  step 2: core " + algo + " transformation\n"
+          "  step 3: uncompute / basis change if the readout needs it\n"
+          "  step 4: measurement into the classical register\n"
+          "Emit one program section per step, in order.";
+      break;
+  }
+  if (!scaffold.faithful) {
+    scaffold.text += " (NOTE: generated scaffold misidentifies the core "
+                     "transformation.)";
+  }
+  return scaffold;
+}
+
+}  // namespace qcgen::llm

@@ -1,0 +1,52 @@
+#pragma once
+// Chain-of-Thought and Structured-CoT scaffold generation (paper Sec
+// IV-C): the first scaffolds are hand-written; the rest are produced by a
+// generator model that occasionally emits a *wrong* scaffold — the paper
+// explicitly attributes part of the residual error to "incorrect CoT
+// prompt generation".
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "llm/tasks.hpp"
+
+namespace qcgen::llm {
+
+enum class CotStyle {
+  kZeroShot,    ///< "think step by step"
+  kManual,      ///< worked reasoning example (plain CoT)
+  kStructured,  ///< SCoT: explicit program-structure scaffold
+};
+
+std::string_view cot_style_name(CotStyle style);
+
+/// A generated reasoning scaffold attached to a prompt.
+struct CotScaffold {
+  CotStyle style = CotStyle::kManual;
+  std::string text;
+  /// False when the generator produced a misleading scaffold; the code
+  /// model then plans from wrong structure.
+  bool faithful = true;
+};
+
+/// Probability that scaffold generation is unfaithful, per style.
+/// Structured scaffolds constrain the output harder and fail less often.
+double scaffold_error_rate(CotStyle style);
+
+/// Generates the scaffold for a task. The first `hand_written` prompts of
+/// a suite are always faithful (manually authored, Sec IV-C); generated
+/// ones are unfaithful with scaffold_error_rate(style).
+CotScaffold generate_scaffold(const TaskSpec& task, CotStyle style,
+                              bool hand_written, Rng& rng);
+
+/// Knowledge boost fractions applied to the semantic axis when the
+/// scaffold is faithful (SCoT > CoT; paper Fig 3).
+double semantic_boost(CotStyle style);
+/// Penalty fraction (negative boost) applied when unfaithful.
+double semantic_penalty(CotStyle style);
+
+/// Syntax-axis boost of a faithful scaffold: structured sections keep
+/// statements well-formed (SCoT constrains the surface form hardest).
+double syntax_boost(CotStyle style);
+
+}  // namespace qcgen::llm

@@ -1,0 +1,62 @@
+#pragma once
+// Knowledge-state model of the simulated code LLM.
+//
+// The paper's causal story decomposes model capability into three axes:
+//   * syntax skill        — produces parseable, well-formed programs
+//   * API recency         — avoids deprecated/removed imports (the
+//                           dominant error class, Sec V-D)
+//   * semantic knowledge  — knows how each algorithm is structured,
+//                           per algorithm (base models know basics, not
+//                           advanced topics; Sec III-B)
+// Fine-tuning, RAG, CoT and SCoT act on different axes with different
+// strengths; all constants live in knowledge.cpp and are calibrated so
+// the evaluation reproduces the paper's accuracy ordering and deltas.
+
+#include <map>
+#include <string>
+
+#include "llm/tasks.hpp"
+
+namespace qcgen::llm {
+
+/// Capability state of a (simulated) model, all axes in [0, 1].
+struct KnowledgeState {
+  double syntax_skill = 0.0;
+  double api_recency = 0.0;
+  std::map<AlgorithmId, double> semantic;
+
+  double semantic_for(AlgorithmId id) const;
+  /// Pushes an axis value towards 1 by `fraction` of the remaining gap.
+  static double boost(double value, double fraction);
+};
+
+/// Base-model profiles (paper Table I rows).
+enum class ModelProfile {
+  kStarCoder3B,   ///< main evaluation model (Sec V-A)
+  kStarCoder7B,   ///< Table I QHE rows
+  kGranite20B,    ///< IBM Qiskit Assistant reference model
+};
+
+std::string_view model_profile_name(ModelProfile profile);
+
+/// Pre-training knowledge of a base model (before any fine-tuning).
+KnowledgeState base_knowledge(ModelProfile profile);
+
+/// Per-operation fault probabilities derived from a knowledge state.
+struct FaultRates {
+  double deprecated_import = 0.0;
+  double unknown_import = 0.0;
+  double parse_corruption = 0.0;
+  double gate_misuse = 0.0;      ///< unknown gate / arity / params
+  double index_error = 0.0;
+  double missing_measure = 0.0;
+  double semantic_slip = 0.0;    ///< wrong detail despite a correct plan
+};
+
+/// Maps knowledge to fault rates. `syntax_difficulty` scales the
+/// syntactic channels (the QHE suite stresses library-specific syntax
+/// harder than the semantic suite; Sec V-C).
+FaultRates fault_rates(const KnowledgeState& knowledge, AlgorithmId algorithm,
+                       double syntax_difficulty = 1.0);
+
+}  // namespace qcgen::llm

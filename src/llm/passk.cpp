@@ -1,0 +1,21 @@
+#include "llm/passk.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::llm {
+
+double pass_at_k(std::size_t n, std::size_t c, std::size_t k) {
+  require(k >= 1, "pass_at_k: k >= 1");
+  require(k <= n, "pass_at_k: k <= n");
+  require(c <= n, "pass_at_k: c <= n");
+  if (c == 0) return 0.0;
+  if (n - c < k) return 1.0;
+  // prod_{i=n-c+1}^{n} (1 - k / i) computed stably.
+  double fail = 1.0;
+  for (std::size_t i = n - c + 1; i <= n; ++i) {
+    fail *= 1.0 - static_cast<double>(k) / static_cast<double>(i);
+  }
+  return 1.0 - fail;
+}
+
+}  // namespace qcgen::llm

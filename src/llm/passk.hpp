@@ -1,0 +1,12 @@
+#pragma once
+// pass@k estimator (Chen et al., HumanEval) used in Sec V-A of the paper.
+
+#include <cstddef>
+
+namespace qcgen::llm {
+
+/// Unbiased pass@k estimate: 1 - C(n-c, k) / C(n, k) for n samples of
+/// which c passed. Requires k <= n. Returns 1.0 when c > n - k.
+double pass_at_k(std::size_t n, std::size_t c, std::size_t k);
+
+}  // namespace qcgen::llm

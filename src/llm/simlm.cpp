@@ -1,0 +1,636 @@
+#include "llm/simlm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "llm/templates.hpp"
+#include "qasm/language.hpp"
+#include "qasm/printer.hpp"
+
+namespace qcgen::llm {
+
+using qasm::DiagCode;
+using qasm::GateStmt;
+using qasm::Import;
+using qasm::Program;
+using qasm::RegRef;
+using qasm::Stmt;
+
+std::string_view fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDeprecatedImport: return "deprecated-import";
+    case FaultKind::kUnknownImport: return "unknown-import";
+    case FaultKind::kParseCorruption: return "parse-corruption";
+    case FaultKind::kUnknownGate: return "unknown-gate";
+    case FaultKind::kWrongArity: return "wrong-arity";
+    case FaultKind::kWrongParamCount: return "wrong-param-count";
+    case FaultKind::kIndexError: return "index-error";
+    case FaultKind::kMissingMeasure: return "missing-measure";
+    case FaultKind::kWrongPlan: return "wrong-plan";
+    case FaultKind::kSemanticSlip: return "semantic-slip";
+  }
+  return "?";
+}
+
+double repair_success_probability(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError:
+    case DiagCode::kParseError:
+      return 0.45;
+    case DiagCode::kDeprecatedImport:
+      return 0.10;  // paper: import misuse dominates and resists repair
+    case DiagCode::kUnknownImport:
+      return 0.35;
+    case DiagCode::kMissingQiskitImport:
+      return 0.55;
+    case DiagCode::kUnknownGate:
+      return 0.40;
+    case DiagCode::kWrongArity:
+    case DiagCode::kWrongParamCount:
+      return 0.45;
+    case DiagCode::kQubitOutOfRange:
+    case DiagCode::kClbitOutOfRange:
+      return 0.55;
+    case DiagCode::kNoMeasurement:
+      return 0.45;
+    default:
+      return 0.20;
+  }
+}
+
+double semantic_replan_probability(int pass_number) {
+  // The model's algorithmic knowledge is persistent: told only that the
+  // behaviour was wrong, it usually reproduces the same flawed plan
+  // (paper Sec V-D: multi-pass mainly resolves syntactic errors, and
+  // semantic improvement needs prompt-error-answer training data the
+  // framework lacks).
+  return std::min(0.06, 0.02 + 0.005 * static_cast<double>(pass_number));
+}
+
+SimLM::SimLM(KnowledgeState knowledge, std::uint64_t seed)
+    : knowledge_(std::move(knowledge)), rng_(seed) {}
+
+KnowledgeState SimLM::effective_knowledge(const TaskSpec& task,
+                                          const GenerationContext& context,
+                                          RetrievalTrace& trace,
+                                          std::optional<CotScaffold>& scaffold) {
+  KnowledgeState k = knowledge_;
+  const std::string query = prompt_text(task);
+
+  if (context.api_store != nullptr) {
+    const auto hits = context.api_store->retrieve(
+        query + " import module library version", context.rag_top_k);
+    trace.api_hits = hits.size();
+    // Only hits whose actionable snippet (the import statement) survived
+    // chunking can teach the model anything about the API surface — the
+    // paper's "basic RAG splitting technique, which does not take into
+    // account code structure" loses exactly these snippets.
+    std::size_t actionable = 0;
+    for (const Retrieved& r : hits) {
+      if (r.chunk->text.find("import ") == std::string::npos) continue;
+      ++actionable;
+      if (r.chunk->freshness == DocFreshness::kCurrent) {
+        ++trace.api_fresh_hits;
+      }
+    }
+    if (actionable > 0) {
+      const double fresh_frac = static_cast<double>(trace.api_fresh_hits) /
+                                static_cast<double>(actionable);
+      // Fresh docs improve API recency; a stale-dominated context
+      // actively reinforces the removed APIs (paper Sec V-E).
+      k.api_recency = KnowledgeState::boost(
+          k.api_recency, 0.25 * fresh_frac - 0.25 * (1.0 - fresh_frac));
+      k.syntax_skill = KnowledgeState::boost(k.syntax_skill, 0.04 * fresh_frac);
+    }
+  }
+  if (context.guide_store != nullptr) {
+    const auto hits = context.guide_store->retrieve(query, context.rag_top_k);
+    for (const Retrieved& r : hits) {
+      if (r.chunk->algorithm == task.algorithm) {
+        trace.guide_matched_algorithm = true;
+        break;
+      }
+    }
+    // Retrieval of the right guide gives a *limited* semantic boost —
+    // the paper found inferring structure from chunks far weaker than
+    // CoT's direct scaffolding.
+    if (trace.guide_matched_algorithm) {
+      k.semantic[task.algorithm] =
+          KnowledgeState::boost(k.semantic_for(task.algorithm), 0.05);
+    }
+  }
+  if (context.cot.has_value()) {
+    scaffold = generate_scaffold(task, *context.cot, context.cot_hand_written,
+                                 rng_);
+    const double delta = scaffold->faithful ? semantic_boost(*context.cot)
+                                            : semantic_penalty(*context.cot);
+    k.semantic[task.algorithm] =
+        KnowledgeState::boost(k.semantic_for(task.algorithm), delta);
+    if (scaffold->faithful) {
+      // Structured sections keep statements well-formed too.
+      k.syntax_skill =
+          KnowledgeState::boost(k.syntax_skill, syntax_boost(*context.cot));
+    }
+  }
+  return k;
+}
+
+namespace {
+
+std::vector<Stmt>& entry_body(Program& program) {
+  require(!program.circuits.empty(), "SimLM: program has no circuit");
+  return program.circuits.front().body;
+}
+
+bool is_gate(const Stmt& stmt) {
+  return std::holds_alternative<GateStmt>(stmt);
+}
+
+/// Indices of gate statements in the body.
+std::vector<std::size_t> gate_indices(const std::vector<Stmt>& body) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (is_gate(body[i])) out.push_back(i);
+  }
+  return out;
+}
+
+/// True for algorithm pairs whose default gold programs are behaviourally
+/// identical (a "wrong" plan that would still pass the judge).
+bool behaviourally_equivalent(AlgorithmId a, AlgorithmId b) {
+  const auto is_uniform = [](AlgorithmId id) {
+    return id == AlgorithmId::kSuperposition || id == AlgorithmId::kRandomNumber;
+  };
+  return is_uniform(a) && is_uniform(b);
+}
+
+/// A same-tier alternative algorithm (deterministic order, rng-chosen).
+AlgorithmId wrong_algorithm(AlgorithmId correct, Rng& rng) {
+  std::vector<AlgorithmId> candidates;
+  for (AlgorithmId id : all_algorithms()) {
+    if (id != correct && algorithm_tier(id) == algorithm_tier(correct) &&
+        !behaviourally_equivalent(id, correct)) {
+      candidates.push_back(id);
+    }
+  }
+  if (candidates.empty()) return correct;
+  return candidates[rng.uniform_int(
+      static_cast<std::uint64_t>(candidates.size()))];
+}
+
+/// Gates whose operand order matters (reversing them changes behaviour).
+bool order_sensitive(const GateStmt& g) {
+  return (g.name == "cx" || g.name == "cy" || g.name == "ccx" ||
+          g.name == "cswap") &&
+         g.operands.size() >= 2;
+}
+
+/// Structural corruption of a correct plan: one of several realistic
+/// algorithm-level mistakes. Each mode verifies it actually changed the
+/// program and falls through to the next otherwise, ending at an
+/// always-effective bit flip (X prepended to qubit 0). Returns a
+/// description.
+std::string corrupt_structure(Program& program, Rng& rng) {
+  auto& body = entry_body(program);
+  const auto gates = gate_indices(body);
+  const auto mode = rng.uniform_int(static_cast<std::uint64_t>(4));
+  if (mode == 0) {
+    // Drop the leading preparation layer (all h gates before the first
+    // non-h gate).
+    std::vector<Stmt> out;
+    bool dropping = true;
+    bool dropped = false;
+    for (Stmt& s : body) {
+      if (dropping && is_gate(s) && std::get<GateStmt>(s).name == "h") {
+        dropped = true;
+        continue;
+      }
+      if (is_gate(s) && std::get<GateStmt>(s).name != "h") dropping = false;
+      out.push_back(std::move(s));
+    }
+    if (dropped) {
+      body = std::move(out);
+      return "dropped-preparation-layer";
+    }
+    body = std::move(out);  // unchanged contents, restore
+  }
+  if (mode <= 1) {
+    // Reverse operands of order-sensitive multi-qubit gates.
+    bool reversed = false;
+    for (std::size_t i : gates) {
+      auto& g = std::get<GateStmt>(body[i]);
+      if (order_sensitive(g)) {
+        std::reverse(g.operands.begin(), g.operands.end());
+        reversed = true;
+      }
+    }
+    if (reversed) return "reversed-entangler-operands";
+  }
+  if (mode <= 2) {
+    // Shift every rotation parameter by pi (wrong phase convention).
+    bool shifted = false;
+    for (std::size_t i : gates) {
+      auto& g = std::get<GateStmt>(body[i]);
+      for (auto& p : g.params) {
+        p = qasm::Expr::make_binary(qasm::Expr::Kind::kAdd, p,
+                                    qasm::Expr::make_pi());
+        shifted = true;
+      }
+    }
+    if (shifted) return "shifted-parameters";
+  }
+  // Remove the middle third of the gate statements (lost core
+  // transformation).
+  if (gates.size() >= 3) {
+    const std::size_t begin = gates[gates.size() / 3];
+    const std::size_t end = gates[2 * gates.size() / 3];
+    std::vector<Stmt> out;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (i >= begin && i <= end && is_gate(body[i])) continue;
+      out.push_back(std::move(body[i]));
+    }
+    body = std::move(out);
+    return "dropped-core-segment";
+  }
+  // Last resort: a stray bit flip before everything else.
+  body.insert(body.begin(), make_gate("x", {0}));
+  return "stray-bitflip";
+}
+
+/// Small in-plan slip: one wrong detail on a random gate.
+std::string apply_slip(Program& program, Rng& rng) {
+  auto& body = entry_body(program);
+  const auto gates = gate_indices(body);
+  if (gates.empty()) return "noop";
+  auto& g = std::get<GateStmt>(
+      body[gates[rng.uniform_int(static_cast<std::uint64_t>(gates.size()))]]);
+  if (order_sensitive(g) && rng.bernoulli(0.5)) {
+    std::swap(g.operands[0], g.operands[1]);
+    return "swapped-operands:" + g.name;
+  }
+  if (!g.params.empty()) {
+    g.params[0] = qasm::Expr::make_binary(
+        qasm::Expr::Kind::kAdd, g.params[0],
+        qasm::Expr::make_binary(qasm::Expr::Kind::kDiv, qasm::Expr::make_pi(),
+                                qasm::Expr::make_number(2.0)));
+    return "shifted-angle:" + g.name;
+  }
+  const std::string original = g.name;
+  g.name = g.name == "h" ? "x" : "h";
+  return "replaced-gate:" + original + "->" + g.name;
+}
+
+const char* kBogusGateNames[] = {"u2", "mcx", "crx", "hadamard", "not"};
+const char* kBogusImports[] = {"quantum_utils", "qiskit_terra.tools",
+                               "qclib.runtime"};
+
+}  // namespace
+
+Program SimLM::plan(const TaskSpec& task, const KnowledgeState& knowledge,
+                    std::vector<Fault>& faults) {
+  const double sem = knowledge.semantic_for(task.algorithm);
+  if (rng_.bernoulli(sem)) {
+    Program program = gold_program(task);
+    return program;
+  }
+  // Wrong plan: either the wrong algorithm entirely or a structurally
+  // broken rendition of the right one.
+  if (rng_.bernoulli(0.45)) {
+    const AlgorithmId wrong = wrong_algorithm(task.algorithm, rng_);
+    TaskSpec substitute;
+    substitute.algorithm = wrong;  // default parameters
+    Program program = gold_program(substitute);
+    faults.push_back(Fault{FaultKind::kWrongPlan,
+                           "wrong-algorithm:" +
+                               std::string(algorithm_name(wrong)),
+                           0});
+    return program;
+  }
+  Program program = gold_program(task);
+  const std::string detail = corrupt_structure(program, rng_);
+  faults.push_back(Fault{FaultKind::kWrongPlan, detail, 0});
+  return program;
+}
+
+void SimLM::inject_surface_faults(Program& program, const FaultRates& rates,
+                                  std::vector<Fault>& faults) {
+  const auto& registry = qasm::LanguageRegistry::current();
+  auto& body = entry_body(program);
+
+  if (rng_.bernoulli(rates.deprecated_import)) {
+    const auto& deprecated = registry.deprecated_imports();
+    const std::string& pick = deprecated[rng_.uniform_int(
+        static_cast<std::uint64_t>(deprecated.size()))];
+    program.imports.push_back(Import{pick, 0});
+    faults.push_back(Fault{FaultKind::kDeprecatedImport, pick, 0});
+  }
+  if (rng_.bernoulli(rates.unknown_import)) {
+    const std::string pick = kBogusImports[rng_.uniform_int(
+        static_cast<std::uint64_t>(std::size(kBogusImports)))];
+    program.imports.push_back(Import{pick, 0});
+    faults.push_back(Fault{FaultKind::kUnknownImport, pick, 0});
+  }
+
+  const auto gates = gate_indices(body);
+  if (!gates.empty() && rng_.bernoulli(rates.gate_misuse)) {
+    const std::size_t idx =
+        gates[rng_.uniform_int(static_cast<std::uint64_t>(gates.size()))];
+    auto& g = std::get<GateStmt>(body[idx]);
+    switch (rng_.uniform_int(static_cast<std::uint64_t>(3))) {
+      case 0: {
+        faults.push_back(Fault{FaultKind::kUnknownGate, g.name, idx});
+        g.name = kBogusGateNames[rng_.uniform_int(
+            static_cast<std::uint64_t>(std::size(kBogusGateNames)))];
+        break;
+      }
+      case 1: {
+        faults.push_back(Fault{FaultKind::kWrongArity, g.name, idx});
+        if (g.operands.size() >= 2 && rng_.bernoulli(0.5)) {
+          g.operands.pop_back();
+        } else {
+          const std::size_t extra =
+              g.operands.empty() ? 0 : (g.operands.back().index + 1);
+          g.operands.push_back(RegRef{"q", extra, 0});
+        }
+        break;
+      }
+      default: {
+        faults.push_back(Fault{FaultKind::kWrongParamCount, g.name, idx});
+        if (!g.params.empty()) {
+          g.params.clear();
+        } else {
+          g.params.push_back(qasm::Expr::make_number(0.5));
+        }
+        break;
+      }
+    }
+  }
+  if (!gates.empty() && rng_.bernoulli(rates.index_error)) {
+    const std::size_t idx =
+        gates[rng_.uniform_int(static_cast<std::uint64_t>(gates.size()))];
+    auto& g = std::get<GateStmt>(body[idx]);
+    if (!g.operands.empty()) {
+      g.operands[0].index = program.circuits.front().num_qubits;  // one past
+      faults.push_back(Fault{FaultKind::kIndexError, g.name, idx});
+    }
+  }
+  if (rng_.bernoulli(rates.missing_measure)) {
+    bool removed = false;
+    for (auto& stmt : body) {
+      if (std::holds_alternative<qasm::MeasureStmt>(stmt) ||
+          std::holds_alternative<qasm::MeasureAllStmt>(stmt)) {
+        stmt = Stmt{qasm::BarrierStmt{0}};  // keep indices stable
+        removed = true;
+      }
+    }
+    if (removed) {
+      faults.push_back(Fault{FaultKind::kMissingMeasure, "", 0});
+    }
+  }
+}
+
+std::string SimLM::realise(const Program& program, const FaultRates& rates,
+                           std::vector<Fault>& faults) {
+  std::string source = qasm::print_program(program);
+  if (rng_.bernoulli(rates.parse_corruption)) {
+    // Delete a random semicolon or brace: the classic truncation /
+    // malformed-line failure of autoregressive code models.
+    std::vector<std::size_t> spots;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+      if (source[i] == ';' || source[i] == '}') spots.push_back(i);
+    }
+    if (!spots.empty()) {
+      const std::size_t pos =
+          spots[rng_.uniform_int(static_cast<std::uint64_t>(spots.size()))];
+      source.erase(pos, 1);
+      faults.push_back(Fault{FaultKind::kParseCorruption,
+                             "deleted:" + std::string(1, ';'), 0});
+    }
+  }
+  return source;
+}
+
+GenerationResult SimLM::generate_with(const TaskSpec& task,
+                                      const GenerationContext& context,
+                                      double extra_semantic_boost) {
+  GenerationResult result;
+  std::optional<CotScaffold> scaffold;
+  KnowledgeState k =
+      effective_knowledge(task, context, result.retrieval, scaffold);
+  if (extra_semantic_boost > 0.0) {
+    k.semantic[task.algorithm] = KnowledgeState::boost(
+        k.semantic_for(task.algorithm), extra_semantic_boost);
+  }
+  result.scaffold = scaffold;
+  result.effective = k;
+
+  result.intended_ast = plan(task, k, result.faults);
+  result.ast = result.intended_ast;
+
+  const FaultRates rates =
+      fault_rates(k, task.algorithm, context.syntax_difficulty);
+  // In-plan slip only when the plan itself is right.
+  const bool planned_correctly =
+      std::none_of(result.faults.begin(), result.faults.end(),
+                   [](const Fault& f) { return f.kind == FaultKind::kWrongPlan; });
+  if (planned_correctly && rng_.bernoulli(rates.semantic_slip)) {
+    const std::string detail = apply_slip(result.ast, rng_);
+    result.faults.push_back(Fault{FaultKind::kSemanticSlip, detail, 0});
+  }
+  inject_surface_faults(result.ast, rates, result.faults);
+  result.source = realise(result.ast, rates, result.faults);
+  return result;
+}
+
+GenerationResult SimLM::generate(const TaskSpec& task,
+                                 const GenerationContext& context) {
+  return generate_with(task, context, 0.0);
+}
+
+GenerationResult SimLM::repair(const TaskSpec& task,
+                               const GenerationResult& prev,
+                               const std::vector<qasm::Diagnostic>& diagnostics,
+                               bool semantic_failure,
+                               const GenerationContext& context,
+                               int pass_number) {
+  require(pass_number >= 1, "SimLM::repair: pass_number >= 1");
+  const bool has_error_diags = qasm::has_errors(diagnostics);
+  if (!has_error_diags && semantic_failure) {
+    // Behaviourally wrong but statically clean. Mostly the model sticks
+    // to its flawed plan (no new information about the algorithm); only
+    // occasionally does the feedback trigger a genuine replan.
+    if (!rng_.bernoulli(semantic_replan_probability(pass_number))) {
+      GenerationResult stubborn = prev;
+      return stubborn;
+    }
+    return generate_with(task, context,
+                         0.10 * static_cast<double>(pass_number));
+  }
+
+  // Fix probability decays with repeated attempts: a model that failed to
+  // fix an error class once tends to repeat the same wrong fix (paper:
+  // additional passes beyond the third yield limited benefit).
+  const double attempt_decay =
+      std::pow(0.55, static_cast<double>(pass_number - 1));
+
+  GenerationResult next = prev;
+  next.source.clear();
+  const auto& registry = qasm::LanguageRegistry::current();
+  auto& body = entry_body(next.ast);
+  const auto& intended_body = prev.intended_ast.circuits.empty()
+                                  ? body
+                                  : prev.intended_ast.circuits.front().body;
+
+  // Track which fault records were resolved so the artifact stays honest.
+  std::vector<Fault> remaining;
+  const auto fault_matching = [&](FaultKind kind) -> const Fault* {
+    for (const Fault& f : prev.faults) {
+      if (f.kind == kind) return &f;
+    }
+    return nullptr;
+  };
+
+  bool reprint_cleanly = false;
+  std::vector<FaultKind> fixed;
+  for (const qasm::Diagnostic& diag : diagnostics) {
+    if (!rng_.bernoulli(repair_success_probability(diag.code) *
+                        attempt_decay)) {
+      continue;
+    }
+    switch (diag.code) {
+      case DiagCode::kLexError:
+      case DiagCode::kParseError:
+        reprint_cleanly = true;
+        fixed.push_back(FaultKind::kParseCorruption);
+        break;
+      case DiagCode::kDeprecatedImport: {
+        for (Import& imp : next.ast.imports) {
+          if (registry.import_status(imp.path) == qasm::ImportStatus::kDeprecated) {
+            if (auto repl = registry.import_replacement(imp.path)) {
+              imp.path = *repl;
+            } else {
+              imp.path = std::string(registry.required_import());
+            }
+          }
+        }
+        fixed.push_back(FaultKind::kDeprecatedImport);
+        break;
+      }
+      case DiagCode::kUnknownImport: {
+        std::erase_if(next.ast.imports, [&](const Import& imp) {
+          return registry.import_status(imp.path) == qasm::ImportStatus::kUnknown;
+        });
+        fixed.push_back(FaultKind::kUnknownImport);
+        break;
+      }
+      case DiagCode::kMissingQiskitImport:
+        next.ast.imports.insert(next.ast.imports.begin(),
+                                Import{"qiskit", 1});
+        break;
+      case DiagCode::kUnknownGate: {
+        const Fault* record = fault_matching(FaultKind::kUnknownGate);
+        for (std::size_t i = 0; i < body.size(); ++i) {
+          if (!is_gate(body[i])) continue;
+          auto& g = std::get<GateStmt>(body[i]);
+          if (registry.is_known_gate(g.name)) continue;
+          if (record != nullptr && record->stmt_index == i &&
+              rng_.bernoulli(0.75)) {
+            // The model "remembers its intent" and restores the original.
+            g.name = record->detail;
+          } else {
+            // Plausible guess from context: same arity, Clifford default.
+            static const char* k1q[] = {"h", "x", "z"};
+            static const char* k2q[] = {"cx", "cz", "swap"};
+            static const char* k3q[] = {"ccx", "cswap"};
+            const std::size_t arity = g.operands.size();
+            if (arity <= 1) {
+              g.name = k1q[rng_.uniform_int(static_cast<std::uint64_t>(3))];
+            } else if (arity == 2) {
+              g.name = k2q[rng_.uniform_int(static_cast<std::uint64_t>(3))];
+            } else {
+              g.name = k3q[rng_.uniform_int(static_cast<std::uint64_t>(2))];
+            }
+            g.params.clear();
+          }
+        }
+        fixed.push_back(FaultKind::kUnknownGate);
+        break;
+      }
+      case DiagCode::kWrongArity:
+      case DiagCode::kWrongParamCount: {
+        const FaultKind kind = diag.code == DiagCode::kWrongArity
+                                   ? FaultKind::kWrongArity
+                                   : FaultKind::kWrongParamCount;
+        const Fault* record = fault_matching(kind);
+        if (record != nullptr && record->stmt_index < body.size() &&
+            record->stmt_index < intended_body.size()) {
+          body[record->stmt_index] = intended_body[record->stmt_index];
+        }
+        fixed.push_back(kind);
+        break;
+      }
+      case DiagCode::kQubitOutOfRange:
+      case DiagCode::kClbitOutOfRange: {
+        const std::size_t limit = next.ast.circuits.front().num_qubits;
+        for (Stmt& stmt : body) {
+          if (!is_gate(stmt)) continue;
+          for (auto& ref : std::get<GateStmt>(stmt).operands) {
+            if (ref.index >= limit) ref.index = limit - 1;
+          }
+        }
+        fixed.push_back(FaultKind::kIndexError);
+        break;
+      }
+      case DiagCode::kNoMeasurement: {
+        const Fault* record = fault_matching(FaultKind::kMissingMeasure);
+        if (record != nullptr) {
+          for (std::size_t i = 0;
+               i < body.size() && i < intended_body.size(); ++i) {
+            if (std::holds_alternative<qasm::MeasureStmt>(intended_body[i]) ||
+                std::holds_alternative<qasm::MeasureAllStmt>(
+                    intended_body[i])) {
+              body[i] = intended_body[i];
+            }
+          }
+          fixed.push_back(FaultKind::kMissingMeasure);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  (void)reprint_cleanly;  // re-print below always restores text integrity
+
+  for (const Fault& f : prev.faults) {
+    if (std::find(fixed.begin(), fixed.end(), f.kind) == fixed.end()) {
+      remaining.push_back(f);
+    } else if (f.kind == FaultKind::kParseCorruption && !reprint_cleanly) {
+      remaining.push_back(f);
+    }
+  }
+  next.faults = std::move(remaining);
+
+  // Realise the repaired program. A parse corruption that was not fixed
+  // re-applies itself (the model reproduces its own malformed line).
+  next.source = qasm::print_program(next.ast);
+  const bool parse_fault_remains = std::any_of(
+      next.faults.begin(), next.faults.end(), [](const Fault& f) {
+        return f.kind == FaultKind::kParseCorruption;
+      });
+  if (parse_fault_remains) {
+    std::vector<std::size_t> spots;
+    for (std::size_t i = 0; i < next.source.size(); ++i) {
+      if (next.source[i] == ';') spots.push_back(i);
+    }
+    if (!spots.empty()) {
+      next.source.erase(
+          spots[rng_.uniform_int(static_cast<std::uint64_t>(spots.size()))],
+          1);
+    }
+  }
+  return next;
+}
+
+}  // namespace qcgen::llm

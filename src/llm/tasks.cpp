@@ -1,0 +1,182 @@
+#include "llm/tasks.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qcgen::llm {
+
+std::string_view tier_name(Tier tier) {
+  switch (tier) {
+    case Tier::kBasic: return "basic";
+    case Tier::kIntermediate: return "intermediate";
+    case Tier::kAdvanced: return "advanced";
+  }
+  return "?";
+}
+
+namespace {
+struct AlgoMeta {
+  AlgorithmId id;
+  std::string_view name;
+  Tier tier;
+};
+
+constexpr AlgoMeta kAlgos[] = {
+    {AlgorithmId::kBellPair, "bell_pair", Tier::kBasic},
+    {AlgorithmId::kGhz, "ghz", Tier::kBasic},
+    {AlgorithmId::kSuperposition, "superposition", Tier::kBasic},
+    {AlgorithmId::kSingleQubitRotation, "single_qubit_rotation", Tier::kBasic},
+    {AlgorithmId::kBitflipEncoding, "bitflip_encoding", Tier::kBasic},
+    {AlgorithmId::kRandomNumber, "random_number", Tier::kBasic},
+    {AlgorithmId::kSwapTest, "swap_test", Tier::kBasic},
+    {AlgorithmId::kPhaseKickback, "phase_kickback", Tier::kBasic},
+    {AlgorithmId::kDeutschJozsa, "deutsch_jozsa", Tier::kIntermediate},
+    {AlgorithmId::kBernsteinVazirani, "bernstein_vazirani",
+     Tier::kIntermediate},
+    {AlgorithmId::kGrover, "grover", Tier::kIntermediate},
+    {AlgorithmId::kQft, "qft", Tier::kIntermediate},
+    {AlgorithmId::kShorPeriodFinding, "shor_period_finding",
+     Tier::kIntermediate},
+    {AlgorithmId::kTeleportation, "teleportation", Tier::kAdvanced},
+    {AlgorithmId::kQuantumWalk, "quantum_walk", Tier::kAdvanced},
+    {AlgorithmId::kQuantumAnnealing, "quantum_annealing", Tier::kAdvanced},
+    {AlgorithmId::kGhzParityOracle, "ghz_parity_oracle", Tier::kAdvanced},
+    {AlgorithmId::kInverseQft, "inverse_qft", Tier::kAdvanced},
+};
+
+const AlgoMeta& meta(AlgorithmId id) {
+  for (const AlgoMeta& m : kAlgos) {
+    if (m.id == id) return m;
+  }
+  throw InvalidArgumentError("unknown AlgorithmId");
+}
+}  // namespace
+
+std::string_view algorithm_name(AlgorithmId id) { return meta(id).name; }
+
+Tier algorithm_tier(AlgorithmId id) { return meta(id).tier; }
+
+std::vector<AlgorithmId> all_algorithms() {
+  std::vector<AlgorithmId> out;
+  for (const AlgoMeta& m : kAlgos) out.push_back(m.id);
+  return out;
+}
+
+double TaskSpec::param(const std::string& key, double fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+int TaskSpec::iparam(const std::string& key, int fallback) const {
+  auto it = params.find(key);
+  return it == params.end() ? fallback : static_cast<int>(it->second);
+}
+
+std::string TaskSpec::id() const {
+  std::ostringstream os;
+  os << algorithm_name(algorithm);
+  if (!params.empty()) {
+    os << "(";
+    bool first = true;
+    for (const auto& [k, v] : params) {
+      if (!first) os << ",";
+      first = false;
+      if (v == static_cast<double>(static_cast<long long>(v))) {
+        os << k << "=" << static_cast<long long>(v);
+      } else {
+        os << k << "=" << format_double(v, 3);
+      }
+    }
+    os << ")";
+  }
+  return os.str();
+}
+
+std::string prompt_text(const TaskSpec& task) {
+  const int n = task.iparam("n", 2);
+  std::ostringstream os;
+  switch (task.algorithm) {
+    case AlgorithmId::kBellPair:
+      os << "Create a quantum circuit that prepares a Bell pair and "
+            "measures both qubits.";
+      break;
+    case AlgorithmId::kGhz:
+      os << "Write a circuit preparing an " << n
+         << "-qubit GHZ state and measure every qubit.";
+      break;
+    case AlgorithmId::kSuperposition:
+      os << "Put " << n
+         << " qubits into a uniform superposition and sample the result.";
+      break;
+    case AlgorithmId::kSingleQubitRotation:
+      os << "Prepare a single qubit rotated by RY(theta=" << task.param("theta", 0.7)
+         << ") from |0> and measure it.";
+      break;
+    case AlgorithmId::kBitflipEncoding:
+      os << "Encode one qubit into the 3-qubit bit-flip repetition code and "
+            "measure the codeword.";
+      break;
+    case AlgorithmId::kRandomNumber:
+      os << "Build a quantum random number generator over " << n
+         << " qubits.";
+      break;
+    case AlgorithmId::kSwapTest:
+      os << "Implement the swap test comparing two single-qubit states "
+            "prepared by RY rotations.";
+      break;
+    case AlgorithmId::kPhaseKickback:
+      os << "Demonstrate phase kickback using a controlled-phase gate onto "
+            "an ancilla in the |-> state.";
+      break;
+    case AlgorithmId::kDeutschJozsa:
+      os << "Implement the Deutsch-Jozsa algorithm over " << n
+         << " input qubits with a "
+         << (task.iparam("constant", 1) ? "constant" : "balanced")
+         << " oracle and measure the input register.";
+      break;
+    case AlgorithmId::kBernsteinVazirani:
+      os << "Implement Bernstein-Vazirani to recover the hidden "
+         << n << "-bit string " << task.iparam("secret", 1) << ".";
+      break;
+    case AlgorithmId::kGrover:
+      os << "Run Grover search over " << n << " qubits marking state "
+         << task.iparam("marked", 1) << " with "
+         << task.iparam("iterations", 1) << " iteration(s).";
+      break;
+    case AlgorithmId::kQft:
+      os << "Apply the quantum Fourier transform to " << n
+         << " qubits prepared in a basis state, then measure.";
+      break;
+    case AlgorithmId::kShorPeriodFinding:
+      os << "Implement the period-finding core of Shor's algorithm for "
+            "a = 7, N = 15 with a 3-qubit counting register.";
+      break;
+    case AlgorithmId::kTeleportation:
+      os << "Teleport the state RY(" << task.param("theta", 1.1)
+         << ")|0> from qubit 0 to qubit 2 using classically conditioned "
+            "corrections.";
+      break;
+    case AlgorithmId::kQuantumWalk:
+      os << "Simulate a discrete-time quantum walk on a cycle with "
+         << task.iparam("steps", 2) << " coin-position steps.";
+      break;
+    case AlgorithmId::kQuantumAnnealing:
+      os << "Approximate quantum annealing of a " << n
+         << "-qubit ferromagnetic Ising chain with a Trotterised schedule "
+            "of " << task.iparam("steps", 3) << " steps.";
+      break;
+    case AlgorithmId::kGhzParityOracle:
+      os << "Prepare a GHZ state, apply a parity phase oracle and undo the "
+            "preparation to read the parity out on qubit 0.";
+      break;
+    case AlgorithmId::kInverseQft:
+      os << "Apply QFT followed by the inverse QFT on " << n
+         << " qubits and verify the state returns to the basis state.";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace qcgen::llm

@@ -1,0 +1,66 @@
+#include "llm/tokenizer.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <set>
+
+namespace qcgen::llm {
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  const auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      // Dotted identifiers also contribute their components, so a query
+      // for "runtime" matches "qiskit_ibm_runtime".
+      if (current.find('.') != std::string::npos ||
+          current.find('_') != std::string::npos) {
+        std::string part;
+        for (char c : current) {
+          if (c == '.' || c == '_') {
+            if (!part.empty()) tokens.push_back(part);
+            part.clear();
+          } else {
+            part += c;
+          }
+        }
+        if (!part.empty()) tokens.push_back(part);
+      }
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    const char c =
+        static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      current += c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::size_t count_tokens(std::string_view text) { return tokenize(text).size(); }
+
+void Vocabulary::add_document(std::string_view text) {
+  ++num_documents_;
+  std::set<std::string> unique;
+  for (auto& t : tokenize(text)) unique.insert(std::move(t));
+  for (const auto& t : unique) ++document_frequency_[t];
+}
+
+std::size_t Vocabulary::document_frequency(const std::string& token) const {
+  auto it = document_frequency_.find(token);
+  return it == document_frequency_.end() ? 0 : it->second;
+}
+
+double Vocabulary::idf(const std::string& token) const {
+  const double n = static_cast<double>(num_documents_);
+  const double df = static_cast<double>(document_frequency(token));
+  return std::log((n - df + 0.5) / (df + 0.5) + 1.0);  // BM25+ smoothing
+}
+
+}  // namespace qcgen::llm

@@ -1,0 +1,39 @@
+#pragma once
+// Word-level tokenizer used by the retrieval stack and by dataset-size
+// accounting (the paper reports its training corpus in tokens: 3M raw,
+// upsampled to 9M).
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qcgen::llm {
+
+/// Lower-cased word/symbol tokens. Identifiers keep underscores and dots
+/// (module paths tokenise as single units plus their parts).
+std::vector<std::string> tokenize(std::string_view text);
+
+/// Token count of a text under tokenize().
+std::size_t count_tokens(std::string_view text);
+
+/// Document-frequency-style vocabulary accumulator.
+class Vocabulary {
+ public:
+  /// Adds all tokens of a document; duplicate tokens within the document
+  /// count once for document frequency.
+  void add_document(std::string_view text);
+
+  std::size_t num_documents() const noexcept { return num_documents_; }
+  std::size_t size() const noexcept { return document_frequency_.size(); }
+  /// Documents containing the token (0 for unknown tokens).
+  std::size_t document_frequency(const std::string& token) const;
+  /// Smoothed inverse document frequency.
+  double idf(const std::string& token) const;
+
+ private:
+  std::size_t num_documents_ = 0;
+  std::map<std::string, std::size_t> document_frequency_;
+};
+
+}  // namespace qcgen::llm

@@ -1,0 +1,112 @@
+#include "llm/vectorstore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qcgen::llm {
+
+std::vector<Chunk> chunk_documents(const std::vector<Document>& docs,
+                                   ChunkStrategy strategy,
+                                   std::size_t window) {
+  require(window >= 8, "chunk_documents: window too small");
+  std::vector<Chunk> chunks;
+  for (const Document& doc : docs) {
+    const auto emit = [&](std::string text) {
+      if (trim(text).empty()) return;
+      Chunk c;
+      c.doc_id = doc.id;
+      c.text = std::move(text);
+      c.freshness = doc.freshness;
+      c.algorithm = doc.algorithm;
+      chunks.push_back(std::move(c));
+    };
+    if (strategy == ChunkStrategy::kBasic) {
+      // Fixed token windows over the raw word stream — chops sentences
+      // and code examples mid-unit, exactly like naive RAG splitting.
+      const auto words = split_whitespace(doc.text);
+      for (std::size_t start = 0; start < words.size(); start += window) {
+        const std::size_t end = std::min(words.size(), start + window);
+        std::vector<std::string> piece(words.begin() + static_cast<std::ptrdiff_t>(start),
+                                       words.begin() + static_cast<std::ptrdiff_t>(end));
+        emit(join(piece, " "));
+      }
+    } else {
+      // Structure-aware: accumulate whole sentences up to the window.
+      std::vector<std::string> sentences;
+      std::string current;
+      for (char c : doc.text) {
+        current += c;
+        if (c == '.' || c == ';') {
+          sentences.push_back(current);
+          current.clear();
+        }
+      }
+      if (!trim(current).empty()) sentences.push_back(current);
+      std::string acc;
+      for (const std::string& s : sentences) {
+        if (!acc.empty() && count_tokens(acc) + count_tokens(s) > window) {
+          emit(acc);
+          acc.clear();
+        }
+        acc += s;
+      }
+      emit(acc);
+    }
+  }
+  return chunks;
+}
+
+VectorStore::VectorStore(std::vector<Chunk> chunks)
+    : chunks_(std::move(chunks)) {
+  require(!chunks_.empty(), "VectorStore: empty chunk set");
+  chunk_tokens_.reserve(chunks_.size());
+  chunk_len_.reserve(chunks_.size());
+  double total_len = 0.0;
+  for (const Chunk& c : chunks_) {
+    vocabulary_.add_document(c.text);
+    chunk_tokens_.push_back(tokenize(c.text));
+    chunk_len_.push_back(static_cast<double>(chunk_tokens_.back().size()));
+    total_len += chunk_len_.back();
+  }
+  avg_len_ = total_len / static_cast<double>(chunks_.size());
+}
+
+double VectorStore::score(const std::string& query_token,
+                          std::size_t chunk_idx) const {
+  constexpr double k1 = 1.5;
+  constexpr double b = 0.75;
+  std::size_t tf = 0;
+  for (const std::string& t : chunk_tokens_[chunk_idx]) {
+    if (t == query_token) ++tf;
+  }
+  if (tf == 0) return 0.0;
+  const double idf = vocabulary_.idf(query_token);
+  const double norm =
+      k1 * (1.0 - b + b * chunk_len_[chunk_idx] / avg_len_);
+  return idf * (static_cast<double>(tf) * (k1 + 1.0)) /
+         (static_cast<double>(tf) + norm);
+}
+
+std::vector<Retrieved> VectorStore::retrieve(const std::string& query,
+                                             std::size_t k) const {
+  const auto query_tokens = tokenize(query);
+  std::vector<Retrieved> hits;
+  hits.reserve(chunks_.size());
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    double s = 0.0;
+    for (const std::string& qt : query_tokens) s += score(qt, i);
+    if (s > 0.0) hits.push_back(Retrieved{&chunks_[i], s});
+  }
+  std::sort(hits.begin(), hits.end(), [](const Retrieved& a, const Retrieved& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.chunk->doc_id < b.chunk->doc_id;
+  });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace qcgen::llm

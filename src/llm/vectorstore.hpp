@@ -1,0 +1,65 @@
+#pragma once
+// Chunking + BM25 retrieval: the vector-store half of the RAG pipeline
+// (paper Sec IV-C, built there with langchain/ragatouille).
+//
+// Two chunkers are provided: the "basic" fixed-window splitter the paper
+// used (and blamed for part of RAG's weakness), and a structure-aware
+// splitter that respects sentence boundaries — the ABL-RAG ablation
+// compares them.
+
+#include <string>
+#include <vector>
+
+#include "llm/corpus.hpp"
+#include "llm/tokenizer.hpp"
+
+namespace qcgen::llm {
+
+/// One retrievable chunk.
+struct Chunk {
+  std::string doc_id;
+  std::string text;
+  DocFreshness freshness = DocFreshness::kCurrent;
+  std::optional<AlgorithmId> algorithm;
+};
+
+enum class ChunkStrategy {
+  kBasic,           ///< fixed token windows, ignores structure (paper's)
+  kStructureAware,  ///< splits on sentence boundaries, keeps units intact
+};
+
+/// Splits documents into chunks of roughly `window` tokens.
+std::vector<Chunk> chunk_documents(const std::vector<Document>& docs,
+                                   ChunkStrategy strategy,
+                                   std::size_t window = 48);
+
+/// A scored retrieval hit.
+struct Retrieved {
+  const Chunk* chunk = nullptr;
+  double score = 0.0;
+};
+
+/// BM25 index over chunks.
+class VectorStore {
+ public:
+  explicit VectorStore(std::vector<Chunk> chunks);
+
+  std::size_t size() const noexcept { return chunks_.size(); }
+  const std::vector<Chunk>& chunks() const noexcept { return chunks_; }
+
+  /// Top-k chunks for a query, highest score first. Scores <= 0 are
+  /// dropped, so the result may be shorter than k.
+  std::vector<Retrieved> retrieve(const std::string& query,
+                                  std::size_t k) const;
+
+ private:
+  double score(const std::string& query_token, std::size_t chunk_idx) const;
+
+  std::vector<Chunk> chunks_;
+  Vocabulary vocabulary_;
+  std::vector<std::vector<std::string>> chunk_tokens_;
+  std::vector<double> chunk_len_;
+  double avg_len_ = 0.0;
+};
+
+}  // namespace qcgen::llm

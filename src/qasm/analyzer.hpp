@@ -1,0 +1,51 @@
+#pragma once
+// Semantic analyzer for QasmLite programs — the checking half of the
+// paper's Semantic Analysis Agent.
+//
+// Verifies import hygiene (missing/unknown/deprecated modules), gate
+// existence and arity, register bounds, and structural well-formedness,
+// producing the error trace that drives multi-pass repair.
+
+#include <vector>
+
+#include "qasm/ast.hpp"
+#include "qasm/diagnostics.hpp"
+#include "qasm/language.hpp"
+
+namespace qcgen::qasm {
+
+/// Static analysis report for a parsed program.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return !has_errors(diagnostics); }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// True if all *errors* are syntactic-class (see is_syntactic()).
+  bool only_syntactic_errors() const;
+};
+
+/// Registers beyond this size are rejected outright (guards the
+/// analyzer's per-qubit bookkeeping against absurd declarations like
+/// `q: 999999999999`, which model-corrupted text can produce).
+constexpr std::size_t kMaxRegisterSize = 1 << 20;
+
+/// Options for the analyzer.
+struct AnalyzerOptions {
+  /// Treat deprecated imports as errors (Qiskit 1.0 removed them, so code
+  /// importing them fails at run time — the default matches the paper).
+  bool deprecated_import_is_error = true;
+  /// Treat deprecated gate aliases as errors (they still execute, default
+  /// is a warning).
+  bool deprecated_alias_is_error = false;
+  /// Warn when a declared qubit is never referenced.
+  bool warn_unused_qubits = true;
+};
+
+/// Runs semantic analysis on a parsed program.
+AnalysisReport analyze(const Program& program,
+                       const LanguageRegistry& registry =
+                           LanguageRegistry::current(),
+                       const AnalyzerOptions& options = {});
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,121 @@
+#pragma once
+// Abstract syntax tree for QasmLite programs.
+//
+// The AST is a plain value type: the printer reproduces canonical source
+// from it, the analyzer walks it, the builder lowers it to sim::Circuit,
+// and the simulated code-generation model perturbs it to inject faults.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace qcgen::qasm {
+
+/// Arithmetic expression for gate parameters (e.g. `pi/4`, `-0.5*pi`).
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+struct Expr {
+  enum class Kind { kNumber, kPi, kNeg, kAdd, kSub, kMul, kDiv };
+  Kind kind = Kind::kNumber;
+  double number = 0.0;  ///< for kNumber
+  ExprPtr lhs;          ///< operand (kNeg) or left operand
+  ExprPtr rhs;
+
+  static ExprPtr make_number(double v);
+  static ExprPtr make_pi();
+  static ExprPtr make_unary(Kind k, ExprPtr operand);
+  static ExprPtr make_binary(Kind k, ExprPtr lhs, ExprPtr rhs);
+
+  /// Numeric value of the expression.
+  double evaluate() const;
+};
+
+/// Reference to one register element, e.g. `q[2]`.
+struct RegRef {
+  std::string reg;  ///< register name ("q" or "c")
+  std::size_t index = 0;
+  int line = 0;
+
+  friend bool operator==(const RegRef& a, const RegRef& b) {
+    return a.reg == b.reg && a.index == b.index;
+  }
+};
+
+/// Gate application: `h q[0];`, `rz(pi/4) q[1];`, `cx q[0], q[1];`
+struct GateStmt {
+  std::string name;
+  std::vector<ExprPtr> params;
+  std::vector<RegRef> operands;
+  int line = 0;
+};
+
+/// `measure q[i] -> c[j];`
+struct MeasureStmt {
+  RegRef qubit;
+  RegRef clbit;
+  int line = 0;
+};
+
+/// `measure_all;`
+struct MeasureAllStmt {
+  int line = 0;
+};
+
+/// `barrier;`
+struct BarrierStmt {
+  int line = 0;
+};
+
+/// `reset q[i];`
+struct ResetStmt {
+  RegRef qubit;
+  int line = 0;
+};
+
+struct IfStmt;  // forward: contains a Stmt
+
+using Stmt = std::variant<GateStmt, MeasureStmt, MeasureAllStmt, BarrierStmt,
+                          ResetStmt, std::shared_ptr<IfStmt>>;
+
+/// `if (c[i] == v) <stmt>`
+struct IfStmt {
+  RegRef clbit;
+  bool value = true;
+  Stmt body;
+  int line = 0;
+};
+
+/// `import qiskit;` / `import qiskit.circuit.library;`
+struct Import {
+  std::string path;  ///< dotted module path
+  int line = 0;
+};
+
+/// `circuit main(q: 3, c: 3) { ... }`
+struct CircuitDecl {
+  std::string name;
+  std::size_t num_qubits = 0;
+  std::size_t num_clbits = 0;
+  std::string qreg_name = "q";
+  std::string creg_name = "c";
+  std::vector<Stmt> body;
+  int line = 0;
+};
+
+/// A full QasmLite program.
+struct Program {
+  std::vector<Import> imports;
+  std::vector<CircuitDecl> circuits;
+
+  /// The entry circuit: "main" if present, else the first declaration.
+  /// Returns nullptr when the program declares no circuit.
+  const CircuitDecl* entry() const;
+};
+
+/// Source line of a statement (for diagnostics).
+int stmt_line(const Stmt& stmt);
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,24 @@
+#pragma once
+// Lowers an analyzed QasmLite program to the sim::Circuit IR for
+// execution on the simulators.
+
+#include "qasm/ast.hpp"
+#include "qasm/language.hpp"
+#include "sim/circuit.hpp"
+
+namespace qcgen::qasm {
+
+/// Builds the entry circuit of an analysis-clean program.
+/// Throws InvalidArgumentError when the program has no circuit or uses
+/// constructs that analysis would reject (the caller is expected to run
+/// analyze() first and only lower clean programs).
+sim::Circuit build_circuit(const Program& program,
+                           const LanguageRegistry& registry =
+                               LanguageRegistry::current());
+
+/// Convenience: parse + analyze + build. Throws on any error; intended
+/// for trusted sources (reference solutions, examples), not for model
+/// output (the pipeline inspects diagnostics itself).
+sim::Circuit compile_or_throw(std::string_view source);
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,68 @@
+#pragma once
+// Diagnostics for QasmLite programs.
+//
+// A diagnostic is an expected value, not an exception: "this generated
+// program is wrong" is the normal operating regime of the multi-agent
+// pipeline, and the error trace is what the repair loop feeds back to
+// the code-generation agent (paper Sec IV-A).
+
+#include <string>
+#include <vector>
+
+namespace qcgen::qasm {
+
+enum class Severity { kWarning, kError };
+
+/// Stable diagnostic codes; the repair agent keys its fix strategies on
+/// these, mirroring the paper's observation that error *class* determines
+/// repairability (import misuse vs. algorithmic errors).
+enum class DiagCode {
+  // Lexical / syntactic.
+  kLexError,
+  kParseError,
+  // Imports.
+  kMissingQiskitImport,
+  kUnknownImport,
+  kDeprecatedImport,
+  // Gates and operands.
+  kUnknownGate,
+  kDeprecatedGateAlias,
+  kWrongArity,
+  kWrongParamCount,
+  kQubitOutOfRange,
+  kClbitOutOfRange,
+  kDuplicateQubit,
+  // Structure.
+  kNoMeasurement,
+  kConditionOnUnwrittenClbit,
+  kUnusedQubit,
+  kEmptyCircuit,
+  kDuplicateCircuitName,
+  kNoCircuit,
+};
+
+/// Human-readable mnemonic (e.g. "deprecated-import") for a code.
+std::string_view diag_code_name(DiagCode code);
+
+/// True for codes that describe syntactic (parse/lex) failures as opposed
+/// to semantic ones; the evaluation splits accuracy along this line.
+bool is_syntactic(DiagCode code);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  DiagCode code = DiagCode::kParseError;
+  std::string message;
+  int line = 0;    ///< 1-based; 0 when unknown
+  int column = 0;  ///< 1-based; 0 when unknown
+
+  friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
+};
+
+/// True if any diagnostic is an error.
+bool has_errors(const std::vector<Diagnostic>& diags);
+
+/// Formats diagnostics as the compiler-style error trace handed back to
+/// the code generation agent during multi-pass repair.
+std::string format_error_trace(const std::vector<Diagnostic>& diags);
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,154 @@
+#include "qasm/language.hpp"
+
+#include <algorithm>
+
+#include "qasm/diagnostics.hpp"
+
+namespace qcgen::qasm {
+
+// --- Diagnostics impl -------------------------------------------------------
+
+std::string_view diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError: return "lex-error";
+    case DiagCode::kParseError: return "parse-error";
+    case DiagCode::kMissingQiskitImport: return "missing-qiskit-import";
+    case DiagCode::kUnknownImport: return "unknown-import";
+    case DiagCode::kDeprecatedImport: return "deprecated-import";
+    case DiagCode::kUnknownGate: return "unknown-gate";
+    case DiagCode::kDeprecatedGateAlias: return "deprecated-gate-alias";
+    case DiagCode::kWrongArity: return "wrong-arity";
+    case DiagCode::kWrongParamCount: return "wrong-param-count";
+    case DiagCode::kQubitOutOfRange: return "qubit-out-of-range";
+    case DiagCode::kClbitOutOfRange: return "clbit-out-of-range";
+    case DiagCode::kDuplicateQubit: return "duplicate-qubit";
+    case DiagCode::kNoMeasurement: return "no-measurement";
+    case DiagCode::kConditionOnUnwrittenClbit:
+      return "condition-on-unwritten-clbit";
+    case DiagCode::kUnusedQubit: return "unused-qubit";
+    case DiagCode::kEmptyCircuit: return "empty-circuit";
+    case DiagCode::kDuplicateCircuitName: return "duplicate-circuit-name";
+    case DiagCode::kNoCircuit: return "no-circuit";
+  }
+  return "?";
+}
+
+bool is_syntactic(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError:
+    case DiagCode::kParseError:
+    case DiagCode::kMissingQiskitImport:
+    case DiagCode::kUnknownImport:
+    case DiagCode::kDeprecatedImport:
+    case DiagCode::kUnknownGate:
+    case DiagCode::kDeprecatedGateAlias:
+    case DiagCode::kWrongArity:
+    case DiagCode::kWrongParamCount:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+std::string format_error_trace(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.severity == Severity::kError ? "error" : "warning";
+    out += "[";
+    out += diag_code_name(d.code);
+    out += "]";
+    if (d.line > 0) {
+      out += " at line " + std::to_string(d.line);
+      if (d.column > 0) out += ":" + std::to_string(d.column);
+    }
+    out += ": " + d.message + "\n";
+  }
+  return out;
+}
+
+// --- LanguageRegistry -------------------------------------------------------
+
+LanguageRegistry::LanguageRegistry() {
+  current_imports_ = {
+      "qiskit",
+      "qiskit.circuit",
+      "qiskit.circuit.library",
+      "qiskit.primitives",
+      "qiskit.quantum_info",
+      "qiskit.transpiler",
+      "qiskit_aer",
+      "qiskit_ibm_runtime",
+      "qiskit.visualization",
+  };
+  deprecated_imports_ = {
+      "qiskit.execute",          // removed in 1.0
+      "qiskit.aqua",             // removed long before 1.0
+      "qiskit.aqua.algorithms",
+      "qiskit.ignis",            // superseded by qiskit-experiments
+      "qiskit.providers.aer",    // became qiskit_aer
+      "qiskit.tools.monitor",
+      "qiskit.ibmq",             // became qiskit_ibm_runtime
+      "qiskit.extensions",
+  };
+  replacements_ = {
+      {"qiskit.execute", "qiskit.primitives"},
+      {"qiskit.aqua", "qiskit.circuit.library"},
+      {"qiskit.aqua.algorithms", "qiskit.circuit.library"},
+      {"qiskit.ignis", "qiskit_ibm_runtime"},
+      {"qiskit.providers.aer", "qiskit_aer"},
+      {"qiskit.tools.monitor", "qiskit_ibm_runtime"},
+      {"qiskit.ibmq", "qiskit_ibm_runtime"},
+      {"qiskit.extensions", "qiskit.circuit.library"},
+  };
+  deprecated_gate_aliases_ = {"cnot", "toffoli", "fredkin", "u3", "phase"};
+}
+
+const LanguageRegistry& LanguageRegistry::current() {
+  static const LanguageRegistry kRegistry;
+  return kRegistry;
+}
+
+ImportStatus LanguageRegistry::import_status(std::string_view path) const {
+  const auto eq = [&](const std::string& s) { return s == path; };
+  if (std::any_of(current_imports_.begin(), current_imports_.end(), eq)) {
+    return ImportStatus::kCurrent;
+  }
+  if (std::any_of(deprecated_imports_.begin(), deprecated_imports_.end(), eq)) {
+    return ImportStatus::kDeprecated;
+  }
+  return ImportStatus::kUnknown;
+}
+
+std::optional<std::string> LanguageRegistry::import_replacement(
+    std::string_view path) const {
+  for (const auto& [from, to] : replacements_) {
+    if (from == path) return to;
+  }
+  return std::nullopt;
+}
+
+bool LanguageRegistry::is_known_gate(std::string_view name) const {
+  sim::GateKind kind;
+  return sim::parse_gate_name(name, kind);
+}
+
+bool LanguageRegistry::is_deprecated_gate_alias(std::string_view name) const {
+  return std::any_of(deprecated_gate_aliases_.begin(),
+                     deprecated_gate_aliases_.end(),
+                     [&](const std::string& s) { return s == name; });
+}
+
+std::optional<sim::GateKind> LanguageRegistry::resolve_gate(
+    std::string_view name) const {
+  sim::GateKind kind;
+  if (!sim::parse_gate_name(name, kind)) return std::nullopt;
+  return kind;
+}
+
+}  // namespace qcgen::qasm

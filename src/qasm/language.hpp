@@ -1,0 +1,59 @@
+#pragma once
+// Language registry: which imports exist, which are deprecated, which
+// gate mnemonics are current vs. legacy aliases.
+//
+// This models the Qiskit-ecosystem churn that the paper identifies as the
+// dominant source of generation errors: modules removed in Qiskit 1.0,
+// deprecated gate aliases, and version-skewed documentation.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/gates.hpp"
+
+namespace qcgen::qasm {
+
+/// Status of an import path in the "current" library version.
+enum class ImportStatus { kCurrent, kDeprecated, kUnknown };
+
+/// Registry describing the current language/library surface.
+class LanguageRegistry {
+ public:
+  /// The default registry models Qiskit 1.x: `qiskit`, `qiskit.circuit`,
+  /// etc. are current; `qiskit.aqua`, `qiskit.execute`, ... are removed
+  /// or deprecated legacy modules that stale corpora still reference.
+  static const LanguageRegistry& current();
+
+  ImportStatus import_status(std::string_view path) const;
+  /// Replacement suggestion for a deprecated import, if one exists.
+  std::optional<std::string> import_replacement(std::string_view path) const;
+
+  /// True if the mnemonic resolves to a gate at all (current or legacy).
+  bool is_known_gate(std::string_view name) const;
+  /// True for legacy aliases (cnot, toffoli, u3, ...) that still parse
+  /// but are flagged deprecated.
+  bool is_deprecated_gate_alias(std::string_view name) const;
+  /// Canonical mnemonic for a (possibly legacy) gate name.
+  std::optional<sim::GateKind> resolve_gate(std::string_view name) const;
+
+  /// The canonical import every program must carry.
+  std::string_view required_import() const { return "qiskit"; }
+
+  const std::vector<std::string>& current_imports() const {
+    return current_imports_;
+  }
+  const std::vector<std::string>& deprecated_imports() const {
+    return deprecated_imports_;
+  }
+
+ private:
+  LanguageRegistry();
+  std::vector<std::string> current_imports_;
+  std::vector<std::string> deprecated_imports_;
+  std::vector<std::pair<std::string, std::string>> replacements_;
+  std::vector<std::string> deprecated_gate_aliases_;
+};
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,183 @@
+#include "qasm/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace qcgen::qasm {
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kKeywordImport: return "'import'";
+    case TokenKind::kKeywordCircuit: return "'circuit'";
+    case TokenKind::kKeywordMeasure: return "'measure'";
+    case TokenKind::kKeywordMeasureAll: return "'measure_all'";
+    case TokenKind::kKeywordBarrier: return "'barrier'";
+    case TokenKind::kKeywordReset: return "'reset'";
+    case TokenKind::kKeywordIf: return "'if'";
+    case TokenKind::kKeywordPi: return "'pi'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kColon: return "':'";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kEqualEqual: return "'=='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEof: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+const std::unordered_map<std::string, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string, TokenKind> kTable = {
+      {"import", TokenKind::kKeywordImport},
+      {"circuit", TokenKind::kKeywordCircuit},
+      {"measure", TokenKind::kKeywordMeasure},
+      {"measure_all", TokenKind::kKeywordMeasureAll},
+      {"barrier", TokenKind::kKeywordBarrier},
+      {"reset", TokenKind::kKeywordReset},
+      {"if", TokenKind::kKeywordIf},
+      {"pi", TokenKind::kKeywordPi},
+  };
+  return kTable;
+}
+}  // namespace
+
+LexResult lex(std::string_view source) {
+  LexResult result;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+
+  const auto advance = [&](std::size_t n = 1) {
+    for (std::size_t k = 0; k < n && i < source.size(); ++k) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+      ++i;
+    }
+  };
+  const auto peek = [&](std::size_t off = 0) -> char {
+    return i + off < source.size() ? source[i + off] : '\0';
+  };
+  const auto push = [&](TokenKind kind, std::string text, int l, int c,
+                        double num = 0.0) {
+    result.tokens.push_back(Token{kind, std::move(text), num, l, c});
+  };
+
+  while (i < source.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: // ... and # ... to end of line.
+    if ((c == '/' && peek(1) == '/') || c == '#') {
+      while (i < source.size() && peek() != '\n') advance();
+      continue;
+    }
+    const int tok_line = line;
+    const int tok_col = column;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(peek())) ||
+              peek() == '_')) {
+        ident += peek();
+        advance();
+      }
+      auto it = keyword_table().find(ident);
+      if (it != keyword_table().end()) {
+        push(it->second, ident, tok_line, tok_col);
+      } else {
+        push(TokenKind::kIdentifier, ident, tok_line, tok_col);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::string num;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (i < source.size()) {
+        const char d = peek();
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          num += d;
+          advance();
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          num += d;
+          advance();
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          num += d;
+          advance();
+          if (peek() == '+' || peek() == '-') {
+            num += peek();
+            advance();
+          }
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, num, tok_line, tok_col, std::atof(num.c_str()));
+      continue;
+    }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, "(", tok_line, tok_col); advance(); continue;
+      case ')': push(TokenKind::kRParen, ")", tok_line, tok_col); advance(); continue;
+      case '[': push(TokenKind::kLBracket, "[", tok_line, tok_col); advance(); continue;
+      case ']': push(TokenKind::kRBracket, "]", tok_line, tok_col); advance(); continue;
+      case '{': push(TokenKind::kLBrace, "{", tok_line, tok_col); advance(); continue;
+      case '}': push(TokenKind::kRBrace, "}", tok_line, tok_col); advance(); continue;
+      case ',': push(TokenKind::kComma, ",", tok_line, tok_col); advance(); continue;
+      case ';': push(TokenKind::kSemicolon, ";", tok_line, tok_col); advance(); continue;
+      case ':': push(TokenKind::kColon, ":", tok_line, tok_col); advance(); continue;
+      case '.': push(TokenKind::kDot, ".", tok_line, tok_col); advance(); continue;
+      case '+': push(TokenKind::kPlus, "+", tok_line, tok_col); advance(); continue;
+      case '*': push(TokenKind::kStar, "*", tok_line, tok_col); advance(); continue;
+      case '/': push(TokenKind::kSlash, "/", tok_line, tok_col); advance(); continue;
+      case '-':
+        if (peek(1) == '>') {
+          push(TokenKind::kArrow, "->", tok_line, tok_col);
+          advance(2);
+        } else {
+          push(TokenKind::kMinus, "-", tok_line, tok_col);
+          advance();
+        }
+        continue;
+      case '=':
+        if (peek(1) == '=') {
+          push(TokenKind::kEqualEqual, "==", tok_line, tok_col);
+          advance(2);
+          continue;
+        }
+        [[fallthrough]];
+      default:
+        result.diagnostics.push_back(Diagnostic{
+            Severity::kError, DiagCode::kLexError,
+            std::string("unexpected character '") + c + "'", tok_line,
+            tok_col});
+        advance();
+    }
+  }
+  result.tokens.push_back(Token{TokenKind::kEof, "", 0.0, line, column});
+  return result;
+}
+
+}  // namespace qcgen::qasm

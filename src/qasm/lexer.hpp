@@ -1,0 +1,65 @@
+#pragma once
+// Tokeniser for QasmLite, the Qiskit-flavoured DSL in which the code
+// generation agent emits programs.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qasm/diagnostics.hpp"
+
+namespace qcgen::qasm {
+
+enum class TokenKind {
+  kIdentifier,
+  kNumber,
+  kKeywordImport,
+  kKeywordCircuit,
+  kKeywordMeasure,
+  kKeywordMeasureAll,
+  kKeywordBarrier,
+  kKeywordReset,
+  kKeywordIf,
+  kKeywordPi,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemicolon,
+  kColon,
+  kDot,
+  kArrow,     // ->
+  kEqualEqual,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+std::string_view token_kind_name(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  double number = 0.0;  ///< valid when kind == kNumber
+  int line = 1;
+  int column = 1;
+};
+
+/// Result of lexing: tokens plus any lexical diagnostics. Unknown
+/// characters produce kLexError diagnostics and are skipped, so the
+/// parser always receives a well-terminated stream.
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Tokenises a full source text. `//` line comments and `#` line comments
+/// are skipped.
+LexResult lex(std::string_view source);
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,269 @@
+#include "qasm/openqasm.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace qcgen::qasm {
+
+namespace {
+
+using sim::Circuit;
+using sim::GateKind;
+using sim::Operation;
+
+std::string format_angle(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// qelib1.inc mnemonic for a gate kind (QasmLite names mostly match).
+std::string openqasm_name(GateKind kind) {
+  switch (kind) {
+    case GateKind::kPhase: return "u1";  // qelib1's phase gate
+    case GateKind::kU: return "u3";
+    case GateKind::kI: return "id";
+    default: return std::string(sim::gate_name(kind));
+  }
+}
+
+}  // namespace
+
+std::string to_openqasm(const Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  // One creg per classical bit so single-bit conditions are expressible.
+  for (std::size_t c = 0; c < circuit.num_clbits(); ++c) {
+    os << "creg c" << c << "[1];\n";
+  }
+  for (const Operation& op : circuit.operations()) {
+    if (op.kind == GateKind::kBarrier) {
+      os << "barrier q;\n";
+      continue;
+    }
+    if (op.condition) {
+      os << "if (c" << op.condition->clbit
+         << " == " << (op.condition->value ? 1 : 0) << ") ";
+    }
+    if (op.kind == GateKind::kMeasure) {
+      os << "measure q[" << op.qubits[0] << "] -> c" << *op.clbit << "[0];\n";
+      continue;
+    }
+    if (op.kind == GateKind::kReset) {
+      os << "reset q[" << op.qubits[0] << "];\n";
+      continue;
+    }
+    os << openqasm_name(op.kind);
+    if (!op.params.empty()) {
+      os << "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        if (i) os << ",";
+        os << format_angle(op.params[i]);
+      }
+      os << ")";
+    }
+    os << " ";
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      if (i) os << ",";
+      os << "q[" << op.qubits[i] << "]";
+    }
+    os << ";\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+struct Importer {
+  std::vector<Diagnostic> diagnostics;
+  int line_number = 0;
+
+  void error(const std::string& message) {
+    diagnostics.push_back(Diagnostic{Severity::kError, DiagCode::kParseError,
+                                     message, line_number, 0});
+  }
+
+  /// Parses "q[3]" -> 3; npos on failure.
+  std::optional<std::size_t> parse_qubit(std::string_view token) {
+    const auto open = token.find('[');
+    const auto close = token.find(']');
+    if (open == std::string_view::npos || close == std::string_view::npos ||
+        close < open || token.substr(0, open) != "q") {
+      error("expected qubit reference, got '" + std::string(token) + "'");
+      return std::nullopt;
+    }
+    return static_cast<std::size_t>(
+        std::atoll(std::string(token.substr(open + 1, close - open - 1)).c_str()));
+  }
+
+  OpenQasmResult run(const std::string& source) {
+    OpenQasmResult result;
+    std::optional<Circuit> circuit;
+    std::size_t num_qubits = 0;
+    std::size_t num_clbits = 0;
+
+    // First pass: register declarations.
+    std::istringstream prescan(source);
+    std::string raw;
+    while (std::getline(prescan, raw)) {
+      const std::string line(trim(raw));
+      if (starts_with(line, "qreg q[")) {
+        num_qubits = static_cast<std::size_t>(
+            std::atoll(line.substr(7).c_str()));
+      } else if (starts_with(line, "creg c")) {
+        ++num_clbits;
+      }
+    }
+    if (num_qubits == 0) {
+      error("missing or empty qreg declaration");
+      result.diagnostics = std::move(diagnostics);
+      return result;
+    }
+    circuit.emplace(num_qubits, num_clbits);
+
+    std::istringstream stream(source);
+    line_number = 0;
+    while (std::getline(stream, raw)) {
+      ++line_number;
+      std::string line(trim(raw));
+      if (line.empty() || starts_with(line, "//") ||
+          starts_with(line, "OPENQASM") || starts_with(line, "include") ||
+          starts_with(line, "qreg") || starts_with(line, "creg")) {
+        continue;
+      }
+      if (!ends_with(line, ";")) {
+        error("missing ';'");
+        continue;
+      }
+      line.pop_back();
+
+      std::optional<sim::Condition> condition;
+      if (starts_with(line, "if ")) {
+        const auto open = line.find('(');
+        const auto close = line.find(')');
+        if (open == std::string::npos || close == std::string::npos) {
+          error("malformed if condition");
+          continue;
+        }
+        const std::string cond(trim(line.substr(open + 1, close - open - 1)));
+        const auto eq = cond.find("==");
+        if (eq == std::string::npos || cond[0] != 'c') {
+          error("unsupported if condition '" + cond + "'");
+          continue;
+        }
+        const std::size_t clbit = static_cast<std::size_t>(
+            std::atoll(cond.substr(1, eq - 1).c_str()));
+        const bool value =
+            std::atoi(std::string(trim(cond.substr(eq + 2))).c_str()) != 0;
+        condition = sim::Condition{clbit, value};
+        line = std::string(trim(line.substr(close + 1)));
+      }
+
+      if (starts_with(line, "barrier")) {
+        circuit->barrier();
+        continue;
+      }
+      if (starts_with(line, "measure ")) {
+        // measure q[i] -> cJ[0]
+        const auto arrow = line.find("->");
+        if (arrow == std::string::npos) {
+          error("malformed measure");
+          continue;
+        }
+        const auto q = parse_qubit(trim(line.substr(8, arrow - 8)));
+        const std::string target(trim(line.substr(arrow + 2)));
+        if (!q || target.size() < 2 || target[0] != 'c') {
+          error("malformed measure operands");
+          continue;
+        }
+        const std::size_t clbit = static_cast<std::size_t>(
+            std::atoll(target.substr(1, target.find('[') - 1).c_str()));
+        circuit->measure(*q, clbit);
+        continue;
+      }
+      if (starts_with(line, "reset ")) {
+        const auto q = parse_qubit(trim(line.substr(6)));
+        if (!q) continue;
+        Operation op;
+        op.kind = GateKind::kReset;
+        op.qubits = {*q};
+        op.condition = condition;
+        circuit->append(std::move(op));
+        continue;
+      }
+
+      // Gate application: name[(params)] q[i][, q[j]...]
+      std::string name;
+      std::vector<double> params;
+      std::string rest;
+      const auto paren = line.find('(');
+      const auto space = line.find(' ');
+      if (paren != std::string::npos &&
+          (space == std::string::npos || paren < space)) {
+        const auto close = line.find(')');
+        if (close == std::string::npos) {
+          error("unbalanced parameter list");
+          continue;
+        }
+        name = std::string(trim(line.substr(0, paren)));
+        for (const std::string& piece :
+             split(line.substr(paren + 1, close - paren - 1), ',')) {
+          params.push_back(std::atof(std::string(trim(piece)).c_str()));
+        }
+        rest = std::string(trim(line.substr(close + 1)));
+      } else {
+        if (space == std::string::npos) {
+          error("malformed statement '" + line + "'");
+          continue;
+        }
+        name = line.substr(0, space);
+        rest = std::string(trim(line.substr(space + 1)));
+      }
+      // Reverse the export renames.
+      if (name == "u1") name = "p";
+      if (name == "u3") name = "u";
+      if (name == "id") name = "id";
+      GateKind kind;
+      if (!sim::parse_gate_name(name, kind)) {
+        error("unknown gate '" + name + "'");
+        continue;
+      }
+      Operation op;
+      op.kind = kind;
+      op.params = std::move(params);
+      op.condition = condition;
+      bool operands_ok = true;
+      for (const std::string& piece : split(rest, ',')) {
+        const auto q = parse_qubit(trim(piece));
+        if (!q) {
+          operands_ok = false;
+          break;
+        }
+        op.qubits.push_back(*q);
+      }
+      if (!operands_ok) continue;
+      try {
+        circuit->append(std::move(op));
+      } catch (const QcgenError& e) {
+        error(e.what());
+      }
+    }
+    result.diagnostics = std::move(diagnostics);
+    if (!has_errors(result.diagnostics)) result.circuit = std::move(circuit);
+    return result;
+  }
+};
+
+}  // namespace
+
+OpenQasmResult from_openqasm(const std::string& source) {
+  Importer importer;
+  return importer.run(source);
+}
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,35 @@
+#pragma once
+// OpenQASM 2.0 interop: export circuits for consumption by external
+// toolchains (Qiskit, simulators, hardware SDKs) and import the subset
+// of OpenQASM 2.0 that the exporter emits.
+
+#include <optional>
+#include <string>
+
+#include "qasm/diagnostics.hpp"
+#include "sim/circuit.hpp"
+
+namespace qcgen::qasm {
+
+/// Serialises a circuit as OpenQASM 2.0. Every QasmLite gate maps to a
+/// qelib1.inc gate; classically-conditioned operations use OpenQASM's
+/// `if (c == v)` form (note: OpenQASM 2.0 conditions compare the whole
+/// classical register, so conditioned circuits round-trip only when the
+/// condition register is one bit wide, matching QasmLite's single-bit
+/// conditions placed on dedicated registers; the exporter therefore
+/// emits one creg per classical bit).
+std::string to_openqasm(const sim::Circuit& circuit);
+
+/// Result of importing OpenQASM text.
+struct OpenQasmResult {
+  std::optional<sim::Circuit> circuit;
+  std::vector<Diagnostic> diagnostics;
+  bool ok() const { return circuit.has_value() && !has_errors(diagnostics); }
+};
+
+/// Parses the OpenQASM 2.0 subset emitted by to_openqasm(): a single
+/// qreg, per-bit cregs named c<i>, qelib1 gates, measure and reset
+/// statements, and single-bit `if` conditions.
+OpenQasmResult from_openqasm(const std::string& source);
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,24 @@
+#pragma once
+// Recursive-descent parser for QasmLite.
+
+#include <optional>
+
+#include "qasm/ast.hpp"
+#include "qasm/diagnostics.hpp"
+#include "qasm/lexer.hpp"
+
+namespace qcgen::qasm {
+
+/// Outcome of parsing. `program` is present iff no lexical or syntactic
+/// error occurred; diagnostics always carries every problem found.
+struct ParseResult {
+  std::optional<Program> program;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return program.has_value() && !has_errors(diagnostics); }
+};
+
+/// Parses a complete source text (lexing included).
+ParseResult parse(std::string_view source);
+
+}  // namespace qcgen::qasm

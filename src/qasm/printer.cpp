@@ -1,0 +1,146 @@
+#include "qasm/printer.hpp"
+
+#include <cmath>
+
+#include "common/strings.hpp"
+
+namespace qcgen::qasm {
+
+namespace {
+
+int precedence(Expr::Kind kind) {
+  switch (kind) {
+    case Expr::Kind::kAdd:
+    case Expr::Kind::kSub:
+      return 1;
+    case Expr::Kind::kMul:
+    case Expr::Kind::kDiv:
+      return 2;
+    default:
+      return 3;
+  }
+}
+
+void print_expr_impl(const Expr& e, std::string& out, int parent_prec) {
+  const int prec = precedence(e.kind);
+  const bool parens = prec < parent_prec;
+  if (parens) out += "(";
+  switch (e.kind) {
+    case Expr::Kind::kNumber: {
+      // Integers print without trailing zeros; others with full precision.
+      if (std::floor(e.number) == e.number && std::abs(e.number) < 1e12) {
+        out += std::to_string(static_cast<long long>(e.number));
+      } else {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.9g", e.number);
+        out += buf;
+      }
+      break;
+    }
+    case Expr::Kind::kPi:
+      out += "pi";
+      break;
+    case Expr::Kind::kNeg:
+      out += "-";
+      print_expr_impl(*e.lhs, out, 3);
+      break;
+    case Expr::Kind::kAdd:
+      print_expr_impl(*e.lhs, out, prec);
+      out += " + ";
+      print_expr_impl(*e.rhs, out, prec + 1);
+      break;
+    case Expr::Kind::kSub:
+      print_expr_impl(*e.lhs, out, prec);
+      out += " - ";
+      print_expr_impl(*e.rhs, out, prec + 1);
+      break;
+    case Expr::Kind::kMul:
+      print_expr_impl(*e.lhs, out, prec);
+      out += " * ";
+      print_expr_impl(*e.rhs, out, prec + 1);
+      break;
+    case Expr::Kind::kDiv:
+      print_expr_impl(*e.lhs, out, prec);
+      out += " / ";
+      print_expr_impl(*e.rhs, out, prec + 1);
+      break;
+  }
+  if (parens) out += ")";
+}
+
+std::string ref_to_string(const RegRef& ref) {
+  return ref.reg + "[" + std::to_string(ref.index) + "]";
+}
+
+void print_stmt_impl(const Stmt& stmt, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::visit(
+      [&](const auto& s) {
+        using T = std::decay_t<decltype(s)>;
+        if constexpr (std::is_same_v<T, GateStmt>) {
+          out += pad + s.name;
+          if (!s.params.empty()) {
+            out += "(";
+            for (std::size_t i = 0; i < s.params.size(); ++i) {
+              if (i) out += ", ";
+              out += print_expr(*s.params[i]);
+            }
+            out += ")";
+          }
+          for (std::size_t i = 0; i < s.operands.size(); ++i) {
+            out += i ? ", " : " ";
+            out += ref_to_string(s.operands[i]);
+          }
+          out += ";\n";
+        } else if constexpr (std::is_same_v<T, MeasureStmt>) {
+          out += pad + "measure " + ref_to_string(s.qubit) + " -> " +
+                 ref_to_string(s.clbit) + ";\n";
+        } else if constexpr (std::is_same_v<T, MeasureAllStmt>) {
+          out += pad + "measure_all;\n";
+        } else if constexpr (std::is_same_v<T, BarrierStmt>) {
+          out += pad + "barrier;\n";
+        } else if constexpr (std::is_same_v<T, ResetStmt>) {
+          out += pad + "reset " + ref_to_string(s.qubit) + ";\n";
+        } else if constexpr (std::is_same_v<T, std::shared_ptr<IfStmt>>) {
+          out += pad + "if (" + ref_to_string(s->clbit) +
+                 " == " + (s->value ? "1" : "0") + ")\n";
+          print_stmt_impl(s->body, out, indent + 1);
+        }
+      },
+      stmt);
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& expr) {
+  std::string out;
+  print_expr_impl(expr, out, 0);
+  return out;
+}
+
+std::string print_stmt(const Stmt& stmt, int indent) {
+  std::string out;
+  print_stmt_impl(stmt, out, indent);
+  return out;
+}
+
+std::string print_program(const Program& program) {
+  std::string out;
+  for (const Import& imp : program.imports) {
+    out += "import " + imp.path + ";\n";
+  }
+  if (!program.imports.empty()) out += "\n";
+  for (const CircuitDecl& circ : program.circuits) {
+    out += "circuit " + circ.name + "(" + circ.qreg_name + ": " +
+           std::to_string(circ.num_qubits);
+    if (circ.num_clbits > 0) {
+      out += ", " + circ.creg_name + ": " + std::to_string(circ.num_clbits);
+    }
+    out += ") {\n";
+    for (const Stmt& stmt : circ.body) print_stmt_impl(stmt, out, 1);
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace qcgen::qasm

@@ -1,0 +1,23 @@
+#pragma once
+// Pretty-printer: AST -> canonical QasmLite source.
+//
+// The simulated code-generation model emits programs by printing ASTs,
+// and the repair agent re-emits fixed programs the same way, so printing
+// followed by parsing must round-trip (tested property).
+
+#include <string>
+
+#include "qasm/ast.hpp"
+
+namespace qcgen::qasm {
+
+/// Renders a full program as canonical source text.
+std::string print_program(const Program& program);
+
+/// Renders a single expression (used in tests and fault injection).
+std::string print_expr(const Expr& expr);
+
+/// Renders a single statement at the given indentation depth.
+std::string print_stmt(const Stmt& stmt, int indent = 1);
+
+}  // namespace qcgen::qasm

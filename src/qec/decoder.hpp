@@ -1,0 +1,70 @@
+#pragma once
+// Decoder interface and detection-event extraction.
+//
+// A decoder for stabilizer type T consumes the space-time detection
+// events of T's syndrome history and returns the set of data qubits on
+// which to apply a Pauli of type other(T) as the correction. (Z-type
+// stabilizers detect X errors and vice versa.)
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qec/matching_graph.hpp"
+#include "qec/pauli_frame.hpp"
+#include "qec/surface_code.hpp"
+
+namespace qcgen::qec {
+
+/// One space-time detection event: syndrome of `node` changed at `round`.
+struct DetectionEvent {
+  std::size_t node = 0;   ///< plaquette position within the type's list
+  std::size_t round = 0;  ///< extraction round (0-based)
+  friend bool operator==(const DetectionEvent&,
+                         const DetectionEvent&) = default;
+};
+
+/// Extracts detection events for one stabilizer type from a syndrome
+/// history: an event fires at (node, r) whenever the syndrome bit differs
+/// from the previous round (round 0 compares against the all-zero
+/// reference of a |0...0>-type preparation).
+std::vector<DetectionEvent> detection_events(const SyndromeHistory& history,
+                                             PauliType stabilizer_type);
+
+/// Abstract syndrome decoder, bound to one code and stabilizer type.
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+  /// Short identifier ("lookup", "greedy", "mwpm", "union-find").
+  virtual std::string name() const = 0;
+  /// Stabilizer type this instance decodes.
+  virtual PauliType stabilizer_type() const = 0;
+  /// Data qubits to flip (with a Pauli of other(stabilizer_type())).
+  /// A qubit listed an even number of times cancels out.
+  virtual std::vector<std::size_t> decode(
+      const std::vector<DetectionEvent>& events) = 0;
+};
+
+/// Available decoder implementations (ablation ABL-DEC in DESIGN.md).
+enum class DecoderKind { kLookup, kGreedy, kMwpm, kUnionFind };
+
+std::string_view decoder_kind_name(DecoderKind kind);
+
+/// Factory. Lookup is restricted to distance 3.
+std::unique_ptr<Decoder> make_decoder(DecoderKind kind,
+                                      const SurfaceCode& code,
+                                      PauliType stabilizer_type);
+
+/// Space-time distance helper shared by the matching-based decoders:
+/// spatial graph distance plus temporal separation (uniform weights).
+std::size_t spacetime_distance(const MatchingGraph& graph,
+                               const DetectionEvent& a,
+                               const DetectionEvent& b);
+
+/// Turns a decoded qubit list into a correction frame of the right Pauli
+/// type (X corrections for Z-stabilizer decoders and vice versa).
+PauliFrame correction_frame(const SurfaceCode& code, PauliType stabilizer_type,
+                            const std::vector<std::size_t>& qubits);
+
+}  // namespace qcgen::qec

@@ -1,0 +1,50 @@
+#include "qec/lifetime.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "qec/logical_error.hpp"
+
+namespace qcgen::qec {
+
+LifetimeReport measure_lifetime(const SurfaceCode& code, double p_data,
+                                const LifetimeConfig& config) {
+  require(p_data > 0.0 && p_data < 1.0,
+          "measure_lifetime: p_data must be in (0, 1)");
+  const std::size_t rounds =
+      config.rounds == 0 ? static_cast<std::size_t>(code.distance())
+                         : config.rounds;
+
+  LogicalErrorConfig lec;
+  lec.noise.data_error = p_data;
+  lec.noise.meas_error = std::min(1.0, p_data * config.meas_error_ratio);
+  lec.rounds = rounds;
+  lec.trials = config.trials;
+  lec.seed = config.seed;
+  const LogicalErrorEstimate estimate =
+      estimate_logical_error(code, config.decoder, lec);
+
+  LifetimeReport report;
+  report.physical_error_per_round = p_data;
+  report.logical_error_per_round = estimate.per_round_rate(rounds);
+  // Geometric lifetime: expected rounds to first failure = 1/p. Clamp the
+  // logical rate away from zero so finite-sample perfection doesn't yield
+  // an infinite lifetime claim; the floor is one failure in all trials.
+  const double rate_floor =
+      1.0 / (static_cast<double>(config.trials) * static_cast<double>(rounds));
+  const double logical_rate =
+      std::max(report.logical_error_per_round, rate_floor);
+  report.physical_lifetime_rounds = 1.0 / p_data;
+  report.logical_lifetime_rounds = 1.0 / logical_rate;
+  report.lifetime_extension =
+      report.logical_lifetime_rounds / report.physical_lifetime_rounds;
+  report.suppression_factor = std::min(1.0, logical_rate / p_data);
+  return report;
+}
+
+sim::NoiseModel qec_effective_noise(const sim::NoiseModel& physical,
+                                    const LifetimeReport& report) {
+  return physical.scaled(report.suppression_factor);
+}
+
+}  // namespace qcgen::qec

@@ -1,0 +1,75 @@
+#include "qec/logical_error.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qcgen::qec {
+
+double LogicalErrorEstimate::per_round_rate(std::size_t rounds) const {
+  if (rounds == 0 || trials == 0) return 0.0;
+  // Solve (1 - p_round)^rounds = 1 - p_total.
+  const double p_total = logical_error_rate;
+  if (p_total >= 1.0) return 1.0;
+  return 1.0 - std::pow(1.0 - p_total, 1.0 / static_cast<double>(rounds));
+}
+
+DecodeOutcome decode_history(const SurfaceCode& code, Decoder& z_decoder,
+                             Decoder& x_decoder,
+                             const SyndromeHistory& history) {
+  require(z_decoder.stabilizer_type() == PauliType::kZ,
+          "decode_history: z_decoder must decode Z stabilizers");
+  require(x_decoder.stabilizer_type() == PauliType::kX,
+          "decode_history: x_decoder must decode X stabilizers");
+  DecodeOutcome outcome;
+
+  PauliFrame residual = history.frame;
+  // X errors: Z-stabilizer detection events.
+  {
+    const auto events = detection_events(history, PauliType::kZ);
+    const auto qubits = z_decoder.decode(events);
+    outcome.corrections_applied += qubits.size();
+    residual.apply(correction_frame(code, PauliType::kZ, qubits));
+  }
+  // Z errors: X-stabilizer detection events.
+  {
+    const auto events = detection_events(history, PauliType::kX);
+    const auto qubits = x_decoder.decode(events);
+    outcome.corrections_applied += qubits.size();
+    residual.apply(correction_frame(code, PauliType::kX, qubits));
+  }
+  outcome.x_flip = logical_flip(code, residual, PauliType::kX);
+  outcome.z_flip = logical_flip(code, residual, PauliType::kZ);
+  return outcome;
+}
+
+LogicalErrorEstimate estimate_logical_error(const SurfaceCode& code,
+                                            DecoderKind kind,
+                                            const LogicalErrorConfig& config) {
+  require(config.trials >= 1, "estimate_logical_error: need trials >= 1");
+  const std::size_t rounds =
+      config.rounds == 0 ? static_cast<std::size_t>(code.distance())
+                         : config.rounds;
+  auto z_decoder = make_decoder(kind, code, PauliType::kZ);
+  auto x_decoder = make_decoder(kind, code, PauliType::kX);
+
+  LogicalErrorEstimate estimate;
+  estimate.trials = config.trials;
+  Rng rng(config.seed);
+  for (std::size_t t = 0; t < config.trials; ++t) {
+    const SyndromeHistory history =
+        sample_history(code, config.noise, rounds, rng);
+    const DecodeOutcome outcome =
+        decode_history(code, *z_decoder, *x_decoder, history);
+    if (outcome.x_flip) ++estimate.x_failures;
+    if (outcome.z_flip) ++estimate.z_failures;
+    if (outcome.x_flip || outcome.z_flip) ++estimate.failures;
+  }
+  estimate.logical_error_rate = static_cast<double>(estimate.failures) /
+                                static_cast<double>(estimate.trials);
+  estimate.confidence = wilson_interval(estimate.failures, estimate.trials);
+  return estimate;
+}
+
+}  // namespace qcgen::qec

@@ -1,0 +1,55 @@
+#pragma once
+// Monte-Carlo logical-error-rate estimation: the quantitative backbone of
+// the QEC agent's "effective error rate after correction" computation
+// (paper Fig 4c uses exactly this resimulation trick).
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "qec/decoder.hpp"
+#include "qec/pauli_frame.hpp"
+#include "qec/surface_code.hpp"
+
+namespace qcgen::qec {
+
+/// Result of a logical-error Monte-Carlo experiment.
+struct LogicalErrorEstimate {
+  std::size_t trials = 0;
+  std::size_t x_failures = 0;  ///< logical X flips (X-error chains)
+  std::size_t z_failures = 0;  ///< logical Z flips
+  std::size_t failures = 0;    ///< trials with either flip
+  double logical_error_rate = 0.0;
+  Interval confidence;  ///< Wilson 95% interval on the rate
+
+  /// Per-round logical error rate (rate spread over the noisy rounds).
+  double per_round_rate(std::size_t rounds) const;
+};
+
+/// Experiment configuration.
+struct LogicalErrorConfig {
+  PhenomenologicalNoise noise;
+  std::size_t rounds = 0;  ///< 0 means `distance` rounds
+  std::size_t trials = 2000;
+  std::uint64_t seed = 1;
+};
+
+/// Runs `trials` decoding experiments with the given decoder kind and
+/// returns failure statistics. Both error species are decoded (X errors
+/// via Z stabilizers, Z errors via X stabilizers).
+LogicalErrorEstimate estimate_logical_error(const SurfaceCode& code,
+                                            DecoderKind kind,
+                                            const LogicalErrorConfig& config);
+
+/// Convenience: decodes one sampled history with both decoders and
+/// reports whether a logical X/Z flip survived. Used by tests and the
+/// Fig 2 walkthrough bench.
+struct DecodeOutcome {
+  bool x_flip = false;
+  bool z_flip = false;
+  std::size_t corrections_applied = 0;
+};
+DecodeOutcome decode_history(const SurfaceCode& code, Decoder& z_decoder,
+                             Decoder& x_decoder,
+                             const SyndromeHistory& history);
+
+}  // namespace qcgen::qec

@@ -1,0 +1,138 @@
+#include "qec/matching_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qcgen::qec {
+
+namespace {
+constexpr std::size_t kInf = std::numeric_limits<std::size_t>::max();
+}
+
+MatchingGraph::MatchingGraph(const SurfaceCode& code, PauliType type)
+    : type_(type) {
+  const auto& indices = code.stabilizer_indices(type);
+  const std::size_t n = indices.size();
+  adjacency_.assign(n, {});
+  boundary_qubits_.assign(n, {});
+
+  // Edges: for each data qubit, the stabilizers of `type` covering it.
+  for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+    const auto& owners = code.stabilizers_on_qubit(type, q);
+    if (owners.size() == 2) {
+      adjacency_[owners[0]].emplace_back(owners[1], q);
+      adjacency_[owners[1]].emplace_back(owners[0], q);
+    } else if (owners.size() == 1) {
+      boundary_qubits_[owners[0]].push_back(q);
+    }
+  }
+
+  // All-pairs BFS (graphs are tiny: <= (d^2-1)/2 nodes).
+  dist_.assign(n, {});
+  parent_.assign(n, {});
+  parent_qubit_.assign(n, {});
+  for (std::size_t s = 0; s < n; ++s) {
+    bfs(s, dist_[s], parent_[s], parent_qubit_[s]);
+  }
+
+  // Boundary distances: multi-source BFS from boundary-adjacent nodes.
+  boundary_dist_.assign(n, kInf);
+  boundary_path_.assign(n, {});
+  for (std::size_t u = 0; u < n; ++u) {
+    if (!boundary_qubits_[u].empty()) {
+      boundary_dist_[u] = 1;
+      boundary_path_[u] = {boundary_qubits_[u].front()};
+    }
+  }
+  // Relax through the graph: boundary_dist(u) = 1 + min over neighbours.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t u = 0; u < n; ++u) {
+      for (const auto& [v, q] : adjacency_[u]) {
+        if (boundary_dist_[v] != kInf &&
+            boundary_dist_[v] + 1 < boundary_dist_[u]) {
+          boundary_dist_[u] = boundary_dist_[v] + 1;
+          boundary_path_[u] = boundary_path_[v];
+          boundary_path_[u].push_back(q);
+          changed = true;
+        }
+      }
+    }
+  }
+  for (std::size_t u = 0; u < n; ++u) {
+    ensure(boundary_dist_[u] != kInf,
+           "MatchingGraph: node with no boundary path");
+  }
+}
+
+void MatchingGraph::bfs(std::size_t source, std::vector<std::size_t>& dist,
+                        std::vector<std::size_t>& parent,
+                        std::vector<std::size_t>& parent_qubit) const {
+  const std::size_t n = adjacency_.size();
+  dist.assign(n, kInf);
+  parent.assign(n, kInf);
+  parent_qubit.assign(n, kInf);
+  std::queue<std::size_t> queue;
+  dist[source] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop();
+    for (const auto& [v, q] : adjacency_[u]) {
+      if (dist[v] == kInf) {
+        dist[v] = dist[u] + 1;
+        parent[v] = u;
+        parent_qubit[v] = q;
+        queue.push(v);
+      }
+    }
+  }
+}
+
+std::size_t MatchingGraph::distance(std::size_t a, std::size_t b) const {
+  require(a < num_nodes() && b < num_nodes(),
+          "MatchingGraph::distance: node out of range");
+  return dist_[a][b];
+}
+
+std::size_t MatchingGraph::boundary_distance(std::size_t a) const {
+  require(a < num_nodes(), "MatchingGraph::boundary_distance: out of range");
+  return boundary_dist_[a];
+}
+
+std::vector<std::size_t> MatchingGraph::path_qubits(std::size_t a,
+                                                    std::size_t b) const {
+  require(a < num_nodes() && b < num_nodes(),
+          "MatchingGraph::path_qubits: node out of range");
+  std::vector<std::size_t> qubits;
+  std::size_t v = b;
+  while (v != a) {
+    ensure(parent_[a][v] != kInf, "MatchingGraph: disconnected nodes");
+    qubits.push_back(parent_qubit_[a][v]);
+    v = parent_[a][v];
+  }
+  return qubits;
+}
+
+std::vector<std::size_t> MatchingGraph::boundary_path_qubits(
+    std::size_t a) const {
+  require(a < num_nodes(), "MatchingGraph::boundary_path_qubits: range");
+  return boundary_path_[a];
+}
+
+const std::vector<std::pair<std::size_t, std::size_t>>&
+MatchingGraph::neighbours(std::size_t a) const {
+  require(a < num_nodes(), "MatchingGraph::neighbours: out of range");
+  return adjacency_[a];
+}
+
+const std::vector<std::size_t>& MatchingGraph::boundary_qubits(
+    std::size_t a) const {
+  require(a < num_nodes(), "MatchingGraph::boundary_qubits: out of range");
+  return boundary_qubits_[a];
+}
+
+}  // namespace qcgen::qec

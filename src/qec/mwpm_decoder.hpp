@@ -1,0 +1,44 @@
+#pragma once
+// Minimum-weight perfect matching decoder.
+//
+// Detection events are matched pairwise (or to the boundary) so the total
+// space-time path cost is minimal. Small event sets are solved exactly by
+// bitmask dynamic programming; larger sets fall back to greedy matching
+// (cheapest available pair first). Constructing with exact_threshold = 0
+// yields the pure-greedy decoder used as a baseline in ABL-DEC.
+
+#include <cstddef>
+
+#include "qec/decoder.hpp"
+
+namespace qcgen::qec {
+
+class MwpmDecoder final : public Decoder {
+ public:
+  /// Exact matching is used when the event count is <= exact_threshold.
+  static constexpr std::size_t kDefaultExactThreshold = 14;
+
+  MwpmDecoder(const SurfaceCode& code, PauliType stabilizer_type,
+              std::size_t exact_threshold = kDefaultExactThreshold);
+
+  std::string name() const override {
+    return exact_threshold_ == 0 ? "greedy" : "mwpm";
+  }
+  PauliType stabilizer_type() const override { return type_; }
+  std::vector<std::size_t> decode(
+      const std::vector<DetectionEvent>& events) override;
+
+ private:
+  /// Pairing: entry (i, j) with j == events.size() meaning boundary.
+  using Pairing = std::vector<std::pair<std::size_t, std::size_t>>;
+  Pairing match_exact(const std::vector<DetectionEvent>& events) const;
+  Pairing match_greedy(const std::vector<DetectionEvent>& events) const;
+  std::vector<std::size_t> apply_pairing(
+      const std::vector<DetectionEvent>& events, const Pairing& pairs) const;
+
+  PauliType type_;
+  MatchingGraph graph_;
+  std::size_t exact_threshold_;
+};
+
+}  // namespace qcgen::qec

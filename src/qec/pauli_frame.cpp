@@ -1,0 +1,97 @@
+#include "qec/pauli_frame.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::qec {
+
+std::size_t PauliFrame::weight() const {
+  std::size_t w = 0;
+  for (std::size_t q = 0; q < x.size(); ++q) {
+    if (x[q] || z[q]) ++w;
+  }
+  return w;
+}
+
+void PauliFrame::apply(const PauliFrame& other) {
+  require(other.x.size() == x.size(), "PauliFrame::apply: size mismatch");
+  for (std::size_t q = 0; q < x.size(); ++q) {
+    x[q] ^= other.x[q];
+    z[q] ^= other.z[q];
+  }
+}
+
+Syndrome measure_syndrome(const SurfaceCode& code, const PauliFrame& frame) {
+  require(frame.x.size() == code.num_data_qubits(),
+          "measure_syndrome: frame size mismatch");
+  Syndrome syn;
+  const auto& x_idx = code.stabilizer_indices(PauliType::kX);
+  const auto& z_idx = code.stabilizer_indices(PauliType::kZ);
+  syn.x.assign(x_idx.size(), 0);
+  syn.z.assign(z_idx.size(), 0);
+  // X stabilizers anticommute with Z errors on their support.
+  for (std::size_t pos = 0; pos < x_idx.size(); ++pos) {
+    std::uint8_t parity = 0;
+    for (std::size_t q : code.stabilizers()[x_idx[pos]].data_qubits) {
+      parity ^= frame.z[q];
+    }
+    syn.x[pos] = parity;
+  }
+  // Z stabilizers anticommute with X errors on their support.
+  for (std::size_t pos = 0; pos < z_idx.size(); ++pos) {
+    std::uint8_t parity = 0;
+    for (std::size_t q : code.stabilizers()[z_idx[pos]].data_qubits) {
+      parity ^= frame.x[q];
+    }
+    syn.z[pos] = parity;
+  }
+  return syn;
+}
+
+SyndromeHistory sample_history(const SurfaceCode& code,
+                               const PhenomenologicalNoise& noise,
+                               std::size_t num_rounds, Rng& rng) {
+  require(num_rounds >= 1, "sample_history: need at least one round");
+  SyndromeHistory history(code.num_data_qubits());
+  history.rounds.reserve(num_rounds + 1);
+  for (std::size_t round = 0; round < num_rounds; ++round) {
+    // Depolarising data noise: X, Y, Z each with probability p/3.
+    for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+      if (!rng.bernoulli(noise.data_error)) continue;
+      switch (rng.uniform_int(static_cast<std::uint64_t>(3))) {
+        case 0: history.frame.x[q] ^= 1; break;
+        case 1:
+          history.frame.x[q] ^= 1;
+          history.frame.z[q] ^= 1;
+          break;
+        default: history.frame.z[q] ^= 1; break;
+      }
+    }
+    Syndrome syn = measure_syndrome(code, history.frame);
+    // Faulty syndrome readout.
+    for (auto& bit : syn.x) {
+      if (rng.bernoulli(noise.meas_error)) bit ^= 1;
+    }
+    for (auto& bit : syn.z) {
+      if (rng.bernoulli(noise.meas_error)) bit ^= 1;
+    }
+    history.rounds.push_back(std::move(syn));
+  }
+  // Final perfect round.
+  history.rounds.push_back(measure_syndrome(code, history.frame));
+  return history;
+}
+
+bool logical_flip(const SurfaceCode& code, const PauliFrame& residual,
+                  PauliType error_type) {
+  // Residual X errors flip the logical qubit when they anticommute with
+  // logical Z, i.e. odd overlap with its support; symmetrically for Z.
+  std::uint8_t parity = 0;
+  if (error_type == PauliType::kX) {
+    for (std::size_t q : code.logical_z_support()) parity ^= residual.x[q];
+  } else {
+    for (std::size_t q : code.logical_x_support()) parity ^= residual.z[q];
+  }
+  return parity != 0;
+}
+
+}  // namespace qcgen::qec

@@ -1,0 +1,68 @@
+#pragma once
+// Pauli-frame error simulation for the surface code under the
+// phenomenological noise model: independent data-qubit depolarising
+// noise per round plus syndrome-measurement flips — the regime shown in
+// the paper's Fig 2 (noisy qubits in (a), faulty syndromes in (b)).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "qec/surface_code.hpp"
+
+namespace qcgen::qec {
+
+/// Accumulated Pauli error on every data qubit (bit 1 = error present).
+struct PauliFrame {
+  std::vector<std::uint8_t> x;  ///< X component per data qubit
+  std::vector<std::uint8_t> z;  ///< Z component per data qubit
+
+  explicit PauliFrame(std::size_t num_qubits)
+      : x(num_qubits, 0), z(num_qubits, 0) {}
+
+  std::size_t weight() const;
+  /// XORs another frame in (used to apply corrections).
+  void apply(const PauliFrame& other);
+};
+
+/// Syndrome of one extraction round: one parity bit per stabilizer of
+/// each type, ordered as SurfaceCode::stabilizer_indices(type).
+struct Syndrome {
+  std::vector<std::uint8_t> x;  ///< X-stabilizer outcomes (detect Z errors)
+  std::vector<std::uint8_t> z;  ///< Z-stabilizer outcomes (detect X errors)
+};
+
+/// Computes the noiseless syndrome of a frame.
+Syndrome measure_syndrome(const SurfaceCode& code, const PauliFrame& frame);
+
+/// Noise strengths for the phenomenological model.
+struct PhenomenologicalNoise {
+  double data_error = 0.0;  ///< per data qubit per round: depolarising p
+                            ///< (X, Y, Z each with p/3)
+  double meas_error = 0.0;  ///< per syndrome bit per round: flip q
+};
+
+/// Result of a multi-round noisy syndrome-extraction experiment.
+struct SyndromeHistory {
+  /// rounds.size() == num_rounds + 1; the last round is the traditional
+  /// noiseless readout round appended after the noisy ones.
+  std::vector<Syndrome> rounds;
+  /// True error frame accumulated over the experiment.
+  PauliFrame frame;
+
+  explicit SyndromeHistory(std::size_t num_qubits) : frame(num_qubits) {}
+};
+
+/// Samples `num_rounds` noisy extraction rounds followed by one perfect
+/// round (standard decoding-experiment convention).
+SyndromeHistory sample_history(const SurfaceCode& code,
+                               const PhenomenologicalNoise& noise,
+                               std::size_t num_rounds, Rng& rng);
+
+/// True when the residual frame (error xor correction) flips the logical
+/// operator of the given type: an X-type logical failure means residual
+/// X errors anticommute with logical Z (and symmetrically).
+bool logical_flip(const SurfaceCode& code, const PauliFrame& residual,
+                  PauliType error_type);
+
+}  // namespace qcgen::qec

@@ -1,0 +1,61 @@
+#include "qec/repetition.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::qec {
+
+RepetitionCode::RepetitionCode(int distance) : distance_(distance) {
+  require(distance >= 3 && distance % 2 == 1,
+          "RepetitionCode: distance must be odd and >= 3");
+}
+
+std::vector<std::uint8_t> RepetitionCode::syndrome(
+    const std::vector<std::uint8_t>& x_errors) const {
+  require(x_errors.size() == num_data_qubits(),
+          "RepetitionCode::syndrome: error vector size");
+  std::vector<std::uint8_t> out(num_stabilizers());
+  for (std::size_t s = 0; s < out.size(); ++s) {
+    out[s] = x_errors[s] ^ x_errors[s + 1];
+  }
+  return out;
+}
+
+std::vector<std::size_t> RepetitionCode::decode(
+    const std::vector<std::uint8_t>& syndrome) const {
+  require(syndrome.size() == num_stabilizers(),
+          "RepetitionCode::decode: syndrome size");
+  // The syndrome determines the error pattern up to a global flip;
+  // reconstruct both candidates and return the lighter one (majority
+  // vote). Candidate A assumes qubit 0 is clean.
+  std::vector<std::uint8_t> candidate(num_data_qubits(), 0);
+  for (std::size_t q = 1; q < num_data_qubits(); ++q) {
+    candidate[q] = candidate[q - 1] ^ syndrome[q - 1];
+  }
+  std::size_t weight = 0;
+  for (auto b : candidate) weight += b;
+  const bool flip_all = weight * 2 > num_data_qubits();
+  std::vector<std::size_t> correction;
+  for (std::size_t q = 0; q < num_data_qubits(); ++q) {
+    const bool flagged = candidate[q] != 0;
+    if (flagged != flip_all) correction.push_back(q);
+  }
+  return correction;
+}
+
+double RepetitionCode::logical_error_rate(double p, std::size_t trials,
+                                          std::uint64_t seed) const {
+  require(trials >= 1, "RepetitionCode::logical_error_rate: trials >= 1");
+  Rng rng(seed);
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> errors(num_data_qubits(), 0);
+    for (auto& e : errors) e = rng.bernoulli(p) ? 1 : 0;
+    const auto fix = decode(syndrome(errors));
+    for (std::size_t q : fix) errors[q] ^= 1;
+    // Residual is all-zero (success) or all-one (logical flip).
+    if (errors[0]) ++failures;
+  }
+  return static_cast<double>(failures) / static_cast<double>(trials);
+}
+
+}  // namespace qcgen::qec

@@ -1,0 +1,49 @@
+#pragma once
+// Bit-flip repetition code: the simplest stabilizer code, used as a
+// pedagogical baseline against the surface code (it corrects X errors
+// only) and as a second code family exercising the decoder machinery —
+// a first step towards the topology-agnostic decoder generation the
+// paper lists as future work (Sec V-E).
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace qcgen::qec {
+
+/// Distance-d bit-flip repetition code: d data qubits in a line,
+/// d-1 ZZ stabilizers between neighbours.
+class RepetitionCode {
+ public:
+  /// Throws unless distance is odd and >= 3.
+  explicit RepetitionCode(int distance);
+
+  int distance() const noexcept { return distance_; }
+  std::size_t num_data_qubits() const noexcept {
+    return static_cast<std::size_t>(distance_);
+  }
+  std::size_t num_stabilizers() const noexcept {
+    return static_cast<std::size_t>(distance_ - 1);
+  }
+
+  /// Syndrome of an X-error pattern: bit s is the parity of errors on
+  /// data qubits s and s+1.
+  std::vector<std::uint8_t> syndrome(
+      const std::vector<std::uint8_t>& x_errors) const;
+
+  /// Majority-vote (maximum-likelihood for iid noise) correction: the
+  /// minimal set of data qubits to flip for a syndrome.
+  std::vector<std::size_t> decode(
+      const std::vector<std::uint8_t>& syndrome) const;
+
+  /// Monte-Carlo logical X error rate under iid bit-flip noise p with
+  /// perfect syndrome measurement.
+  double logical_error_rate(double p, std::size_t trials,
+                            std::uint64_t seed) const;
+
+ private:
+  int distance_;
+};
+
+}  // namespace qcgen::qec

@@ -1,0 +1,56 @@
+#pragma once
+// Steane [[7,1,3]] code (paper Background II-C cites it as the classic
+// CSS example). Provides stabilizers, encoding circuit, and a syndrome
+// lookup decoder — used for comparison against the surface code in the
+// decoder ablation and as an additional QEC substrate test target.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/circuit.hpp"
+
+namespace qcgen::qec {
+
+/// The Steane code: 7 data qubits, 6 stabilizers (3 X-type, 3 Z-type),
+/// derived from the [7,4,3] Hamming code.
+class SteaneCode {
+ public:
+  SteaneCode();
+
+  static constexpr std::size_t kNumQubits = 7;
+
+  /// X-type stabilizer supports (each a set of data qubits).
+  const std::array<std::vector<std::size_t>, 3>& x_stabilizers() const {
+    return x_stabs_;
+  }
+  const std::array<std::vector<std::size_t>, 3>& z_stabilizers() const {
+    return z_stabs_;
+  }
+
+  /// Syndrome (3 bits) of an X-error pattern under the Z-type checks.
+  std::uint8_t x_syndrome(const std::vector<std::uint8_t>& x_errors) const;
+  /// Syndrome of a Z-error pattern under the X-type checks.
+  std::uint8_t z_syndrome(const std::vector<std::uint8_t>& z_errors) const;
+
+  /// Minimal correction qubit for a syndrome (Hamming decoding); the
+  /// Steane code corrects any single error, and the syndrome value is
+  /// exactly the (1-based) position of the flipped qubit. Returns
+  /// kNumQubits for the trivial syndrome.
+  std::size_t correction_qubit(std::uint8_t syndrome) const;
+
+  /// Probability that decoding fails under iid depolarising noise p,
+  /// estimated over `trials` Monte-Carlo samples.
+  double logical_error_rate(double p, std::size_t trials,
+                            std::uint64_t seed) const;
+
+  /// Circuit preparing the logical |0> on 7 qubits (Clifford only).
+  sim::Circuit encoding_circuit() const;
+
+ private:
+  std::array<std::vector<std::size_t>, 3> x_stabs_;
+  std::array<std::vector<std::size_t>, 3> z_stabs_;
+};
+
+}  // namespace qcgen::qec

@@ -1,0 +1,160 @@
+#include "qec/surface_code.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qcgen::qec {
+
+SurfaceCode SurfaceCode::rotated(int distance) {
+  require(distance >= 3 && distance % 2 == 1,
+          "SurfaceCode::rotated: distance must be odd and >= 3");
+  SurfaceCode code;
+  code.distance_ = distance;
+  const int d = distance;
+
+  // Cell (r, c) of the dual grid covers data qubits
+  // {(r-1,c-1), (r-1,c), (r,c-1), (r,c)} clipped to the d x d grid.
+  // X-type cells have odd (r + c); Z-type have even (r + c).
+  const auto cell_qubits = [&](int r, int c) {
+    std::vector<std::size_t> qs;
+    for (int dr = -1; dr <= 0; ++dr) {
+      for (int dc = -1; dc <= 0; ++dc) {
+        const int qr = r + dr;
+        const int qc = c + dc;
+        if (qr >= 0 && qr < d && qc >= 0 && qc < d) {
+          qs.push_back(static_cast<std::size_t>(qr) *
+                           static_cast<std::size_t>(d) +
+                       static_cast<std::size_t>(qc));
+        }
+      }
+    }
+    std::sort(qs.begin(), qs.end());
+    return qs;
+  };
+
+  for (int r = 0; r <= d; ++r) {
+    for (int c = 0; c <= d; ++c) {
+      const bool x_type = ((r + c) % 2) == 1;
+      bool include = false;
+      if (r >= 1 && r <= d - 1 && c >= 1 && c <= d - 1) {
+        include = true;  // interior cell
+      } else if (r == 0 && c >= 1 && c <= d - 1) {
+        include = x_type;  // top boundary: weight-2 X
+      } else if (r == d && c >= 1 && c <= d - 1) {
+        include = x_type;  // bottom boundary: weight-2 X
+      } else if (c == 0 && r >= 1 && r <= d - 1) {
+        include = !x_type;  // left boundary: weight-2 Z
+      } else if (c == d && r >= 1 && r <= d - 1) {
+        include = !x_type;  // right boundary: weight-2 Z
+      }
+      if (!include) continue;
+      Stabilizer stab;
+      stab.type = x_type ? PauliType::kX : PauliType::kZ;
+      stab.data_qubits = cell_qubits(r, c);
+      stab.cell_row = r;
+      stab.cell_col = c;
+      ensure(stab.data_qubits.size() == 2 || stab.data_qubits.size() == 4,
+             "surface code: unexpected plaquette weight");
+      code.stabilizers_.push_back(std::move(stab));
+    }
+  }
+  ensure(code.stabilizers_.size() ==
+             static_cast<std::size_t>(d) * static_cast<std::size_t>(d) - 1,
+         "surface code: wrong stabilizer count");
+
+  for (std::size_t i = 0; i < code.stabilizers_.size(); ++i) {
+    if (code.stabilizers_[i].type == PauliType::kX) {
+      code.x_indices_.push_back(i);
+    } else {
+      code.z_indices_.push_back(i);
+    }
+  }
+  ensure(code.x_indices_.size() == code.z_indices_.size(),
+         "surface code: X/Z stabilizer imbalance");
+
+  // Logical Z: Z string across the top data row (commutes with all X
+  // plaquettes, anticommutes with logical X).
+  // Logical X: X string down the left data column.
+  for (int c = 0; c < d; ++c) {
+    code.logical_z_.push_back(static_cast<std::size_t>(c));
+  }
+  for (int r = 0; r < d; ++r) {
+    code.logical_x_.push_back(static_cast<std::size_t>(r) *
+                              static_cast<std::size_t>(d));
+  }
+
+  code.x_on_qubit_.assign(code.num_data_qubits(), {});
+  code.z_on_qubit_.assign(code.num_data_qubits(), {});
+  for (std::size_t pos = 0; pos < code.x_indices_.size(); ++pos) {
+    for (std::size_t q : code.stabilizers_[code.x_indices_[pos]].data_qubits) {
+      code.x_on_qubit_[q].push_back(pos);
+    }
+  }
+  for (std::size_t pos = 0; pos < code.z_indices_.size(); ++pos) {
+    for (std::size_t q : code.stabilizers_[code.z_indices_[pos]].data_qubits) {
+      code.z_on_qubit_[q].push_back(pos);
+    }
+  }
+  for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+    ensure(!code.x_on_qubit_[q].empty() && code.x_on_qubit_[q].size() <= 2,
+           "surface code: data qubit not covered by 1..2 X stabilizers");
+    ensure(!code.z_on_qubit_[q].empty() && code.z_on_qubit_[q].size() <= 2,
+           "surface code: data qubit not covered by 1..2 Z stabilizers");
+  }
+  return code;
+}
+
+const std::vector<std::size_t>& SurfaceCode::stabilizer_indices(
+    PauliType type) const {
+  return type == PauliType::kX ? x_indices_ : z_indices_;
+}
+
+std::size_t SurfaceCode::data_index(int row, int col) const {
+  require(row >= 0 && row < distance_ && col >= 0 && col < distance_,
+          "SurfaceCode::data_index: position out of range");
+  return static_cast<std::size_t>(row) * static_cast<std::size_t>(distance_) +
+         static_cast<std::size_t>(col);
+}
+
+int SurfaceCode::data_row(std::size_t index) const {
+  require(index < num_data_qubits(), "SurfaceCode::data_row: out of range");
+  return static_cast<int>(index) / distance_;
+}
+
+int SurfaceCode::data_col(std::size_t index) const {
+  require(index < num_data_qubits(), "SurfaceCode::data_col: out of range");
+  return static_cast<int>(index) % distance_;
+}
+
+const std::vector<std::size_t>& SurfaceCode::stabilizers_on_qubit(
+    PauliType type, std::size_t data_qubit) const {
+  require(data_qubit < num_data_qubits(),
+          "stabilizers_on_qubit: data qubit out of range");
+  return type == PauliType::kX ? x_on_qubit_[data_qubit]
+                               : z_on_qubit_[data_qubit];
+}
+
+std::string SurfaceCode::to_ascii() const {
+  // Renders the dual-cell grid: 'X'/'Z' plaquettes, 'o' data qubits.
+  const int d = distance_;
+  std::vector<std::string> canvas(
+      static_cast<std::size_t>(2 * d + 1),
+      std::string(static_cast<std::size_t>(2 * d + 1), ' '));
+  for (int r = 0; r < d; ++r) {
+    for (int c = 0; c < d; ++c) {
+      canvas[static_cast<std::size_t>(2 * r + 1)]
+            [static_cast<std::size_t>(2 * c + 1)] = 'o';
+    }
+  }
+  for (const Stabilizer& s : stabilizers_) {
+    canvas[static_cast<std::size_t>(2 * s.cell_row)]
+          [static_cast<std::size_t>(2 * s.cell_col)] =
+              s.type == PauliType::kX ? 'X' : 'Z';
+  }
+  std::string out;
+  for (const std::string& line : canvas) out += line + "\n";
+  return out;
+}
+
+}  // namespace qcgen::qec

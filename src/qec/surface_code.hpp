@@ -1,0 +1,85 @@
+#pragma once
+// Rotated surface code construction (Fowler et al. [18] of the paper).
+//
+// Data qubits sit on a d x d grid; stabilizers are plaquettes of the dual
+// (d+1) x (d+1) cell grid, alternating X/Z in a checkerboard, with
+// weight-2 X stabilizers on the top/bottom boundary rows and weight-2 Z
+// stabilizers on the left/right boundary columns. This yields the
+// standard [[d^2, 1, d]] code.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qcgen::qec {
+
+enum class PauliType { kX, kZ };
+
+inline PauliType other(PauliType t) {
+  return t == PauliType::kX ? PauliType::kZ : PauliType::kX;
+}
+
+/// One stabilizer generator (plaquette).
+struct Stabilizer {
+  PauliType type = PauliType::kX;
+  std::vector<std::size_t> data_qubits;  ///< indices into the data grid
+  int cell_row = 0;                      ///< dual-cell coordinates
+  int cell_col = 0;
+};
+
+/// A rotated surface code of odd distance d >= 3.
+class SurfaceCode {
+ public:
+  /// Builds the rotated code; throws InvalidArgumentError unless
+  /// distance is odd and >= 3.
+  static SurfaceCode rotated(int distance);
+
+  int distance() const noexcept { return distance_; }
+  std::size_t num_data_qubits() const noexcept {
+    return static_cast<std::size_t>(distance_) *
+           static_cast<std::size_t>(distance_);
+  }
+  const std::vector<Stabilizer>& stabilizers() const noexcept {
+    return stabilizers_;
+  }
+  /// Indices into stabilizers() of the given type, in construction order.
+  const std::vector<std::size_t>& stabilizer_indices(PauliType type) const;
+  std::size_t num_stabilizers(PauliType type) const {
+    return stabilizer_indices(type).size();
+  }
+
+  /// Data-qubit index for grid position (row, col).
+  std::size_t data_index(int row, int col) const;
+  int data_row(std::size_t index) const;
+  int data_col(std::size_t index) const;
+
+  /// Support of the logical X operator (left column) / logical Z (top row).
+  const std::vector<std::size_t>& logical_x_support() const noexcept {
+    return logical_x_;
+  }
+  const std::vector<std::size_t>& logical_z_support() const noexcept {
+    return logical_z_;
+  }
+
+  /// Stabilizers of `type` containing a given data qubit (1 or 2 entries;
+  /// indices are positions within stabilizer_indices(type)).
+  const std::vector<std::size_t>& stabilizers_on_qubit(
+      PauliType type, std::size_t data_qubit) const;
+
+  /// ASCII sketch of the lattice (for reports and Fig 2 rendering).
+  std::string to_ascii() const;
+
+ private:
+  SurfaceCode() = default;
+  int distance_ = 0;
+  std::vector<Stabilizer> stabilizers_;
+  std::vector<std::size_t> x_indices_;
+  std::vector<std::size_t> z_indices_;
+  std::vector<std::size_t> logical_x_;
+  std::vector<std::size_t> logical_z_;
+  // per data qubit, per type: owning stabilizers (positions in type list)
+  std::vector<std::vector<std::size_t>> x_on_qubit_;
+  std::vector<std::vector<std::size_t>> z_on_qubit_;
+};
+
+}  // namespace qcgen::qec

@@ -1,0 +1,186 @@
+#include "qec/union_find_decoder.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace qcgen::qec {
+
+UnionFindDecoder::Dsu::Dsu(std::size_t n)
+    : parent(n), rank(n, 0), parity(n, 0), touches_bnd(n, 0) {
+  for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+}
+
+std::size_t UnionFindDecoder::Dsu::find(std::size_t v) {
+  while (parent[v] != v) {
+    parent[v] = parent[parent[v]];
+    v = parent[v];
+  }
+  return v;
+}
+
+std::size_t UnionFindDecoder::Dsu::unite(std::size_t a, std::size_t b) {
+  a = find(a);
+  b = find(b);
+  if (a == b) return a;
+  if (rank[a] < rank[b]) std::swap(a, b);
+  parent[b] = a;
+  if (rank[a] == rank[b]) ++rank[a];
+  parity[a] += parity[b];
+  touches_bnd[a] |= touches_bnd[b];
+  return a;
+}
+
+UnionFindDecoder::UnionFindDecoder(const SurfaceCode& code,
+                                   PauliType stabilizer_type)
+    : type_(stabilizer_type), graph_(code, stabilizer_type) {}
+
+std::vector<std::size_t> UnionFindDecoder::decode(
+    const std::vector<DetectionEvent>& events) {
+  if (events.empty()) return {};
+
+  // Space-time node ids: (node, round) -> node * num_rounds + round, with
+  // rounds spanning the observed event range (grown as needed: we bound
+  // rounds by the max event round + growth radius, which suffices because
+  // growth beyond the last round has no further events to absorb and the
+  // boundary is spatial).
+  std::size_t max_round = 0;
+  for (const DetectionEvent& e : events) max_round = std::max(max_round, e.round);
+  const std::size_t num_rounds = max_round + 1;
+  const std::size_t spatial = graph_.num_nodes();
+  const std::size_t total = spatial * num_rounds;
+  const auto id_of = [&](std::size_t node, std::size_t round) {
+    return node * num_rounds + round;
+  };
+
+  Dsu dsu(total);
+  std::vector<std::uint8_t> is_event(total, 0);
+  for (const DetectionEvent& e : events) {
+    const std::size_t id = id_of(e.node, e.round);
+    is_event[id] = 1;
+    ++dsu.parity[id];
+  }
+
+  // Edge growth state: each undirected edge key -> half-edge count (0..2).
+  // Edge kinds: spatial (same round), temporal (same node adjacent round),
+  // boundary (node with direct boundary qubits).
+  std::map<std::pair<std::size_t, std::size_t>, int> edge_growth;
+  std::map<std::size_t, int> boundary_growth;
+  const auto edge_key = [](std::size_t a, std::size_t b) {
+    return std::make_pair(std::min(a, b), std::max(a, b));
+  };
+
+  // Active set: nodes currently in any odd, non-boundary cluster.
+  // Growth loop: at each step every odd cluster grows all incident edges
+  // by one half-edge; full edges union their endpoints.
+  const auto cluster_is_odd = [&](std::size_t id) {
+    const std::size_t root = dsu.find(id);
+    return (dsu.parity[root] % 2 == 1) && !dsu.touches_bnd[root];
+  };
+
+  // The growth frontier is conservative: iterate over all space-time
+  // nodes that belong to odd clusters. Graphs are small (<= a few
+  // thousand nodes), so this direct implementation is fine.
+  const std::size_t kMaxSteps = 4 * (spatial + num_rounds) + 8;
+  for (std::size_t step = 0; step < kMaxSteps; ++step) {
+    bool any_odd = false;
+    std::vector<std::pair<std::size_t, std::size_t>> to_union;
+    std::vector<std::size_t> to_boundary;
+    for (std::size_t node = 0; node < spatial; ++node) {
+      for (std::size_t round = 0; round < num_rounds; ++round) {
+        const std::size_t id = id_of(node, round);
+        if (!cluster_is_odd(id)) continue;
+        // Only grow from nodes already absorbed into a cluster that has
+        // at least one event (singleton non-event nodes are parity-0
+        // clusters and never odd, so this is implied).
+        any_odd = true;
+        // Spatial neighbours.
+        for (const auto& [nbr, q] : graph_.neighbours(node)) {
+          (void)q;
+          const std::size_t nid = id_of(nbr, round);
+          auto key = edge_key(id, nid);
+          int& g = edge_growth[key];
+          if (g < 2) {
+            ++g;
+            if (g == 2) to_union.emplace_back(id, nid);
+          }
+        }
+        // Temporal neighbours.
+        for (int dr : {-1, +1}) {
+          const long nr = static_cast<long>(round) + dr;
+          if (nr < 0 || nr >= static_cast<long>(num_rounds)) continue;
+          const std::size_t nid = id_of(node, static_cast<std::size_t>(nr));
+          auto key = edge_key(id, nid);
+          int& g = edge_growth[key];
+          if (g < 2) {
+            ++g;
+            if (g == 2) to_union.emplace_back(id, nid);
+          }
+        }
+        // Boundary edge.
+        if (!graph_.boundary_qubits(node).empty()) {
+          int& g = boundary_growth[id];
+          if (g < 2) {
+            ++g;
+            if (g == 2) to_boundary.push_back(id);
+          }
+        }
+      }
+    }
+    if (!any_odd) break;
+    for (const auto& [a, b] : to_union) dsu.unite(a, b);
+    for (std::size_t id : to_boundary) {
+      dsu.touches_bnd[dsu.find(id)] = 1;
+    }
+  }
+
+  // Group events by final cluster root.
+  std::map<std::size_t, std::vector<std::size_t>> clusters;  // root -> event idx
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    clusters[dsu.find(id_of(events[i].node, events[i].round))].push_back(i);
+  }
+
+  // Intra-cluster greedy pairing; odd clusters route one event to the
+  // boundary (guaranteed reachable: growth only stops when even or
+  // boundary-touching).
+  std::vector<std::size_t> qubits;
+  for (auto& [root, members] : clusters) {
+    (void)root;
+    std::vector<std::size_t> open = members;
+    while (open.size() >= 2) {
+      // Find globally cheapest pair among open members.
+      std::size_t best_a = 0, best_b = 1;
+      std::size_t best_cost = std::numeric_limits<std::size_t>::max();
+      for (std::size_t a = 0; a < open.size(); ++a) {
+        for (std::size_t b = a + 1; b < open.size(); ++b) {
+          const std::size_t cost =
+              spacetime_distance(graph_, events[open[a]], events[open[b]]);
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      // If the boundary is strictly cheaper for the most expensive of the
+      // pair and the cluster allows it, prefer pairing anyway — peeling
+      // inside a neutral cluster pairs internally; boundary is reserved
+      // for the odd leftover.
+      const auto path = graph_.path_qubits(events[open[best_a]].node,
+                                           events[open[best_b]].node);
+      qubits.insert(qubits.end(), path.begin(), path.end());
+      // Remove b first (larger index).
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(best_b));
+      open.erase(open.begin() + static_cast<std::ptrdiff_t>(best_a));
+    }
+    if (open.size() == 1) {
+      const auto path = graph_.boundary_path_qubits(events[open[0]].node);
+      qubits.insert(qubits.end(), path.begin(), path.end());
+    }
+  }
+  return qubits;
+}
+
+}  // namespace qcgen::qec

@@ -1,0 +1,43 @@
+#pragma once
+// Union-Find decoder (Delfosse-Nickerson style cluster growth).
+//
+// Detection events seed clusters on the space-time detector graph.
+// Odd clusters grow by half-edges each step; clusters merge on contact
+// and neutralise when their event parity becomes even or they touch the
+// lattice boundary. Within each neutral cluster the events are then
+// paired greedily (an approximation of peeling that preserves the
+// decoder's clustering behaviour, which is its distinguishing feature
+// versus global matching).
+
+#include <cstddef>
+
+#include "qec/decoder.hpp"
+
+namespace qcgen::qec {
+
+class UnionFindDecoder final : public Decoder {
+ public:
+  UnionFindDecoder(const SurfaceCode& code, PauliType stabilizer_type);
+
+  std::string name() const override { return "union-find"; }
+  PauliType stabilizer_type() const override { return type_; }
+  std::vector<std::size_t> decode(
+      const std::vector<DetectionEvent>& events) override;
+
+ private:
+  struct Dsu {
+    std::vector<std::size_t> parent;
+    std::vector<std::size_t> rank;
+    std::vector<std::size_t> parity;         ///< detection events in cluster
+    std::vector<std::uint8_t> touches_bnd;
+    explicit Dsu(std::size_t n);
+    std::size_t find(std::size_t v);
+    /// Unions and returns the new root.
+    std::size_t unite(std::size_t a, std::size_t b);
+  };
+
+  PauliType type_;
+  MatchingGraph graph_;
+};
+
+}  // namespace qcgen::qec

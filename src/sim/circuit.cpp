@@ -1,0 +1,392 @@
+#include "sim/circuit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <set>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace qcgen::sim {
+
+Circuit::Circuit(std::size_t num_qubits, std::size_t num_clbits)
+    : num_qubits_(num_qubits), num_clbits_(num_clbits) {
+  require(num_qubits >= 1, "Circuit requires at least one qubit");
+}
+
+void Circuit::append(Operation op) {
+  const GateInfo& gi = gate_info(op.kind);
+  if (gi.num_qubits >= 0) {
+    require(op.qubits.size() == static_cast<std::size_t>(gi.num_qubits),
+            "operation " + std::string(gi.name) + " expects " +
+                std::to_string(gi.num_qubits) + " qubits, got " +
+                std::to_string(op.qubits.size()));
+  }
+  require(op.params.size() == static_cast<std::size_t>(gi.num_params),
+          "operation " + std::string(gi.name) + " expects " +
+              std::to_string(gi.num_params) + " params, got " +
+              std::to_string(op.params.size()));
+  std::set<std::size_t> seen;
+  for (std::size_t q : op.qubits) {
+    require(q < num_qubits_, "qubit index " + std::to_string(q) +
+                                 " out of range for " +
+                                 std::to_string(num_qubits_) + "-qubit circuit");
+    require(seen.insert(q).second,
+            "duplicate qubit operand in " + std::string(gi.name));
+  }
+  if (op.kind == GateKind::kMeasure) {
+    require(op.clbit.has_value(), "measure requires a classical bit target");
+    require(*op.clbit < num_clbits_,
+            "classical bit index " + std::to_string(*op.clbit) +
+                " out of range");
+  } else {
+    require(!op.clbit.has_value(),
+            "only measure may carry a classical bit target");
+  }
+  if (op.condition) {
+    require(op.condition->clbit < num_clbits_,
+            "condition classical bit out of range");
+  }
+  ops_.push_back(std::move(op));
+}
+
+void Circuit::append_gate(GateKind kind, std::vector<std::size_t> qubits,
+                          std::vector<double> params) {
+  Operation op;
+  op.kind = kind;
+  op.qubits = std::move(qubits);
+  op.params = std::move(params);
+  append(std::move(op));
+}
+
+void Circuit::barrier() {
+  Operation op;
+  op.kind = GateKind::kBarrier;
+  op.qubits.resize(num_qubits_);
+  for (std::size_t q = 0; q < num_qubits_; ++q) op.qubits[q] = q;
+  append(std::move(op));
+}
+
+void Circuit::measure(std::size_t q, std::size_t c) {
+  Operation op;
+  op.kind = GateKind::kMeasure;
+  op.qubits = {q};
+  op.clbit = c;
+  append(std::move(op));
+}
+
+void Circuit::measure_all() {
+  require(num_clbits_ >= num_qubits_,
+          "measure_all requires num_clbits >= num_qubits");
+  for (std::size_t q = 0; q < num_qubits_; ++q) measure(q, q);
+}
+
+bool Circuit::has_conditions() const noexcept {
+  return std::any_of(ops_.begin(), ops_.end(),
+                     [](const Operation& op) { return op.condition.has_value(); });
+}
+
+bool Circuit::has_measurements() const noexcept {
+  return std::any_of(ops_.begin(), ops_.end(), [](const Operation& op) {
+    return op.kind == GateKind::kMeasure;
+  });
+}
+
+bool Circuit::requires_trajectories() const {
+  if (has_conditions()) return true;
+  std::vector<bool> measured(num_qubits_, false);
+  for (const Operation& op : ops_) {
+    if (op.kind == GateKind::kReset) return true;
+    if (op.kind == GateKind::kMeasure) {
+      measured[op.qubits[0]] = true;
+      continue;
+    }
+    if (op.kind == GateKind::kBarrier) continue;
+    for (std::size_t q : op.qubits) {
+      if (measured[q]) return true;  // gate after measurement on same qubit
+    }
+  }
+  return false;
+}
+
+std::size_t Circuit::multi_qubit_gate_count() const {
+  std::size_t n = 0;
+  for (const Operation& op : ops_) {
+    if (op.kind == GateKind::kBarrier || op.kind == GateKind::kMeasure ||
+        op.kind == GateKind::kReset) {
+      continue;
+    }
+    if (op.qubits.size() >= 2) ++n;
+  }
+  return n;
+}
+
+std::map<GateKind, std::size_t> Circuit::count_ops() const {
+  std::map<GateKind, std::size_t> counts;
+  for (const Operation& op : ops_) {
+    if (op.kind == GateKind::kBarrier) continue;
+    ++counts[op.kind];
+  }
+  return counts;
+}
+
+std::size_t Circuit::depth() const {
+  std::vector<std::size_t> level(num_qubits_, 0);
+  for (const Operation& op : ops_) {
+    if (op.kind == GateKind::kBarrier) {
+      const std::size_t m = *std::max_element(level.begin(), level.end());
+      std::fill(level.begin(), level.end(), m);
+      continue;
+    }
+    std::size_t m = 0;
+    for (std::size_t q : op.qubits) m = std::max(m, level[q]);
+    for (std::size_t q : op.qubits) level[q] = m + 1;
+  }
+  return level.empty() ? 0 : *std::max_element(level.begin(), level.end());
+}
+
+bool Circuit::is_clifford() const {
+  return std::all_of(ops_.begin(), ops_.end(), [](const Operation& op) {
+    const GateInfo& gi = gate_info(op.kind);
+    return !gi.unitary || gi.clifford;
+  });
+}
+
+void Circuit::compose(const Circuit& other) {
+  require(other.num_qubits_ <= num_qubits_,
+          "compose: other circuit has more qubits");
+  require(other.num_clbits_ <= num_clbits_,
+          "compose: other circuit has more classical bits");
+  for (const Operation& op : other.ops_) {
+    if (op.kind == GateKind::kBarrier) {
+      barrier();
+      continue;
+    }
+    append(op);
+  }
+}
+
+std::string Circuit::to_string() const {
+  std::ostringstream os;
+  os << "circuit(" << num_qubits_ << " qubits, " << num_clbits_
+     << " clbits):\n";
+  for (const Operation& op : ops_) {
+    os << "  " << gate_name(op.kind);
+    if (!op.params.empty()) {
+      os << "(";
+      for (std::size_t i = 0; i < op.params.size(); ++i) {
+        if (i) os << ", ";
+        os << op.params[i];
+      }
+      os << ")";
+    }
+    for (std::size_t q : op.qubits) os << " q" << q;
+    if (op.clbit) os << " -> c" << *op.clbit;
+    if (op.condition) {
+      os << " if c" << op.condition->clbit << "=="
+         << (op.condition->value ? 1 : 0);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace circuits {
+
+Circuit bell_pair() {
+  Circuit c(2, 2);
+  c.h(0);
+  c.cx(0, 1);
+  c.measure_all();
+  return c;
+}
+
+Circuit ghz(std::size_t n) {
+  require(n >= 2, "ghz requires n >= 2");
+  Circuit c(n, n);
+  c.h(0);
+  for (std::size_t q = 1; q < n; ++q) c.cx(q - 1, q);
+  c.measure_all();
+  return c;
+}
+
+Circuit deutsch_jozsa(std::size_t n, bool constant_oracle) {
+  require(n >= 1, "deutsch_jozsa requires n >= 1");
+  // n input qubits + 1 ancilla; classical register over the inputs.
+  Circuit c(n + 1, n);
+  c.x(n);
+  for (std::size_t q = 0; q <= n; ++q) c.h(q);
+  c.barrier();
+  if (constant_oracle) {
+    // f(x) = 0: identity oracle (no operation needed).
+  } else {
+    // Balanced oracle: f(x) = x_0 xor ... xor x_{n-1}.
+    for (std::size_t q = 0; q < n; ++q) c.cx(q, n);
+  }
+  c.barrier();
+  for (std::size_t q = 0; q < n; ++q) c.h(q);
+  for (std::size_t q = 0; q < n; ++q) c.measure(q, q);
+  return c;
+}
+
+namespace {
+// Multi-controlled Z over all n qubits, built from H + multi-controlled X.
+// For n <= 3 we use native gates; larger n uses a phase-kickback ladder
+// with borrowed qubits is unnecessary here because Grover examples stay
+// small; we synthesise mcz recursively via ccx onto the last qubit.
+void apply_mcz(Circuit& c, std::size_t n) {
+  if (n == 1) {
+    c.z(0);
+  } else if (n == 2) {
+    c.cz(0, 1);
+  } else if (n == 3) {
+    c.h(2);
+    c.ccx(0, 1, 2);
+    c.h(2);
+  } else {
+    // n == 4 fallback: exact CCCZ decomposition via controlled phases.
+    // V = sqrt(Z) applied in a standard ladder; adequate for n <= 4 in
+    // the evaluation suite.
+    require(n <= 4, "grover: mcz supported up to 4 qubits");
+    const double pi = std::numbers::pi;
+    c.cp(pi / 4, 0, 3);
+    c.cx(0, 1);
+    c.cp(-pi / 4, 1, 3);
+    c.cx(0, 1);
+    c.cp(pi / 4, 1, 3);
+    c.cx(1, 2);
+    c.cp(-pi / 4, 2, 3);
+    c.cx(0, 2);
+    c.cp(pi / 4, 2, 3);
+    c.cx(1, 2);
+    c.cp(-pi / 4, 2, 3);
+    c.cx(0, 2);
+    c.cp(pi / 4, 2, 3);
+  }
+}
+}  // namespace
+
+Circuit grover(std::size_t n, std::uint64_t marked, std::size_t iterations) {
+  require(n >= 2 && n <= 4, "grover supports 2..4 qubits");
+  require(marked < (1ULL << n), "grover: marked state out of range");
+  Circuit c(n, n);
+  for (std::size_t q = 0; q < n; ++q) c.h(q);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    // Oracle: phase-flip the marked state.
+    for (std::size_t q = 0; q < n; ++q) {
+      if (!((marked >> q) & 1ULL)) c.x(q);
+    }
+    apply_mcz(c, n);
+    for (std::size_t q = 0; q < n; ++q) {
+      if (!((marked >> q) & 1ULL)) c.x(q);
+    }
+    // Diffusion operator.
+    for (std::size_t q = 0; q < n; ++q) c.h(q);
+    for (std::size_t q = 0; q < n; ++q) c.x(q);
+    apply_mcz(c, n);
+    for (std::size_t q = 0; q < n; ++q) c.x(q);
+    for (std::size_t q = 0; q < n; ++q) c.h(q);
+  }
+  c.measure_all();
+  return c;
+}
+
+Circuit qft(std::size_t n) {
+  require(n >= 1, "qft requires n >= 1");
+  Circuit c(n, n);
+  const double pi = std::numbers::pi;
+  for (std::size_t j = n; j-- > 0;) {
+    c.h(j);
+    for (std::size_t k = j; k-- > 0;) {
+      c.cp(pi / static_cast<double>(1ULL << (j - k)), k, j);
+    }
+  }
+  for (std::size_t q = 0; q < n / 2; ++q) c.swap(q, n - 1 - q);
+  return c;
+}
+
+Circuit teleportation(double theta) {
+  Circuit c(3, 3);
+  // Prepare the payload state on qubit 0.
+  c.ry(theta, 0);
+  // Bell pair between qubits 1 (Alice) and 2 (Bob).
+  c.h(1);
+  c.cx(1, 2);
+  c.barrier();
+  // Bell measurement on qubits 0, 1.
+  c.cx(0, 1);
+  c.h(0);
+  c.measure(0, 0);
+  c.measure(1, 1);
+  // Classically-conditioned corrections on Bob's qubit.
+  {
+    Operation op;
+    op.kind = GateKind::kX;
+    op.qubits = {2};
+    op.condition = Condition{1, true};
+    c.append(op);
+  }
+  {
+    Operation op;
+    op.kind = GateKind::kZ;
+    op.qubits = {2};
+    op.condition = Condition{0, true};
+    c.append(op);
+  }
+  c.measure(2, 2);
+  return c;
+}
+
+Circuit bernstein_vazirani(std::uint64_t secret, std::size_t n) {
+  require(n >= 1, "bernstein_vazirani requires n >= 1");
+  require(secret < (1ULL << n), "bernstein_vazirani: secret out of range");
+  Circuit c(n + 1, n);
+  c.x(n);
+  for (std::size_t q = 0; q <= n; ++q) c.h(q);
+  c.barrier();
+  for (std::size_t q = 0; q < n; ++q) {
+    if ((secret >> q) & 1ULL) c.cx(q, n);
+  }
+  c.barrier();
+  for (std::size_t q = 0; q < n; ++q) c.h(q);
+  for (std::size_t q = 0; q < n; ++q) c.measure(q, q);
+  return c;
+}
+
+Circuit quantum_walk(std::size_t position_qubits, std::size_t steps) {
+  require(position_qubits >= 1 && position_qubits <= 2,
+          "quantum_walk supports 1..2 position qubits");
+  // Qubit 0 is the coin; the rest encode position on a 2^k cycle.
+  const std::size_t n = position_qubits + 1;
+  Circuit c(n, n);
+  c.h(0);  // symmetric coin start
+  c.s(0);
+  for (std::size_t step = 0; step < steps; ++step) {
+    c.h(0);  // coin flip
+    // Conditional increment (coin = 1): ripple-carry +1 over positions.
+    if (position_qubits == 1) {
+      c.cx(0, 1);
+    } else {
+      c.ccx(0, 1, 2);
+      c.cx(0, 1);
+    }
+    // Conditional decrement (coin = 0): X-conjugated increment.
+    c.x(0);
+    if (position_qubits == 1) {
+      c.cx(0, 1);
+    } else {
+      c.x(1);
+      c.ccx(0, 1, 2);
+      c.x(1);
+      c.cx(0, 1);
+    }
+    c.x(0);
+  }
+  c.measure_all();
+  return c;
+}
+
+}  // namespace circuits
+
+}  // namespace qcgen::sim

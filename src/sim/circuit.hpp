@@ -1,0 +1,152 @@
+#pragma once
+// Circuit IR: the common intermediate representation produced by the
+// QasmLite front-end and consumed by the simulators and the QEC stack.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/gates.hpp"
+
+namespace qcgen::sim {
+
+/// Classical condition attached to an operation (Qiskit c_if style):
+/// the op executes only when classical bit `clbit` equals `value`.
+struct Condition {
+  std::size_t clbit = 0;
+  bool value = true;
+  friend bool operator==(const Condition&, const Condition&) = default;
+};
+
+/// One circuit operation: a gate, measurement, reset or barrier.
+struct Operation {
+  GateKind kind = GateKind::kI;
+  std::vector<std::size_t> qubits;
+  std::vector<double> params;
+  /// Target classical bit for kMeasure; unused otherwise.
+  std::optional<std::size_t> clbit;
+  std::optional<Condition> condition;
+
+  friend bool operator==(const Operation&, const Operation&) = default;
+};
+
+/// A quantum circuit over `num_qubits` qubits and `num_clbits` classical
+/// bits. Operations are validated (arity, parameter count, index bounds)
+/// when appended, so a constructed Circuit is always structurally sound.
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(std::size_t num_qubits, std::size_t num_clbits);
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t num_clbits() const noexcept { return num_clbits_; }
+  const std::vector<Operation>& operations() const noexcept { return ops_; }
+  std::size_t size() const noexcept { return ops_.size(); }
+  bool empty() const noexcept { return ops_.empty(); }
+
+  /// Appends a validated operation. Throws InvalidArgumentError on arity,
+  /// parameter-count, duplicate-qubit or out-of-range violations.
+  void append(Operation op);
+
+  // Convenience builders (Qiskit-style mnemonics).
+  void id(std::size_t q) { append_gate(GateKind::kI, {q}); }
+  void x(std::size_t q) { append_gate(GateKind::kX, {q}); }
+  void y(std::size_t q) { append_gate(GateKind::kY, {q}); }
+  void z(std::size_t q) { append_gate(GateKind::kZ, {q}); }
+  void h(std::size_t q) { append_gate(GateKind::kH, {q}); }
+  void s(std::size_t q) { append_gate(GateKind::kS, {q}); }
+  void sdg(std::size_t q) { append_gate(GateKind::kSdg, {q}); }
+  void t(std::size_t q) { append_gate(GateKind::kT, {q}); }
+  void tdg(std::size_t q) { append_gate(GateKind::kTdg, {q}); }
+  void sx(std::size_t q) { append_gate(GateKind::kSX, {q}); }
+  void rx(double theta, std::size_t q) { append_gate(GateKind::kRX, {q}, {theta}); }
+  void ry(double theta, std::size_t q) { append_gate(GateKind::kRY, {q}, {theta}); }
+  void rz(double theta, std::size_t q) { append_gate(GateKind::kRZ, {q}, {theta}); }
+  void p(double phi, std::size_t q) { append_gate(GateKind::kPhase, {q}, {phi}); }
+  void u(double th, double phi, double lam, std::size_t q) {
+    append_gate(GateKind::kU, {q}, {th, phi, lam});
+  }
+  void cx(std::size_t c, std::size_t t) { append_gate(GateKind::kCX, {c, t}); }
+  void cy(std::size_t c, std::size_t t) { append_gate(GateKind::kCY, {c, t}); }
+  void cz(std::size_t c, std::size_t t) { append_gate(GateKind::kCZ, {c, t}); }
+  void cp(double phi, std::size_t c, std::size_t t) {
+    append_gate(GateKind::kCPhase, {c, t}, {phi});
+  }
+  void swap(std::size_t a, std::size_t b) { append_gate(GateKind::kSwap, {a, b}); }
+  void ccx(std::size_t c0, std::size_t c1, std::size_t t) {
+    append_gate(GateKind::kCCX, {c0, c1, t});
+  }
+  void cswap(std::size_t c, std::size_t a, std::size_t b) {
+    append_gate(GateKind::kCSwap, {c, a, b});
+  }
+  void rzz(double theta, std::size_t a, std::size_t b) {
+    append_gate(GateKind::kRZZ, {a, b}, {theta});
+  }
+  void barrier();
+  void reset(std::size_t q) { append_gate(GateKind::kReset, {q}); }
+  void measure(std::size_t q, std::size_t c);
+  /// Measures qubit i into classical bit i for all qubits.
+  /// Requires num_clbits >= num_qubits.
+  void measure_all();
+
+  /// True if any operation carries a classical condition.
+  bool has_conditions() const noexcept;
+  /// True if any measurement is followed by a gate on the measured qubit,
+  /// or the circuit contains reset/conditioned ops — i.e. per-shot
+  /// trajectory simulation is required for exact semantics.
+  bool requires_trajectories() const;
+  /// True if every measured classical bit is written at most once.
+  bool has_measurements() const noexcept;
+
+  /// Number of two-qubit-or-wider gates.
+  std::size_t multi_qubit_gate_count() const;
+  /// Gate-kind histogram (barrier excluded).
+  std::map<GateKind, std::size_t> count_ops() const;
+  /// Circuit depth: longest chain of ops per qubit (barriers synchronise).
+  std::size_t depth() const;
+  /// True if every unitary in the circuit is Clifford (measure/reset ok).
+  bool is_clifford() const;
+
+  /// Appends all operations of `other` (must have compatible sizes:
+  /// other.num_qubits <= num_qubits, other.num_clbits <= num_clbits).
+  void compose(const Circuit& other);
+
+  /// Human-readable op listing for debugging and reports.
+  std::string to_string() const;
+
+  friend bool operator==(const Circuit&, const Circuit&) = default;
+
+ private:
+  void append_gate(GateKind kind, std::vector<std::size_t> qubits,
+                   std::vector<double> params = {});
+
+  std::size_t num_qubits_ = 0;
+  std::size_t num_clbits_ = 0;
+  std::vector<Operation> ops_;
+};
+
+/// Reference circuit library used across tests, examples and evaluation.
+namespace circuits {
+/// |Φ+> Bell pair preparation with measurement.
+Circuit bell_pair();
+/// n-qubit GHZ state with measurement.
+Circuit ghz(std::size_t n);
+/// Deutsch-Jozsa over n input qubits; `constant_oracle` selects the oracle.
+Circuit deutsch_jozsa(std::size_t n, bool constant_oracle);
+/// Grover search over n qubits marking computational-basis state `marked`.
+Circuit grover(std::size_t n, std::uint64_t marked, std::size_t iterations);
+/// Quantum Fourier transform on n qubits (no measurement).
+Circuit qft(std::size_t n);
+/// Teleportation of state RY(theta)|0> from qubit 0 to qubit 2 with
+/// classically-conditioned corrections; measures the output qubit.
+Circuit teleportation(double theta);
+/// Bernstein-Vazirani for a hidden bitstring.
+Circuit bernstein_vazirani(std::uint64_t secret, std::size_t n);
+/// One-dimensional discrete quantum walk on a 2^position_qubits cycle.
+Circuit quantum_walk(std::size_t position_qubits, std::size_t steps);
+}  // namespace circuits
+
+}  // namespace qcgen::sim

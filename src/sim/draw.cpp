@@ -1,0 +1,137 @@
+#include "sim/draw.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.hpp"
+
+namespace qcgen::sim {
+
+namespace {
+
+/// Cell text for the given operation on the given qubit (empty when the
+/// op does not touch the qubit).
+std::string cell_text(const Operation& op, std::size_t q) {
+  const auto position = [&]() -> int {
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      if (op.qubits[i] == q) return static_cast<int>(i);
+    }
+    return -1;
+  }();
+  if (position < 0) return "";
+  std::string text;
+  switch (op.kind) {
+    case GateKind::kMeasure:
+      text = "M" + std::to_string(*op.clbit);
+      break;
+    case GateKind::kReset:
+      text = "|0>";
+      break;
+    case GateKind::kCX:
+      text = position == 0 ? "*" : "X";
+      break;
+    case GateKind::kCY:
+      text = position == 0 ? "*" : "Y";
+      break;
+    case GateKind::kCZ:
+    case GateKind::kCPhase:
+      text = "*";
+      break;
+    case GateKind::kCCX:
+      text = position <= 1 ? "*" : "X";
+      break;
+    case GateKind::kCSwap:
+      text = position == 0 ? "*" : "x";
+      break;
+    case GateKind::kSwap:
+      text = "x";
+      break;
+    default: {
+      std::string name(gate_name(op.kind));
+      for (char& c : name) c = static_cast<char>(std::toupper(c));
+      text = name;
+      if (!op.params.empty()) {
+        text += "(" + format_double(op.params[0], 2);
+        if (op.params.size() > 1) text += ",..";
+        text += ")";
+      }
+    }
+  }
+  if (op.condition) {
+    text += "?c" + std::to_string(op.condition->clbit);
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string draw(const Circuit& circuit) {
+  const std::size_t n = circuit.num_qubits();
+
+  // Assign each operation to a column: the first column where all its
+  // qubit span (min..max, to keep connectors clear) is free.
+  struct Cell {
+    std::string text;
+    bool connector = false;  // vertical line through this wire
+  };
+  std::vector<std::vector<Cell>> columns;  // columns[c][qubit]
+  std::vector<std::size_t> frontier(n, 0);
+
+  for (const Operation& op : circuit.operations()) {
+    if (op.kind == GateKind::kBarrier) {
+      const std::size_t col =
+          *std::max_element(frontier.begin(), frontier.end());
+      if (columns.size() <= col) columns.resize(col + 1, std::vector<Cell>(n));
+      for (std::size_t q = 0; q < n; ++q) {
+        columns[col][q].text = "|";
+        frontier[q] = col + 1;
+      }
+      continue;
+    }
+    const auto [min_it, max_it] =
+        std::minmax_element(op.qubits.begin(), op.qubits.end());
+    const std::size_t lo = *min_it;
+    const std::size_t hi = *max_it;
+    std::size_t col = 0;
+    for (std::size_t q = lo; q <= hi; ++q) col = std::max(col, frontier[q]);
+    if (columns.size() <= col) columns.resize(col + 1, std::vector<Cell>(n));
+    for (std::size_t q = lo; q <= hi; ++q) {
+      const std::string text = cell_text(op, q);
+      if (!text.empty()) {
+        columns[col][q].text = text;
+      } else {
+        columns[col][q].connector = true;
+      }
+      frontier[q] = col + 1;
+    }
+  }
+
+  // Column widths.
+  std::vector<std::size_t> width(columns.size(), 1);
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    for (std::size_t q = 0; q < n; ++q) {
+      width[c] = std::max(width[c], columns[c][q].text.size());
+    }
+  }
+
+  std::ostringstream os;
+  for (std::size_t q = 0; q < n; ++q) {
+    os << "q" << q << ": ";
+    if (q < 10) os << " ";
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      const Cell& cell = columns[c][q];
+      const std::string body =
+          !cell.text.empty() ? cell.text : (cell.connector ? "|" : "");
+      // Centre the body in a fixed-width field of dashes.
+      std::string field(width[c], '-');
+      const std::size_t left = (width[c] - body.size()) / 2;
+      field.replace(left, body.size(), body);
+      os << "-" << field << "-";
+    }
+    os << "-\n";
+  }
+  return os.str();
+}
+
+}  // namespace qcgen::sim

@@ -1,0 +1,20 @@
+#pragma once
+// ASCII circuit renderer for examples, reports and debugging.
+
+#include <string>
+
+#include "sim/circuit.hpp"
+
+namespace qcgen::sim {
+
+/// Renders the circuit as ASCII art, one wire per qubit plus one per
+/// classical bit, packing independent operations into shared columns:
+///
+///   q0: ─[H]──●───────M0─
+///   q1: ──────⊕──[T]──M1─
+///
+/// Multi-qubit gates draw a vertical connector; measurements show the
+/// target classical bit; conditioned gates are suffixed with ?c<i>.
+std::string draw(const Circuit& circuit);
+
+}  // namespace qcgen::sim

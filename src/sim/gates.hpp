@@ -1,0 +1,77 @@
+#pragma once
+// Gate set shared by the circuit IR, the simulators and the QasmLite
+// language. The set mirrors the Qiskit standard library subset that the
+// paper's generated programs use.
+
+#include <array>
+#include <complex>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace qcgen::sim {
+
+using Complex = std::complex<double>;
+/// Row-major 2x2 unitary.
+using Matrix2 = std::array<Complex, 4>;
+
+enum class GateKind {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSX,
+  kRX,     // 1 param
+  kRY,     // 1 param
+  kRZ,     // 1 param
+  kPhase,  // 1 param (Qiskit `p`)
+  kU,      // 3 params (theta, phi, lambda)
+  kCX,
+  kCY,
+  kCZ,
+  kCPhase,  // 1 param
+  kSwap,
+  kCCX,
+  kCSwap,
+  kRZZ,  // 1 param
+  kMeasure,
+  kReset,
+  kBarrier,
+};
+
+/// Static metadata about a gate kind.
+struct GateInfo {
+  std::string_view name;   ///< canonical lower-case mnemonic (Qiskit style)
+  int num_qubits;          ///< -1 means variadic (barrier)
+  int num_params;
+  bool unitary;            ///< false for measure/reset/barrier
+  bool clifford;           ///< true iff Clifford for all parameter values
+};
+
+/// Metadata lookup; total over GateKind.
+const GateInfo& gate_info(GateKind kind);
+
+/// Canonical mnemonic for a gate kind.
+std::string_view gate_name(GateKind kind);
+
+/// Parses a mnemonic; returns true and sets `out` on success.
+bool parse_gate_name(std::string_view name, GateKind& out);
+
+/// 2x2 unitary for a single-qubit gate, given its parameters.
+/// Throws InvalidArgumentError for non-1q or non-unitary kinds or wrong
+/// parameter counts.
+Matrix2 gate_matrix_1q(GateKind kind, std::span<const double> params);
+
+/// The 2x2 unitary applied to the target of a controlled pair gate
+/// (CX -> X, CY -> Y, CZ -> Z, CPhase -> Phase). Throws otherwise.
+Matrix2 controlled_target_matrix(GateKind kind, std::span<const double> params);
+
+/// All gate kinds, for exhaustive iteration in tests.
+std::span<const GateKind> all_gate_kinds();
+
+}  // namespace qcgen::sim

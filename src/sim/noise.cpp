@@ -1,0 +1,130 @@
+#include "sim/noise.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace qcgen::sim {
+
+bool NoiseModel::is_ideal() const noexcept {
+  return depolarizing_1q == 0.0 && depolarizing_2q == 0.0 &&
+         readout_error == 0.0 && idle_error == 0.0 && reset_error == 0.0;
+}
+
+NoiseModel NoiseModel::scaled(double factor) const {
+  require(factor >= 0.0, "NoiseModel::scaled: negative factor");
+  const auto clamp01 = [](double p) { return std::min(1.0, p); };
+  NoiseModel out;
+  out.depolarizing_1q = clamp01(depolarizing_1q * factor);
+  out.depolarizing_2q = clamp01(depolarizing_2q * factor);
+  out.readout_error = clamp01(readout_error * factor);
+  out.idle_error = clamp01(idle_error * factor);
+  out.reset_error = clamp01(reset_error * factor);
+  return out;
+}
+
+NoiseModel NoiseModel::ibm_brisbane() {
+  NoiseModel m;
+  m.depolarizing_1q = 0.0006;
+  m.depolarizing_2q = 0.0100;
+  m.readout_error = 0.0220;
+  m.idle_error = 0.0050;
+  m.reset_error = 0.0020;
+  return m;
+}
+
+NoiseModel NoiseModel::ideal() { return NoiseModel{}; }
+
+namespace {
+
+/// Applies a uniformly-chosen Pauli X/Y/Z to qubit q.
+void apply_random_pauli(StateVector& state, std::size_t q, Rng& rng) {
+  switch (rng.uniform_int(static_cast<std::uint64_t>(3))) {
+    case 0: state.apply_1q(gate_matrix_1q(GateKind::kX, {}), q); break;
+    case 1: state.apply_1q(gate_matrix_1q(GateKind::kY, {}), q); break;
+    default: state.apply_1q(gate_matrix_1q(GateKind::kZ, {}), q); break;
+  }
+}
+
+std::string bits_to_string(const std::vector<bool>& clbits) {
+  std::string s(clbits.size(), '0');
+  for (std::size_t i = 0; i < clbits.size(); ++i) {
+    if (clbits[i]) s[clbits.size() - 1 - i] = '1';
+  }
+  return s;
+}
+
+std::vector<bool> run_noisy_trajectory(const Circuit& circuit,
+                                       const NoiseModel& noise,
+                                       StateVector& state, Rng& rng) {
+  state.reset_all();
+  std::vector<bool> clbits(circuit.num_clbits(), false);
+  for (const Operation& op : circuit.operations()) {
+    if (op.condition && clbits[op.condition->clbit] != op.condition->value) {
+      continue;
+    }
+    switch (op.kind) {
+      case GateKind::kBarrier:
+        if (noise.idle_error > 0.0) {
+          for (std::size_t q = 0; q < circuit.num_qubits(); ++q) {
+            if (rng.bernoulli(noise.idle_error)) {
+              apply_random_pauli(state, q, rng);
+            }
+          }
+        }
+        break;
+      case GateKind::kMeasure: {
+        bool outcome = state.measure(op.qubits[0], rng);
+        if (rng.bernoulli(noise.readout_error)) outcome = !outcome;
+        clbits[*op.clbit] = outcome;
+        break;
+      }
+      case GateKind::kReset:
+        state.reset(op.qubits[0], rng);
+        if (rng.bernoulli(noise.reset_error)) {
+          state.apply_1q(gate_matrix_1q(GateKind::kX, {}), op.qubits[0]);
+        }
+        break;
+      default: {
+        state.apply(op);
+        const double p = op.qubits.size() >= 2 ? noise.depolarizing_2q
+                                               : noise.depolarizing_1q;
+        if (p > 0.0) {
+          for (std::size_t q : op.qubits) {
+            if (rng.bernoulli(p)) apply_random_pauli(state, q, rng);
+          }
+        }
+      }
+    }
+  }
+  return clbits;
+}
+
+}  // namespace
+
+Counts run_noisy(const Circuit& circuit, const NoiseModel& noise,
+                 const NoisyRunOptions& options) {
+  if (noise.is_ideal()) {
+    return run_ideal(circuit, RunOptions{options.shots, options.seed});
+  }
+  Counts counts;
+  if (!circuit.has_measurements()) return counts;
+  Rng rng(options.seed);
+  StateVector state(circuit.num_qubits());
+  for (std::uint64_t shot = 0; shot < options.shots; ++shot) {
+    ++counts[bits_to_string(run_noisy_trajectory(circuit, noise, state, rng))];
+  }
+  return counts;
+}
+
+double ideal_outcome_retention(const Circuit& circuit, const NoiseModel& noise,
+                               std::uint64_t shots, std::uint64_t seed) {
+  const Counts ideal = run_ideal(circuit, RunOptions{shots, seed});
+  if (ideal.empty()) return 0.0;
+  const auto ranked = sorted_by_count(ideal);
+  const std::string& top = ranked.front().first;
+  const Counts noisy = run_noisy(circuit, noise, NoisyRunOptions{shots, seed + 1});
+  return outcome_probability(noisy, top);
+}
+
+}  // namespace qcgen::sim

@@ -1,0 +1,105 @@
+#pragma once
+// Dense state-vector simulator.
+//
+// Supports the full gate set, mid-circuit measurement with collapse,
+// reset, and classically-conditioned operations (trajectory execution),
+// which the teleportation workloads in the evaluation suite require.
+// Practical limit is ~24 qubits; the QEC stack uses the stabilizer
+// tableau simulator instead (see tableau.hpp).
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "sim/circuit.hpp"
+
+namespace qcgen::sim {
+
+/// Dense 2^n-amplitude quantum state with gate application and measurement.
+class StateVector {
+ public:
+  /// Initialises |0...0> over n qubits. Throws for n == 0 or n > 24.
+  explicit StateVector(std::size_t num_qubits);
+
+  std::size_t num_qubits() const noexcept { return num_qubits_; }
+  std::size_t dim() const noexcept { return amps_.size(); }
+  const std::vector<Complex>& amplitudes() const noexcept { return amps_; }
+  Complex amplitude(std::uint64_t basis_state) const;
+
+  /// Resets to |0...0>.
+  void reset_all();
+
+  /// Replaces the amplitude vector (size must match dim()).
+  void assign_amplitudes(std::vector<Complex> amps);
+
+  /// Applies a single-qubit unitary to qubit q.
+  void apply_1q(const Matrix2& u, std::size_t q);
+  /// Applies a controlled single-qubit unitary (control c, target t).
+  void apply_controlled_1q(const Matrix2& u, std::size_t c, std::size_t t);
+  /// Applies a doubly-controlled single-qubit unitary.
+  void apply_cc_1q(const Matrix2& u, std::size_t c0, std::size_t c1,
+                   std::size_t t);
+  void apply_swap(std::size_t a, std::size_t b);
+  void apply_cswap(std::size_t c, std::size_t a, std::size_t b);
+  void apply_rzz(double theta, std::size_t a, std::size_t b);
+
+  /// Applies a unitary/reset operation (throws on measure/barrier —
+  /// measurement needs an Rng, see measure()).
+  void apply(const Operation& op);
+
+  /// Probability that measuring qubit q yields 1.
+  double probability_one(std::size_t q) const;
+  /// Probability of each full basis state (size 2^n).
+  std::vector<double> probabilities() const;
+
+  /// Measures qubit q in the Z basis, collapsing the state. Returns the
+  /// outcome bit.
+  bool measure(std::size_t q, Rng& rng);
+  /// Resets qubit q to |0> (measure + conditional X).
+  void reset(std::size_t q, Rng& rng);
+
+  /// L2 norm of the amplitude vector (should be ~1).
+  double norm() const;
+
+ private:
+  std::size_t num_qubits_;
+  std::vector<Complex> amps_;
+};
+
+/// Options controlling ideal circuit execution.
+struct RunOptions {
+  std::uint64_t shots = 1024;
+  std::uint64_t seed = 1;
+};
+
+/// Executes a circuit on the ideal simulator and returns measurement
+/// counts keyed by classical-register bitstrings (clbit 0 = rightmost
+/// character, Qiskit convention). Circuits without measurements yield
+/// an empty Counts.
+///
+/// Uses single-pass sampling when the circuit allows it and falls back to
+/// per-shot trajectories when mid-circuit measurement/reset/conditionals
+/// demand it.
+Counts run_ideal(const Circuit& circuit, const RunOptions& options);
+
+/// Runs the unitary prefix of a circuit (skipping measure/barrier; throws
+/// if the circuit requires trajectories) and returns the final state.
+StateVector run_statevector(const Circuit& circuit);
+
+/// Probability distribution over classical-register bitstrings.
+using Distribution = std::map<std::string, double>;
+
+/// Computes the *exact* measurement distribution of a circuit.
+/// Circuits without mid-circuit measurement/reset/conditionals use a
+/// single evolution plus marginalisation; trajectory circuits enumerate
+/// every measurement-outcome branch (cost 2^#measurements, pruned at
+/// zero-probability branches). Empty result for measurement-free
+/// circuits.
+Distribution exact_distribution(const Circuit& circuit);
+
+/// Converts sampled counts to an empirical distribution.
+Distribution to_distribution(const Counts& counts);
+
+}  // namespace qcgen::sim

@@ -1,0 +1,231 @@
+#include "transpile/decompose.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace qcgen::transpile {
+
+using sim::Circuit;
+using sim::GateKind;
+using sim::Operation;
+
+bool is_native(GateKind kind) {
+  switch (kind) {
+    case GateKind::kRZ:
+    case GateKind::kSX:
+    case GateKind::kX:
+    case GateKind::kCX:
+    case GateKind::kI:
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+    case GateKind::kBarrier:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+/// Emits a native gate preserving the source op's classical condition.
+void emit(Circuit& out, GateKind kind, std::vector<std::size_t> qubits,
+          std::vector<double> params, const Operation& source) {
+  Operation op;
+  op.kind = kind;
+  op.qubits = std::move(qubits);
+  op.params = std::move(params);
+  op.condition = source.condition;
+  out.append(std::move(op));
+}
+
+void emit_rz(Circuit& out, double angle, std::size_t q, const Operation& src) {
+  // Skip exact identity rotations to keep circuits tidy.
+  if (std::abs(std::remainder(angle, 2 * kPi)) < 1e-14) return;
+  emit(out, GateKind::kRZ, {q}, {angle}, src);
+}
+
+void emit_sx(Circuit& out, std::size_t q, const Operation& src) {
+  emit(out, GateKind::kSX, {q}, {}, src);
+}
+
+void emit_cx(Circuit& out, std::size_t c, std::size_t t, const Operation& src) {
+  emit(out, GateKind::kCX, {c, t}, {}, src);
+}
+
+/// u(theta, phi, lambda) = rz(phi + pi) sx rz(theta + pi) sx rz(lambda)
+/// up to global phase (standard IBM basis decomposition, verified
+/// numerically; gates apply right-to-left, so the rightmost rz is
+/// emitted first).
+void emit_u(Circuit& out, double theta, double phi, double lambda,
+            std::size_t q, const Operation& src) {
+  emit_rz(out, lambda, q, src);
+  emit_sx(out, q, src);
+  emit_rz(out, theta + kPi, q, src);
+  emit_sx(out, q, src);
+  emit_rz(out, phi + kPi, q, src);
+}
+
+void emit_h(Circuit& out, std::size_t q, const Operation& src) {
+  // h = u(pi/2, 0, pi) = rz(pi/2) sx rz(pi/2) up to global phase.
+  emit_rz(out, kPi / 2, q, src);
+  emit_sx(out, q, src);
+  emit_rz(out, kPi / 2, q, src);
+}
+
+void emit_cz(Circuit& out, std::size_t a, std::size_t b, const Operation& src) {
+  emit_h(out, b, src);
+  emit_cx(out, a, b, src);
+  emit_h(out, b, src);
+}
+
+void emit_ccx(Circuit& out, std::size_t a, std::size_t b, std::size_t c,
+              const Operation& src) {
+  // Standard 6-CX Toffoli with T = rz(pi/4).
+  const double t = kPi / 4;
+  emit_h(out, c, src);
+  emit_cx(out, b, c, src);
+  emit_rz(out, -t, c, src);
+  emit_cx(out, a, c, src);
+  emit_rz(out, t, c, src);
+  emit_cx(out, b, c, src);
+  emit_rz(out, -t, c, src);
+  emit_cx(out, a, c, src);
+  emit_rz(out, t, b, src);
+  emit_rz(out, t, c, src);
+  emit_h(out, c, src);
+  emit_cx(out, a, b, src);
+  emit_rz(out, t, a, src);
+  emit_rz(out, -t, b, src);
+  emit_cx(out, a, b, src);
+}
+
+}  // namespace
+
+void decompose_op(const Operation& op, Circuit& out) {
+  const auto& q = op.qubits;
+  switch (op.kind) {
+    case GateKind::kI:
+      return;  // dropped
+    case GateKind::kRZ:
+    case GateKind::kSX:
+    case GateKind::kX:
+    case GateKind::kCX:
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+    case GateKind::kBarrier:
+      out.append(op);
+      return;
+    case GateKind::kY:
+      // y = rz(pi) x up to global phase... exactly: Y = i X Z; as
+      // rotations: y = u(pi, pi/2, pi/2).
+      emit_u(out, kPi, kPi / 2, kPi / 2, q[0], op);
+      return;
+    case GateKind::kZ:
+      emit_rz(out, kPi, q[0], op);
+      return;
+    case GateKind::kH:
+      emit_h(out, q[0], op);
+      return;
+    case GateKind::kS:
+      emit_rz(out, kPi / 2, q[0], op);
+      return;
+    case GateKind::kSdg:
+      emit_rz(out, -kPi / 2, q[0], op);
+      return;
+    case GateKind::kT:
+      emit_rz(out, kPi / 4, q[0], op);
+      return;
+    case GateKind::kTdg:
+      emit_rz(out, -kPi / 4, q[0], op);
+      return;
+    case GateKind::kRX:
+      // rx(t) = u(t, -pi/2, pi/2).
+      emit_u(out, op.params[0], -kPi / 2, kPi / 2, q[0], op);
+      return;
+    case GateKind::kRY:
+      // ry(t) = u(t, 0, 0).
+      emit_u(out, op.params[0], 0.0, 0.0, q[0], op);
+      return;
+    case GateKind::kPhase:
+      // Global phase differs from rz by e^{i t/2}; irrelevant physically
+      // unless controlled, which is handled by kCPhase below.
+      emit_rz(out, op.params[0], q[0], op);
+      return;
+    case GateKind::kU:
+      emit_u(out, op.params[0], op.params[1], op.params[2], q[0], op);
+      return;
+    case GateKind::kCY:
+      // cy = sdg(t) cx s(t).
+      emit_rz(out, -kPi / 2, q[1], op);
+      emit_cx(out, q[0], q[1], op);
+      emit_rz(out, kPi / 2, q[1], op);
+      return;
+    case GateKind::kCZ:
+      emit_cz(out, q[0], q[1], op);
+      return;
+    case GateKind::kCPhase: {
+      // cp(t) = rz(t/2) on control, rz(t/2) on target, cx rz(-t/2) cx.
+      const double half = op.params[0] / 2;
+      emit_rz(out, half, q[0], op);
+      emit_rz(out, half, q[1], op);
+      emit_cx(out, q[0], q[1], op);
+      emit_rz(out, -half, q[1], op);
+      emit_cx(out, q[0], q[1], op);
+      return;
+    }
+    case GateKind::kSwap:
+      emit_cx(out, q[0], q[1], op);
+      emit_cx(out, q[1], q[0], op);
+      emit_cx(out, q[0], q[1], op);
+      return;
+    case GateKind::kRZZ:
+      emit_cx(out, q[0], q[1], op);
+      emit_rz(out, op.params[0], q[1], op);
+      emit_cx(out, q[0], q[1], op);
+      return;
+    case GateKind::kCCX:
+      emit_ccx(out, q[0], q[1], q[2], op);
+      return;
+    case GateKind::kCSwap:
+      // cswap(a; b, c) = cx(c, b) ccx(a, b, c) cx(c, b).
+      emit_cx(out, q[2], q[1], op);
+      emit_ccx(out, q[0], q[1], q[2], op);
+      emit_cx(out, q[2], q[1], op);
+      return;
+  }
+  throw InvalidArgumentError("decompose_op: unhandled gate kind");
+}
+
+Circuit decompose(const Circuit& circuit) {
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  for (const Operation& op : circuit.operations()) {
+    decompose_op(op, out);
+  }
+  return out;
+}
+
+std::size_t two_qubit_cost(const Operation& op) {
+  switch (op.kind) {
+    case GateKind::kCX:
+    case GateKind::kCY:
+    case GateKind::kCZ:
+      return 1;
+    case GateKind::kCPhase:
+    case GateKind::kRZZ:
+      return 2;
+    case GateKind::kSwap:
+      return 3;
+    case GateKind::kCCX:
+      return 6;
+    case GateKind::kCSwap:
+      return 8;
+    default:
+      return op.qubits.size() >= 2 ? 1 : 0;
+  }
+}
+
+}  // namespace qcgen::transpile

@@ -1,0 +1,31 @@
+#pragma once
+// Gate decomposition into a device basis set.
+//
+// Real devices execute a small native basis; the paper's "ensuring the
+// model can generate and run code on real-world devices" (Sec III-B)
+// implies transpilation. We target the IBM-style basis
+// {rz, sx, x, cx} plus measure/reset/barrier, with exact textbook
+// decompositions for everything else in the QasmLite gate set.
+
+#include "sim/circuit.hpp"
+
+namespace qcgen::transpile {
+
+/// The native basis the decomposer targets.
+bool is_native(sim::GateKind kind);
+
+/// Decomposes a single operation into native operations appended to
+/// `out` (same qubit indexing). Measure/reset/barrier pass through;
+/// classically-conditioned ops keep their condition on every emitted
+/// native gate.
+void decompose_op(const sim::Operation& op, sim::Circuit& out);
+
+/// Decomposes a full circuit into the native basis. The result is
+/// behaviourally identical (exact decompositions, no approximation).
+sim::Circuit decompose(const sim::Circuit& circuit);
+
+/// Number of two-qubit native gates an operation expands to (cost model
+/// for the router).
+std::size_t two_qubit_cost(const sim::Operation& op);
+
+}  // namespace qcgen::transpile

@@ -1,0 +1,167 @@
+#include "transpile/layout.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace qcgen::transpile {
+
+using agents::DeviceTopology;
+using sim::Circuit;
+using sim::Operation;
+
+std::size_t Layout::physical(std::size_t logical) const {
+  require(logical < physical_of.size(), "Layout::physical: out of range");
+  return physical_of[logical];
+}
+
+std::size_t Layout::logical_of(std::size_t physical,
+                               std::size_t num_physical) const {
+  for (std::size_t l = 0; l < physical_of.size(); ++l) {
+    if (physical_of[l] == physical) return l;
+  }
+  return num_physical;
+}
+
+Layout trivial_layout(std::size_t num_logical) {
+  Layout layout;
+  layout.physical_of.resize(num_logical);
+  for (std::size_t i = 0; i < num_logical; ++i) layout.physical_of[i] = i;
+  return layout;
+}
+
+namespace {
+
+/// All-pairs BFS distances over the coupling graph.
+std::vector<std::vector<std::size_t>> coupling_distances(
+    const DeviceTopology& device) {
+  const std::size_t n = device.num_qubits();
+  std::vector<std::vector<std::size_t>> adj(n);
+  for (const auto& [a, b] : device.edges()) {
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+  std::vector<std::vector<std::size_t>> dist(
+      n, std::vector<std::size_t>(n, std::numeric_limits<std::size_t>::max()));
+  for (std::size_t s = 0; s < n; ++s) {
+    std::queue<std::size_t> queue;
+    dist[s][s] = 0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const std::size_t u = queue.front();
+      queue.pop();
+      for (std::size_t v : adj[u]) {
+        if (dist[s][v] == std::numeric_limits<std::size_t>::max()) {
+          dist[s][v] = dist[s][u] + 1;
+          queue.push(v);
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Layout greedy_layout(const Circuit& circuit, const DeviceTopology& device) {
+  const std::size_t num_logical = circuit.num_qubits();
+  require(num_logical <= device.num_qubits(),
+          "greedy_layout: circuit larger than device");
+
+  // Interaction weights between logical qubits.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> weight;
+  std::vector<std::size_t> logical_degree(num_logical, 0);
+  for (const Operation& op : circuit.operations()) {
+    if (op.kind == sim::GateKind::kBarrier || op.qubits.size() < 2) continue;
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      for (std::size_t j = i + 1; j < op.qubits.size(); ++j) {
+        const auto key = std::minmax(op.qubits[i], op.qubits[j]);
+        ++weight[{key.first, key.second}];
+        ++logical_degree[op.qubits[i]];
+        ++logical_degree[op.qubits[j]];
+      }
+    }
+  }
+
+  const auto dist = coupling_distances(device);
+  const std::size_t unplaced = device.num_qubits();
+
+  Layout layout;
+  layout.physical_of.assign(num_logical, unplaced);
+  std::vector<bool> used(device.num_qubits(), false);
+
+  // Place logical qubits in decreasing interaction-degree order.
+  std::vector<std::size_t> order(num_logical);
+  for (std::size_t i = 0; i < num_logical; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (logical_degree[a] != logical_degree[b]) {
+      return logical_degree[a] > logical_degree[b];
+    }
+    return a < b;
+  });
+
+  for (std::size_t logical : order) {
+    // Choose the free physical qubit minimising weighted distance to the
+    // already-placed neighbours; first placement takes the highest-degree
+    // physical qubit.
+    std::size_t best = unplaced;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (std::size_t phys = 0; phys < device.num_qubits(); ++phys) {
+      if (used[phys]) continue;
+      double cost = 0.0;
+      bool any_neighbour = false;
+      for (std::size_t other = 0; other < num_logical; ++other) {
+        if (layout.physical_of[other] == unplaced) continue;
+        const auto key = std::minmax(logical, other);
+        const auto it = weight.find({key.first, key.second});
+        if (it == weight.end()) continue;
+        any_neighbour = true;
+        cost += static_cast<double>(it->second) *
+                static_cast<double>(dist[phys][layout.physical_of[other]]);
+      }
+      if (!any_neighbour) {
+        // Tie-break by physical degree (prefer well-connected spots).
+        cost = -static_cast<double>(device.degree(phys)) * 1e-3;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = phys;
+      }
+    }
+    ensure(best != unplaced, "greedy_layout: no free physical qubit");
+    layout.physical_of[logical] = best;
+    used[best] = true;
+  }
+  return layout;
+}
+
+Layout best_layout(const Circuit& circuit, const DeviceTopology& device) {
+  const Layout trivial = trivial_layout(circuit.num_qubits());
+  const Layout greedy = greedy_layout(circuit, device);
+  return layout_cost(circuit, device, greedy) <
+                 layout_cost(circuit, device, trivial)
+             ? greedy
+             : trivial;
+}
+
+std::size_t layout_cost(const Circuit& circuit, const DeviceTopology& device,
+                        const Layout& layout) {
+  const auto dist = coupling_distances(device);
+  std::size_t cost = 0;
+  for (const Operation& op : circuit.operations()) {
+    if (op.kind == sim::GateKind::kBarrier || op.qubits.size() < 2) continue;
+    for (std::size_t i = 0; i < op.qubits.size(); ++i) {
+      for (std::size_t j = i + 1; j < op.qubits.size(); ++j) {
+        const std::size_t d = dist[layout.physical(op.qubits[i])]
+                                  [layout.physical(op.qubits[j])];
+        cost += d > 0 ? d - 1 : 0;  // adjacent pairs are free
+      }
+    }
+  }
+  return cost;
+}
+
+}  // namespace qcgen::transpile

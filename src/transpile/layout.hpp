@@ -1,0 +1,45 @@
+#pragma once
+// Initial layout selection: map logical circuit qubits onto physical
+// device qubits before routing.
+
+#include <vector>
+
+#include "agents/topology.hpp"
+#include "sim/circuit.hpp"
+
+namespace qcgen::transpile {
+
+/// A logical -> physical qubit assignment.
+struct Layout {
+  /// physical_of[logical] = physical qubit index.
+  std::vector<std::size_t> physical_of;
+
+  std::size_t physical(std::size_t logical) const;
+  /// Inverse lookup; returns num_physical when unused.
+  std::size_t logical_of(std::size_t physical, std::size_t num_physical) const;
+};
+
+/// Identity layout: logical i on physical i.
+Layout trivial_layout(std::size_t num_logical);
+
+/// Degree-greedy layout: the most-connected logical qubits (by two-qubit
+/// interaction count in the circuit) are placed on the highest-degree
+/// physical qubits, with placement expanding outward over the coupling
+/// graph so interacting qubits start adjacent where possible.
+Layout greedy_layout(const sim::Circuit& circuit,
+                     const agents::DeviceTopology& device);
+
+/// Sum over two-qubit gates of the coupling-graph distance between their
+/// operands under the layout (0 when every pair is adjacent); the metric
+/// layout selection minimises.
+std::size_t layout_cost(const sim::Circuit& circuit,
+                        const agents::DeviceTopology& device,
+                        const Layout& layout);
+
+/// The better of the trivial and greedy layouts under layout_cost
+/// (greedy placement can lose to the identity on already-linear
+/// circuits, so production transpilation takes the cheaper of the two).
+Layout best_layout(const sim::Circuit& circuit,
+                   const agents::DeviceTopology& device);
+
+}  // namespace qcgen::transpile

@@ -1,0 +1,119 @@
+#include "transpile/optimize.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace qcgen::transpile {
+
+using sim::Circuit;
+using sim::GateKind;
+using sim::Operation;
+
+namespace {
+
+bool is_identity_rz(const Operation& op) {
+  return op.kind == GateKind::kRZ &&
+         std::abs(std::remainder(op.params[0], 2 * std::numbers::pi)) < 1e-12;
+}
+
+/// True when the two ops are an adjacent self-inverse pair.
+bool cancels(const Operation& a, const Operation& b) {
+  if (a.kind != b.kind || a.qubits != b.qubits ||
+      a.condition.has_value() || b.condition.has_value()) {
+    return false;
+  }
+  switch (a.kind) {
+    case GateKind::kX:
+    case GateKind::kCX:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One simplification sweep; returns true when anything changed.
+bool sweep(std::vector<Operation>& ops, OptimizeStats* stats) {
+  bool changed = false;
+  std::vector<Operation> out;
+  out.reserve(ops.size());
+
+  const auto touches = [](const Operation& op, std::size_t q) {
+    for (std::size_t o : op.qubits) {
+      if (o == q) return true;
+    }
+    return false;
+  };
+  // Whether `op` commutes past `other` for cancellation purposes: they
+  // must share no qubits (barriers and conditioned ops block everything
+  // they touch; measure/reset block their qubit).
+  const auto blocks = [&](const Operation& other, const Operation& op) {
+    if (other.kind == GateKind::kBarrier) return true;
+    for (std::size_t q : op.qubits) {
+      if (touches(other, q)) return true;
+    }
+    return false;
+  };
+
+  for (const Operation& op : ops) {
+    if (is_identity_rz(op) && !op.condition) {
+      changed = true;
+      continue;  // dropped
+    }
+    // Look back past commuting ops for a cancellation/merge partner.
+    bool consumed = false;
+    for (std::size_t back = out.size(); back-- > 0;) {
+      Operation& prev = out[back];
+      if (cancels(prev, op)) {
+        out.erase(out.begin() + static_cast<std::ptrdiff_t>(back));
+        if (stats != nullptr) ++stats->cancelled_pairs;
+        changed = true;
+        consumed = true;
+        break;
+      }
+      if (op.kind == GateKind::kRZ && prev.kind == GateKind::kRZ &&
+          prev.qubits == op.qubits && !op.condition && !prev.condition) {
+        prev.params[0] += op.params[0];
+        if (stats != nullptr) ++stats->merged_rotations;
+        changed = true;
+        consumed = true;
+        break;
+      }
+      if (blocks(prev, op)) break;
+    }
+    if (!consumed) out.push_back(op);
+  }
+  // Remove rotations that merged to identity.
+  std::erase_if(out, [&](const Operation& op) {
+    if (is_identity_rz(op) && !op.condition) {
+      changed = true;
+      return true;
+    }
+    return false;
+  });
+  ops = std::move(out);
+  return changed;
+}
+
+}  // namespace
+
+Circuit optimize(const Circuit& circuit, OptimizeStats* stats) {
+  std::vector<Operation> ops(circuit.operations());
+  if (stats != nullptr) {
+    *stats = OptimizeStats{};
+    stats->gates_before = ops.size();
+  }
+  // Iterate to a fixed point; each sweep strictly shrinks or keeps size,
+  // so this terminates.
+  for (int iteration = 0; iteration < 64; ++iteration) {
+    if (!sweep(ops, stats)) break;
+  }
+  Circuit out(circuit.num_qubits(), circuit.num_clbits());
+  for (Operation& op : ops) out.append(std::move(op));
+  if (stats != nullptr) stats->gates_after = out.size();
+  return out;
+}
+
+}  // namespace qcgen::transpile

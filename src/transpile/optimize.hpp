@@ -1,0 +1,28 @@
+#pragma once
+// Peephole circuit optimization over the native basis:
+//  * adjacent self-inverse pairs cancel (x x, cx cx, sx sx sx sx),
+//  * consecutive rz rotations on a qubit merge,
+//  * rotations that reduce to identity are dropped.
+// Applied after routing, where SWAP decomposition and basis expansion
+// leave many such pairs.
+
+#include "sim/circuit.hpp"
+
+namespace qcgen::transpile {
+
+/// Statistics from one optimization run.
+struct OptimizeStats {
+  std::size_t gates_before = 0;
+  std::size_t gates_after = 0;
+  std::size_t cancelled_pairs = 0;
+  std::size_t merged_rotations = 0;
+};
+
+/// Optimizes a native-basis circuit. Iterates to a fixed point.
+/// Operations with classical conditions are treated as barriers for the
+/// qubits they touch (they may or may not execute, so nothing commutes
+/// through them). Behaviour is preserved exactly.
+sim::Circuit optimize(const sim::Circuit& circuit,
+                      OptimizeStats* stats = nullptr);
+
+}  // namespace qcgen::transpile

@@ -1,0 +1,31 @@
+#pragma once
+// SWAP-insertion routing: make every two-qubit gate act on coupled
+// physical qubits by moving logical qubits along shortest coupling-graph
+// paths (a greedy lookahead-free router in the spirit of basic SABRE).
+//
+// Precondition: the circuit is already decomposed to the native basis,
+// so the only two-qubit gate is CX.
+
+#include "agents/topology.hpp"
+#include "sim/circuit.hpp"
+#include "transpile/layout.hpp"
+
+namespace qcgen::transpile {
+
+/// Result of routing a circuit onto a device.
+struct RoutedCircuit {
+  sim::Circuit circuit;          ///< over device.num_qubits() qubits
+  Layout initial_layout;
+  Layout final_layout;           ///< where each logical qubit ended up
+  std::size_t swaps_inserted = 0;
+};
+
+/// Routes a native-basis circuit onto the device starting from `layout`.
+/// Measurements are re-targeted through the evolving layout so classical
+/// bits keep their logical meaning. Throws if the circuit contains
+/// non-native multi-qubit gates or more qubits than the device offers.
+RoutedCircuit route(const sim::Circuit& circuit,
+                    const agents::DeviceTopology& device,
+                    const Layout& layout);
+
+}  // namespace qcgen::transpile

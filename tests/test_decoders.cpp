@@ -1,0 +1,254 @@
+// Tests for syndrome sampling, detection events and the decoders.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qec/decoder.hpp"
+#include "qec/lookup_decoder.hpp"
+#include "qec/mwpm_decoder.hpp"
+#include "qec/pauli_frame.hpp"
+#include "qec/union_find_decoder.hpp"
+
+namespace qcgen::qec {
+namespace {
+
+TEST(PauliFrame, WeightAndApply) {
+  PauliFrame a(4);
+  a.x[0] = 1;
+  a.z[0] = 1;  // Y on qubit 0
+  a.z[2] = 1;
+  EXPECT_EQ(a.weight(), 2u);
+  PauliFrame b(4);
+  b.x[0] = 1;
+  a.apply(b);
+  EXPECT_EQ(a.x[0], 0);
+  EXPECT_EQ(a.z[0], 1);
+  PauliFrame wrong(3);
+  EXPECT_THROW(a.apply(wrong), InvalidArgumentError);
+}
+
+TEST(Syndrome, SingleXErrorTriggersAdjacentZStabs) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  PauliFrame frame(code.num_data_qubits());
+  frame.x[code.data_index(1, 1)] = 1;  // bulk qubit
+  const Syndrome syn = measure_syndrome(code, frame);
+  std::size_t z_defects = 0;
+  for (auto b : syn.z) z_defects += b;
+  std::size_t x_defects = 0;
+  for (auto b : syn.x) x_defects += b;
+  EXPECT_EQ(z_defects, 2u);  // bulk X error touches two Z plaquettes
+  EXPECT_EQ(x_defects, 0u);  // and no X plaquettes
+}
+
+TEST(Syndrome, StabilizerErrorIsInvisible) {
+  // Applying an entire Z-stabilizer as an error yields a trivial syndrome.
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  PauliFrame frame(code.num_data_qubits());
+  const auto& z_idx = code.stabilizer_indices(PauliType::kZ);
+  for (std::size_t q : code.stabilizers()[z_idx[0]].data_qubits) {
+    frame.z[q] ^= 1;
+  }
+  const Syndrome syn = measure_syndrome(code, frame);
+  for (auto b : syn.x) EXPECT_EQ(b, 0);
+  for (auto b : syn.z) EXPECT_EQ(b, 0);
+}
+
+TEST(SampleHistory, NoNoiseMeansNoEvents) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  Rng rng(1);
+  const SyndromeHistory history =
+      sample_history(code, PhenomenologicalNoise{0.0, 0.0}, 3, rng);
+  EXPECT_EQ(history.rounds.size(), 4u);  // 3 noisy + final perfect
+  EXPECT_TRUE(detection_events(history, PauliType::kX).empty());
+  EXPECT_TRUE(detection_events(history, PauliType::kZ).empty());
+  EXPECT_EQ(history.frame.weight(), 0u);
+}
+
+TEST(SampleHistory, MeasurementNoiseMakesPairedEvents) {
+  // Pure measurement noise: every flip creates two temporal events for
+  // the same node (flip on, flip off), except flips in the last noisy
+  // round which pair with the perfect round.
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  Rng rng(7);
+  const SyndromeHistory history =
+      sample_history(code, PhenomenologicalNoise{0.0, 0.3}, 4, rng);
+  const auto events = detection_events(history, PauliType::kZ);
+  EXPECT_EQ(events.size() % 2, 0u);
+  EXPECT_EQ(history.frame.weight(), 0u);  // no data errors at all
+}
+
+TEST(DetectionEvents, DifferencingLogic) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  SyndromeHistory history(code.num_data_qubits());
+  Syndrome s0;
+  s0.x.assign(4, 0);
+  s0.z.assign(4, 0);
+  Syndrome s1 = s0;
+  s1.z[2] = 1;  // appears in round 1
+  Syndrome s2 = s1;  // persists in round 2: no new event
+  history.rounds = {s0, s1, s2};
+  const auto events = detection_events(history, PauliType::kZ);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].node, 2u);
+  EXPECT_EQ(events[0].round, 1u);
+}
+
+class DecoderKindTest : public ::testing::TestWithParam<DecoderKind> {};
+
+TEST_P(DecoderKindTest, EmptySyndromeDecodesToNothing) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  auto decoder = make_decoder(GetParam(), code, PauliType::kZ);
+  EXPECT_TRUE(decoder->decode({}).empty());
+}
+
+TEST_P(DecoderKindTest, CorrectsEverySingleDataError) {
+  // Distance-3 property: any single X error, measured perfectly, must be
+  // corrected without a logical flip by every decoder.
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  auto decoder = make_decoder(GetParam(), code, PauliType::kZ);
+  for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+    PauliFrame frame(code.num_data_qubits());
+    frame.x[q] = 1;
+    SyndromeHistory history(code.num_data_qubits());
+    history.frame = frame;
+    history.rounds = {measure_syndrome(code, frame)};
+    const auto events = detection_events(history, PauliType::kZ);
+    const auto fix = decoder->decode(events);
+    PauliFrame residual = frame;
+    residual.apply(correction_frame(code, PauliType::kZ, fix));
+    // Residual must be a stabilizer (trivial syndrome, no logical flip).
+    const Syndrome post = measure_syndrome(code, residual);
+    for (auto b : post.z) EXPECT_EQ(b, 0) << "qubit " << q;
+    EXPECT_FALSE(logical_flip(code, residual, PauliType::kX))
+        << decoder->name() << " failed on single X at qubit " << q;
+  }
+}
+
+TEST_P(DecoderKindTest, CorrectsEverySingleZError) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  auto decoder = make_decoder(GetParam(), code, PauliType::kX);
+  for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+    PauliFrame frame(code.num_data_qubits());
+    frame.z[q] = 1;
+    SyndromeHistory history(code.num_data_qubits());
+    history.frame = frame;
+    history.rounds = {measure_syndrome(code, frame)};
+    const auto events = detection_events(history, PauliType::kX);
+    const auto fix = decoder->decode(events);
+    PauliFrame residual = frame;
+    residual.apply(correction_frame(code, PauliType::kX, fix));
+    EXPECT_FALSE(logical_flip(code, residual, PauliType::kZ))
+        << decoder->name() << " failed on single Z at qubit " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDecoders, DecoderKindTest,
+    ::testing::Values(DecoderKind::kLookup, DecoderKind::kGreedy,
+                      DecoderKind::kMwpm, DecoderKind::kUnionFind),
+    [](const auto& info) {
+      std::string name(decoder_kind_name(info.param));
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(MatchingDecoders, CorrectSingleErrorsAtDistance5) {
+  const SurfaceCode code = SurfaceCode::rotated(5);
+  for (DecoderKind kind :
+       {DecoderKind::kGreedy, DecoderKind::kMwpm, DecoderKind::kUnionFind}) {
+    auto decoder = make_decoder(kind, code, PauliType::kZ);
+    for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+      PauliFrame frame(code.num_data_qubits());
+      frame.x[q] = 1;
+      SyndromeHistory history(code.num_data_qubits());
+      history.frame = frame;
+      history.rounds = {measure_syndrome(code, frame)};
+      const auto fix =
+          decoder->decode(detection_events(history, PauliType::kZ));
+      PauliFrame residual = frame;
+      residual.apply(correction_frame(code, PauliType::kZ, fix));
+      EXPECT_FALSE(logical_flip(code, residual, PauliType::kX))
+          << decoder_kind_name(kind) << " qubit " << q;
+    }
+  }
+}
+
+TEST(MwpmDecoder, CorrectsWeightTwoErrorsAtDistance5) {
+  // d=5 corrects any weight-2 error under perfect measurement.
+  const SurfaceCode code = SurfaceCode::rotated(5);
+  MwpmDecoder decoder(code, PauliType::kZ);
+  for (std::size_t q1 = 0; q1 < code.num_data_qubits(); q1 += 2) {
+    for (std::size_t q2 = q1 + 1; q2 < code.num_data_qubits(); q2 += 3) {
+      PauliFrame frame(code.num_data_qubits());
+      frame.x[q1] = 1;
+      frame.x[q2] = 1;
+      SyndromeHistory history(code.num_data_qubits());
+      history.frame = frame;
+      history.rounds = {measure_syndrome(code, frame)};
+      const auto fix =
+          decoder.decode(detection_events(history, PauliType::kZ));
+      PauliFrame residual = frame;
+      residual.apply(correction_frame(code, PauliType::kZ, fix));
+      EXPECT_FALSE(logical_flip(code, residual, PauliType::kX))
+          << "qubits " << q1 << "," << q2;
+    }
+  }
+}
+
+TEST(LookupDecoder, RequiresDistanceThree) {
+  EXPECT_THROW(LookupDecoder(SurfaceCode::rotated(5), PauliType::kZ),
+               InvalidArgumentError);
+}
+
+TEST(LookupDecoder, TableIsMinimalForSingleDefectSyndromes) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  const LookupDecoder decoder(code, PauliType::kZ);
+  // Trivial syndrome -> empty correction.
+  EXPECT_TRUE(decoder.correction_for(0).empty());
+  // Every single-bit syndrome has a correction of weight 1 or 2.
+  for (std::size_t s = 0; s < 4; ++s) {
+    const auto& fix = decoder.correction_for(1ULL << s);
+    EXPECT_GE(fix.size(), 1u);
+    EXPECT_LE(fix.size(), 2u);
+  }
+}
+
+TEST(DecoderFactory, NamesAndTypes) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  auto lookup = make_decoder(DecoderKind::kLookup, code, PauliType::kZ);
+  EXPECT_EQ(lookup->name(), "lookup");
+  auto greedy = make_decoder(DecoderKind::kGreedy, code, PauliType::kX);
+  EXPECT_EQ(greedy->name(), "greedy");
+  EXPECT_EQ(greedy->stabilizer_type(), PauliType::kX);
+  auto mwpm = make_decoder(DecoderKind::kMwpm, code, PauliType::kZ);
+  EXPECT_EQ(mwpm->name(), "mwpm");
+  auto uf = make_decoder(DecoderKind::kUnionFind, code, PauliType::kZ);
+  EXPECT_EQ(uf->name(), "union-find");
+}
+
+TEST(CorrectionFrame, TypeMapping) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  const PauliFrame zfix = correction_frame(code, PauliType::kZ, {0, 0, 1});
+  EXPECT_EQ(zfix.x[0], 0);  // listed twice: cancels
+  EXPECT_EQ(zfix.x[1], 1);  // Z stabilizers fix X errors
+  EXPECT_EQ(zfix.z[1], 0);
+  const PauliFrame xfix = correction_frame(code, PauliType::kX, {2});
+  EXPECT_EQ(xfix.z[2], 1);
+  EXPECT_THROW(correction_frame(code, PauliType::kZ, {99}),
+               InvalidArgumentError);
+}
+
+TEST(SpacetimeDistance, CombinesSpaceAndTime) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  const MatchingGraph graph(code, PauliType::kZ);
+  const DetectionEvent a{0, 0};
+  const DetectionEvent b{0, 3};
+  EXPECT_EQ(spacetime_distance(graph, a, b), 3u);
+  const DetectionEvent c{1, 1};
+  EXPECT_EQ(spacetime_distance(graph, a, c), graph.distance(0, 1) + 1);
+}
+
+}  // namespace
+}  // namespace qcgen::qec

@@ -1,0 +1,195 @@
+// Tests for the evaluation suites, reference oracle, judge and runner.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+#include <set>
+
+#include "eval/judge.hpp"
+#include "eval/runner.hpp"
+#include "eval/suite.hpp"
+#include "llm/templates.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/printer.hpp"
+
+namespace qcgen::eval {
+namespace {
+
+TEST(Suite, SemanticSuiteComposition) {
+  const auto suite = semantic_suite();
+  EXPECT_EQ(suite.size(), 100u);
+  const TierMix mix = tier_mix(suite);
+  EXPECT_NEAR(mix.basic, 0.47, 1e-9);
+  EXPECT_NEAR(mix.intermediate, 0.24, 1e-9);
+  EXPECT_NEAR(mix.advanced, 0.29, 1e-9);
+}
+
+TEST(Suite, QheSuiteComposition) {
+  const auto suite = qhe_suite();
+  EXPECT_EQ(suite.size(), 60u);
+  const TierMix mix = tier_mix(suite);
+  EXPECT_NEAR(mix.basic, 0.8, 1e-9);
+  EXPECT_NEAR(mix.advanced, 0.0, 1e-9);
+}
+
+TEST(Suite, CaseIdsAreUnique) {
+  for (const auto& suite : {semantic_suite(), qhe_suite()}) {
+    std::set<std::string> ids;
+    for (const TestCase& tc : suite) {
+      EXPECT_TRUE(ids.insert(tc.id).second) << "duplicate id " << tc.id;
+      EXPECT_FALSE(tc.prompt.empty());
+    }
+  }
+}
+
+TEST(Suite, EveryCaseHasCompilableGold) {
+  for (const TestCase& tc : semantic_suite()) {
+    const sim::Circuit circuit =
+        qasm::build_circuit(llm::gold_program(tc.task));
+    EXPECT_GE(circuit.num_qubits(), 1u) << tc.id;
+    EXPECT_FALSE(sim::exact_distribution(circuit).empty()) << tc.id;
+  }
+}
+
+TEST(Oracle, CachesAndReturnsDistributions) {
+  ReferenceOracle oracle;
+  const auto suite = semantic_suite();
+  const auto& first = oracle.reference_for(suite[0]);
+  const auto& again = oracle.reference_for(suite[0]);
+  EXPECT_EQ(&first, &again);  // cached
+  double total = 0.0;
+  for (const auto& [_, p] : first) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Judge, GoldSourcesJudgeCorrectOnWholeSuite) {
+  ReferenceOracle oracle;
+  const agents::SemanticAnalyzerAgent analyzer;
+  for (const TestCase& tc : semantic_suite()) {
+    const std::string source =
+        qasm::print_program(llm::gold_program(tc.task));
+    const Verdict verdict =
+        judge_source(source, oracle.reference_for(tc), analyzer);
+    EXPECT_TRUE(verdict.syntactic_ok) << tc.id;
+    EXPECT_TRUE(verdict.semantic_ok) << tc.id;
+    EXPECT_NEAR(verdict.tvd, 0.0, 1e-9) << tc.id;
+  }
+}
+
+TEST(Judge, SyntacticallyBrokenSourceFails) {
+  ReferenceOracle oracle;
+  const agents::SemanticAnalyzerAgent analyzer;
+  const TestCase tc = semantic_suite()[0];
+  const Verdict verdict =
+      judge_source("not even close {", oracle.reference_for(tc), analyzer);
+  EXPECT_FALSE(verdict.syntactic_ok);
+  EXPECT_FALSE(verdict.semantic_ok);
+  EXPECT_GT(verdict.error_count, 0u);
+}
+
+TEST(Judge, WrongAlgorithmFailsSemantically) {
+  ReferenceOracle oracle;
+  const agents::SemanticAnalyzerAgent analyzer;
+  // Judge a GHZ program against the bell-pair reference of the first case.
+  const auto suite = semantic_suite();
+  const TestCase& bell_case = suite[0];
+  ASSERT_EQ(bell_case.task.algorithm, llm::AlgorithmId::kBellPair);
+  llm::TaskSpec ghz;
+  ghz.algorithm = llm::AlgorithmId::kGhz;
+  ghz.params = {{"n", 2}};
+  // 2-qubit GHZ == Bell: must pass. 3-qubit: must fail (register mismatch).
+  const std::string ghz2 = qasm::print_program(llm::gold_program(ghz));
+  const Verdict same = judge_source(ghz2, oracle.reference_for(bell_case),
+                                    analyzer);
+  EXPECT_TRUE(same.semantic_ok);
+  ghz.params = {{"n", 3}};
+  const std::string ghz3 = qasm::print_program(llm::gold_program(ghz));
+  const Verdict diff = judge_source(ghz3, oracle.reference_for(bell_case),
+                                    analyzer);
+  EXPECT_TRUE(diff.syntactic_ok);
+  EXPECT_FALSE(diff.semantic_ok);
+}
+
+TEST(Judge, OnlySyntacticErrorsFlag) {
+  ReferenceOracle oracle;
+  const agents::SemanticAnalyzerAgent analyzer;
+  const TestCase tc = semantic_suite()[0];
+  const Verdict index_error = judge_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[7]; measure_all; }",
+      oracle.reference_for(tc), analyzer);
+  EXPECT_FALSE(index_error.only_syntactic_errors);
+  const Verdict import_error = judge_source(
+      "import qiskit; import qiskit.aqua; "
+      "circuit main(q: 2, c: 2) { h q[0]; cx q[0], q[1]; measure_all; }",
+      oracle.reference_for(tc), analyzer);
+  EXPECT_TRUE(import_error.only_syntactic_errors);
+}
+
+TEST(Runner, PerfectModelScoresNearlyEverything) {
+  // Granite base on the 24 easiest cases, 2 samples each: high accuracy.
+  auto suite = semantic_suite();
+  suite.resize(24);
+  RunnerOptions options;
+  options.samples_per_case = 2;
+  const AccuracyReport report = evaluate_technique(
+      agents::TechniqueConfig::base(llm::ModelProfile::kGranite20B), suite,
+      options);
+  EXPECT_GT(report.semantic_rate, 0.42);
+  EXPECT_GE(report.syntactic_rate, report.semantic_rate);
+  EXPECT_EQ(report.cases, 24u);
+}
+
+TEST(Runner, ReportInvariants) {
+  auto suite = semantic_suite();
+  suite.resize(10);
+  RunnerOptions options;
+  options.samples_per_case = 2;
+  const AccuracyReport report = evaluate_technique(
+      agents::TechniqueConfig::fine_tuned_only(llm::ModelProfile::kStarCoder3B),
+      suite, options);
+  EXPECT_GE(report.syntactic_rate, report.semantic_rate);
+  EXPECT_GE(report.semantic_ci.hi, report.semantic_rate);
+  EXPECT_LE(report.semantic_ci.lo, report.semantic_rate);
+  EXPECT_GE(report.mean_passes_used, 1.0);
+  EXPECT_EQ(report.samples_per_case, 2u);
+}
+
+TEST(Runner, DeterministicGivenSeed) {
+  auto suite = semantic_suite();
+  suite.resize(8);
+  RunnerOptions options;
+  options.samples_per_case = 1;
+  options.seed = 12345;
+  const auto config =
+      agents::TechniqueConfig::fine_tuned_only(llm::ModelProfile::kStarCoder3B);
+  const AccuracyReport a = evaluate_technique(config, suite, options);
+  const AccuracyReport b = evaluate_technique(config, suite, options);
+  EXPECT_EQ(a.semantic_rate, b.semantic_rate);
+  EXPECT_EQ(a.syntactic_rate, b.syntactic_rate);
+}
+
+TEST(Runner, PassAtKMonotonicInK) {
+  auto suite = semantic_suite();
+  suite.resize(10);
+  RunnerOptions options;
+  const auto config =
+      agents::TechniqueConfig::fine_tuned_only(llm::ModelProfile::kStarCoder3B);
+  const double p1 = evaluate_pass_at_k(config, suite, 4, 1, options);
+  const double p4 = evaluate_pass_at_k(config, suite, 4, 4, options);
+  EXPECT_GE(p4, p1);
+  EXPECT_GE(p1, 0.0);
+  EXPECT_LE(p4, 1.0);
+}
+
+TEST(Runner, EmptySuiteRejected) {
+  RunnerOptions options;
+  EXPECT_THROW(
+      evaluate_technique(
+          agents::TechniqueConfig::base(llm::ModelProfile::kStarCoder3B), {},
+          options),
+      InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qcgen::eval

@@ -1,0 +1,184 @@
+// Robustness sweeps: the language front-end must handle arbitrarily
+// corrupted program text without crashing, hanging or emitting unbounded
+// diagnostics (the pipeline feeds it model-corrupted text constantly),
+// and the simulators must maintain their invariants on random circuits.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "llm/simlm.hpp"
+#include "llm/templates.hpp"
+#include "qasm/analyzer.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen {
+namespace {
+
+/// Applies `count` random single-character edits (delete/insert/replace).
+std::string mutate(std::string text, int count, Rng& rng) {
+  const std::string alphabet = "abcxyz0189[](){};,->==.#/ \n\"'@";
+  for (int i = 0; i < count && !text.empty(); ++i) {
+    const std::size_t pos = rng.uniform_int(
+        static_cast<std::uint64_t>(text.size()));
+    switch (rng.uniform_int(static_cast<std::uint64_t>(3))) {
+      case 0:
+        text.erase(pos, 1);
+        break;
+      case 1:
+        text.insert(pos, 1,
+                    alphabet[rng.uniform_int(
+                        static_cast<std::uint64_t>(alphabet.size()))]);
+        break;
+      default:
+        text[pos] = alphabet[rng.uniform_int(
+            static_cast<std::uint64_t>(alphabet.size()))];
+    }
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserFuzz, NeverCrashesAndBoundsDiagnostics) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  const auto algorithms = llm::all_algorithms();
+  for (int trial = 0; trial < 60; ++trial) {
+    llm::TaskSpec task;
+    task.algorithm = algorithms[rng.uniform_int(
+        static_cast<std::uint64_t>(algorithms.size()))];
+    const std::string source =
+        qasm::print_program(llm::gold_program(task));
+    const int edits = 1 + static_cast<int>(rng.uniform_int(
+                              static_cast<std::uint64_t>(20)));
+    const std::string mutated = mutate(source, edits, rng);
+
+    const qasm::ParseResult parsed = qasm::parse(mutated);
+    // Diagnostics must stay proportional to the input, never explode
+    // (regression guard for the stray-top-level-token loop).
+    EXPECT_LT(parsed.diagnostics.size(), mutated.size() + 16);
+    if (parsed.program.has_value()) {
+      const auto report = qasm::analyze(*parsed.program);
+      EXPECT_LT(report.diagnostics.size(), 200u);
+      // Printing whatever parsed must itself re-parse.
+      const std::string reprinted = qasm::print_program(*parsed.program);
+      const auto again = qasm::parse(reprinted);
+      EXPECT_TRUE(again.program.has_value())
+          << "print->parse broke on:\n" << reprinted;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz, ::testing::Range(1, 7));
+
+TEST(ParserFuzz, PathologicalInputs) {
+  // Hand-picked nasties.
+  const char* inputs[] = {
+      "",
+      ";;;;;;;;",
+      "}}}}}}{{{{{",
+      "import ;",
+      "import .....;",
+      "circuit",
+      "circuit m(",
+      "circuit m(q: 999999999999) { h q[0]; }",
+      "circuit m(q: 2) { rz() q[0]; }",
+      "circuit m(q: 2) { rz(((((1)))) q[0]; }",
+      "circuit m(q: 2) { if (c[0] == 1) if (c[1] == 0) x q[0]; }",
+      "measure q[0] -> c[0];",
+      "import qiskit; circuit m(q: 1) { h q[0]; } circuit m(q: 1) { }",
+      "// only a comment",
+      "\n\n\n\n",
+      "circuit m(q: 1) { h q[0]; }  trailing garbage !!!",
+  };
+  for (const char* input : inputs) {
+    const qasm::ParseResult parsed = qasm::parse(input);
+    EXPECT_LT(parsed.diagnostics.size(), 64u) << input;
+    if (parsed.program.has_value()) {
+      qasm::analyze(*parsed.program);  // must not throw
+    }
+  }
+}
+
+TEST(SimLmFuzz, GeneratedSourcesAlwaysAnalyzable) {
+  // Whatever the model emits — however corrupted — the analyzer pipeline
+  // must produce a verdict without throwing.
+  llm::SimLM model(llm::base_knowledge(llm::ModelProfile::kStarCoder3B),
+                   424242);
+  const auto algorithms = llm::all_algorithms();
+  Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    llm::TaskSpec task;
+    task.algorithm = algorithms[rng.uniform_int(
+        static_cast<std::uint64_t>(algorithms.size()))];
+    const auto result = model.generate(task, llm::GenerationContext{});
+    const auto parsed = qasm::parse(result.source);
+    if (parsed.program.has_value()) {
+      const auto report = qasm::analyze(*parsed.program);
+      (void)report;
+    }
+  }
+  SUCCEED();
+}
+
+class RandomCircuitInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuitInvariants, NormPreservedAndDistributionsSane) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const std::size_t n = 2 + rng.uniform_int(static_cast<std::uint64_t>(4));
+  sim::Circuit circuit(n, n);
+  const sim::GateKind pool[] = {
+      sim::GateKind::kH,  sim::GateKind::kX,  sim::GateKind::kT,
+      sim::GateKind::kRY, sim::GateKind::kCX, sim::GateKind::kCZ,
+      sim::GateKind::kSwap};
+  for (int i = 0; i < 40; ++i) {
+    const sim::GateKind kind =
+        pool[rng.uniform_int(static_cast<std::uint64_t>(7))];
+    sim::Operation op;
+    op.kind = kind;
+    const std::size_t a = rng.uniform_int(static_cast<std::uint64_t>(n));
+    if (sim::gate_info(kind).num_qubits == 2) {
+      std::size_t b = rng.uniform_int(static_cast<std::uint64_t>(n));
+      while (b == a) b = rng.uniform_int(static_cast<std::uint64_t>(n));
+      op.qubits = {a, b};
+    } else {
+      op.qubits = {a};
+    }
+    for (int p = 0; p < sim::gate_info(kind).num_params; ++p) {
+      op.params.push_back(rng.uniform(-3.14, 3.14));
+    }
+    circuit.append(op);
+  }
+  circuit.measure_all();
+
+  // Invariant 1: unitary evolution preserves the norm.
+  sim::Circuit unitary_only(n, n);
+  for (const auto& op : circuit.operations()) {
+    if (op.kind != sim::GateKind::kMeasure) unitary_only.append(op);
+  }
+  const sim::StateVector state = sim::run_statevector(unitary_only);
+  EXPECT_NEAR(state.norm(), 1.0, 1e-9);
+
+  // Invariant 2: the exact distribution is a probability distribution.
+  const sim::Distribution dist = sim::exact_distribution(circuit);
+  double total = 0.0;
+  for (const auto& [key, p] : dist) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-9);
+    EXPECT_EQ(key.size(), n);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+
+  // Invariant 3: sampled counts converge to the exact distribution.
+  const Counts counts = sim::run_ideal(circuit, sim::RunOptions{20000, 3});
+  EXPECT_LT(total_variation_distance(sim::to_distribution(counts), dist),
+            0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitInvariants,
+                         ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace qcgen

@@ -1,0 +1,134 @@
+// Unit tests for the gate registry and matrix construction.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+
+#include "common/error.hpp"
+#include "sim/gates.hpp"
+
+namespace qcgen::sim {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+bool is_unitary(const Matrix2& u) {
+  // U * U^dagger == I
+  const Complex a = u[0] * std::conj(u[0]) + u[1] * std::conj(u[1]);
+  const Complex b = u[0] * std::conj(u[2]) + u[1] * std::conj(u[3]);
+  const Complex c = u[2] * std::conj(u[0]) + u[3] * std::conj(u[1]);
+  const Complex d = u[2] * std::conj(u[2]) + u[3] * std::conj(u[3]);
+  return std::abs(a - Complex(1, 0)) < 1e-10 && std::abs(b) < 1e-10 &&
+         std::abs(c) < 1e-10 && std::abs(d - Complex(1, 0)) < 1e-10;
+}
+
+TEST(GateInfo, NamesRoundTrip) {
+  for (GateKind kind : all_gate_kinds()) {
+    GateKind parsed;
+    ASSERT_TRUE(parse_gate_name(gate_name(kind), parsed))
+        << "failed for " << gate_name(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(GateInfo, LegacyAliasesResolve) {
+  GateKind kind;
+  ASSERT_TRUE(parse_gate_name("cnot", kind));
+  EXPECT_EQ(kind, GateKind::kCX);
+  ASSERT_TRUE(parse_gate_name("toffoli", kind));
+  EXPECT_EQ(kind, GateKind::kCCX);
+  ASSERT_TRUE(parse_gate_name("u3", kind));
+  EXPECT_EQ(kind, GateKind::kU);
+  ASSERT_TRUE(parse_gate_name("fredkin", kind));
+  EXPECT_EQ(kind, GateKind::kCSwap);
+}
+
+TEST(GateInfo, UnknownNamesRejected) {
+  GateKind kind;
+  EXPECT_FALSE(parse_gate_name("hadamard", kind));
+  EXPECT_FALSE(parse_gate_name("", kind));
+  EXPECT_FALSE(parse_gate_name("u2", kind));
+}
+
+TEST(GateInfo, ArityAndParams) {
+  EXPECT_EQ(gate_info(GateKind::kH).num_qubits, 1);
+  EXPECT_EQ(gate_info(GateKind::kCX).num_qubits, 2);
+  EXPECT_EQ(gate_info(GateKind::kCCX).num_qubits, 3);
+  EXPECT_EQ(gate_info(GateKind::kBarrier).num_qubits, -1);
+  EXPECT_EQ(gate_info(GateKind::kRZ).num_params, 1);
+  EXPECT_EQ(gate_info(GateKind::kU).num_params, 3);
+  EXPECT_FALSE(gate_info(GateKind::kMeasure).unitary);
+  EXPECT_TRUE(gate_info(GateKind::kH).clifford);
+  EXPECT_FALSE(gate_info(GateKind::kT).clifford);
+}
+
+class UnitaryGateTest : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(UnitaryGateTest, MatrixIsUnitary) {
+  const GateKind kind = GetParam();
+  const GateInfo& gi = gate_info(kind);
+  std::vector<double> params(static_cast<std::size_t>(gi.num_params), 0.7);
+  EXPECT_TRUE(is_unitary(gate_matrix_1q(kind, params)))
+      << "gate " << gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All1QGates, UnitaryGateTest,
+    ::testing::Values(GateKind::kI, GateKind::kX, GateKind::kY, GateKind::kZ,
+                      GateKind::kH, GateKind::kS, GateKind::kSdg, GateKind::kT,
+                      GateKind::kTdg, GateKind::kSX, GateKind::kRX,
+                      GateKind::kRY, GateKind::kRZ, GateKind::kPhase,
+                      GateKind::kU),
+    [](const auto& info) { return std::string(gate_name(info.param)); });
+
+TEST(GateMatrix, HadamardKnownValues) {
+  const Matrix2 h = gate_matrix_1q(GateKind::kH, {});
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(h[0].real(), inv_sqrt2, kEps);
+  EXPECT_NEAR(h[3].real(), -inv_sqrt2, kEps);
+}
+
+TEST(GateMatrix, SSquaredEqualsZ) {
+  const Matrix2 s = gate_matrix_1q(GateKind::kS, {});
+  // S^2 diagonal: 1, i*i = -1.
+  EXPECT_NEAR((s[3] * s[3]).real(), -1.0, kEps);
+}
+
+TEST(GateMatrix, RxPiEqualsMinusIX) {
+  const Matrix2 rx = gate_matrix_1q(GateKind::kRX, {{std::acos(-1.0)}});
+  EXPECT_NEAR(std::abs(rx[0]), 0.0, 1e-10);
+  EXPECT_NEAR(std::abs(rx[1]), 1.0, 1e-10);
+}
+
+TEST(GateMatrix, UGeneralisesOthers) {
+  const double pi = std::acos(-1.0);
+  // u(pi/2, 0, pi) == H up to global phase.
+  const Matrix2 u = gate_matrix_1q(GateKind::kU, {{pi / 2, 0.0, pi}});
+  const Matrix2 h = gate_matrix_1q(GateKind::kH, {});
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(u[i] - h[i]), 0.0, 1e-10);
+  }
+}
+
+TEST(GateMatrix, RejectsWrongParamCount) {
+  EXPECT_THROW(gate_matrix_1q(GateKind::kRZ, {}), InvalidArgumentError);
+  EXPECT_THROW(gate_matrix_1q(GateKind::kH, {{1.0}}), InvalidArgumentError);
+}
+
+TEST(GateMatrix, RejectsNonUnitaryKinds) {
+  EXPECT_THROW(gate_matrix_1q(GateKind::kMeasure, {}), InvalidArgumentError);
+  EXPECT_THROW(gate_matrix_1q(GateKind::kCX, {}), InvalidArgumentError);
+}
+
+TEST(ControlledTarget, MapsToExpectedMatrices) {
+  const Matrix2 x = controlled_target_matrix(GateKind::kCX, {});
+  EXPECT_NEAR(std::abs(x[1] - Complex(1, 0)), 0.0, kEps);
+  const Matrix2 z = controlled_target_matrix(GateKind::kCZ, {});
+  EXPECT_NEAR(std::abs(z[3] - Complex(-1, 0)), 0.0, kEps);
+  EXPECT_THROW(controlled_target_matrix(GateKind::kH, {}),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qcgen::sim

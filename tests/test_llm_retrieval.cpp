@@ -1,0 +1,187 @@
+// Tests for the tokenizer, corpora, chunking and BM25 vector store.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "llm/corpus.hpp"
+#include "llm/tokenizer.hpp"
+#include "llm/vectorstore.hpp"
+
+namespace qcgen::llm {
+namespace {
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  const auto tokens = tokenize("Apply a Hadamard, then CX!");
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "hadamard"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "cx"), tokens.end());
+  EXPECT_EQ(std::find(tokens.begin(), tokens.end(), "Apply"), tokens.end());
+}
+
+TEST(Tokenizer, DottedIdentifiersKeepWholeAndParts) {
+  const auto tokens = tokenize("import qiskit_ibm_runtime;");
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "qiskit_ibm_runtime"),
+            tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "runtime"), tokens.end());
+  EXPECT_NE(std::find(tokens.begin(), tokens.end(), "qiskit"), tokens.end());
+}
+
+TEST(Tokenizer, CountTokens) {
+  EXPECT_EQ(count_tokens(""), 0u);
+  EXPECT_EQ(count_tokens("one two three"), 3u);
+}
+
+TEST(Vocabulary, DocumentFrequencyAndIdf) {
+  Vocabulary vocab;
+  vocab.add_document("alpha beta");
+  vocab.add_document("alpha gamma");
+  EXPECT_EQ(vocab.num_documents(), 2u);
+  EXPECT_EQ(vocab.document_frequency("alpha"), 2u);
+  EXPECT_EQ(vocab.document_frequency("beta"), 1u);
+  EXPECT_EQ(vocab.document_frequency("missing"), 0u);
+  EXPECT_GT(vocab.idf("beta"), vocab.idf("alpha"));
+}
+
+TEST(Vocabulary, DuplicateTokensCountOncePerDocument) {
+  Vocabulary vocab;
+  vocab.add_document("word word word");
+  EXPECT_EQ(vocab.document_frequency("word"), 1u);
+}
+
+TEST(Corpus, ApiCorpusStaleFractionControl) {
+  const auto fresh = qiskit_api_corpus(0.0);
+  for (const auto& doc : fresh) {
+    EXPECT_EQ(doc.freshness, DocFreshness::kCurrent) << doc.id;
+  }
+  const auto mixed = qiskit_api_corpus(0.35);
+  std::size_t stale = 0;
+  for (const auto& doc : mixed) {
+    if (doc.freshness == DocFreshness::kStale) ++stale;
+  }
+  const double fraction =
+      static_cast<double>(stale) / static_cast<double>(mixed.size());
+  EXPECT_NEAR(fraction, 0.35, 0.06);
+  EXPECT_THROW(qiskit_api_corpus(1.5), InvalidArgumentError);
+}
+
+TEST(Corpus, HigherStaleFractionMeansMoreStaleDocs) {
+  const auto low = qiskit_api_corpus(0.2);
+  const auto high = qiskit_api_corpus(0.6);
+  const auto count_stale = [](const std::vector<Document>& docs) {
+    std::size_t n = 0;
+    for (const auto& d : docs) {
+      if (d.freshness == DocFreshness::kStale) ++n;
+    }
+    return n;
+  };
+  EXPECT_LT(count_stale(low), count_stale(high));
+}
+
+TEST(Corpus, GuideCorpusCoversEveryAlgorithm) {
+  const auto guides = algorithm_guide_corpus();
+  for (AlgorithmId id : all_algorithms()) {
+    const bool found =
+        std::any_of(guides.begin(), guides.end(),
+                    [&](const Document& d) { return d.algorithm == id; });
+    EXPECT_TRUE(found) << algorithm_name(id);
+  }
+}
+
+TEST(Corpus, TokenAccounting) {
+  const auto guides = algorithm_guide_corpus();
+  EXPECT_GT(corpus_tokens(guides), 200u);
+  EXPECT_EQ(corpus_tokens({}), 0u);
+}
+
+TEST(Chunking, BasicSplitsByWindow) {
+  Document doc;
+  doc.id = "d";
+  doc.text.clear();
+  for (int i = 0; i < 100; ++i) doc.text += "word" + std::to_string(i) + " ";
+  const auto chunks = chunk_documents({doc}, ChunkStrategy::kBasic, 16);
+  EXPECT_EQ(chunks.size(), 7u);  // ceil(100/16)
+  EXPECT_THROW(chunk_documents({doc}, ChunkStrategy::kBasic, 2),
+               InvalidArgumentError);
+}
+
+TEST(Chunking, StructureAwareKeepsSentences) {
+  Document doc;
+  doc.id = "d";
+  doc.text = "First sentence about grover. Second sentence about qft. "
+             "Third sentence about teleportation.";
+  const auto chunks =
+      chunk_documents({doc}, ChunkStrategy::kStructureAware, 12);
+  for (const auto& chunk : chunks) {
+    // Structure-aware chunks end at sentence boundaries.
+    const auto trimmed = trim(chunk.text);
+    EXPECT_EQ(trimmed.back(), '.') << chunk.text;
+  }
+}
+
+TEST(Chunking, PropagatesMetadata) {
+  const auto guides = algorithm_guide_corpus();
+  const auto chunks = chunk_documents(guides, ChunkStrategy::kBasic, 32);
+  bool found_grover = false;
+  for (const auto& chunk : chunks) {
+    if (chunk.algorithm == AlgorithmId::kGrover) found_grover = true;
+  }
+  EXPECT_TRUE(found_grover);
+}
+
+TEST(VectorStore, RetrievesRelevantGuide) {
+  VectorStore store(
+      chunk_documents(algorithm_guide_corpus(), ChunkStrategy::kBasic, 48));
+  const auto hits = store.retrieve("grover search oracle diffusion", 3);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].chunk->algorithm, AlgorithmId::kGrover);
+  // Scores are sorted descending.
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(VectorStore, TeleportationQueryFindsTeleportationGuide) {
+  VectorStore store(chunk_documents(algorithm_guide_corpus(),
+                                    ChunkStrategy::kStructureAware, 48));
+  const auto hits = store.retrieve(
+      "teleport a state using a bell pair and conditioned corrections", 2);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].chunk->algorithm, AlgorithmId::kTeleportation);
+}
+
+TEST(VectorStore, NoMatchesForAlienQuery) {
+  VectorStore store(
+      chunk_documents(algorithm_guide_corpus(), ChunkStrategy::kBasic, 48));
+  const auto hits = store.retrieve("zzzzz xxxxx qqqqq", 5);
+  EXPECT_TRUE(hits.empty());
+}
+
+TEST(VectorStore, TopKLimit) {
+  VectorStore store(
+      chunk_documents(algorithm_guide_corpus(), ChunkStrategy::kBasic, 48));
+  const auto hits = store.retrieve("quantum circuit measure qubit", 2);
+  EXPECT_LE(hits.size(), 2u);
+}
+
+TEST(VectorStore, EmptyChunksRejected) {
+  EXPECT_THROW(VectorStore({}), InvalidArgumentError);
+}
+
+TEST(VectorStore, StaleDocsCompeteOnGenericQueries) {
+  // With a heavily stale corpus, generic import/run queries must surface
+  // stale chunks — the mechanism behind the RAG staleness ablation.
+  VectorStore store(chunk_documents(qiskit_api_corpus(0.6),
+                                    ChunkStrategy::kBasic, 48));
+  const auto hits =
+      store.retrieve("import module run circuit simulator measure", 6);
+  ASSERT_FALSE(hits.empty());
+  const bool any_stale =
+      std::any_of(hits.begin(), hits.end(), [](const Retrieved& r) {
+        return r.chunk->freshness == DocFreshness::kStale;
+      });
+  EXPECT_TRUE(any_stale);
+}
+
+}  // namespace
+}  // namespace qcgen::llm

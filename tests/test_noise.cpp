@@ -1,0 +1,126 @@
+// Tests for the Monte-Carlo noise model and noisy execution.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/noise.hpp"
+
+namespace qcgen::sim {
+namespace {
+
+TEST(NoiseModel, IdealDetection) {
+  EXPECT_TRUE(NoiseModel::ideal().is_ideal());
+  EXPECT_FALSE(NoiseModel::ibm_brisbane().is_ideal());
+}
+
+TEST(NoiseModel, ScalingClampsAndScales) {
+  const NoiseModel base = NoiseModel::ibm_brisbane();
+  const NoiseModel half = base.scaled(0.5);
+  EXPECT_NEAR(half.depolarizing_2q, base.depolarizing_2q * 0.5, 1e-12);
+  EXPECT_NEAR(half.readout_error, base.readout_error * 0.5, 1e-12);
+  const NoiseModel huge = base.scaled(1e6);
+  EXPECT_LE(huge.readout_error, 1.0);
+  EXPECT_THROW(base.scaled(-1.0), InvalidArgumentError);
+}
+
+TEST(NoiseModel, ZeroScaleIsIdeal) {
+  EXPECT_TRUE(NoiseModel::ibm_brisbane().scaled(0.0).is_ideal());
+}
+
+TEST(RunNoisy, IdealNoiseMatchesIdealRun) {
+  const Circuit c = circuits::ghz(3);
+  const Counts noisy = run_noisy(c, NoiseModel::ideal(),
+                                 NoisyRunOptions{512, 9});
+  const Counts ideal = run_ideal(c, RunOptions{512, 9});
+  EXPECT_EQ(noisy, ideal);
+}
+
+TEST(RunNoisy, ReadoutErrorFlipsDeterministicOutcome) {
+  // |0> measured under pure readout noise: P(1) == readout_error.
+  Circuit c(1, 1);
+  c.id(0);
+  c.measure(0, 0);
+  NoiseModel noise;
+  noise.readout_error = 0.25;
+  const Counts counts = run_noisy(c, noise, NoisyRunOptions{20000, 11});
+  EXPECT_NEAR(outcome_probability(counts, "1"), 0.25, 0.02);
+}
+
+TEST(RunNoisy, DepolarizingDegradesGhz) {
+  const Circuit c = circuits::ghz(3);
+  NoiseModel noise;
+  noise.depolarizing_2q = 0.05;
+  const Counts counts = run_noisy(c, noise, NoisyRunOptions{8192, 13});
+  const double good = outcome_probability(counts, "000") +
+                      outcome_probability(counts, "111");
+  EXPECT_LT(good, 1.0);
+  EXPECT_GT(good, 0.7);  // 5% per 2q gate over 2 gates cannot destroy it
+}
+
+TEST(RunNoisy, StrongerNoiseIsWorse) {
+  const Circuit c = circuits::deutsch_jozsa(3, true);
+  const NoiseModel weak = NoiseModel::ibm_brisbane().scaled(0.2);
+  const NoiseModel strong = NoiseModel::ibm_brisbane().scaled(3.0);
+  const Counts weak_counts = run_noisy(c, weak, NoisyRunOptions{8192, 17});
+  const Counts strong_counts = run_noisy(c, strong, NoisyRunOptions{8192, 17});
+  EXPECT_GT(outcome_probability(weak_counts, "000"),
+            outcome_probability(strong_counts, "000"));
+}
+
+TEST(RunNoisy, DeterministicGivenSeed) {
+  const Circuit c = circuits::bell_pair();
+  const NoiseModel noise = NoiseModel::ibm_brisbane();
+  const Counts a = run_noisy(c, noise, NoisyRunOptions{256, 3});
+  const Counts b = run_noisy(c, noise, NoisyRunOptions{256, 3});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunNoisy, IdleErrorActsAtBarriers) {
+  Circuit c(1, 1);
+  c.barrier();
+  c.measure(0, 0);
+  NoiseModel noise;
+  noise.idle_error = 0.3;
+  const Counts counts = run_noisy(c, noise, NoisyRunOptions{20000, 19});
+  // Depolarising |0>: X or Y flip it (2/3 of events) -> P(1) ~ 0.2.
+  EXPECT_NEAR(outcome_probability(counts, "1"), 0.2, 0.02);
+}
+
+TEST(RunNoisy, ResetErrorLeavesExcitedState) {
+  Circuit c(1, 1);
+  c.x(0);
+  c.reset(0);
+  c.measure(0, 0);
+  NoiseModel noise;
+  noise.reset_error = 0.15;
+  const Counts counts = run_noisy(c, noise, NoisyRunOptions{20000, 23});
+  EXPECT_NEAR(outcome_probability(counts, "1"), 0.15, 0.02);
+}
+
+TEST(IdealOutcomeRetention, DecreasesWithNoise) {
+  const Circuit c = circuits::deutsch_jozsa(2, true);
+  const double clean =
+      ideal_outcome_retention(c, NoiseModel::ideal(), 2048, 31);
+  const double noisy = ideal_outcome_retention(
+      c, NoiseModel::ibm_brisbane().scaled(4.0), 2048, 31);
+  EXPECT_NEAR(clean, 1.0, 0.02);
+  EXPECT_LT(noisy, clean);
+}
+
+TEST(RunNoisy, TeleportationUnderNoiseStaysClose) {
+  const Circuit c = circuits::teleportation(0.8);
+  const NoiseModel noise = NoiseModel::ibm_brisbane();
+  const Counts counts = run_noisy(c, noise, NoisyRunOptions{8192, 37});
+  double p1 = 0.0, total = 0.0;
+  for (const auto& [key, count] : counts) {
+    total += static_cast<double>(count);
+    if (key[0] == '1') p1 += static_cast<double>(count);
+  }
+  // Noise drifts the marginal towards the fully mixed 0.5, never away.
+  const double expected = std::sin(0.4) * std::sin(0.4);
+  EXPECT_GT(p1 / total, expected - 0.02);
+  EXPECT_LT(p1 / total, 0.5);
+}
+
+}  // namespace
+}  // namespace qcgen::sim

@@ -1,0 +1,130 @@
+// OpenQASM 2.0 interop tests: export format, import parsing, and the
+// export -> import round-trip property over the whole workload library.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "llm/templates.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/openqasm.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen::qasm {
+namespace {
+
+TEST(OpenQasmExport, HeaderAndRegisters) {
+  const std::string text = to_openqasm(sim::circuits::bell_pair());
+  EXPECT_NE(text.find("OPENQASM 2.0;"), std::string::npos);
+  EXPECT_NE(text.find("include \"qelib1.inc\";"), std::string::npos);
+  EXPECT_NE(text.find("qreg q[2];"), std::string::npos);
+  EXPECT_NE(text.find("creg c0[1];"), std::string::npos);
+  EXPECT_NE(text.find("creg c1[1];"), std::string::npos);
+  EXPECT_NE(text.find("h q[0];"), std::string::npos);
+  EXPECT_NE(text.find("cx q[0],q[1];"), std::string::npos);
+  EXPECT_NE(text.find("measure q[0] -> c0[0];"), std::string::npos);
+}
+
+TEST(OpenQasmExport, GateRenames) {
+  sim::Circuit c(1, 1);
+  c.p(0.5, 0);
+  c.u(0.1, 0.2, 0.3, 0);
+  c.id(0);
+  const std::string text = to_openqasm(c);
+  EXPECT_NE(text.find("u1(0.5) q[0];"), std::string::npos);
+  EXPECT_NE(text.find("u3(0.1"), std::string::npos);
+  EXPECT_NE(text.find("id q[0];"), std::string::npos);
+}
+
+TEST(OpenQasmExport, ConditionsUseIfSyntax) {
+  const std::string text = to_openqasm(sim::circuits::teleportation(0.7));
+  EXPECT_NE(text.find("if (c1 == 1) x q[2];"), std::string::npos);
+  EXPECT_NE(text.find("if (c0 == 1) z q[2];"), std::string::npos);
+}
+
+TEST(OpenQasmImport, ParsesSimpleProgram) {
+  const std::string text =
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[2];\n"
+      "creg c0[1];\n"
+      "creg c1[1];\n"
+      "h q[0];\n"
+      "cx q[0],q[1];\n"
+      "measure q[0] -> c0[0];\n"
+      "measure q[1] -> c1[0];\n";
+  const OpenQasmResult result = from_openqasm(text);
+  ASSERT_TRUE(result.ok()) << format_error_trace(result.diagnostics);
+  EXPECT_EQ(result.circuit->num_qubits(), 2u);
+  EXPECT_EQ(result.circuit->num_clbits(), 2u);
+  EXPECT_EQ(result.circuit->size(), 4u);
+}
+
+TEST(OpenQasmImport, RejectsMissingQreg) {
+  const OpenQasmResult result = from_openqasm("OPENQASM 2.0;\nh q[0];\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OpenQasmImport, RejectsUnknownGate) {
+  const OpenQasmResult result = from_openqasm(
+      "qreg q[1];\nfrobnicate q[0];\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OpenQasmImport, RejectsMissingSemicolon) {
+  const OpenQasmResult result = from_openqasm("qreg q[1];\nh q[0]\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OpenQasmImport, RejectsOutOfRangeOperand) {
+  const OpenQasmResult result = from_openqasm("qreg q[1];\nh q[4];\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(OpenQasmImport, CommentsAndBlankLinesIgnored) {
+  const OpenQasmResult result = from_openqasm(
+      "qreg q[1];\n\n// a comment\nx q[0];\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.circuit->size(), 1u);
+}
+
+class OpenQasmRoundTrip : public ::testing::TestWithParam<llm::AlgorithmId> {};
+
+TEST_P(OpenQasmRoundTrip, ExportImportPreservesBehaviour) {
+  llm::TaskSpec task;
+  task.algorithm = GetParam();
+  const sim::Circuit original =
+      build_circuit(llm::gold_program(task));
+  const std::string text = to_openqasm(original);
+  const OpenQasmResult imported = from_openqasm(text);
+  ASSERT_TRUE(imported.ok())
+      << text << "\n" << format_error_trace(imported.diagnostics);
+  const auto d1 = sim::exact_distribution(original);
+  const auto d2 = sim::exact_distribution(*imported.circuit);
+  EXPECT_LT(total_variation_distance(d1, d2), 1e-9)
+      << llm::algorithm_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, OpenQasmRoundTrip,
+    ::testing::ValuesIn(llm::all_algorithms()),
+    [](const auto& info) {
+      return std::string(llm::algorithm_name(info.param));
+    });
+
+TEST(OpenQasmRoundTripExtra, ReferencesWithResetAndBarrier) {
+  sim::Circuit c(2, 2);
+  c.h(0);
+  c.barrier();
+  c.reset(1);
+  c.cx(0, 1);
+  c.measure_all();
+  const OpenQasmResult imported = from_openqasm(to_openqasm(c));
+  ASSERT_TRUE(imported.ok());
+  const auto d1 = sim::exact_distribution(c);
+  const auto d2 = sim::exact_distribution(*imported.circuit);
+  EXPECT_LT(total_variation_distance(d1, d2), 1e-9);
+}
+
+}  // namespace
+}  // namespace qcgen::qasm

@@ -1,0 +1,177 @@
+// Tests for the peephole optimizer and the ASCII circuit drawer.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "llm/templates.hpp"
+#include "qasm/builder.hpp"
+#include "sim/draw.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/optimize.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qcgen {
+namespace {
+
+using sim::Circuit;
+using sim::GateKind;
+using transpile::optimize;
+using transpile::OptimizeStats;
+
+TEST(Optimize, CancelsAdjacentSelfInversePairs) {
+  Circuit c(2, 2);
+  c.x(0);
+  c.x(0);
+  c.cx(0, 1);
+  c.cx(0, 1);
+  c.measure_all();
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(stats.cancelled_pairs, 2u);
+  EXPECT_EQ(out.count_ops().count(GateKind::kX), 0u);
+  EXPECT_EQ(out.count_ops().count(GateKind::kCX), 0u);
+}
+
+TEST(Optimize, MergesRotationsAndDropsIdentity) {
+  Circuit c(1, 1);
+  c.rz(0.3, 0);
+  c.rz(-0.3, 0);
+  c.measure(0, 0);
+  OptimizeStats stats;
+  const Circuit out = optimize(c, &stats);
+  EXPECT_EQ(out.count_ops().count(GateKind::kRZ), 0u);
+  EXPECT_GE(stats.merged_rotations, 1u);
+}
+
+TEST(Optimize, MergesAcrossUnrelatedQubits) {
+  Circuit c(2, 2);
+  c.rz(0.25, 0);
+  c.x(1);  // unrelated wire: must not block the merge
+  c.rz(0.5, 0);
+  c.measure_all();
+  const Circuit out = optimize(c);
+  const auto& ops = out.operations();
+  std::size_t rz_count = 0;
+  double angle = 0.0;
+  for (const auto& op : ops) {
+    if (op.kind == GateKind::kRZ) {
+      ++rz_count;
+      angle = op.params[0];
+    }
+  }
+  EXPECT_EQ(rz_count, 1u);
+  EXPECT_NEAR(angle, 0.75, 1e-12);
+}
+
+TEST(Optimize, BarrierBlocksCancellation) {
+  Circuit c(1, 1);
+  c.x(0);
+  c.barrier();
+  c.x(0);
+  c.measure(0, 0);
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.count_ops().at(GateKind::kX), 2u);
+}
+
+TEST(Optimize, SharedQubitBlocksCancellation) {
+  Circuit c(2, 2);
+  c.cx(0, 1);
+  c.x(1);  // touches the target: blocks
+  c.cx(0, 1);
+  c.measure_all();
+  const Circuit out = optimize(c);
+  EXPECT_EQ(out.count_ops().at(GateKind::kCX), 2u);
+}
+
+TEST(Optimize, ConditionedOpsAreUntouchable) {
+  Circuit c = sim::circuits::teleportation(0.8);
+  const Circuit native = transpile::decompose(c);
+  const Circuit out = optimize(native);
+  EXPECT_TRUE(out.has_conditions());
+  EXPECT_TRUE(transpile::equivalent(c, out));
+}
+
+TEST(Optimize, PreservesBehaviourOnAllWorkloads) {
+  for (llm::AlgorithmId id : llm::all_algorithms()) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const Circuit circuit = qasm::build_circuit(llm::gold_program(task));
+    const Circuit native = transpile::decompose(circuit);
+    OptimizeStats stats;
+    const Circuit out = optimize(native, &stats);
+    EXPECT_LE(stats.gates_after, stats.gates_before);
+    EXPECT_TRUE(transpile::equivalent(circuit, out))
+        << llm::algorithm_name(id);
+  }
+}
+
+TEST(Optimize, ShrinksRoutedCircuits) {
+  // Routed SWAP chains next to CX gates create cancellation fodder.
+  llm::TaskSpec task;
+  task.algorithm = llm::AlgorithmId::kShorPeriodFinding;
+  const Circuit circuit = qasm::build_circuit(llm::gold_program(task));
+  const auto device = agents::DeviceTopology::linear(8);
+  const auto routed = transpile::transpile(circuit, device);
+  OptimizeStats stats;
+  const Circuit out = optimize(routed.circuit, &stats);
+  EXPECT_LT(stats.gates_after, stats.gates_before);
+}
+
+TEST(Draw, RendersWiresAndGates) {
+  const std::string art = sim::draw(sim::circuits::bell_pair());
+  EXPECT_NE(art.find("q0:"), std::string::npos);
+  EXPECT_NE(art.find("q1:"), std::string::npos);
+  EXPECT_NE(art.find("H"), std::string::npos);
+  EXPECT_NE(art.find("*"), std::string::npos);   // CX control
+  EXPECT_NE(art.find("X"), std::string::npos);   // CX target
+  EXPECT_NE(art.find("M0"), std::string::npos);
+  EXPECT_NE(art.find("M1"), std::string::npos);
+}
+
+TEST(Draw, LinesHaveEqualLength) {
+  const std::string art =
+      sim::draw(sim::circuits::grover(3, 5, 1));
+  std::size_t expected = 0;
+  std::istringstream stream(art);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (expected == 0) expected = line.size();
+    EXPECT_EQ(line.size(), expected) << line;
+  }
+}
+
+TEST(Draw, ConditionsAnnotated) {
+  const std::string art = sim::draw(sim::circuits::teleportation(0.5));
+  EXPECT_NE(art.find("?c1"), std::string::npos);
+  EXPECT_NE(art.find("?c0"), std::string::npos);
+}
+
+TEST(Draw, ParamsShown) {
+  sim::Circuit c(1, 1);
+  c.rz(0.25, 0);
+  c.measure(0, 0);
+  const std::string art = sim::draw(c);
+  EXPECT_NE(art.find("RZ(0.25)"), std::string::npos);
+}
+
+TEST(Draw, BarrierSpansAllWires) {
+  sim::Circuit c(2, 2);
+  c.h(0);
+  c.barrier();
+  c.x(1);
+  c.measure_all();
+  const std::string art = sim::draw(c);
+  // Both wires carry a '|' in the barrier column.
+  std::istringstream stream(art);
+  std::string l0, l1;
+  std::getline(stream, l0);
+  std::getline(stream, l1);
+  bool both = false;
+  for (std::size_t i = 0; i < std::min(l0.size(), l1.size()); ++i) {
+    if (l0[i] == '|' && l1[i] == '|') both = true;
+  }
+  EXPECT_TRUE(both);
+}
+
+}  // namespace
+}  // namespace qcgen

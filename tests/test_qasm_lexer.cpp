@@ -1,0 +1,134 @@
+// Tests for the QasmLite tokenizer.
+
+#include <gtest/gtest.h>
+
+#include "qasm/lexer.hpp"
+
+namespace qcgen::qasm {
+namespace {
+
+std::vector<TokenKind> kinds_of(const LexResult& result) {
+  std::vector<TokenKind> out;
+  for (const Token& t : result.tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const LexResult r = lex("");
+  ASSERT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kEof);
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  const LexResult r = lex("import circuit measure barrier reset if pi foo");
+  const auto kinds = kinds_of(r);
+  EXPECT_EQ(kinds[0], TokenKind::kKeywordImport);
+  EXPECT_EQ(kinds[1], TokenKind::kKeywordCircuit);
+  EXPECT_EQ(kinds[2], TokenKind::kKeywordMeasure);
+  EXPECT_EQ(kinds[3], TokenKind::kKeywordBarrier);
+  EXPECT_EQ(kinds[4], TokenKind::kKeywordReset);
+  EXPECT_EQ(kinds[5], TokenKind::kKeywordIf);
+  EXPECT_EQ(kinds[6], TokenKind::kKeywordPi);
+  EXPECT_EQ(kinds[7], TokenKind::kIdentifier);
+}
+
+TEST(Lexer, MeasureAllIsOneToken) {
+  const LexResult r = lex("measure_all;");
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kKeywordMeasureAll);
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kSemicolon);
+}
+
+TEST(Lexer, NumbersIncludingFloatsAndExponents) {
+  const LexResult r = lex("3 0.25 1e3 2.5E-2");
+  ASSERT_GE(r.tokens.size(), 4u);
+  EXPECT_DOUBLE_EQ(r.tokens[0].number, 3.0);
+  EXPECT_DOUBLE_EQ(r.tokens[1].number, 0.25);
+  EXPECT_DOUBLE_EQ(r.tokens[2].number, 1000.0);
+  EXPECT_DOUBLE_EQ(r.tokens[3].number, 0.025);
+}
+
+TEST(Lexer, ArrowVsMinus) {
+  const LexResult r = lex("-> - 5");
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kArrow);
+  EXPECT_EQ(r.tokens[1].kind, TokenKind::kMinus);
+  EXPECT_EQ(r.tokens[2].kind, TokenKind::kNumber);
+}
+
+TEST(Lexer, PunctuationCoverage) {
+  const LexResult r = lex("()[]{},;:.+*/==");
+  const auto kinds = kinds_of(r);
+  const TokenKind expected[] = {
+      TokenKind::kLParen,  TokenKind::kRParen,    TokenKind::kLBracket,
+      TokenKind::kRBracket, TokenKind::kLBrace,   TokenKind::kRBrace,
+      TokenKind::kComma,   TokenKind::kSemicolon, TokenKind::kColon,
+      TokenKind::kDot,     TokenKind::kPlus,      TokenKind::kStar,
+      TokenKind::kSlash,   TokenKind::kEqualEqual, TokenKind::kEof};
+  ASSERT_EQ(kinds.size(), std::size(expected));
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    EXPECT_EQ(kinds[i], expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  const LexResult r = lex("h q[0]; // trailing comment\n# full line\nx q[1];");
+  std::size_t identifiers = 0;
+  for (const Token& t : r.tokens) {
+    if (t.kind == TokenKind::kIdentifier) ++identifiers;
+  }
+  EXPECT_EQ(identifiers, 4u);  // h, q, x, q
+  EXPECT_TRUE(r.diagnostics.empty());
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const LexResult r = lex("h q[0];\n  cx q[0], q[1];");
+  // Second line starts with 'cx' at line 2, column 3.
+  const Token* cx = nullptr;
+  for (const Token& t : r.tokens) {
+    if (t.text == "cx") cx = &t;
+  }
+  ASSERT_NE(cx, nullptr);
+  EXPECT_EQ(cx->line, 2);
+  EXPECT_EQ(cx->column, 3);
+}
+
+TEST(Lexer, UnknownCharacterDiagnosed) {
+  const LexResult r = lex("h q[0] @;");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].code, DiagCode::kLexError);
+  EXPECT_EQ(r.diagnostics[0].severity, Severity::kError);
+}
+
+TEST(Lexer, SingleEqualsIsError) {
+  const LexResult r = lex("a = b");
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].code, DiagCode::kLexError);
+}
+
+TEST(Lexer, UnderscoredIdentifiers) {
+  const LexResult r = lex("my_gate_2 q[0];");
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(r.tokens[0].text, "my_gate_2");
+}
+
+TEST(DiagnosticHelpers, FormatErrorTrace) {
+  std::vector<Diagnostic> diags = {
+      {Severity::kError, DiagCode::kUnknownGate, "unknown gate 'foo'", 3, 2},
+      {Severity::kWarning, DiagCode::kUnusedQubit, "qubit 1 unused", 0, 0},
+  };
+  const std::string trace = format_error_trace(diags);
+  EXPECT_NE(trace.find("error[unknown-gate] at line 3:2"), std::string::npos);
+  EXPECT_NE(trace.find("warning[unused-qubit]"), std::string::npos);
+  EXPECT_TRUE(has_errors(diags));
+}
+
+TEST(DiagnosticHelpers, SyntacticClassification) {
+  EXPECT_TRUE(is_syntactic(DiagCode::kParseError));
+  EXPECT_TRUE(is_syntactic(DiagCode::kDeprecatedImport));
+  EXPECT_TRUE(is_syntactic(DiagCode::kWrongArity));
+  EXPECT_FALSE(is_syntactic(DiagCode::kNoMeasurement));
+  EXPECT_FALSE(is_syntactic(DiagCode::kUnusedQubit));
+}
+
+}  // namespace
+}  // namespace qcgen::qasm

@@ -1,0 +1,208 @@
+// Printer/builder tests including the print->parse round-trip property
+// over every gold program template.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "llm/templates.hpp"
+#include "qasm/analyzer.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen {
+namespace {
+
+using llm::AlgorithmId;
+using llm::TaskSpec;
+
+TEST(Printer, SimpleProgramLayout) {
+  const qasm::ParseResult parsed = qasm::parse(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; rz(pi/4) q[1]; "
+      "measure q[0] -> c[0]; }");
+  ASSERT_TRUE(parsed.ok());
+  const std::string printed = qasm::print_program(*parsed.program);
+  EXPECT_NE(printed.find("import qiskit;"), std::string::npos);
+  EXPECT_NE(printed.find("circuit main(q: 2, c: 2) {"), std::string::npos);
+  EXPECT_NE(printed.find("  h q[0];"), std::string::npos);
+  EXPECT_NE(printed.find("  rz(pi / 4) q[1];"), std::string::npos);
+  EXPECT_NE(printed.find("  measure q[0] -> c[0];"), std::string::npos);
+}
+
+TEST(Printer, ExpressionPrecedenceParenthesisation) {
+  using qasm::Expr;
+  // (1 + 2) * pi needs parens; 1 + 2 * pi does not.
+  const auto grouped = Expr::make_binary(
+      Expr::Kind::kMul,
+      Expr::make_binary(Expr::Kind::kAdd, Expr::make_number(1.0),
+                        Expr::make_number(2.0)),
+      Expr::make_pi());
+  EXPECT_EQ(qasm::print_expr(*grouped), "(1 + 2) * pi");
+  const auto flat = Expr::make_binary(
+      Expr::Kind::kAdd, Expr::make_number(1.0),
+      Expr::make_binary(Expr::Kind::kMul, Expr::make_number(2.0),
+                        Expr::make_pi()));
+  EXPECT_EQ(qasm::print_expr(*flat), "1 + 2 * pi");
+}
+
+TEST(Printer, NegationPrinting) {
+  using qasm::Expr;
+  const auto neg = Expr::make_unary(
+      Expr::Kind::kNeg,
+      Expr::make_binary(Expr::Kind::kDiv, Expr::make_pi(),
+                        Expr::make_number(2.0)));
+  const std::string s = qasm::print_expr(*neg);
+  // Must re-parse to the same value.
+  const auto reparsed = qasm::parse("import qiskit; circuit m(q: 1) { rz(" +
+                                    s + ") q[0]; }");
+  ASSERT_TRUE(reparsed.ok());
+  const auto& g = std::get<qasm::GateStmt>(reparsed.program->circuits[0].body[0]);
+  EXPECT_NEAR(g.params[0]->evaluate(), neg->evaluate(), 1e-12);
+}
+
+TEST(Printer, IfStatementRendering) {
+  TaskSpec task;
+  task.algorithm = AlgorithmId::kTeleportation;
+  const std::string printed = qasm::print_program(llm::gold_program(task));
+  EXPECT_NE(printed.find("if (c[1] == 1)"), std::string::npos);
+  EXPECT_NE(printed.find("    x q[2];"), std::string::npos);
+}
+
+// Property: print -> parse -> print is a fixed point, and the parsed
+// program builds a circuit with identical exact behaviour.
+class GoldRoundTrip : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(GoldRoundTrip, PrintParseRoundTrips) {
+  TaskSpec task;
+  task.algorithm = GetParam();
+  const qasm::Program gold = llm::gold_program(task);
+  const std::string printed = qasm::print_program(gold);
+
+  const qasm::ParseResult reparsed = qasm::parse(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << "\n"
+                             << qasm::format_error_trace(reparsed.diagnostics);
+  const std::string printed_again = qasm::print_program(*reparsed.program);
+  EXPECT_EQ(printed, printed_again);
+
+  // Analysis-clean.
+  const auto report = qasm::analyze(*reparsed.program);
+  EXPECT_TRUE(report.ok()) << printed << "\n"
+                           << qasm::format_error_trace(report.diagnostics);
+
+  // Behavioural equivalence of direct and round-tripped circuits.
+  const sim::Circuit direct = qasm::build_circuit(gold);
+  const sim::Circuit rebuilt = qasm::build_circuit(*reparsed.program);
+  const auto d1 = sim::exact_distribution(direct);
+  const auto d2 = sim::exact_distribution(rebuilt);
+  EXPECT_LT(total_variation_distance(d1, d2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlgorithms, GoldRoundTrip,
+    ::testing::ValuesIn(llm::all_algorithms()),
+    [](const auto& info) { return std::string(llm::algorithm_name(info.param)); });
+
+TEST(Builder, LowersConditionsAndMeasures) {
+  TaskSpec task;
+  task.algorithm = AlgorithmId::kTeleportation;
+  const sim::Circuit c = qasm::build_circuit(llm::gold_program(task));
+  EXPECT_TRUE(c.has_conditions());
+  EXPECT_EQ(c.num_qubits(), 3u);
+}
+
+TEST(Builder, RejectsProgramWithoutCircuit) {
+  qasm::Program empty;
+  EXPECT_THROW(qasm::build_circuit(empty), InvalidArgumentError);
+}
+
+TEST(Builder, CompileOrThrowOnBadSource) {
+  EXPECT_THROW(qasm::compile_or_throw("not a program"), InvalidArgumentError);
+  EXPECT_THROW(
+      qasm::compile_or_throw(
+          "import qiskit; circuit m(q: 1, c: 1) { h q[9]; measure_all; }"),
+      InvalidArgumentError);
+  const sim::Circuit ok = qasm::compile_or_throw(
+      "import qiskit; circuit m(q: 1, c: 1) { h q[0]; measure_all; }");
+  EXPECT_EQ(ok.num_qubits(), 1u);
+}
+
+TEST(GoldPrograms, BehaviouralSpotChecks) {
+  // DJ constant yields all-zeros deterministically.
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kDeutschJozsa;
+    t.params = {{"n", 3}, {"constant", 1}};
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_NEAR(d.at("000"), 1.0, 1e-9);
+  }
+  // Bernstein-Vazirani recovers the secret.
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kBernsteinVazirani;
+    t.params = {{"n", 4}, {"secret", 11}};
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_NEAR(d.at("1011"), 1.0, 1e-9);
+  }
+  // Shor period finding peaks at multiples of 2 (period 4 of 7 mod 15).
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kShorPeriodFinding;
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_NEAR(d.at("000") + d.at("010") + d.at("100") + d.at("110"), 1.0,
+                1e-9);
+    EXPECT_NEAR(d.at("010"), 0.25, 1e-9);
+  }
+  // GHZ parity oracle flips qubit 0 deterministically.
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kGhzParityOracle;
+    t.params = {{"n", 3}};
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_NEAR(d.at("1"), 1.0, 1e-9);
+  }
+  // Phase kickback flips the control.
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kPhaseKickback;
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_NEAR(d.at("1"), 1.0, 1e-9);
+  }
+  // Inverse QFT restores the input.
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kInverseQft;
+    t.params = {{"n", 3}, {"input", 1}};
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_NEAR(d.at("001"), 1.0, 1e-9);
+  }
+  // Annealing concentrates on the ferromagnetic ground states.
+  {
+    TaskSpec t;
+    t.algorithm = AlgorithmId::kQuantumAnnealing;
+    t.params = {{"n", 3}, {"steps", 4}};
+    const auto d = sim::exact_distribution(
+        qasm::build_circuit(llm::gold_program(t)));
+    EXPECT_GT(d.at("000") + d.at("111"), 0.5);
+  }
+}
+
+TEST(GoldPrograms, ParameterValidation) {
+  TaskSpec t;
+  t.algorithm = AlgorithmId::kGrover;
+  t.params = {{"n", 9}};
+  EXPECT_THROW(llm::gold_program(t), InvalidArgumentError);
+  t.algorithm = AlgorithmId::kGhz;
+  t.params = {{"n", 1}};
+  EXPECT_THROW(llm::gold_program(t), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qcgen

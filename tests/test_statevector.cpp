@@ -1,0 +1,275 @@
+// Unit and property tests for the dense state-vector simulator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen::sim {
+namespace {
+
+constexpr double kEps = 1e-10;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, kEps);
+  for (std::uint64_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(sv.amplitude(i)), 0.0, kEps);
+  }
+}
+
+TEST(StateVector, SizeLimits) {
+  EXPECT_THROW(StateVector(0), InvalidArgumentError);
+  EXPECT_THROW(StateVector(25), InvalidArgumentError);
+}
+
+TEST(StateVector, XFlipsBasisState) {
+  StateVector sv(2);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 0);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 1.0, kEps);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), 1.0, kEps);
+}
+
+TEST(StateVector, HadamardCreatesSuperposition) {
+  StateVector sv(1);
+  sv.apply_1q(gate_matrix_1q(GateKind::kH, {}), 0);
+  EXPECT_NEAR(sv.probability_one(0), 0.5, kEps);
+  EXPECT_NEAR(sv.norm(), 1.0, kEps);
+}
+
+TEST(StateVector, BellStateAmplitudes) {
+  StateVector sv(2);
+  sv.apply_1q(gate_matrix_1q(GateKind::kH, {}), 0);
+  sv.apply_controlled_1q(gate_matrix_1q(GateKind::kX, {}), 0, 1);
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), inv_sqrt2, kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(3)), inv_sqrt2, kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(1)), 0.0, kEps);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 0.0, kEps);
+}
+
+TEST(StateVector, CcxTruthTable) {
+  // CCX flips the target only when both controls are 1.
+  for (std::uint64_t input = 0; input < 8; ++input) {
+    StateVector sv(3);
+    for (std::size_t q = 0; q < 3; ++q) {
+      if ((input >> q) & 1ULL) sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), q);
+    }
+    sv.apply_cc_1q(gate_matrix_1q(GateKind::kX, {}), 0, 1, 2);
+    const std::uint64_t expected =
+        ((input & 3ULL) == 3ULL) ? (input ^ 4ULL) : input;
+    EXPECT_NEAR(std::abs(sv.amplitude(expected)), 1.0, kEps)
+        << "input " << input;
+  }
+}
+
+TEST(StateVector, SwapExchangesQubits) {
+  StateVector sv(2);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 0);  // |01>
+  sv.apply_swap(0, 1);
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, kEps);  // |10>
+}
+
+TEST(StateVector, CswapConditionalExchange) {
+  StateVector sv(3);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 1);  // |010>
+  sv.apply_cswap(0, 1, 2);                           // control 0 is |0>
+  EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, kEps);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 0);  // |011>
+  sv.apply_cswap(0, 1, 2);
+  EXPECT_NEAR(std::abs(sv.amplitude(5)), 1.0, kEps);  // |101>
+}
+
+TEST(StateVector, RzzPhases) {
+  const double theta = 0.7;
+  StateVector sv(2);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 0);  // |01>: anti-aligned
+  sv.apply_rzz(theta, 0, 1);
+  const Complex expected = std::exp(Complex(0, theta / 2));
+  EXPECT_NEAR(std::abs(sv.amplitude(1) - expected), 0.0, kEps);
+}
+
+TEST(StateVector, UnitaryPreservesNorm) {
+  StateVector sv(4);
+  Rng rng(3);
+  const GateKind one_q[] = {GateKind::kH, GateKind::kT, GateKind::kSX,
+                            GateKind::kRY};
+  for (int i = 0; i < 200; ++i) {
+    const GateKind kind = one_q[rng.uniform_int(std::uint64_t{4})];
+    std::vector<double> params(
+        static_cast<std::size_t>(gate_info(kind).num_params),
+        rng.uniform(0.0, 6.28));
+    sv.apply_1q(gate_matrix_1q(kind, params),
+                rng.uniform_int(std::uint64_t{4}));
+  }
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-8);
+}
+
+TEST(StateVector, MeasureCollapses) {
+  StateVector sv(1);
+  sv.apply_1q(gate_matrix_1q(GateKind::kH, {}), 0);
+  Rng rng(5);
+  const bool outcome = sv.measure(0, rng);
+  EXPECT_NEAR(sv.probability_one(0), outcome ? 1.0 : 0.0, kEps);
+  EXPECT_NEAR(sv.norm(), 1.0, kEps);
+}
+
+TEST(StateVector, MeasureDeterministicStates) {
+  StateVector sv(1);
+  Rng rng(1);
+  EXPECT_FALSE(sv.measure(0, rng));
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 0);
+  EXPECT_TRUE(sv.measure(0, rng));
+}
+
+TEST(StateVector, ResetToZero) {
+  StateVector sv(1);
+  sv.apply_1q(gate_matrix_1q(GateKind::kX, {}), 0);
+  Rng rng(1);
+  sv.reset(0, rng);
+  EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, kEps);
+}
+
+TEST(StateVector, AssignAmplitudesValidatesSize) {
+  StateVector sv(2);
+  EXPECT_THROW(sv.assign_amplitudes(std::vector<Complex>(3)),
+               InvalidArgumentError);
+}
+
+TEST(RunIdeal, BellPairCorrelations) {
+  const Counts counts = run_ideal(circuits::bell_pair(), RunOptions{4096, 1});
+  EXPECT_EQ(outcome_probability(counts, "01") +
+                outcome_probability(counts, "10"),
+            0.0);
+  EXPECT_NEAR(outcome_probability(counts, "00"), 0.5, 0.05);
+  EXPECT_NEAR(outcome_probability(counts, "11"), 0.5, 0.05);
+}
+
+TEST(RunIdeal, DeterministicGivenSeed) {
+  const Counts a = run_ideal(circuits::ghz(3), RunOptions{512, 42});
+  const Counts b = run_ideal(circuits::ghz(3), RunOptions{512, 42});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RunIdeal, DeutschJozsaSeparatesOracles) {
+  const Counts constant =
+      run_ideal(circuits::deutsch_jozsa(3, true), RunOptions{1024, 2});
+  EXPECT_NEAR(outcome_probability(constant, "000"), 1.0, 1e-9);
+  const Counts balanced =
+      run_ideal(circuits::deutsch_jozsa(3, false), RunOptions{1024, 2});
+  EXPECT_NEAR(outcome_probability(balanced, "000"), 0.0, 1e-9);
+}
+
+TEST(RunIdeal, GroverAmplifiesMarkedState) {
+  const Counts counts = run_ideal(circuits::grover(2, 2, 1), RunOptions{1024, 3});
+  // One Grover iteration on 2 qubits finds the marked state exactly.
+  EXPECT_NEAR(outcome_probability(counts, "10"), 1.0, 1e-9);
+}
+
+TEST(RunIdeal, BernsteinVaziraniRecoversSecret) {
+  const Counts counts =
+      run_ideal(circuits::bernstein_vazirani(0b110, 3), RunOptions{256, 4});
+  EXPECT_NEAR(outcome_probability(counts, "110"), 1.0, 1e-9);
+}
+
+TEST(RunIdeal, TeleportationPreservesPayload) {
+  const double theta = 1.234;
+  const Counts counts =
+      run_ideal(circuits::teleportation(theta), RunOptions{20000, 5});
+  // Marginal of the output qubit (leftmost character: clbit 2).
+  double p1 = 0.0;
+  double total = 0.0;
+  for (const auto& [key, count] : counts) {
+    total += static_cast<double>(count);
+    if (key[0] == '1') p1 += static_cast<double>(count);
+  }
+  p1 /= total;
+  const double expected = std::sin(theta / 2) * std::sin(theta / 2);
+  EXPECT_NEAR(p1, expected, 0.02);
+}
+
+TEST(ExactDistribution, MatchesSampledGhz) {
+  const Distribution exact = exact_distribution(circuits::ghz(3));
+  ASSERT_EQ(exact.size(), 2u);
+  EXPECT_NEAR(exact.at("000"), 0.5, kEps);
+  EXPECT_NEAR(exact.at("111"), 0.5, kEps);
+}
+
+TEST(ExactDistribution, TeleportationBranchEnumeration) {
+  const double theta = 0.9;
+  const Distribution exact =
+      exact_distribution(circuits::teleportation(theta));
+  double p1 = 0.0;
+  for (const auto& [key, p] : exact) {
+    if (key[0] == '1') p1 += p;
+  }
+  const double expected = std::sin(theta / 2) * std::sin(theta / 2);
+  EXPECT_NEAR(p1, expected, 1e-9);
+  // All four Bell branches occur with probability 1/4 each.
+  double total = 0.0;
+  for (const auto& [_, p] : exact) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ExactDistribution, EmptyForMeasurementFreeCircuit) {
+  const Distribution d = exact_distribution(circuits::qft(3));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ExactDistribution, QftOfBasisStateIsUniform) {
+  Circuit c = circuits::qft(3);
+  c.measure_all();
+  Circuit with_input(3, 3);
+  with_input.x(0);
+  with_input.compose(c);
+  const Distribution d = exact_distribution(with_input);
+  EXPECT_EQ(d.size(), 8u);
+  for (const auto& [_, p] : d) EXPECT_NEAR(p, 0.125, 1e-9);
+}
+
+class InverseQftTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InverseQftTest, QftIsUnitaryRoundTrip) {
+  // Property: applying QFT then its inverse restores the basis state.
+  const int n = GetParam();
+  for (std::uint64_t input = 0; input < (1ULL << n); ++input) {
+    Circuit c(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+    for (int q = 0; q < n; ++q) {
+      if ((input >> q) & 1ULL) c.x(static_cast<std::size_t>(q));
+    }
+    const Circuit fwd = circuits::qft(static_cast<std::size_t>(n));
+    c.compose(fwd);
+    // Inverse: reverse ops with negated parameters.
+    for (auto it = fwd.operations().rbegin(); it != fwd.operations().rend();
+         ++it) {
+      Operation inverse = *it;
+      if (inverse.kind == GateKind::kBarrier) continue;
+      for (double& p : inverse.params) p = -p;
+      c.append(inverse);
+    }
+    c.measure_all();
+    const Distribution d = exact_distribution(c);
+    std::string expected(static_cast<std::size_t>(n), '0');
+    for (int q = 0; q < n; ++q) {
+      if ((input >> q) & 1ULL) expected[static_cast<std::size_t>(n - 1 - q)] = '1';
+    }
+    ASSERT_NEAR(d.at(expected), 1.0, 1e-9) << "n=" << n << " input=" << input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InverseQftTest, ::testing::Values(1, 2, 3, 4));
+
+TEST(ToDistribution, NormalisesCounts) {
+  Counts counts{{"0", 25}, {"1", 75}};
+  const Distribution d = to_distribution(counts);
+  EXPECT_NEAR(d.at("0"), 0.25, kEps);
+  EXPECT_NEAR(d.at("1"), 0.75, kEps);
+}
+
+}  // namespace
+}  // namespace qcgen::sim

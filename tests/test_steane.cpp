@@ -1,0 +1,165 @@
+// Tests for the Steane [[7,1,3]] code.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "qec/steane.hpp"
+#include "sim/tableau.hpp"
+
+namespace qcgen::qec {
+namespace {
+
+TEST(Steane, StabilizerStructure) {
+  const SteaneCode code;
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(code.x_stabilizers()[k].size(), 4u);
+    EXPECT_EQ(code.z_stabilizers()[k].size(), 4u);
+  }
+  // Check k-th stabilizer covers qubits with bit k set in (index+1).
+  EXPECT_EQ(code.x_stabilizers()[0], (std::vector<std::size_t>{0, 2, 4, 6}));
+  EXPECT_EQ(code.x_stabilizers()[1], (std::vector<std::size_t>{1, 2, 5, 6}));
+  EXPECT_EQ(code.x_stabilizers()[2], (std::vector<std::size_t>{3, 4, 5, 6}));
+}
+
+TEST(Steane, SyndromeIdentifiesEverySingleError) {
+  const SteaneCode code;
+  for (std::size_t q = 0; q < SteaneCode::kNumQubits; ++q) {
+    std::vector<std::uint8_t> err(SteaneCode::kNumQubits, 0);
+    err[q] = 1;
+    const std::uint8_t syn = code.x_syndrome(err);
+    EXPECT_EQ(syn, static_cast<std::uint8_t>(q + 1));
+    EXPECT_EQ(code.correction_qubit(syn), q);
+  }
+}
+
+TEST(Steane, TrivialSyndromeMeansNoCorrection) {
+  const SteaneCode code;
+  EXPECT_EQ(code.correction_qubit(0), SteaneCode::kNumQubits);
+  EXPECT_THROW(code.correction_qubit(8), InvalidArgumentError);
+}
+
+TEST(Steane, CorrectsAllWeightOneErrorsPerfectly) {
+  // At very low p the failure rate must vanish quadratically: all single
+  // errors are corrected, so failures need >= 2 errors.
+  const SteaneCode code;
+  const double rate = code.logical_error_rate(0.001, 50000, 3);
+  EXPECT_LT(rate, 5e-4);
+}
+
+TEST(Steane, ErrorRateMonotonicInP) {
+  const SteaneCode code;
+  const double low = code.logical_error_rate(0.01, 20000, 5);
+  const double high = code.logical_error_rate(0.10, 20000, 5);
+  EXPECT_LT(low, high);
+}
+
+TEST(Steane, PseudoThresholdExists) {
+  // Below the pseudo-threshold the encoded error rate beats the raw
+  // physical rate.
+  const SteaneCode code;
+  const double p = 0.005;
+  const double encoded = code.logical_error_rate(p, 60000, 7);
+  EXPECT_LT(encoded, p);
+}
+
+TEST(Steane, EncodingCircuitStabilizesLogicalZero) {
+  // After the encoding circuit, every stabilizer generator measures +1:
+  // check via parity measurements on a tableau.
+  const SteaneCode code;
+  sim::Tableau tab(SteaneCode::kNumQubits);
+  Rng rng(1);
+  const sim::Circuit enc = code.encoding_circuit();
+  for (const auto& op : enc.operations()) {
+    if (op.kind == sim::GateKind::kMeasure ||
+        op.kind == sim::GateKind::kBarrier) {
+      continue;
+    }
+    tab.apply(op);
+  }
+  // Z-type stabilizers are Z-strings: expectation must be +1.
+  for (const auto& support : code.z_stabilizers()) {
+    std::vector<std::size_t> qubits(support.begin(), support.end());
+    EXPECT_EQ(tab.pauli_z_expectation(qubits), 1);
+  }
+  // Logical Z (all 7 qubits) must be +1 for logical |0>.
+  EXPECT_EQ(tab.pauli_z_expectation({0, 1, 2, 3, 4, 5, 6}), 1);
+}
+
+TEST(Steane, ErrorVectorSizeValidated) {
+  const SteaneCode code;
+  EXPECT_THROW(code.x_syndrome(std::vector<std::uint8_t>(5, 0)),
+               InvalidArgumentError);
+  EXPECT_THROW(code.z_syndrome(std::vector<std::uint8_t>(8, 0)),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qcgen::qec
+
+// --- Repetition code (same translation unit keeps the suite compact) ---
+
+#include "qec/repetition.hpp"
+
+namespace qcgen::qec {
+namespace {
+
+TEST(Repetition, ConstructionValidation) {
+  EXPECT_THROW(RepetitionCode(2), InvalidArgumentError);
+  EXPECT_THROW(RepetitionCode(1), InvalidArgumentError);
+  const RepetitionCode code(5);
+  EXPECT_EQ(code.num_data_qubits(), 5u);
+  EXPECT_EQ(code.num_stabilizers(), 4u);
+}
+
+TEST(Repetition, SyndromeLocalisesErrors) {
+  const RepetitionCode code(5);
+  std::vector<std::uint8_t> errors(5, 0);
+  errors[2] = 1;
+  const auto syn = code.syndrome(errors);
+  EXPECT_EQ(syn, (std::vector<std::uint8_t>{0, 1, 1, 0}));
+}
+
+TEST(Repetition, DecodesUpToHalfDistance) {
+  // Any error of weight <= (d-1)/2 must be corrected exactly.
+  const int d = 7;
+  const RepetitionCode code(d);
+  for (std::uint64_t mask = 0; mask < (1ULL << d); ++mask) {
+    if (__builtin_popcountll(mask) > (d - 1) / 2) continue;
+    std::vector<std::uint8_t> errors(static_cast<std::size_t>(d), 0);
+    for (int q = 0; q < d; ++q) errors[static_cast<std::size_t>(q)] =
+        static_cast<std::uint8_t>((mask >> q) & 1ULL);
+    auto residual = errors;
+    for (std::size_t q : code.decode(code.syndrome(errors))) residual[q] ^= 1;
+    for (auto b : residual) EXPECT_EQ(b, 0) << "mask " << mask;
+  }
+}
+
+TEST(Repetition, MajorityErrorsCauseLogicalFlip) {
+  const RepetitionCode code(3);
+  std::vector<std::uint8_t> errors = {1, 1, 0};
+  auto residual = errors;
+  for (std::size_t q : code.decode(code.syndrome(errors))) residual[q] ^= 1;
+  // Weight-2 error on d=3 exceeds the correction radius: full flip.
+  EXPECT_EQ(residual, (std::vector<std::uint8_t>{1, 1, 1}));
+}
+
+TEST(Repetition, LogicalRateSuppressedBelowHalf) {
+  const RepetitionCode d3(3);
+  const RepetitionCode d7(7);
+  const double p = 0.05;
+  const double r3 = d3.logical_error_rate(p, 40000, 3);
+  const double r7 = d7.logical_error_rate(p, 40000, 3);
+  EXPECT_LT(r3, p);        // pseudo-threshold
+  EXPECT_LT(r7, r3);       // distance helps
+  // d=3 corrects single errors: failure ~ 3 p^2 = 0.0075.
+  EXPECT_NEAR(r3, 3 * p * p, 0.003);
+}
+
+TEST(Repetition, AboveHalfNoiseCodeHurts) {
+  const RepetitionCode code(5);
+  const double r = code.logical_error_rate(0.7, 20000, 5);
+  EXPECT_GT(r, 0.7);  // majority vote amplifies errors past p = 1/2
+}
+
+}  // namespace
+}  // namespace qcgen::qec

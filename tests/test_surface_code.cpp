@@ -1,0 +1,200 @@
+// Structural tests for the rotated surface code and its matching graph.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "qec/matching_graph.hpp"
+#include "qec/surface_code.hpp"
+
+namespace qcgen::qec {
+namespace {
+
+class SurfaceCodeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(SurfaceCodeStructure, CountsMatchTheory) {
+  const int d = GetParam();
+  const SurfaceCode code = SurfaceCode::rotated(d);
+  EXPECT_EQ(code.distance(), d);
+  EXPECT_EQ(code.num_data_qubits(), static_cast<std::size_t>(d * d));
+  EXPECT_EQ(code.stabilizers().size(), static_cast<std::size_t>(d * d - 1));
+  EXPECT_EQ(code.num_stabilizers(PauliType::kX),
+            static_cast<std::size_t>((d * d - 1) / 2));
+  EXPECT_EQ(code.num_stabilizers(PauliType::kZ),
+            static_cast<std::size_t>((d * d - 1) / 2));
+}
+
+TEST_P(SurfaceCodeStructure, PlaquetteWeights) {
+  const SurfaceCode code = SurfaceCode::rotated(GetParam());
+  std::size_t weight2 = 0;
+  for (const Stabilizer& s : code.stabilizers()) {
+    ASSERT_TRUE(s.data_qubits.size() == 2 || s.data_qubits.size() == 4);
+    if (s.data_qubits.size() == 2) ++weight2;
+  }
+  // 2(d-1) boundary stabilizers of weight 2.
+  EXPECT_EQ(weight2, static_cast<std::size_t>(2 * (GetParam() - 1)));
+}
+
+TEST_P(SurfaceCodeStructure, EveryDataQubitCoveredByBothTypes) {
+  const SurfaceCode code = SurfaceCode::rotated(GetParam());
+  for (std::size_t q = 0; q < code.num_data_qubits(); ++q) {
+    const auto& x_owners = code.stabilizers_on_qubit(PauliType::kX, q);
+    const auto& z_owners = code.stabilizers_on_qubit(PauliType::kZ, q);
+    EXPECT_GE(x_owners.size(), 1u);
+    EXPECT_LE(x_owners.size(), 2u);
+    EXPECT_GE(z_owners.size(), 1u);
+    EXPECT_LE(z_owners.size(), 2u);
+  }
+}
+
+TEST_P(SurfaceCodeStructure, StabilizersCommute) {
+  // CSS commutation: every X stabilizer overlaps every Z stabilizer on an
+  // even number of data qubits.
+  const SurfaceCode code = SurfaceCode::rotated(GetParam());
+  for (std::size_t xi : code.stabilizer_indices(PauliType::kX)) {
+    for (std::size_t zi : code.stabilizer_indices(PauliType::kZ)) {
+      const auto& xs = code.stabilizers()[xi].data_qubits;
+      const auto& zs = code.stabilizers()[zi].data_qubits;
+      std::size_t overlap = 0;
+      for (std::size_t q : xs) {
+        if (std::find(zs.begin(), zs.end(), q) != zs.end()) ++overlap;
+      }
+      EXPECT_EQ(overlap % 2, 0u) << "X stab " << xi << " vs Z stab " << zi;
+    }
+  }
+}
+
+TEST_P(SurfaceCodeStructure, LogicalOperatorsValid) {
+  const int d = GetParam();
+  const SurfaceCode code = SurfaceCode::rotated(d);
+  EXPECT_EQ(code.logical_x_support().size(), static_cast<std::size_t>(d));
+  EXPECT_EQ(code.logical_z_support().size(), static_cast<std::size_t>(d));
+  // Logical X (X string) must commute with every Z stabilizer: even
+  // overlap with each Z plaquette.
+  for (std::size_t zi : code.stabilizer_indices(PauliType::kZ)) {
+    const auto& zs = code.stabilizers()[zi].data_qubits;
+    std::size_t overlap = 0;
+    for (std::size_t q : code.logical_x_support()) {
+      if (std::find(zs.begin(), zs.end(), q) != zs.end()) ++overlap;
+    }
+    EXPECT_EQ(overlap % 2, 0u);
+  }
+  // Logical Z must commute with every X stabilizer.
+  for (std::size_t xi : code.stabilizer_indices(PauliType::kX)) {
+    const auto& xs = code.stabilizers()[xi].data_qubits;
+    std::size_t overlap = 0;
+    for (std::size_t q : code.logical_z_support()) {
+      if (std::find(xs.begin(), xs.end(), q) != xs.end()) ++overlap;
+    }
+    EXPECT_EQ(overlap % 2, 0u);
+  }
+  // Logical X and Z anticommute: odd intersection.
+  std::size_t cross = 0;
+  for (std::size_t q : code.logical_x_support()) {
+    const auto& zsup = code.logical_z_support();
+    if (std::find(zsup.begin(), zsup.end(), q) != zsup.end()) ++cross;
+  }
+  EXPECT_EQ(cross % 2, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, SurfaceCodeStructure,
+                         ::testing::Values(3, 5, 7, 9));
+
+TEST(SurfaceCode, RejectsEvenOrSmallDistances) {
+  EXPECT_THROW(SurfaceCode::rotated(2), InvalidArgumentError);
+  EXPECT_THROW(SurfaceCode::rotated(4), InvalidArgumentError);
+  EXPECT_THROW(SurfaceCode::rotated(1), InvalidArgumentError);
+}
+
+TEST(SurfaceCode, DataIndexHelpers) {
+  const SurfaceCode code = SurfaceCode::rotated(3);
+  EXPECT_EQ(code.data_index(1, 2), 5u);
+  EXPECT_EQ(code.data_row(5), 1);
+  EXPECT_EQ(code.data_col(5), 2);
+  EXPECT_THROW(code.data_index(3, 0), InvalidArgumentError);
+}
+
+TEST(SurfaceCode, AsciiRenderingHasExpectedGlyphs) {
+  const std::string art = SurfaceCode::rotated(3).to_ascii();
+  EXPECT_NE(art.find('o'), std::string::npos);
+  EXPECT_NE(art.find('X'), std::string::npos);
+  EXPECT_NE(art.find('Z'), std::string::npos);
+}
+
+TEST(MatchingGraph, ConnectivityAndBoundaries) {
+  const SurfaceCode code = SurfaceCode::rotated(5);
+  for (PauliType type : {PauliType::kX, PauliType::kZ}) {
+    const MatchingGraph graph(code, type);
+    EXPECT_EQ(graph.num_nodes(), code.num_stabilizers(type));
+    for (std::size_t a = 0; a < graph.num_nodes(); ++a) {
+      EXPECT_GE(graph.boundary_distance(a), 1u);
+      for (std::size_t b = 0; b < graph.num_nodes(); ++b) {
+        EXPECT_LT(graph.distance(a, b), 100u) << "disconnected nodes";
+        EXPECT_EQ(graph.distance(a, b), graph.distance(b, a));
+      }
+    }
+  }
+}
+
+TEST(MatchingGraph, PathsCrossClaimedQubits) {
+  const SurfaceCode code = SurfaceCode::rotated(5);
+  const MatchingGraph graph(code, PauliType::kZ);
+  for (std::size_t a = 0; a < graph.num_nodes(); ++a) {
+    for (std::size_t b = 0; b < graph.num_nodes(); ++b) {
+      const auto path = graph.path_qubits(a, b);
+      EXPECT_EQ(path.size(), graph.distance(a, b));
+      // Path qubits must be distinct.
+      const std::set<std::size_t> unique(path.begin(), path.end());
+      EXPECT_EQ(unique.size(), path.size());
+    }
+    const auto bpath = graph.boundary_path_qubits(a);
+    EXPECT_EQ(bpath.size(), graph.boundary_distance(a));
+  }
+}
+
+TEST(MatchingGraph, PathConnectsEndpointSyndromes) {
+  // Property: flipping errors along path_qubits(a, b) produces syndrome
+  // defects exactly at plaquettes a and b.
+  const SurfaceCode code = SurfaceCode::rotated(5);
+  const MatchingGraph graph(code, PauliType::kZ);
+  const auto& z_list = code.stabilizer_indices(PauliType::kZ);
+  for (std::size_t a = 0; a < graph.num_nodes(); a += 3) {
+    for (std::size_t b = 0; b < graph.num_nodes(); b += 4) {
+      if (a == b) continue;
+      std::vector<std::uint8_t> syndrome(z_list.size(), 0);
+      for (std::size_t q : graph.path_qubits(a, b)) {
+        for (std::size_t pos : code.stabilizers_on_qubit(PauliType::kZ, q)) {
+          syndrome[pos] ^= 1;
+        }
+      }
+      for (std::size_t pos = 0; pos < syndrome.size(); ++pos) {
+        const bool expect_defect = (pos == a || pos == b);
+        EXPECT_EQ(syndrome[pos] != 0, expect_defect)
+            << "a=" << a << " b=" << b << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(MatchingGraph, BoundaryPathTerminatesCleanly) {
+  // Flipping errors along a boundary path creates exactly one defect.
+  const SurfaceCode code = SurfaceCode::rotated(5);
+  const MatchingGraph graph(code, PauliType::kX);
+  const auto& x_list = code.stabilizer_indices(PauliType::kX);
+  for (std::size_t a = 0; a < graph.num_nodes(); ++a) {
+    std::vector<std::uint8_t> syndrome(x_list.size(), 0);
+    for (std::size_t q : graph.boundary_path_qubits(a)) {
+      for (std::size_t pos : code.stabilizers_on_qubit(PauliType::kX, q)) {
+        syndrome[pos] ^= 1;
+      }
+    }
+    std::size_t defects = 0;
+    for (auto s : syndrome) defects += s;
+    EXPECT_EQ(defects, 1u);
+    EXPECT_EQ(syndrome[a], 1);
+  }
+}
+
+}  // namespace
+}  // namespace qcgen::qec

@@ -1,0 +1,208 @@
+// Tests for the stabilizer tableau simulator, including cross-validation
+// against the dense state-vector simulator on Clifford circuits.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/statevector.hpp"
+#include "sim/tableau.hpp"
+
+namespace qcgen::sim {
+namespace {
+
+TEST(Tableau, InitialStabilizers) {
+  Tableau tab(3);
+  const auto stabs = tab.stabilizer_strings();
+  ASSERT_EQ(stabs.size(), 3u);
+  EXPECT_EQ(stabs[0], "+Z__");
+  EXPECT_EQ(stabs[1], "+_Z_");
+  EXPECT_EQ(stabs[2], "+__Z");
+}
+
+TEST(Tableau, MeasureZeroStateIsDeterministic) {
+  Tableau tab(2);
+  Rng rng(1);
+  EXPECT_TRUE(tab.is_deterministic(0));
+  EXPECT_FALSE(tab.deterministic_outcome(0));
+  EXPECT_FALSE(tab.measure(0, rng));
+}
+
+TEST(Tableau, XFlipsMeasurement) {
+  Tableau tab(1);
+  tab.x(0);
+  Rng rng(1);
+  EXPECT_TRUE(tab.is_deterministic(0));
+  EXPECT_TRUE(tab.deterministic_outcome(0));
+  EXPECT_TRUE(tab.measure(0, rng));
+}
+
+TEST(Tableau, HadamardMakesMeasurementRandom) {
+  Tableau tab(1);
+  tab.h(0);
+  EXPECT_FALSE(tab.is_deterministic(0));
+  EXPECT_THROW(tab.deterministic_outcome(0), InvalidArgumentError);
+  // After measurement, the outcome repeats deterministically.
+  Rng rng(7);
+  const bool first = tab.measure(0, rng);
+  EXPECT_TRUE(tab.is_deterministic(0));
+  EXPECT_EQ(tab.measure(0, rng), first);
+}
+
+TEST(Tableau, HadamardOutcomesAreBalanced) {
+  Rng rng(11);
+  int ones = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    Tableau tab(1);
+    tab.h(0);
+    ones += tab.measure(0, rng);
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / trials, 0.5, 0.03);
+}
+
+TEST(Tableau, BellPairCorrelation) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    Tableau tab(2);
+    tab.h(0);
+    tab.cx(0, 1);
+    const bool a = tab.measure(0, rng);
+    const bool b = tab.measure(1, rng);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Tableau, GhzStabilizerStructure) {
+  Tableau tab(3);
+  tab.h(0);
+  tab.cx(0, 1);
+  tab.cx(1, 2);
+  // Parity of any two qubits is +1 deterministically: ZZ_ stabilizer.
+  EXPECT_EQ(tab.pauli_z_expectation({0, 1}), 1);
+  EXPECT_EQ(tab.pauli_z_expectation({1, 2}), 1);
+  EXPECT_EQ(tab.pauli_z_expectation({0, 2}), 1);
+  // Single-qubit Z is random.
+  EXPECT_EQ(tab.pauli_z_expectation({0}), 0);
+}
+
+TEST(Tableau, PauliGatesComposeToIdentity) {
+  Tableau tab(1);
+  tab.x(0);
+  tab.y(0);
+  tab.z(0);
+  // XYZ = iI: global phase only, outcome deterministic zero.
+  Rng rng(1);
+  EXPECT_FALSE(tab.measure(0, rng));
+}
+
+TEST(Tableau, SdgIsInverseOfS) {
+  Tableau tab(1);
+  tab.h(0);
+  tab.s(0);
+  tab.sdg(0);
+  tab.h(0);
+  Rng rng(1);
+  EXPECT_FALSE(tab.measure(0, rng));
+}
+
+TEST(Tableau, CzSymmetric) {
+  // CZ is symmetric: conjugating X_0 gives X_0 Z_1 regardless of order.
+  Tableau a(2), b(2);
+  a.h(0);
+  a.cz(0, 1);
+  b.h(0);
+  b.cz(1, 0);
+  EXPECT_EQ(a.stabilizer_strings(), b.stabilizer_strings());
+}
+
+TEST(Tableau, SwapMovesState) {
+  Tableau tab(2);
+  tab.x(0);
+  tab.swap(0, 1);
+  Rng rng(1);
+  EXPECT_FALSE(tab.measure(0, rng));
+  EXPECT_TRUE(tab.measure(1, rng));
+}
+
+TEST(Tableau, ResetRestoresZero) {
+  Tableau tab(1);
+  tab.h(0);
+  Rng rng(3);
+  tab.reset(0, rng);
+  EXPECT_TRUE(tab.is_deterministic(0));
+  EXPECT_FALSE(tab.deterministic_outcome(0));
+}
+
+TEST(Tableau, RejectsNonClifford) {
+  Tableau tab(1);
+  Operation op;
+  op.kind = GateKind::kT;
+  op.qubits = {0};
+  EXPECT_THROW(tab.apply(op), InvalidArgumentError);
+}
+
+TEST(Tableau, LargeRegisterWorks) {
+  // Exercise the multi-word bit packing (> 64 qubits).
+  const std::size_t n = 130;
+  Tableau tab(n);
+  tab.h(0);
+  for (std::size_t q = 1; q < n; ++q) tab.cx(q - 1, q);
+  Rng rng(17);
+  const bool first = tab.measure(0, rng);
+  for (std::size_t q = 1; q < n; ++q) {
+    EXPECT_EQ(tab.measure(q, rng), first) << "qubit " << q;
+  }
+}
+
+// Cross-validation: tableau vs state-vector on random Clifford circuits.
+class CliffordCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliffordCrossValidation, DistributionsAgree) {
+  const int seed = GetParam();
+  Rng circuit_rng(static_cast<std::uint64_t>(seed));
+  const std::size_t n = 4;
+  Circuit circuit(n, n);
+  const GateKind pool[] = {GateKind::kH, GateKind::kS,  GateKind::kX,
+                           GateKind::kZ, GateKind::kCX, GateKind::kCZ,
+                           GateKind::kSwap};
+  for (int i = 0; i < 24; ++i) {
+    const GateKind kind = pool[circuit_rng.uniform_int(std::uint64_t{7})];
+    Operation op;
+    op.kind = kind;
+    const std::size_t a = circuit_rng.uniform_int(std::uint64_t{n});
+    if (gate_info(kind).num_qubits == 2) {
+      std::size_t b = circuit_rng.uniform_int(std::uint64_t{n});
+      while (b == a) b = circuit_rng.uniform_int(std::uint64_t{n});
+      op.qubits = {a, b};
+    } else {
+      op.qubits = {a};
+    }
+    circuit.append(op);
+  }
+  circuit.measure_all();
+
+  const Distribution exact = exact_distribution(circuit);
+
+  // Tableau sampling.
+  Counts tableau_counts;
+  Tableau tab(n);
+  Rng rng(99);
+  const std::size_t shots = 20000;
+  for (std::size_t s = 0; s < shots; ++s) {
+    const auto bits = run_tableau_trajectory(circuit, tab, rng);
+    std::string key(n, '0');
+    for (std::size_t c = 0; c < n; ++c) {
+      if (bits[c]) key[n - 1 - c] = '1';
+    }
+    ++tableau_counts[key];
+  }
+  EXPECT_LT(total_variation_distance(to_distribution(tableau_counts), exact),
+            0.03)
+      << circuit.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCliffords, CliffordCrossValidation,
+                         ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace qcgen::sim

@@ -1,0 +1,235 @@
+// Tests for the transpiler: decomposition correctness, layout quality,
+// routing validity, and end-to-end behavioural equivalence.
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "llm/templates.hpp"
+#include "qasm/builder.hpp"
+#include "sim/statevector.hpp"
+#include "transpile/transpiler.hpp"
+
+namespace qcgen::transpile {
+namespace {
+
+using agents::DeviceTopology;
+using sim::Circuit;
+using sim::GateKind;
+
+bool all_native(const Circuit& c) {
+  for (const auto& op : c.operations()) {
+    if (!is_native(op.kind)) return false;
+  }
+  return true;
+}
+
+bool respects_coupling(const Circuit& c, const DeviceTopology& device) {
+  for (const auto& op : c.operations()) {
+    if (op.kind == GateKind::kBarrier || op.qubits.size() < 2) continue;
+    if (!device.are_coupled(op.qubits[0], op.qubits[1])) return false;
+  }
+  return true;
+}
+
+// --- Decomposition ----------------------------------------------------
+
+class DecomposeGate : public ::testing::TestWithParam<GateKind> {};
+
+TEST_P(DecomposeGate, PreservesBehaviourExactly) {
+  // Property: applying the gate to a random-ish entangled input state and
+  // measuring must match the decomposed version exactly.
+  const GateKind kind = GetParam();
+  const sim::GateInfo& gi = sim::gate_info(kind);
+  const std::size_t arity = static_cast<std::size_t>(gi.num_qubits);
+  const std::size_t n = std::max<std::size_t>(arity, 2);
+
+  Circuit original(n, n);
+  // Entangling preamble so phases matter.
+  original.h(0);
+  for (std::size_t q = 1; q < n; ++q) original.cx(q - 1, q);
+  original.t(0);
+  sim::Operation op;
+  op.kind = kind;
+  for (std::size_t q = 0; q < arity; ++q) op.qubits.push_back(q);
+  for (int p = 0; p < gi.num_params; ++p) op.params.push_back(0.37 * (p + 1));
+  original.append(op);
+  original.h(0);
+  original.measure_all();
+
+  const Circuit native = decompose(original);
+  EXPECT_TRUE(all_native(native)) << sim::gate_name(kind);
+  EXPECT_TRUE(equivalent(original, native)) << sim::gate_name(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnitaries, DecomposeGate,
+    ::testing::Values(GateKind::kY, GateKind::kZ, GateKind::kH, GateKind::kS,
+                      GateKind::kSdg, GateKind::kT, GateKind::kTdg,
+                      GateKind::kRX, GateKind::kRY, GateKind::kRZ,
+                      GateKind::kPhase, GateKind::kU, GateKind::kCY,
+                      GateKind::kCZ, GateKind::kCPhase, GateKind::kSwap,
+                      GateKind::kCCX, GateKind::kCSwap, GateKind::kRZZ),
+    [](const auto& info) { return std::string(sim::gate_name(info.param)); });
+
+TEST(Decompose, PreservesConditions) {
+  Circuit c = sim::circuits::teleportation(0.9);
+  const Circuit native = decompose(c);
+  EXPECT_TRUE(all_native(native));
+  EXPECT_TRUE(native.has_conditions());
+  EXPECT_TRUE(equivalent(c, native));
+}
+
+TEST(Decompose, GoldProgramsStayEquivalent) {
+  for (llm::AlgorithmId id : llm::all_algorithms()) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const Circuit circuit = qasm::build_circuit(llm::gold_program(task));
+    const Circuit native = decompose(circuit);
+    EXPECT_TRUE(all_native(native)) << llm::algorithm_name(id);
+    EXPECT_TRUE(equivalent(circuit, native)) << llm::algorithm_name(id);
+  }
+}
+
+TEST(Decompose, TwoQubitCostModel) {
+  sim::Operation swap;
+  swap.kind = GateKind::kSwap;
+  swap.qubits = {0, 1};
+  EXPECT_EQ(two_qubit_cost(swap), 3u);
+  sim::Operation ccx;
+  ccx.kind = GateKind::kCCX;
+  ccx.qubits = {0, 1, 2};
+  EXPECT_EQ(two_qubit_cost(ccx), 6u);
+  sim::Operation h;
+  h.kind = GateKind::kH;
+  h.qubits = {0};
+  EXPECT_EQ(two_qubit_cost(h), 0u);
+}
+
+// --- Layout -----------------------------------------------------------
+
+TEST(Layout, TrivialIsIdentity) {
+  const Layout layout = trivial_layout(4);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(layout.physical(i), i);
+  EXPECT_EQ(layout.logical_of(2, 10), 2u);
+  EXPECT_EQ(layout.logical_of(7, 10), 10u);  // unused physical
+}
+
+TEST(Layout, BestLayoutEmbedsChainPerfectly) {
+  // A GHZ chain on a linear device embeds with zero routing cost (the
+  // identity layout is optimal; best_layout must find it even when the
+  // greedy heuristic scatters the chain).
+  const Circuit c = decompose(sim::circuits::ghz(5));
+  const DeviceTopology device = DeviceTopology::linear(5);
+  EXPECT_EQ(layout_cost(c, device, best_layout(c, device)), 0u);
+}
+
+TEST(Layout, GreedyBeatsTrivialOnScatteredCircuit) {
+  // A circuit entangling qubit 0 with qubit 5 repeatedly: trivial layout
+  // pays distance, greedy should place them adjacent.
+  Circuit c(6, 6);
+  for (int i = 0; i < 4; ++i) c.cx(0, 5);
+  c.measure_all();
+  const DeviceTopology device = DeviceTopology::linear(6);
+  const std::size_t trivial_cost =
+      layout_cost(c, device, trivial_layout(6));
+  const std::size_t greedy_cost =
+      layout_cost(c, device, greedy_layout(c, device));
+  EXPECT_LT(greedy_cost, trivial_cost);
+  // And best_layout can never do worse than either.
+  EXPECT_LE(layout_cost(c, device, best_layout(c, device)), greedy_cost);
+}
+
+TEST(Layout, RejectsOversizedCircuit) {
+  Circuit c(10, 10);
+  c.h(0);
+  EXPECT_THROW(greedy_layout(c, DeviceTopology::linear(4)),
+               InvalidArgumentError);
+}
+
+// --- Routing ----------------------------------------------------------
+
+TEST(Router, AdjacentGatesNeedNoSwaps) {
+  const Circuit c = decompose(sim::circuits::ghz(4));
+  const DeviceTopology device = DeviceTopology::linear(4);
+  const RoutedCircuit routed = route(c, device, trivial_layout(4));
+  EXPECT_EQ(routed.swaps_inserted, 0u);
+  EXPECT_TRUE(respects_coupling(routed.circuit, device));
+}
+
+TEST(Router, InsertsSwapsForDistantPairs) {
+  Circuit c(4, 4);
+  c.h(0);
+  c.cx(0, 3);  // distance 3 on a line
+  c.measure_all();
+  const DeviceTopology device = DeviceTopology::linear(4);
+  const RoutedCircuit routed =
+      route(decompose(c), device, trivial_layout(4));
+  EXPECT_GE(routed.swaps_inserted, 1u);
+  EXPECT_TRUE(respects_coupling(routed.circuit, device));
+  EXPECT_TRUE(equivalent(c, routed.circuit));
+}
+
+TEST(Router, RejectsUndecomposedInput) {
+  Circuit c(3, 3);
+  c.ccx(0, 1, 2);
+  EXPECT_THROW(route(c, DeviceTopology::linear(3), trivial_layout(3)),
+               InvalidArgumentError);
+}
+
+// --- End-to-end -------------------------------------------------------
+
+class TranspileGold : public ::testing::TestWithParam<llm::AlgorithmId> {};
+
+TEST_P(TranspileGold, EquivalentOnGridDevice) {
+  llm::TaskSpec task;
+  task.algorithm = GetParam();
+  const Circuit circuit = qasm::build_circuit(llm::gold_program(task));
+  if (circuit.num_qubits() > 9) GTEST_SKIP() << "needs a bigger grid";
+  const DeviceTopology device = DeviceTopology::grid(3, 3);
+  const TranspileResult result = transpile(circuit, device);
+  EXPECT_TRUE(all_native(result.circuit));
+  EXPECT_TRUE(respects_coupling(result.circuit, device));
+  EXPECT_TRUE(equivalent(circuit, result.circuit))
+      << llm::algorithm_name(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, TranspileGold,
+    ::testing::Values(llm::AlgorithmId::kBellPair, llm::AlgorithmId::kGhz,
+                      llm::AlgorithmId::kDeutschJozsa,
+                      llm::AlgorithmId::kGrover, llm::AlgorithmId::kQft,
+                      llm::AlgorithmId::kTeleportation,
+                      llm::AlgorithmId::kShorPeriodFinding,
+                      llm::AlgorithmId::kQuantumAnnealing),
+    [](const auto& info) {
+      return std::string(llm::algorithm_name(info.param));
+    });
+
+TEST(Transpile, MetricsArePopulated) {
+  const Circuit circuit = sim::circuits::grover(3, 5, 1);
+  const DeviceTopology device = DeviceTopology::grid(3, 3);
+  const TranspileResult result = transpile(circuit, device);
+  EXPECT_GT(result.depth_after, 0u);
+  EXPECT_GT(result.native_two_qubit_gates, 0u);
+  EXPECT_EQ(result.initial_layout.physical_of.size(), 3u);
+}
+
+TEST(Transpile, GreedyLayoutNoWorseThanTrivialOnHeavyHex) {
+  const Circuit circuit = sim::circuits::ghz(6);
+  const DeviceTopology device = DeviceTopology::heavy_hex(2, 2);
+  const TranspileResult greedy =
+      transpile(circuit, device, LayoutStrategy::kGreedy);
+  const TranspileResult trivial =
+      transpile(circuit, device, LayoutStrategy::kTrivial);
+  EXPECT_LE(greedy.swaps_inserted, trivial.swaps_inserted);
+}
+
+TEST(Transpile, RejectsOversizedCircuit) {
+  Circuit big(10, 10);
+  big.h(0);
+  EXPECT_THROW(transpile(big, DeviceTopology::grid(2, 2)),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace qcgen::transpile
