@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_decoders.dir/bench_ablation_decoders.cpp.o"
+  "CMakeFiles/bench_ablation_decoders.dir/bench_ablation_decoders.cpp.o.d"
+  "bench_ablation_decoders"
+  "bench_ablation_decoders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_decoders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rag.dir/bench_ablation_rag.cpp.o"
+  "CMakeFiles/bench_ablation_rag.dir/bench_ablation_rag.cpp.o.d"
+  "bench_ablation_rag"
+  "bench_ablation_rag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_taxonomy.dir/bench_error_taxonomy.cpp.o"
+  "CMakeFiles/bench_error_taxonomy.dir/bench_error_taxonomy.cpp.o.d"
+  "bench_error_taxonomy"
+  "bench_error_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_syndromes.dir/bench_fig2_syndromes.cpp.o"
+  "CMakeFiles/bench_fig2_syndromes.dir/bench_fig2_syndromes.cpp.o.d"
+  "bench_fig2_syndromes"
+  "bench_fig2_syndromes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_syndromes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_qec_dj.dir/bench_fig4_qec_dj.cpp.o"
+  "CMakeFiles/bench_fig4_qec_dj.dir/bench_fig4_qec_dj.cpp.o.d"
+  "bench_fig4_qec_dj"
+  "bench_fig4_qec_dj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_qec_dj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_syn_sem_split.dir/bench_syn_sem_split.cpp.o"
+  "CMakeFiles/bench_syn_sem_split.dir/bench_syn_sem_split.cpp.o.d"
+  "bench_syn_sem_split"
+  "bench_syn_sem_split.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_syn_sem_split.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

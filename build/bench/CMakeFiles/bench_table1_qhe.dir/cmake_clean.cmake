@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_qhe.dir/bench_table1_qhe.cpp.o"
+  "CMakeFiles/bench_table1_qhe.dir/bench_table1_qhe.cpp.o.d"
+  "bench_table1_qhe"
+  "bench_table1_qhe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_qhe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_tolerant_dj.dir/fault_tolerant_dj.cpp.o"
+  "CMakeFiles/fault_tolerant_dj.dir/fault_tolerant_dj.cpp.o.d"
+  "fault_tolerant_dj"
+  "fault_tolerant_dj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_tolerant_dj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

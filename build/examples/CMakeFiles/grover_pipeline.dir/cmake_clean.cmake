@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grover_pipeline.dir/grover_pipeline.cpp.o"
+  "CMakeFiles/grover_pipeline.dir/grover_pipeline.cpp.o.d"
+  "grover_pipeline"
+  "grover_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grover_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

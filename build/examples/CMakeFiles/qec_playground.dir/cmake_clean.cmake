@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qec_playground.dir/qec_playground.cpp.o"
+  "CMakeFiles/qec_playground.dir/qec_playground.cpp.o.d"
+  "qec_playground"
+  "qec_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qec_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

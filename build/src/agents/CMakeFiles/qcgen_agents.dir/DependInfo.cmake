@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/codegen_agent.cpp" "src/agents/CMakeFiles/qcgen_agents.dir/codegen_agent.cpp.o" "gcc" "src/agents/CMakeFiles/qcgen_agents.dir/codegen_agent.cpp.o.d"
+  "/root/repo/src/agents/pipeline.cpp" "src/agents/CMakeFiles/qcgen_agents.dir/pipeline.cpp.o" "gcc" "src/agents/CMakeFiles/qcgen_agents.dir/pipeline.cpp.o.d"
+  "/root/repo/src/agents/qec_agent.cpp" "src/agents/CMakeFiles/qcgen_agents.dir/qec_agent.cpp.o" "gcc" "src/agents/CMakeFiles/qcgen_agents.dir/qec_agent.cpp.o.d"
+  "/root/repo/src/agents/semantic_agent.cpp" "src/agents/CMakeFiles/qcgen_agents.dir/semantic_agent.cpp.o" "gcc" "src/agents/CMakeFiles/qcgen_agents.dir/semantic_agent.cpp.o.d"
+  "/root/repo/src/agents/topology.cpp" "src/agents/CMakeFiles/qcgen_agents.dir/topology.cpp.o" "gcc" "src/agents/CMakeFiles/qcgen_agents.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/qcgen_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qcgen_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/qcgen_qec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_agents.dir/codegen_agent.cpp.o"
+  "CMakeFiles/qcgen_agents.dir/codegen_agent.cpp.o.d"
+  "CMakeFiles/qcgen_agents.dir/pipeline.cpp.o"
+  "CMakeFiles/qcgen_agents.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qcgen_agents.dir/qec_agent.cpp.o"
+  "CMakeFiles/qcgen_agents.dir/qec_agent.cpp.o.d"
+  "CMakeFiles/qcgen_agents.dir/semantic_agent.cpp.o"
+  "CMakeFiles/qcgen_agents.dir/semantic_agent.cpp.o.d"
+  "CMakeFiles/qcgen_agents.dir/topology.cpp.o"
+  "CMakeFiles/qcgen_agents.dir/topology.cpp.o.d"
+  "libqcgen_agents.a"
+  "libqcgen_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

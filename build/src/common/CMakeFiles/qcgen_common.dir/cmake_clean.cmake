@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_common.dir/json.cpp.o"
+  "CMakeFiles/qcgen_common.dir/json.cpp.o.d"
+  "CMakeFiles/qcgen_common.dir/logging.cpp.o"
+  "CMakeFiles/qcgen_common.dir/logging.cpp.o.d"
+  "CMakeFiles/qcgen_common.dir/rng.cpp.o"
+  "CMakeFiles/qcgen_common.dir/rng.cpp.o.d"
+  "CMakeFiles/qcgen_common.dir/stats.cpp.o"
+  "CMakeFiles/qcgen_common.dir/stats.cpp.o.d"
+  "CMakeFiles/qcgen_common.dir/strings.cpp.o"
+  "CMakeFiles/qcgen_common.dir/strings.cpp.o.d"
+  "CMakeFiles/qcgen_common.dir/table.cpp.o"
+  "CMakeFiles/qcgen_common.dir/table.cpp.o.d"
+  "libqcgen_common.a"
+  "libqcgen_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

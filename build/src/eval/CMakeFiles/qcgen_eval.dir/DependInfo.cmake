@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/judge.cpp" "src/eval/CMakeFiles/qcgen_eval.dir/judge.cpp.o" "gcc" "src/eval/CMakeFiles/qcgen_eval.dir/judge.cpp.o.d"
+  "/root/repo/src/eval/runner.cpp" "src/eval/CMakeFiles/qcgen_eval.dir/runner.cpp.o" "gcc" "src/eval/CMakeFiles/qcgen_eval.dir/runner.cpp.o.d"
+  "/root/repo/src/eval/suite.cpp" "src/eval/CMakeFiles/qcgen_eval.dir/suite.cpp.o" "gcc" "src/eval/CMakeFiles/qcgen_eval.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/qcgen_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qcgen_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/qcgen_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/qcgen_qec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_eval.dir/judge.cpp.o"
+  "CMakeFiles/qcgen_eval.dir/judge.cpp.o.d"
+  "CMakeFiles/qcgen_eval.dir/runner.cpp.o"
+  "CMakeFiles/qcgen_eval.dir/runner.cpp.o.d"
+  "CMakeFiles/qcgen_eval.dir/suite.cpp.o"
+  "CMakeFiles/qcgen_eval.dir/suite.cpp.o.d"
+  "libqcgen_eval.a"
+  "libqcgen_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

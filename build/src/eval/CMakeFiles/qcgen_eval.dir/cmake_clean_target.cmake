@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqcgen_eval.a"
+)

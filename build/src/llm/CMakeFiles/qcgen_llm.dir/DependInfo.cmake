@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llm/corpus.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/corpus.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/corpus.cpp.o.d"
+  "/root/repo/src/llm/cot.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/cot.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/cot.cpp.o.d"
+  "/root/repo/src/llm/finetune.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/finetune.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/finetune.cpp.o.d"
+  "/root/repo/src/llm/knowledge.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/knowledge.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/knowledge.cpp.o.d"
+  "/root/repo/src/llm/passk.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/passk.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/passk.cpp.o.d"
+  "/root/repo/src/llm/simlm.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/simlm.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/simlm.cpp.o.d"
+  "/root/repo/src/llm/tasks.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/tasks.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/tasks.cpp.o.d"
+  "/root/repo/src/llm/templates.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/templates.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/templates.cpp.o.d"
+  "/root/repo/src/llm/tokenizer.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/tokenizer.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/tokenizer.cpp.o.d"
+  "/root/repo/src/llm/vectorstore.cpp" "src/llm/CMakeFiles/qcgen_llm.dir/vectorstore.cpp.o" "gcc" "src/llm/CMakeFiles/qcgen_llm.dir/vectorstore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qcgen_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcgen_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_llm.dir/corpus.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/corpus.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/cot.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/cot.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/finetune.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/finetune.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/knowledge.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/knowledge.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/passk.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/passk.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/simlm.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/simlm.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/tasks.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/tasks.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/templates.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/templates.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/tokenizer.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/qcgen_llm.dir/vectorstore.cpp.o"
+  "CMakeFiles/qcgen_llm.dir/vectorstore.cpp.o.d"
+  "libqcgen_llm.a"
+  "libqcgen_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qasm/analyzer.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/analyzer.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/analyzer.cpp.o.d"
+  "/root/repo/src/qasm/builder.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/builder.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/builder.cpp.o.d"
+  "/root/repo/src/qasm/language.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/language.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/language.cpp.o.d"
+  "/root/repo/src/qasm/lexer.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/lexer.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/lexer.cpp.o.d"
+  "/root/repo/src/qasm/openqasm.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/openqasm.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/openqasm.cpp.o.d"
+  "/root/repo/src/qasm/parser.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/parser.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/parser.cpp.o.d"
+  "/root/repo/src/qasm/printer.cpp" "src/qasm/CMakeFiles/qcgen_qasm.dir/printer.cpp.o" "gcc" "src/qasm/CMakeFiles/qcgen_qasm.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcgen_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_qasm.dir/analyzer.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/analyzer.cpp.o.d"
+  "CMakeFiles/qcgen_qasm.dir/builder.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/builder.cpp.o.d"
+  "CMakeFiles/qcgen_qasm.dir/language.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/language.cpp.o.d"
+  "CMakeFiles/qcgen_qasm.dir/lexer.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/lexer.cpp.o.d"
+  "CMakeFiles/qcgen_qasm.dir/openqasm.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/openqasm.cpp.o.d"
+  "CMakeFiles/qcgen_qasm.dir/parser.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/qcgen_qasm.dir/printer.cpp.o"
+  "CMakeFiles/qcgen_qasm.dir/printer.cpp.o.d"
+  "libqcgen_qasm.a"
+  "libqcgen_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qec/decoder.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/decoder.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/decoder.cpp.o.d"
+  "/root/repo/src/qec/lifetime.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/lifetime.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/lifetime.cpp.o.d"
+  "/root/repo/src/qec/logical_error.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/logical_error.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/logical_error.cpp.o.d"
+  "/root/repo/src/qec/lookup_decoder.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/lookup_decoder.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/lookup_decoder.cpp.o.d"
+  "/root/repo/src/qec/matching_graph.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/matching_graph.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/matching_graph.cpp.o.d"
+  "/root/repo/src/qec/mwpm_decoder.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/mwpm_decoder.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/mwpm_decoder.cpp.o.d"
+  "/root/repo/src/qec/pauli_frame.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/pauli_frame.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/pauli_frame.cpp.o.d"
+  "/root/repo/src/qec/repetition.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/repetition.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/repetition.cpp.o.d"
+  "/root/repo/src/qec/steane.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/steane.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/steane.cpp.o.d"
+  "/root/repo/src/qec/surface_code.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/surface_code.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/surface_code.cpp.o.d"
+  "/root/repo/src/qec/syndrome_circuit.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/syndrome_circuit.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/syndrome_circuit.cpp.o.d"
+  "/root/repo/src/qec/union_find_decoder.cpp" "src/qec/CMakeFiles/qcgen_qec.dir/union_find_decoder.cpp.o" "gcc" "src/qec/CMakeFiles/qcgen_qec.dir/union_find_decoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcgen_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

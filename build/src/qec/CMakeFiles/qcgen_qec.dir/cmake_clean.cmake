@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_qec.dir/decoder.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/decoder.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/lifetime.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/lifetime.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/logical_error.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/logical_error.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/lookup_decoder.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/lookup_decoder.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/matching_graph.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/matching_graph.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/mwpm_decoder.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/mwpm_decoder.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/pauli_frame.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/pauli_frame.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/repetition.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/repetition.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/steane.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/steane.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/surface_code.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/surface_code.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/syndrome_circuit.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/syndrome_circuit.cpp.o.d"
+  "CMakeFiles/qcgen_qec.dir/union_find_decoder.cpp.o"
+  "CMakeFiles/qcgen_qec.dir/union_find_decoder.cpp.o.d"
+  "libqcgen_qec.a"
+  "libqcgen_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

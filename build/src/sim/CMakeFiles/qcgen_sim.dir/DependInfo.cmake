@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/circuit.cpp" "src/sim/CMakeFiles/qcgen_sim.dir/circuit.cpp.o" "gcc" "src/sim/CMakeFiles/qcgen_sim.dir/circuit.cpp.o.d"
+  "/root/repo/src/sim/draw.cpp" "src/sim/CMakeFiles/qcgen_sim.dir/draw.cpp.o" "gcc" "src/sim/CMakeFiles/qcgen_sim.dir/draw.cpp.o.d"
+  "/root/repo/src/sim/gates.cpp" "src/sim/CMakeFiles/qcgen_sim.dir/gates.cpp.o" "gcc" "src/sim/CMakeFiles/qcgen_sim.dir/gates.cpp.o.d"
+  "/root/repo/src/sim/noise.cpp" "src/sim/CMakeFiles/qcgen_sim.dir/noise.cpp.o" "gcc" "src/sim/CMakeFiles/qcgen_sim.dir/noise.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/qcgen_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/qcgen_sim.dir/statevector.cpp.o.d"
+  "/root/repo/src/sim/tableau.cpp" "src/sim/CMakeFiles/qcgen_sim.dir/tableau.cpp.o" "gcc" "src/sim/CMakeFiles/qcgen_sim.dir/tableau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_sim.dir/circuit.cpp.o"
+  "CMakeFiles/qcgen_sim.dir/circuit.cpp.o.d"
+  "CMakeFiles/qcgen_sim.dir/draw.cpp.o"
+  "CMakeFiles/qcgen_sim.dir/draw.cpp.o.d"
+  "CMakeFiles/qcgen_sim.dir/gates.cpp.o"
+  "CMakeFiles/qcgen_sim.dir/gates.cpp.o.d"
+  "CMakeFiles/qcgen_sim.dir/noise.cpp.o"
+  "CMakeFiles/qcgen_sim.dir/noise.cpp.o.d"
+  "CMakeFiles/qcgen_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qcgen_sim.dir/statevector.cpp.o.d"
+  "CMakeFiles/qcgen_sim.dir/tableau.cpp.o"
+  "CMakeFiles/qcgen_sim.dir/tableau.cpp.o.d"
+  "libqcgen_sim.a"
+  "libqcgen_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qcgen_transpile.dir/decompose.cpp.o"
+  "CMakeFiles/qcgen_transpile.dir/decompose.cpp.o.d"
+  "CMakeFiles/qcgen_transpile.dir/layout.cpp.o"
+  "CMakeFiles/qcgen_transpile.dir/layout.cpp.o.d"
+  "CMakeFiles/qcgen_transpile.dir/optimize.cpp.o"
+  "CMakeFiles/qcgen_transpile.dir/optimize.cpp.o.d"
+  "CMakeFiles/qcgen_transpile.dir/router.cpp.o"
+  "CMakeFiles/qcgen_transpile.dir/router.cpp.o.d"
+  "CMakeFiles/qcgen_transpile.dir/transpiler.cpp.o"
+  "CMakeFiles/qcgen_transpile.dir/transpiler.cpp.o.d"
+  "libqcgen_transpile.a"
+  "libqcgen_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qcgen_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

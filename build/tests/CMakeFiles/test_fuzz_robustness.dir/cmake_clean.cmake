@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fuzz_robustness.dir/test_fuzz_robustness.cpp.o"
+  "CMakeFiles/test_fuzz_robustness.dir/test_fuzz_robustness.cpp.o.d"
+  "test_fuzz_robustness"
+  "test_fuzz_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fuzz_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

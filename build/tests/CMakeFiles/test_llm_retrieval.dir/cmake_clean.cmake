@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llm_retrieval.dir/test_llm_retrieval.cpp.o"
+  "CMakeFiles/test_llm_retrieval.dir/test_llm_retrieval.cpp.o.d"
+  "test_llm_retrieval"
+  "test_llm_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llm_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_llm_simlm.dir/test_llm_simlm.cpp.o"
+  "CMakeFiles/test_llm_simlm.dir/test_llm_simlm.cpp.o.d"
+  "test_llm_simlm"
+  "test_llm_simlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_llm_simlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

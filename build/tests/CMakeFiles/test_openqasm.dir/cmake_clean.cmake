@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openqasm.dir/test_openqasm.cpp.o"
+  "CMakeFiles/test_openqasm.dir/test_openqasm.cpp.o.d"
+  "test_openqasm"
+  "test_openqasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openqasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_optimize_draw.dir/test_optimize_draw.cpp.o"
+  "CMakeFiles/test_optimize_draw.dir/test_optimize_draw.cpp.o.d"
+  "test_optimize_draw"
+  "test_optimize_draw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_optimize_draw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

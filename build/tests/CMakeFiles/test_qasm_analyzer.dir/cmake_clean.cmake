@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_analyzer.dir/test_qasm_analyzer.cpp.o"
+  "CMakeFiles/test_qasm_analyzer.dir/test_qasm_analyzer.cpp.o.d"
+  "test_qasm_analyzer"
+  "test_qasm_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_lexer.dir/test_qasm_lexer.cpp.o"
+  "CMakeFiles/test_qasm_lexer.dir/test_qasm_lexer.cpp.o.d"
+  "test_qasm_lexer"
+  "test_qasm_lexer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

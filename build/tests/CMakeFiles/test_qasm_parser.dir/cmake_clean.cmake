@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_parser.dir/test_qasm_parser.cpp.o"
+  "CMakeFiles/test_qasm_parser.dir/test_qasm_parser.cpp.o.d"
+  "test_qasm_parser"
+  "test_qasm_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

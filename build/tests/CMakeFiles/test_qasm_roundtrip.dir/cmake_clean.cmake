@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qasm_roundtrip.dir/test_qasm_roundtrip.cpp.o"
+  "CMakeFiles/test_qasm_roundtrip.dir/test_qasm_roundtrip.cpp.o.d"
+  "test_qasm_roundtrip"
+  "test_qasm_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qasm_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

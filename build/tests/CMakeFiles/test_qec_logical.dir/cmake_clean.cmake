@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qec_logical.dir/test_qec_logical.cpp.o"
+  "CMakeFiles/test_qec_logical.dir/test_qec_logical.cpp.o.d"
+  "test_qec_logical"
+  "test_qec_logical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qec_logical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steane.dir/test_steane.cpp.o"
+  "CMakeFiles/test_steane.dir/test_steane.cpp.o.d"
+  "test_steane"
+  "test_steane.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steane.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

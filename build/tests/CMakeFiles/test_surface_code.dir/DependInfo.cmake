@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_surface_code.cpp" "tests/CMakeFiles/test_surface_code.dir/test_surface_code.cpp.o" "gcc" "tests/CMakeFiles/test_surface_code.dir/test_surface_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/qcgen_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/qcgen_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/qcgen_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/qec/CMakeFiles/qcgen_qec.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qcgen_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qcgen_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/qcgen_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/qcgen_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

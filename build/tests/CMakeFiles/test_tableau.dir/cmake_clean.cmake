@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tableau.dir/test_tableau.cpp.o"
+  "CMakeFiles/test_tableau.dir/test_tableau.cpp.o.d"
+  "test_tableau"
+  "test_tableau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tableau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
