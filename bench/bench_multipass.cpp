@@ -4,6 +4,11 @@
 // accuracy from 28% to 34% with triple passes; additional passes give
 // diminishing returns because the residual errors are dominated by
 // import misuse and deprecated code, which resist mechanical repair.
+//
+// Extension: the lint pass framework attaches machine-applicable fix-its
+// to mechanical diagnostics (deprecated imports, alias renames, ...).
+// Each row is run twice — with fix-its in the error trace and without —
+// to measure how much verbatim patches accelerate repair convergence.
 
 #include <cstdio>
 #include <string>
@@ -21,27 +26,38 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--quick") samples = 1;
   }
   const auto suite = eval::semantic_suite();
-  eval::RunnerOptions options;
-  options.samples_per_case = samples;
+  eval::RunnerOptions with_fixits;
+  with_fixits.samples_per_case = samples;
+  eval::RunnerOptions without_fixits = with_fixits;
+  without_fixits.analyzer.analysis.emit_fixits = false;
 
   std::printf("SEC5D-MP: multi-pass inference on the fine-tuned model "
               "(paper: 28%% -> 34%% at 3 passes, then plateau)\n\n");
 
-  Table table({"passes", "semantic %", "syntactic %", "mean passes used",
-               "delta vs 1-pass"});
-  table.set_title("Multi-pass inference accuracy");
+  Table table({"passes", "semantic %", "mean passes", "semantic % (no fixit)",
+               "mean passes (no fixit)", "delta vs 1-pass"});
+  table.set_title("Multi-pass inference accuracy (fix-its on vs off)");
   std::vector<std::pair<std::string, double>> chart;
   double first = 0.0;
+  double passes_gain_sum = 0.0;
+  int multi_pass_rows = 0;
   for (int passes : {1, 2, 3, 4, 5, 6}) {
     const auto config = agents::TechniqueConfig::with_multipass(
         llm::ModelProfile::kStarCoder3B, passes);
     const eval::AccuracyReport report =
-        eval::evaluate_technique(config, suite, options);
+        eval::evaluate_technique(config, suite, with_fixits);
+    const eval::AccuracyReport ablated =
+        eval::evaluate_technique(config, suite, without_fixits);
     if (passes == 1) first = report.semantic_rate;
+    if (passes > 1) {
+      passes_gain_sum += ablated.mean_passes_used - report.mean_passes_used;
+      ++multi_pass_rows;
+    }
     table.add_row({std::to_string(passes),
                    format_double(100 * report.semantic_rate, 1),
-                   format_double(100 * report.syntactic_rate, 1),
                    format_double(report.mean_passes_used, 2),
+                   format_double(100 * ablated.semantic_rate, 1),
+                   format_double(ablated.mean_passes_used, 2),
                    "+" + format_double(
                              100 * (report.semantic_rate - first), 1)});
     chart.emplace_back("passes=" + std::to_string(passes),
@@ -52,5 +68,10 @@ int main(int argc, char** argv) {
   std::printf("%s\n", bar_chart(chart, 50.0, 50, "%").c_str());
   std::printf("Shape checks: accuracy rises through pass 3, then the curve "
               "flattens (deprecated-import errors resist repair).\n");
+  if (multi_pass_rows > 0) {
+    std::printf("Fix-it check: mean passes-to-success with fix-its should "
+                "not exceed the ablation (avg saving %.3f passes/run).\n",
+                passes_gain_sum / multi_pass_rows);
+  }
   return 0;
 }

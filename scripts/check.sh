@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# CI entry point: strict build, full test suite, then a sanitizer build
+# of the language front-end tests (the part that chews model-corrupted
+# input all day and so is the most UB-prone).
+#
+# Usage: scripts/check.sh [--skip-sanitizers]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_SAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizers) SKIP_SAN=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "==> [1/3] strict build (warnings as errors)"
+cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON >/dev/null
+cmake --build build-check -j "$JOBS"
+
+echo "==> [2/3] full test suite"
+ctest --test-dir build-check --output-on-failure -j "$JOBS"
+
+if [[ "$SKIP_SAN" == "1" ]]; then
+  echo "==> [3/3] sanitizers skipped (--skip-sanitizers)"
+  exit 0
+fi
+
+echo "==> [3/3] ASan+UBSan build, qasm/lint/fuzz tests"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DQCGEN_SANITIZE="address;undefined" \
+  -DQCGEN_BUILD_BENCH=OFF -DQCGEN_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "$JOBS"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
+    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_fuzz_robustness|test_openqasm'
+
+echo "==> all checks passed"

@@ -21,7 +21,9 @@ StaticReport SemanticAnalyzerAgent::analyze(const std::string& source) const {
     report.error_trace = qasm::format_error_trace(report.diagnostics);
     return report;
   }
-  qasm::AnalysisReport analysis = qasm::analyze(*parsed.program);
+  qasm::AnalysisReport analysis =
+      qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),
+                    options_.analysis);
   report.diagnostics.insert(report.diagnostics.end(),
                             analysis.diagnostics.begin(),
                             analysis.diagnostics.end());

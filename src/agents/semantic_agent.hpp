@@ -40,6 +40,10 @@ class SemanticAnalyzerAgent {
     std::uint64_t shots = 2048;
     double tvd_threshold = 0.05;
     std::uint64_t seed = 11;
+    /// Static-analysis configuration forwarded to qasm::analyze; the
+    /// defaults enable the dataflow lints and fix-it emission (flip
+    /// `analysis.emit_fixits` off for the repair-loop ablation).
+    qasm::AnalyzerOptions analysis;
   };
 
   SemanticAnalyzerAgent() : SemanticAnalyzerAgent(Options()) {}

@@ -59,6 +59,14 @@ double repair_success_probability(DiagCode code) {
   }
 }
 
+double repair_success_probability(const qasm::Diagnostic& diag) {
+  const double base = repair_success_probability(diag.code);
+  // A fix-it in the trace turns the repair into verbatim line copying;
+  // even the resistant classes (deprecated imports) become near-certain.
+  if (diag.fixit.has_value()) return std::max(base, 0.92);
+  return base;
+}
+
 double semantic_replan_probability(int pass_number) {
   // The model's algorithmic knowledge is persistent: told only that the
   // behaviour was wrong, it usually reproduces the same flawed plan
@@ -494,8 +502,7 @@ GenerationResult SimLM::repair(const TaskSpec& task,
   bool reprint_cleanly = false;
   std::vector<FaultKind> fixed;
   for (const qasm::Diagnostic& diag : diagnostics) {
-    if (!rng_.bernoulli(repair_success_probability(diag.code) *
-                        attempt_decay)) {
+    if (!rng_.bernoulli(repair_success_probability(diag) * attempt_decay)) {
       continue;
     }
     switch (diag.code) {
@@ -594,6 +601,51 @@ GenerationResult SimLM::repair(const TaskSpec& task,
             }
           }
           fixed.push_back(FaultKind::kMissingMeasure);
+        }
+        break;
+      }
+      case DiagCode::kDeprecatedGateAlias: {
+        for (Stmt& stmt : body) {
+          if (!is_gate(stmt)) continue;
+          auto& g = std::get<GateStmt>(stmt);
+          if (registry.is_deprecated_gate_alias(g.name)) {
+            g.name = std::string(sim::gate_name(*registry.resolve_gate(g.name)));
+          }
+        }
+        break;
+      }
+      case DiagCode::kRedundantGatePair: {
+        // The fix-it names the gate; drop the first adjacent identical
+        // pair (removal of a self-inverse pair is behaviour-preserving).
+        for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+          if (!is_gate(body[i]) || !is_gate(body[i + 1])) continue;
+          const auto& a = std::get<GateStmt>(body[i]);
+          const auto& b = std::get<GateStmt>(body[i + 1]);
+          if (a.name != b.name || a.operands.size() != b.operands.size()) {
+            continue;
+          }
+          const bool same_operands = std::equal(
+              a.operands.begin(), a.operands.end(), b.operands.begin(),
+              [](const RegRef& x, const RegRef& y) {
+                return x.index == y.index;
+              });
+          if (!same_operands) continue;
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i),
+                     body.begin() + static_cast<std::ptrdiff_t>(i + 2));
+          break;
+        }
+        break;
+      }
+      case DiagCode::kDoubleMeasurement: {
+        for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+          const auto* a = std::get_if<qasm::MeasureStmt>(&body[i]);
+          const auto* b = std::get_if<qasm::MeasureStmt>(&body[i + 1]);
+          if (a == nullptr || b == nullptr ||
+              a->qubit.index != b->qubit.index) {
+            continue;
+          }
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i + 1));
+          break;
         }
         break;
       }

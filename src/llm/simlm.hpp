@@ -126,6 +126,13 @@ class SimLM {
 /// import misuse resists repair; mechanical errors fix easily).
 double repair_success_probability(qasm::DiagCode code);
 
+/// Per-diagnostic repair probability. Diagnostics carrying a fix-it are
+/// near-certain to be repaired regardless of class: the error trace
+/// hands the model the exact replacement line, so it only has to copy it
+/// instead of re-deriving the edit. This is the mechanism by which the
+/// lint fix-its lower mean passes-to-success in bench_multipass.
+double repair_success_probability(const qasm::Diagnostic& diag);
+
 /// Probability that a semantically-failed but statically-clean program
 /// triggers a genuine replan on pass `pass_number` (small: the model
 /// usually reproduces the same flawed plan).

@@ -1,260 +1,27 @@
 #include "qasm/analyzer.hpp"
 
-#include <algorithm>
-#include <set>
-
 namespace qcgen::qasm {
 
-std::size_t AnalysisReport::error_count() const {
-  return static_cast<std::size_t>(
-      std::count_if(diagnostics.begin(), diagnostics.end(),
-                    [](const Diagnostic& d) {
-                      return d.severity == Severity::kError;
-                    }));
+lint::LintConfig AnalyzerOptions::to_lint_config() const {
+  lint::LintConfig config;
+  config.code_severity[DiagCode::kDeprecatedImport] =
+      deprecated_import_is_error ? Severity::kError : Severity::kWarning;
+  config.code_severity[DiagCode::kDeprecatedGateAlias] =
+      deprecated_alias_is_error ? Severity::kError : Severity::kWarning;
+  if (!warn_unused_qubits) {
+    config.passes["core.unused-qubit"].enabled = false;
+  }
+  if (!dataflow_lints) {
+    config.disabled_groups.insert("dataflow.");
+  }
+  config.emit_fixits = emit_fixits;
+  return config;
 }
-
-std::size_t AnalysisReport::warning_count() const {
-  return diagnostics.size() - error_count();
-}
-
-bool AnalysisReport::only_syntactic_errors() const {
-  return std::all_of(diagnostics.begin(), diagnostics.end(),
-                     [](const Diagnostic& d) {
-                       return d.severity != Severity::kError ||
-                              is_syntactic(d.code);
-                     });
-}
-
-namespace {
-
-class Analyzer {
- public:
-  Analyzer(const LanguageRegistry& registry, const AnalyzerOptions& options)
-      : registry_(registry), options_(options) {}
-
-  AnalysisReport run(const Program& program) {
-    check_imports(program);
-    if (program.circuits.empty()) {
-      emit(Severity::kError, DiagCode::kNoCircuit,
-           "program declares no circuit", 0);
-    }
-    std::set<std::string> names;
-    for (const CircuitDecl& circ : program.circuits) {
-      if (!names.insert(circ.name).second) {
-        emit(Severity::kError, DiagCode::kDuplicateCircuitName,
-             "duplicate circuit name '" + circ.name + "'", circ.line);
-      }
-      check_circuit(circ);
-    }
-    return std::move(report_);
-  }
-
- private:
-  void emit(Severity sev, DiagCode code, std::string message, int line) {
-    report_.diagnostics.push_back(
-        Diagnostic{sev, code, std::move(message), line, 0});
-  }
-
-  void check_imports(const Program& program) {
-    bool has_qiskit = false;
-    for (const Import& imp : program.imports) {
-      if (imp.path == registry_.required_import() ||
-          imp.path.rfind(std::string(registry_.required_import()) + ".", 0) ==
-              0) {
-        has_qiskit = true;
-      }
-      switch (registry_.import_status(imp.path)) {
-        case ImportStatus::kCurrent:
-          break;
-        case ImportStatus::kDeprecated: {
-          std::string msg = "import '" + imp.path +
-                            "' is deprecated/removed in the current library";
-          if (auto repl = registry_.import_replacement(imp.path)) {
-            msg += "; use '" + *repl + "'";
-          }
-          emit(options_.deprecated_import_is_error ? Severity::kError
-                                                   : Severity::kWarning,
-               DiagCode::kDeprecatedImport, std::move(msg), imp.line);
-          break;
-        }
-        case ImportStatus::kUnknown:
-          emit(Severity::kError, DiagCode::kUnknownImport,
-               "unknown module '" + imp.path + "'", imp.line);
-          break;
-      }
-    }
-    if (!has_qiskit) {
-      emit(Severity::kError, DiagCode::kMissingQiskitImport,
-           "program does not import 'qiskit'", 0);
-    }
-  }
-
-  void check_circuit(const CircuitDecl& circ) {
-    if (circ.num_qubits == 0) {
-      emit(Severity::kError, DiagCode::kEmptyCircuit,
-           "circuit '" + circ.name + "' declares zero qubits", circ.line);
-      return;
-    }
-    if (circ.num_qubits > kMaxRegisterSize ||
-        circ.num_clbits > kMaxRegisterSize) {
-      emit(Severity::kError, DiagCode::kEmptyCircuit,
-           "circuit '" + circ.name + "' declares an implausibly large "
-           "register (limit " + std::to_string(kMaxRegisterSize) + ")",
-           circ.line);
-      return;
-    }
-    if (circ.body.empty()) {
-      emit(Severity::kError, DiagCode::kEmptyCircuit,
-           "circuit '" + circ.name + "' has an empty body", circ.line);
-      return;
-    }
-    used_qubits_.assign(circ.num_qubits, false);
-    written_clbits_.assign(circ.num_clbits, false);
-    has_measurement_ = false;
-    for (const Stmt& stmt : circ.body) check_stmt(circ, stmt);
-    if (!has_measurement_) {
-      emit(Severity::kWarning, DiagCode::kNoMeasurement,
-           "circuit '" + circ.name + "' never measures; it produces no output",
-           circ.line);
-    }
-    if (options_.warn_unused_qubits) {
-      for (std::size_t q = 0; q < used_qubits_.size(); ++q) {
-        if (!used_qubits_[q]) {
-          emit(Severity::kWarning, DiagCode::kUnusedQubit,
-               "qubit " + std::to_string(q) + " of circuit '" + circ.name +
-                   "' is never used",
-               circ.line);
-        }
-      }
-    }
-  }
-
-  void check_qubit_ref(const CircuitDecl& circ, const RegRef& ref) {
-    if (ref.index >= circ.num_qubits) {
-      emit(Severity::kError, DiagCode::kQubitOutOfRange,
-           "qubit index " + std::to_string(ref.index) +
-               " out of range (circuit has " +
-               std::to_string(circ.num_qubits) + " qubits)",
-           ref.line);
-    } else {
-      used_qubits_[ref.index] = true;
-    }
-  }
-
-  void check_clbit_ref(const CircuitDecl& circ, const RegRef& ref,
-                       bool write) {
-    if (ref.index >= circ.num_clbits) {
-      emit(Severity::kError, DiagCode::kClbitOutOfRange,
-           "classical bit index " + std::to_string(ref.index) +
-               " out of range (circuit has " +
-               std::to_string(circ.num_clbits) + " classical bits)",
-           ref.line);
-      return;
-    }
-    if (write) {
-      written_clbits_[ref.index] = true;
-    } else if (!written_clbits_[ref.index]) {
-      emit(Severity::kWarning, DiagCode::kConditionOnUnwrittenClbit,
-           "condition reads classical bit " + std::to_string(ref.index) +
-               " before any measurement writes it",
-           ref.line);
-    }
-  }
-
-  void check_stmt(const CircuitDecl& circ, const Stmt& stmt) {
-    std::visit(
-        [&](const auto& s) {
-          using T = std::decay_t<decltype(s)>;
-          if constexpr (std::is_same_v<T, GateStmt>) {
-            check_gate(circ, s);
-          } else if constexpr (std::is_same_v<T, MeasureStmt>) {
-            check_qubit_ref(circ, s.qubit);
-            check_clbit_ref(circ, s.clbit, /*write=*/true);
-            has_measurement_ = true;
-          } else if constexpr (std::is_same_v<T, MeasureAllStmt>) {
-            if (circ.num_clbits < circ.num_qubits) {
-              emit(Severity::kError, DiagCode::kClbitOutOfRange,
-                   "measure_all needs at least as many classical bits as "
-                   "qubits",
-                   s.line);
-            } else {
-              std::fill(used_qubits_.begin(), used_qubits_.end(), true);
-              std::fill(written_clbits_.begin(), written_clbits_.end(), true);
-              has_measurement_ = true;
-            }
-          } else if constexpr (std::is_same_v<T, BarrierStmt>) {
-            // Nothing to verify.
-          } else if constexpr (std::is_same_v<T, ResetStmt>) {
-            check_qubit_ref(circ, s.qubit);
-          } else if constexpr (std::is_same_v<T, std::shared_ptr<IfStmt>>) {
-            check_clbit_ref(circ, s->clbit, /*write=*/false);
-            check_stmt(circ, s->body);
-          }
-        },
-        stmt);
-  }
-
-  void check_gate(const CircuitDecl& circ, const GateStmt& gate) {
-    if (!registry_.is_known_gate(gate.name)) {
-      emit(Severity::kError, DiagCode::kUnknownGate,
-           "unknown gate '" + gate.name + "'", gate.line);
-      // Still bounds-check operands so one bad mnemonic doesn't hide
-      // index errors from the repair loop.
-      for (const RegRef& ref : gate.operands) check_qubit_ref(circ, ref);
-      return;
-    }
-    if (registry_.is_deprecated_gate_alias(gate.name)) {
-      emit(options_.deprecated_alias_is_error ? Severity::kError
-                                              : Severity::kWarning,
-           DiagCode::kDeprecatedGateAlias,
-           "gate alias '" + gate.name + "' is deprecated; use '" +
-               std::string(sim::gate_name(*registry_.resolve_gate(gate.name))) +
-               "'",
-           gate.line);
-    }
-    const sim::GateKind kind = *registry_.resolve_gate(gate.name);
-    const sim::GateInfo& gi = sim::gate_info(kind);
-    if (gi.num_qubits >= 0 &&
-        gate.operands.size() != static_cast<std::size_t>(gi.num_qubits)) {
-      emit(Severity::kError, DiagCode::kWrongArity,
-           "gate '" + gate.name + "' expects " +
-               std::to_string(gi.num_qubits) + " qubit operand(s), got " +
-               std::to_string(gate.operands.size()),
-           gate.line);
-    }
-    if (gate.params.size() != static_cast<std::size_t>(gi.num_params)) {
-      emit(Severity::kError, DiagCode::kWrongParamCount,
-           "gate '" + gate.name + "' expects " +
-               std::to_string(gi.num_params) + " parameter(s), got " +
-               std::to_string(gate.params.size()),
-           gate.line);
-    }
-    std::set<std::size_t> seen;
-    for (const RegRef& ref : gate.operands) {
-      check_qubit_ref(circ, ref);
-      if (ref.index < circ.num_qubits && !seen.insert(ref.index).second) {
-        emit(Severity::kError, DiagCode::kDuplicateQubit,
-             "gate '" + gate.name + "' uses qubit " +
-                 std::to_string(ref.index) + " more than once",
-             gate.line);
-      }
-    }
-  }
-
-  const LanguageRegistry& registry_;
-  const AnalyzerOptions& options_;
-  AnalysisReport report_;
-  std::vector<bool> used_qubits_;
-  std::vector<bool> written_clbits_;
-  bool has_measurement_ = false;
-};
-
-}  // namespace
 
 AnalysisReport analyze(const Program& program, const LanguageRegistry& registry,
                        const AnalyzerOptions& options) {
-  Analyzer analyzer(registry, options);
-  return analyzer.run(program);
+  return lint::run_passes(program, registry, lint::PassRegistry::builtin(),
+                          options.to_lint_config());
 }
 
 }  // namespace qcgen::qasm

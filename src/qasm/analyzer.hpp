@@ -2,33 +2,18 @@
 // Semantic analyzer for QasmLite programs — the checking half of the
 // paper's Semantic Analysis Agent.
 //
-// Verifies import hygiene (missing/unknown/deprecated modules), gate
-// existence and arity, register bounds, and structural well-formedness,
-// producing the error trace that drives multi-pass repair.
-
-#include <vector>
+// Since the lint-pass refactor this is a thin facade: analyze() maps
+// AnalyzerOptions onto a lint::LintConfig and runs the built-in pass
+// registry (core.* import/gate/structure checks plus the dataflow.*
+// def-use lints) via lint::run_passes. Callers wanting per-pass control
+// should use the lint driver directly.
 
 #include "qasm/ast.hpp"
 #include "qasm/diagnostics.hpp"
 #include "qasm/language.hpp"
+#include "qasm/lint/driver.hpp"
 
 namespace qcgen::qasm {
-
-/// Static analysis report for a parsed program.
-struct AnalysisReport {
-  std::vector<Diagnostic> diagnostics;
-
-  bool ok() const { return !has_errors(diagnostics); }
-  std::size_t error_count() const;
-  std::size_t warning_count() const;
-  /// True if all *errors* are syntactic-class (see is_syntactic()).
-  bool only_syntactic_errors() const;
-};
-
-/// Registers beyond this size are rejected outright (guards the
-/// analyzer's per-qubit bookkeeping against absurd declarations like
-/// `q: 999999999999`, which model-corrupted text can produce).
-constexpr std::size_t kMaxRegisterSize = 1 << 20;
 
 /// Options for the analyzer.
 struct AnalyzerOptions {
@@ -40,6 +25,14 @@ struct AnalyzerOptions {
   bool deprecated_alias_is_error = false;
   /// Warn when a declared qubit is never referenced.
   bool warn_unused_qubits = true;
+  /// Run the dataflow lints (gate-after-measure, dead-code, ...). Off
+  /// reproduces the pre-lint analyzer surface exactly.
+  bool dataflow_lints = true;
+  /// Attach machine-applicable fix-its to diagnostics that have one.
+  bool emit_fixits = true;
+
+  /// The lint configuration equivalent to these options.
+  lint::LintConfig to_lint_config() const;
 };
 
 /// Runs semantic analysis on a parsed program.

@@ -1,0 +1,186 @@
+#include "qasm/diagnostics.hpp"
+
+#include <algorithm>
+
+namespace qcgen::qasm {
+
+std::string_view diag_code_name(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError: return "lex-error";
+    case DiagCode::kParseError: return "parse-error";
+    case DiagCode::kMissingQiskitImport: return "missing-qiskit-import";
+    case DiagCode::kUnknownImport: return "unknown-import";
+    case DiagCode::kDeprecatedImport: return "deprecated-import";
+    case DiagCode::kUnknownGate: return "unknown-gate";
+    case DiagCode::kDeprecatedGateAlias: return "deprecated-gate-alias";
+    case DiagCode::kWrongArity: return "wrong-arity";
+    case DiagCode::kWrongParamCount: return "wrong-param-count";
+    case DiagCode::kQubitOutOfRange: return "qubit-out-of-range";
+    case DiagCode::kClbitOutOfRange: return "clbit-out-of-range";
+    case DiagCode::kDuplicateQubit: return "duplicate-qubit";
+    case DiagCode::kNoMeasurement: return "no-measurement";
+    case DiagCode::kConditionOnUnwrittenClbit:
+      return "condition-on-unwritten-clbit";
+    case DiagCode::kUnusedQubit: return "unused-qubit";
+    case DiagCode::kEmptyCircuit: return "empty-circuit";
+    case DiagCode::kDuplicateCircuitName: return "duplicate-circuit-name";
+    case DiagCode::kNoCircuit: return "no-circuit";
+    case DiagCode::kGateAfterMeasurement: return "gate-after-measurement";
+    case DiagCode::kDoubleMeasurement: return "double-measurement";
+    case DiagCode::kConditionOnStaleClbit:
+      return "condition-on-stale-clbit";
+    case DiagCode::kDeadOperation: return "dead-operation";
+    case DiagCode::kRedundantGatePair: return "redundant-gate-pair";
+  }
+  return "?";
+}
+
+bool is_syntactic(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError:
+    case DiagCode::kParseError:
+    case DiagCode::kMissingQiskitImport:
+    case DiagCode::kUnknownImport:
+    case DiagCode::kDeprecatedImport:
+    case DiagCode::kUnknownGate:
+    case DiagCode::kDeprecatedGateAlias:
+    case DiagCode::kWrongArity:
+    case DiagCode::kWrongParamCount:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool has_errors(const std::vector<Diagnostic>& diags) {
+  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::kError;
+  });
+}
+
+namespace {
+
+/// Byte offsets of line starts; lines[i] is the offset of 1-based line
+/// i+1. A trailing entry holds source.size() so [lines[i], lines[i+1])
+/// spans line i+1 including its newline.
+std::vector<std::size_t> line_starts(std::string_view source) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    if (source[i] == '\n') starts.push_back(i + 1);
+  }
+  starts.push_back(source.size());
+  return starts;
+}
+
+/// Ensures replacement text ends with a newline so patched lines stay
+/// line-shaped (empty replacements stay empty: that is a deletion).
+std::string normalized_replacement(const std::string& replacement) {
+  if (replacement.empty() || replacement.back() == '\n') return replacement;
+  return replacement + "\n";
+}
+
+}  // namespace
+
+std::optional<std::string> apply_fixit(std::string_view source,
+                                       const FixIt& fix) {
+  if (fix.line_begin < 1) return std::nullopt;
+  const auto starts = line_starts(source);
+  const auto line_count = static_cast<int>(starts.size()) - 1;
+  if (fix.is_insertion()) {
+    // Insertion before line_begin; inserting after the last line is
+    // allowed (line_begin == line_count + 1).
+    if (fix.line_begin > line_count + 1) return std::nullopt;
+    const std::size_t at = fix.line_begin > line_count
+                               ? source.size()
+                               : starts[static_cast<std::size_t>(
+                                     fix.line_begin - 1)];
+    std::string out(source);
+    out.insert(at, normalized_replacement(fix.replacement));
+    return out;
+  }
+  if (fix.line_end > line_count) return std::nullopt;
+  const std::size_t begin =
+      starts[static_cast<std::size_t>(fix.line_begin - 1)];
+  const std::size_t end = starts[static_cast<std::size_t>(fix.line_end)];
+  if (!fix.guard.empty() &&
+      source.substr(begin, end - begin).find(fix.guard) ==
+          std::string_view::npos) {
+    return std::nullopt;
+  }
+  std::string out;
+  out.reserve(source.size());
+  out.append(source.substr(0, begin));
+  out.append(normalized_replacement(fix.replacement));
+  out.append(source.substr(end));
+  return out;
+}
+
+FixItResult apply_fixits(std::string_view source,
+                         const std::vector<Diagnostic>& diags) {
+  std::vector<const FixIt*> fixes;
+  for (const Diagnostic& d : diags) {
+    if (d.fixit.has_value()) fixes.push_back(&*d.fixit);
+  }
+  // Bottom-up so earlier patches don't shift later line numbers; for
+  // equal lines, insertions after replacements (stable otherwise).
+  std::stable_sort(fixes.begin(), fixes.end(),
+                   [](const FixIt* a, const FixIt* b) {
+                     return a->line_begin > b->line_begin;
+                   });
+  FixItResult result;
+  result.source = std::string(source);
+  for (const FixIt* fix : fixes) {
+    if (auto patched = apply_fixit(result.source, *fix)) {
+      result.source = std::move(*patched);
+      ++result.applied;
+    }
+  }
+  return result;
+}
+
+std::string format_error_trace(const std::vector<Diagnostic>& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags) {
+    out += d.severity == Severity::kError ? "error" : "warning";
+    out += "[";
+    out += diag_code_name(d.code);
+    out += "]";
+    if (d.line > 0) {
+      out += " at line " + std::to_string(d.line);
+      if (d.column > 0) out += ":" + std::to_string(d.column);
+    }
+    out += ": " + d.message + "\n";
+    if (d.fixit.has_value()) {
+      const FixIt& fix = *d.fixit;
+      out += "  fixit: ";
+      if (fix.is_insertion()) {
+        out += "insert before line " + std::to_string(fix.line_begin);
+      } else if (fix.replacement.empty()) {
+        out += fix.line_begin == fix.line_end
+                   ? "delete line " + std::to_string(fix.line_begin)
+                   : "delete lines " + std::to_string(fix.line_begin) + "-" +
+                         std::to_string(fix.line_end);
+      } else {
+        out += fix.line_begin == fix.line_end
+                   ? "replace line " + std::to_string(fix.line_begin)
+                   : "replace lines " + std::to_string(fix.line_begin) + "-" +
+                         std::to_string(fix.line_end);
+      }
+      if (!fix.replacement.empty()) {
+        std::string body = fix.replacement;
+        while (!body.empty() && body.back() == '\n') body.pop_back();
+        // Multi-line replacements render with aligned continuation.
+        std::string rendered;
+        for (char c : body) {
+          rendered += c;
+          if (c == '\n') rendered += "         ";
+        }
+        out += " with `" + rendered + "`";
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace qcgen::qasm

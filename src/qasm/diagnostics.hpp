@@ -5,7 +5,13 @@
 // program is wrong" is the normal operating regime of the multi-agent
 // pipeline, and the error trace is what the repair loop feeds back to
 // the code-generation agent (paper Sec IV-A).
+//
+// Diagnostics optionally carry a FixIt — a machine-applicable source
+// patch. The repair prompt renders fix-its verbatim so the code
+// generation agent can apply them without re-deriving the edit, which
+// is what makes mechanical error classes converge in few passes.
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +45,12 @@ enum class DiagCode {
   kEmptyCircuit,
   kDuplicateCircuitName,
   kNoCircuit,
+  // Dataflow (lint passes over per-qubit/per-clbit def-use chains).
+  kGateAfterMeasurement,
+  kDoubleMeasurement,
+  kConditionOnStaleClbit,
+  kDeadOperation,
+  kRedundantGatePair,
 };
 
 /// Human-readable mnemonic (e.g. "deprecated-import") for a code.
@@ -48,12 +60,57 @@ std::string_view diag_code_name(DiagCode code);
 /// to semantic ones; the evaluation splits accuracy along this line.
 bool is_syntactic(DiagCode code);
 
+/// A machine-applicable source patch attached to a diagnostic.
+///
+/// The patch replaces whole source lines `[line_begin, line_end]`
+/// (1-based, inclusive) with `replacement` (possibly empty = delete,
+/// possibly multi-line). When `line_end < line_begin` the fix-it is an
+/// insertion *before* `line_begin`. Line granularity matches the
+/// canonical printer (one statement per line), which is what the
+/// generation model emits and the repair loop patches; `guard`, when
+/// non-empty, must appear somewhere in the replaced lines or the fix-it
+/// refuses to apply (protects against stale line numbers and
+/// non-canonical one-statement-per-line layouts).
+struct FixIt {
+  int line_begin = 0;
+  int line_end = 0;
+  std::string replacement;
+  std::string guard;
+
+  bool is_insertion() const { return line_end < line_begin; }
+
+  friend bool operator==(const FixIt&, const FixIt&) = default;
+};
+
+/// Applies one fix-it to source text. Returns std::nullopt when the
+/// fix-it cannot be applied safely (range outside the source, or the
+/// guard text is absent from the replaced lines).
+std::optional<std::string> apply_fixit(std::string_view source,
+                                       const FixIt& fix);
+
+/// Applies every fix-it carried by `diags` to `source`, bottom-up so
+/// earlier patches do not shift later line numbers. Fix-its that fail
+/// their guard are skipped. Returns the patched source and the number
+/// of fix-its applied.
+struct FixItResult {
+  std::string source;
+  std::size_t applied = 0;
+};
+struct Diagnostic;
+FixItResult apply_fixits(std::string_view source,
+                         const std::vector<Diagnostic>& diags);
+
 struct Diagnostic {
   Severity severity = Severity::kError;
   DiagCode code = DiagCode::kParseError;
   std::string message;
   int line = 0;    ///< 1-based; 0 when unknown
   int column = 0;  ///< 1-based; 0 when unknown
+  /// Stable id of the lint pass that produced this diagnostic (empty for
+  /// lexer/parser diagnostics, e.g. "dataflow.redundant-pair").
+  std::string pass_id;
+  /// Optional machine-applicable patch; rendered into the repair prompt.
+  std::optional<FixIt> fixit;
 
   friend bool operator==(const Diagnostic&, const Diagnostic&) = default;
 };
@@ -62,7 +119,11 @@ struct Diagnostic {
 bool has_errors(const std::vector<Diagnostic>& diags);
 
 /// Formats diagnostics as the compiler-style error trace handed back to
-/// the code generation agent during multi-pass repair.
+/// the code generation agent during multi-pass repair. Fix-it-bearing
+/// diagnostics render the patch inline:
+///
+///   error[deprecated-import] at line 2: ...
+///     fixit: replace line 2 with `import qiskit.primitives;`
 std::string format_error_trace(const std::vector<Diagnostic>& diags);
 
 }  // namespace qcgen::qasm

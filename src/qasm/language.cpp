@@ -6,72 +6,6 @@
 
 namespace qcgen::qasm {
 
-// --- Diagnostics impl -------------------------------------------------------
-
-std::string_view diag_code_name(DiagCode code) {
-  switch (code) {
-    case DiagCode::kLexError: return "lex-error";
-    case DiagCode::kParseError: return "parse-error";
-    case DiagCode::kMissingQiskitImport: return "missing-qiskit-import";
-    case DiagCode::kUnknownImport: return "unknown-import";
-    case DiagCode::kDeprecatedImport: return "deprecated-import";
-    case DiagCode::kUnknownGate: return "unknown-gate";
-    case DiagCode::kDeprecatedGateAlias: return "deprecated-gate-alias";
-    case DiagCode::kWrongArity: return "wrong-arity";
-    case DiagCode::kWrongParamCount: return "wrong-param-count";
-    case DiagCode::kQubitOutOfRange: return "qubit-out-of-range";
-    case DiagCode::kClbitOutOfRange: return "clbit-out-of-range";
-    case DiagCode::kDuplicateQubit: return "duplicate-qubit";
-    case DiagCode::kNoMeasurement: return "no-measurement";
-    case DiagCode::kConditionOnUnwrittenClbit:
-      return "condition-on-unwritten-clbit";
-    case DiagCode::kUnusedQubit: return "unused-qubit";
-    case DiagCode::kEmptyCircuit: return "empty-circuit";
-    case DiagCode::kDuplicateCircuitName: return "duplicate-circuit-name";
-    case DiagCode::kNoCircuit: return "no-circuit";
-  }
-  return "?";
-}
-
-bool is_syntactic(DiagCode code) {
-  switch (code) {
-    case DiagCode::kLexError:
-    case DiagCode::kParseError:
-    case DiagCode::kMissingQiskitImport:
-    case DiagCode::kUnknownImport:
-    case DiagCode::kDeprecatedImport:
-    case DiagCode::kUnknownGate:
-    case DiagCode::kDeprecatedGateAlias:
-    case DiagCode::kWrongArity:
-    case DiagCode::kWrongParamCount:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool has_errors(const std::vector<Diagnostic>& diags) {
-  return std::any_of(diags.begin(), diags.end(), [](const Diagnostic& d) {
-    return d.severity == Severity::kError;
-  });
-}
-
-std::string format_error_trace(const std::vector<Diagnostic>& diags) {
-  std::string out;
-  for (const Diagnostic& d : diags) {
-    out += d.severity == Severity::kError ? "error" : "warning";
-    out += "[";
-    out += diag_code_name(d.code);
-    out += "]";
-    if (d.line > 0) {
-      out += " at line " + std::to_string(d.line);
-      if (d.column > 0) out += ":" + std::to_string(d.column);
-    }
-    out += ": " + d.message + "\n";
-  }
-  return out;
-}
-
 // --- LanguageRegistry -------------------------------------------------------
 
 LanguageRegistry::LanguageRegistry() {

@@ -169,10 +169,13 @@ LexResult lex(std::string_view source) {
         }
         [[fallthrough]];
       default:
-        result.diagnostics.push_back(Diagnostic{
-            Severity::kError, DiagCode::kLexError,
-            std::string("unexpected character '") + c + "'", tok_line,
-            tok_col});
+        Diagnostic diag;
+        diag.severity = Severity::kError;
+        diag.code = DiagCode::kLexError;
+        diag.message = std::string("unexpected character '") + c + "'";
+        diag.line = tok_line;
+        diag.column = tok_col;
+        result.diagnostics.push_back(std::move(diag));
         advance();
     }
   }

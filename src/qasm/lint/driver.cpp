@@ -1,0 +1,49 @@
+#include "qasm/lint/driver.hpp"
+
+#include <algorithm>
+
+namespace qcgen::qasm {
+
+std::size_t AnalysisReport::error_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+std::size_t AnalysisReport::warning_count() const {
+  return diagnostics.size() - error_count();
+}
+
+bool AnalysisReport::only_syntactic_errors() const {
+  return std::all_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity != Severity::kError ||
+                              is_syntactic(d.code);
+                     });
+}
+
+namespace lint {
+
+AnalysisReport run_passes(const Program& program,
+                          const LanguageRegistry& language,
+                          const PassRegistry& registry,
+                          const LintConfig& config) {
+  const ProgramFacts facts = ProgramFacts::compute(program);
+  const PassContext ctx{program, facts, language};
+  AnalysisReport report;
+  for (const auto& pass : registry.passes()) {
+    if (!config.pass_enabled(pass->id())) continue;
+    DiagnosticSink sink(report.diagnostics, pass->id(), config);
+    pass->run(ctx, sink);
+  }
+  std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return report;
+}
+
+}  // namespace lint
+}  // namespace qcgen::qasm

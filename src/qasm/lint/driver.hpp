@@ -1,0 +1,39 @@
+#pragma once
+// Lint driver: runs a registry of passes over one program.
+//
+// The driver computes ProgramFacts once, feeds every enabled pass a
+// shared PassContext, stamps diagnostics with pass ids via the sink,
+// and returns them sorted by source line (unknown-line diagnostics
+// first) so the error trace reads top-to-bottom.
+
+#include <vector>
+
+#include "qasm/diagnostics.hpp"
+#include "qasm/language.hpp"
+#include "qasm/lint/registry.hpp"
+
+namespace qcgen::qasm {
+
+/// Static analysis report for a parsed program.
+struct AnalysisReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return !has_errors(diagnostics); }
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// True if all *errors* are syntactic-class (see is_syntactic()).
+  bool only_syntactic_errors() const;
+};
+
+namespace lint {
+
+/// Runs every enabled pass in `registry` over `program`.
+AnalysisReport run_passes(const Program& program,
+                          const LanguageRegistry& language =
+                              LanguageRegistry::current(),
+                          const PassRegistry& registry =
+                              PassRegistry::builtin(),
+                          const LintConfig& config = {});
+
+}  // namespace lint
+}  // namespace qcgen::qasm

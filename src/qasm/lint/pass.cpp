@@ -1,0 +1,37 @@
+#include "qasm/lint/pass.hpp"
+
+namespace qcgen::qasm::lint {
+
+bool LintConfig::pass_enabled(std::string_view id) const {
+  if (const auto it = passes.find(id); it != passes.end()) {
+    return it->second.enabled;
+  }
+  for (const std::string& prefix : disabled_groups) {
+    if (id.substr(0, prefix.size()) == prefix) return false;
+  }
+  return true;
+}
+
+void DiagnosticSink::report(Severity severity, DiagCode code,
+                            std::string message, int line,
+                            std::optional<FixIt> fixit) {
+  if (const auto it = config_.passes.find(pass_id_);
+      it != config_.passes.end() && it->second.severity.has_value()) {
+    severity = *it->second.severity;
+  }
+  if (const auto it = config_.code_severity.find(code);
+      it != config_.code_severity.end()) {
+    severity = it->second;
+  }
+  Diagnostic diag;
+  diag.severity = severity;
+  diag.code = code;
+  diag.message = std::move(message);
+  diag.line = line;
+  diag.pass_id = std::string(pass_id_);
+  if (config_.emit_fixits) diag.fixit = std::move(fixit);
+  out_.push_back(std::move(diag));
+  ++reported_;
+}
+
+}  // namespace qcgen::qasm::lint

@@ -1,0 +1,27 @@
+#include "qasm/lint/registry.hpp"
+
+namespace qcgen::qasm::lint {
+
+PassRegistry& PassRegistry::add(std::unique_ptr<LintPass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+const LintPass* PassRegistry::find(std::string_view id) const {
+  for (const auto& pass : passes_) {
+    if (pass->id() == id) return pass.get();
+  }
+  return nullptr;
+}
+
+const PassRegistry& PassRegistry::builtin() {
+  static const PassRegistry kRegistry = [] {
+    PassRegistry registry;
+    register_core_passes(registry);
+    register_dataflow_passes(registry);
+    return registry;
+  }();
+  return kRegistry;
+}
+
+}  // namespace qcgen::qasm::lint

@@ -1,0 +1,45 @@
+#pragma once
+// PassRegistry: the ordered collection of lint passes the driver runs.
+//
+// The built-in registry carries the refactored legacy analyzer checks
+// (core.*) followed by the dataflow lints (dataflow.*). Callers may
+// build their own registry to add project-specific passes or subset
+// the built-ins; per-run enable/severity tweaks belong in LintConfig,
+// not in registry surgery.
+
+#include <memory>
+#include <vector>
+
+#include "qasm/lint/pass.hpp"
+
+namespace qcgen::qasm::lint {
+
+class PassRegistry {
+ public:
+  PassRegistry() = default;
+  PassRegistry(PassRegistry&&) = default;
+  PassRegistry& operator=(PassRegistry&&) = default;
+
+  /// Appends a pass; execution order is registration order. Fluent.
+  PassRegistry& add(std::unique_ptr<LintPass> pass);
+
+  const std::vector<std::unique_ptr<LintPass>>& passes() const {
+    return passes_;
+  }
+
+  /// Pass with the given stable id, or nullptr.
+  const LintPass* find(std::string_view id) const;
+
+  /// The process-wide registry with every built-in pass registered.
+  static const PassRegistry& builtin();
+
+ private:
+  std::vector<std::unique_ptr<LintPass>> passes_;
+};
+
+/// Registration hooks for the built-in pass families
+/// (core_passes.cpp / dataflow_passes.cpp).
+void register_core_passes(PassRegistry& registry);
+void register_dataflow_passes(PassRegistry& registry);
+
+}  // namespace qcgen::qasm::lint

@@ -84,8 +84,12 @@ struct Importer {
   int line_number = 0;
 
   void error(const std::string& message) {
-    diagnostics.push_back(Diagnostic{Severity::kError, DiagCode::kParseError,
-                                     message, line_number, 0});
+    Diagnostic diag;
+    diag.severity = Severity::kError;
+    diag.code = DiagCode::kParseError;
+    diag.message = message;
+    diag.line = line_number;
+    diagnostics.push_back(std::move(diag));
   }
 
   /// Parses "q[3]" -> 3; npos on failure.

@@ -140,8 +140,13 @@ class Parser {
     return false;
   }
   void error(const std::string& message) {
-    diags_.push_back(Diagnostic{Severity::kError, DiagCode::kParseError,
-                                message, peek().line, peek().column});
+    Diagnostic diag;
+    diag.severity = Severity::kError;
+    diag.code = DiagCode::kParseError;
+    diag.message = message;
+    diag.line = peek().line;
+    diag.column = peek().column;
+    diags_.push_back(std::move(diag));
   }
   /// Skips to the next statement/declaration boundary after an error.
   void synchronise() {

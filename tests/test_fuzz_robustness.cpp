@@ -61,6 +61,22 @@ TEST_P(ParserFuzz, NeverCrashesAndBoundsDiagnostics) {
     if (parsed.program.has_value()) {
       const auto report = qasm::analyze(*parsed.program);
       EXPECT_LT(report.diagnostics.size(), 200u);
+      // Fix-its emitted on corrupted programs must apply (or refuse)
+      // without crashing, and the patched text must still be parseable
+      // input for the front-end (not necessarily error-free).
+      const qasm::FixItResult fixed =
+          qasm::apply_fixits(mutated, report.diagnostics);
+      const auto repaired = qasm::parse(fixed.source);
+      EXPECT_LT(repaired.diagnostics.size(), fixed.source.size() + 16);
+      // The lint driver must also hold up with fix-its stripped and with
+      // the dataflow group disabled (the two config paths benches use).
+      qasm::AnalyzerOptions quiet;
+      quiet.emit_fixits = false;
+      quiet.dataflow_lints = false;
+      const auto quiet_report =
+          qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),
+                        quiet);
+      EXPECT_LE(quiet_report.diagnostics.size(), report.diagnostics.size());
       // Printing whatever parsed must itself re-parse.
       const std::string reprinted = qasm::print_program(*parsed.program);
       const auto again = qasm::parse(reprinted);

@@ -164,10 +164,17 @@ TEST(Analyzer, NoMeasurementWarning) {
 }
 
 TEST(Analyzer, ConditionOnUnwrittenClbit) {
+  // The clbit is written *later*, so the dataflow lint classifies the
+  // read as stale (misordered) rather than never-written.
   const auto report = analyze_source(
       "import qiskit; circuit main(q: 1, c: 1) { if (c[0] == 1) x q[0]; "
       "measure q[0] -> c[0]; }");
-  EXPECT_TRUE(has_code(report, DiagCode::kConditionOnUnwrittenClbit));
+  EXPECT_TRUE(has_code(report, DiagCode::kConditionOnStaleClbit));
+  // No write anywhere keeps the original never-written code.
+  const auto unwritten = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { if (c[1] == 1) x q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_TRUE(has_code(unwritten, DiagCode::kConditionOnUnwrittenClbit));
 }
 
 TEST(Analyzer, UnusedQubitWarning) {

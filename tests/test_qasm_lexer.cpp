@@ -112,10 +112,14 @@ TEST(Lexer, UnderscoredIdentifiers) {
 }
 
 TEST(DiagnosticHelpers, FormatErrorTrace) {
-  std::vector<Diagnostic> diags = {
-      {Severity::kError, DiagCode::kUnknownGate, "unknown gate 'foo'", 3, 2},
-      {Severity::kWarning, DiagCode::kUnusedQubit, "qubit 1 unused", 0, 0},
-  };
+  std::vector<Diagnostic> diags(2);
+  diags[0].code = DiagCode::kUnknownGate;
+  diags[0].message = "unknown gate 'foo'";
+  diags[0].line = 3;
+  diags[0].column = 2;
+  diags[1].severity = Severity::kWarning;
+  diags[1].code = DiagCode::kUnusedQubit;
+  diags[1].message = "qubit 1 unused";
   const std::string trace = format_error_trace(diags);
   EXPECT_NE(trace.find("error[unknown-gate] at line 3:2"), std::string::npos);
   EXPECT_NE(trace.find("warning[unused-qubit]"), std::string::npos);

@@ -1,0 +1,541 @@
+// Tests for the lint-pass framework: the pass registry, per-pass
+// configuration, the dataflow passes (positive and negative cases for
+// each), and fix-it round-trips (applying the fix-it must make the
+// diagnostic disappear on re-analysis).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "llm/tasks.hpp"
+#include "llm/templates.hpp"
+#include "qasm/analyzer.hpp"
+#include "qasm/lint/driver.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+
+namespace qcgen::qasm {
+namespace {
+
+AnalysisReport analyze_source(const std::string& source,
+                              const AnalyzerOptions& options = {}) {
+  const ParseResult parsed = parse(source);
+  EXPECT_TRUE(parsed.ok()) << format_error_trace(parsed.diagnostics);
+  return analyze(*parsed.program, LanguageRegistry::current(), options);
+}
+
+bool has_code(const AnalysisReport& report, DiagCode code) {
+  return std::any_of(report.diagnostics.begin(), report.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+const Diagnostic* find_code(const AnalysisReport& report, DiagCode code) {
+  for (const auto& d : report.diagnostics) {
+    if (d.code == code) return &d;
+  }
+  return nullptr;
+}
+
+/// Applies every fix-it and re-analyzes the patched source.
+AnalysisReport fix_and_reanalyze(const std::string& source,
+                                 const AnalysisReport& report,
+                                 std::size_t expect_applied) {
+  const FixItResult fixed = apply_fixits(source, report.diagnostics);
+  EXPECT_EQ(fixed.applied, expect_applied) << "patched:\n" << fixed.source;
+  return analyze_source(fixed.source);
+}
+
+// ---------------------------------------------------------------------
+// Registry / driver / config
+// ---------------------------------------------------------------------
+
+TEST(LintRegistry, BuiltinCarriesAllPasses) {
+  const auto& registry = lint::PassRegistry::builtin();
+  const char* expected[] = {
+      "core.imports",           "core.structure",
+      "core.gates",             "core.measurement",
+      "core.unused-qubit",      "dataflow.clbit-liveness",
+      "dataflow.gate-after-measure", "dataflow.double-measure",
+      "dataflow.dead-code",     "dataflow.redundant-pair",
+  };
+  for (const char* id : expected) {
+    const lint::LintPass* pass = registry.find(id);
+    ASSERT_NE(pass, nullptr) << id;
+    EXPECT_EQ(pass->id(), id);
+    EXPECT_FALSE(pass->description().empty()) << id;
+  }
+  EXPECT_EQ(registry.find("core.nonexistent"), nullptr);
+  EXPECT_GE(registry.passes().size(), std::size(expected));
+}
+
+TEST(LintDriver, DiagnosticsCarryPassIds) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; h q[0]; "
+      "measure q[0] -> c[0]; }");
+  const Diagnostic* diag = find_code(report, DiagCode::kRedundantGatePair);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->pass_id, "dataflow.redundant-pair");
+}
+
+TEST(LintDriver, DisabledGroupSuppressesDataflowPasses) {
+  const std::string source =
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; h q[0]; "
+      "measure q[0] -> c[0]; }";
+  const ParseResult parsed = parse(source);
+  ASSERT_TRUE(parsed.ok());
+  lint::LintConfig config;
+  config.disabled_groups.insert("dataflow.");
+  const auto report = lint::run_passes(*parsed.program,
+                                       LanguageRegistry::current(),
+                                       lint::PassRegistry::builtin(), config);
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair));
+  // An explicit per-pass entry wins over the group disable.
+  config.passes["dataflow.redundant-pair"].enabled = true;
+  const auto restored = lint::run_passes(*parsed.program,
+                                         LanguageRegistry::current(),
+                                         lint::PassRegistry::builtin(), config);
+  EXPECT_TRUE(has_code(restored, DiagCode::kRedundantGatePair));
+}
+
+TEST(LintDriver, SeverityOverrides) {
+  const std::string source =
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; h q[0]; "
+      "measure q[0] -> c[0]; }";
+  const ParseResult parsed = parse(source);
+  ASSERT_TRUE(parsed.ok());
+  lint::LintConfig config;
+  config.passes["dataflow.redundant-pair"].severity = Severity::kError;
+  const auto report = lint::run_passes(*parsed.program,
+                                       LanguageRegistry::current(),
+                                       lint::PassRegistry::builtin(), config);
+  const Diagnostic* diag = find_code(report, DiagCode::kRedundantGatePair);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->severity, Severity::kError);
+  // Per-code override beats the pass-level one.
+  config.code_severity[DiagCode::kRedundantGatePair] = Severity::kWarning;
+  const auto again = lint::run_passes(*parsed.program,
+                                      LanguageRegistry::current(),
+                                      lint::PassRegistry::builtin(), config);
+  EXPECT_EQ(find_code(again, DiagCode::kRedundantGatePair)->severity,
+            Severity::kWarning);
+}
+
+TEST(LintDriver, EmitFixitsOffStripsPatches) {
+  AnalyzerOptions options;
+  options.emit_fixits = false;
+  const auto report = analyze_source(
+      "import qiskit;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n",
+      options);
+  for (const auto& d : report.diagnostics) {
+    EXPECT_FALSE(d.fixit.has_value()) << d.message;
+  }
+}
+
+TEST(LintDriver, AnalyzerOptionCanDisableDataflow) {
+  AnalyzerOptions options;
+  options.dataflow_lints = false;
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; h q[0]; "
+      "measure q[0] -> c[0]; x q[0]; }",
+      options);
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair));
+  EXPECT_FALSE(has_code(report, DiagCode::kGateAfterMeasurement));
+  EXPECT_FALSE(has_code(report, DiagCode::kDeadOperation));
+}
+
+// ---------------------------------------------------------------------
+// dataflow.gate-after-measure
+// ---------------------------------------------------------------------
+
+TEST(GateAfterMeasure, FlagsUnconditionalGateAfterMeasurement) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; x q[0]; measure q[1] -> c[1]; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kGateAfterMeasurement));
+}
+
+TEST(GateAfterMeasure, GuardedCorrectionIsExempt) {
+  // The teleportation idiom: measure, then conditionally correct.
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; if (c[0] == 1) x q[1]; "
+      "measure q[1] -> c[1]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kGateAfterMeasurement));
+}
+
+TEST(GateAfterMeasure, ResetRearmsTheQubit) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; reset q[0]; x q[0]; "
+      "measure q[0] -> c[1]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kGateAfterMeasurement));
+}
+
+TEST(GateAfterMeasure, OtherQubitsUnaffected) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { measure q[0] -> c[0]; "
+      "h q[1]; measure q[1] -> c[1]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kGateAfterMeasurement));
+}
+
+// ---------------------------------------------------------------------
+// dataflow.double-measure
+// ---------------------------------------------------------------------
+
+TEST(DoubleMeasure, FlagsBackToBackMeasurement) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; measure q[0] -> c[1]; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kDoubleMeasurement));
+  // Different target clbits: flagged, but no delete fix-it (removal
+  // would leave c[1] unwritten).
+  EXPECT_FALSE(
+      find_code(report, DiagCode::kDoubleMeasurement)->fixit.has_value());
+}
+
+TEST(DoubleMeasure, SameClbitCarriesDeleteFixit) {
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kDoubleMeasurement);
+  ASSERT_NE(diag, nullptr);
+  ASSERT_TRUE(diag->fixit.has_value());
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kDoubleMeasurement));
+}
+
+TEST(DoubleMeasure, InterveningResetOrGateIsFine) {
+  const auto with_reset = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; reset q[0]; measure q[0] -> c[1]; }");
+  EXPECT_FALSE(has_code(with_reset, DiagCode::kDoubleMeasurement));
+  const auto with_gate = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; reset q[0]; h q[0]; "
+      "measure q[0] -> c[1]; }");
+  EXPECT_FALSE(has_code(with_gate, DiagCode::kDoubleMeasurement));
+}
+
+// ---------------------------------------------------------------------
+// dataflow.clbit-liveness
+// ---------------------------------------------------------------------
+
+TEST(ClbitLiveness, StaleWhenWriteComesLater) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { if (c[0] == 1) x q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kConditionOnStaleClbit));
+  EXPECT_FALSE(has_code(report, DiagCode::kConditionOnUnwrittenClbit));
+}
+
+TEST(ClbitLiveness, UnwrittenWhenNoWriteExists) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { if (c[1] == 1) x q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kConditionOnUnwrittenClbit));
+  EXPECT_FALSE(has_code(report, DiagCode::kConditionOnStaleClbit));
+}
+
+TEST(ClbitLiveness, ReadAfterWriteIsClean) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { measure q[0] -> c[0]; "
+      "if (c[0] == 1) x q[1]; measure q[1] -> c[1]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kConditionOnStaleClbit));
+  EXPECT_FALSE(has_code(report, DiagCode::kConditionOnUnwrittenClbit));
+}
+
+// ---------------------------------------------------------------------
+// dataflow.dead-code
+// ---------------------------------------------------------------------
+
+TEST(DeadCode, FlagsGateWithNoPathToMeasurement) {
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 2, c: 1) {\n"
+      "  h q[0];\n"
+      "  x q[1];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kDeadOperation);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->line, 4);
+  ASSERT_TRUE(diag->fixit.has_value());
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kDeadOperation));
+}
+
+TEST(DeadCode, EntanglementPropagatesLiveness) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 1) { h q[0]; "
+      "cx q[0], q[1]; measure q[1] -> c[0]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kDeadOperation));
+}
+
+TEST(DeadCode, ResetSeversThePast) {
+  // The h is wiped out by the unconditional reset before measurement.
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; reset q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kDeadOperation));
+}
+
+TEST(DeadCode, SkipsCircuitsWithoutMeasurement) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kNoMeasurement));
+  EXPECT_FALSE(has_code(report, DiagCode::kDeadOperation));
+}
+
+TEST(DeadCode, ReportCountIsCapped) {
+  // 40 dead gates on q[1]; the pass caps per-circuit reports at 16 and
+  // appends one summary diagnostic.
+  std::string source = "import qiskit; circuit main(q: 2, c: 1) { ";
+  for (int i = 0; i < 40; ++i) source += "x q[1]; ";
+  source += "measure q[0] -> c[0]; }";
+  const auto report = analyze_source(source);
+  const auto dead = std::count_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) { return d.code == DiagCode::kDeadOperation; });
+  EXPECT_EQ(dead, 17);  // 16 individual + 1 summary
+}
+
+// ---------------------------------------------------------------------
+// dataflow.redundant-pair
+// ---------------------------------------------------------------------
+
+TEST(RedundantPair, FlagsAdjacentSelfInversePair) {
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kRedundantGatePair);
+  ASSERT_NE(diag, nullptr);
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_EQ(diag->fixit->line_begin, 3);
+  EXPECT_EQ(diag->fixit->line_end, 4);
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kRedundantGatePair));
+}
+
+TEST(RedundantPair, BarrierBreaksAdjacency) {
+  // The DJ constant-oracle shape: h ... barrier ... h is deliberate.
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; barrier; "
+      "h q[0]; measure q[0] -> c[0]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair));
+}
+
+TEST(RedundantPair, InterleavedOperandBreaksAdjacency) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { cx q[0], q[1]; "
+      "x q[1]; cx q[0], q[1]; measure_all; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair));
+}
+
+TEST(RedundantPair, OperandOrderMattersForCx) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { cx q[0], q[1]; "
+      "cx q[1], q[0]; measure_all; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair));
+}
+
+TEST(RedundantPair, CzIsOperandSymmetric) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; cz q[0], q[1]; "
+      "cz q[1], q[0]; measure_all; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kRedundantGatePair));
+}
+
+TEST(RedundantPair, NonSelfInverseGatesAreFine) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { t q[0]; t q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair));
+}
+
+TEST(RedundantPair, ResolvesAliasesBeforeComparing) {
+  // cnot and cx are the same gate; the pair still cancels.
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; cnot q[0], q[1]; "
+      "cx q[0], q[1]; measure_all; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kRedundantGatePair));
+}
+
+// ---------------------------------------------------------------------
+// Fix-its on the core passes
+// ---------------------------------------------------------------------
+
+TEST(CoreFixits, DeprecatedImportReplacement) {
+  const std::string source =
+      "import qiskit;\n"
+      "import qiskit.execute;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kDeprecatedImport);
+  ASSERT_NE(diag, nullptr);
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_EQ(diag->fixit->line_begin, 2);
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kDeprecatedImport));
+  EXPECT_TRUE(fixed.ok());
+}
+
+TEST(CoreFixits, UnknownImportDeletion) {
+  const std::string source =
+      "import qiskit;\n"
+      "import made.up.module;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kUnknownImport);
+  ASSERT_NE(diag, nullptr);
+  ASSERT_TRUE(diag->fixit.has_value());
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kUnknownImport));
+}
+
+TEST(CoreFixits, MissingImportInsertion) {
+  const std::string source =
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kMissingQiskitImport);
+  ASSERT_NE(diag, nullptr);
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_TRUE(diag->fixit->is_insertion());
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kMissingQiskitImport));
+}
+
+TEST(CoreFixits, DeprecatedAliasRename) {
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 2, c: 2) {\n"
+      "  h q[0];\n"
+      "  cnot q[0], q[1];\n"
+      "  measure_all;\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kDeprecatedGateAlias);
+  ASSERT_NE(diag, nullptr);
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_NE(diag->fixit->replacement.find("cx"), std::string::npos);
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kDeprecatedGateAlias));
+}
+
+// ---------------------------------------------------------------------
+// Fix-it application mechanics
+// ---------------------------------------------------------------------
+
+TEST(FixItApply, GuardRefusesMismatchedLines) {
+  const FixIt fix{2, 2, "import qiskit.primitives;", "qiskit.execute"};
+  EXPECT_FALSE(apply_fixit("line one\nline two\n", fix).has_value());
+  EXPECT_TRUE(
+      apply_fixit("line one\nimport qiskit.execute;\n", fix).has_value());
+}
+
+TEST(FixItApply, RangeChecks) {
+  EXPECT_FALSE(apply_fixit("only\n", FixIt{0, 0, "x", ""}).has_value());
+  EXPECT_FALSE(apply_fixit("only\n", FixIt{1, 9, "x", ""}).has_value());
+  // Insertion past the end appends.
+  const auto appended = apply_fixit("only\n", FixIt{2, 0, "tail", ""});
+  ASSERT_TRUE(appended.has_value());
+  EXPECT_EQ(*appended, "only\ntail\n");
+}
+
+TEST(FixItApply, MultipleFixitsApplyBottomUp) {
+  // Deprecated import (line 2) + redundant pair (lines 4-5): both must
+  // apply in one apply_fixits call without line-number skew.
+  const std::string source =
+      "import qiskit;\n"
+      "import qiskit.execute;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const auto fixed = fix_and_reanalyze(source, report, 2);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kDeprecatedImport));
+  EXPECT_FALSE(has_code(fixed, DiagCode::kRedundantGatePair));
+  EXPECT_TRUE(fixed.ok());
+}
+
+// ---------------------------------------------------------------------
+// Gold programs stay lint-clean
+// ---------------------------------------------------------------------
+
+TEST(LintGoldPrograms, NoErrorsAndNoFalsePositiveDataflowBugs) {
+  for (const llm::AlgorithmId id : llm::all_algorithms()) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const Program gold = llm::gold_program(task);
+    const std::string source = print_program(gold);
+    const ParseResult parsed = parse(source);
+    ASSERT_TRUE(parsed.ok()) << source;
+    const auto report =
+        analyze(*parsed.program, LanguageRegistry::current(), {});
+    EXPECT_TRUE(report.ok()) << llm::algorithm_name(id) << "\n"
+                             << format_error_trace(report.diagnostics);
+    // These dataflow codes on a gold program would be false positives.
+    EXPECT_FALSE(has_code(report, DiagCode::kGateAfterMeasurement))
+        << llm::algorithm_name(id);
+    EXPECT_FALSE(has_code(report, DiagCode::kDoubleMeasurement))
+        << llm::algorithm_name(id);
+    EXPECT_FALSE(has_code(report, DiagCode::kRedundantGatePair))
+        << llm::algorithm_name(id);
+    EXPECT_FALSE(has_code(report, DiagCode::kConditionOnStaleClbit))
+        << llm::algorithm_name(id);
+    EXPECT_FALSE(has_code(report, DiagCode::kConditionOnUnwrittenClbit))
+        << llm::algorithm_name(id);
+  }
+}
+
+// Behaviour preservation: applying dead-code / redundant-pair fix-its
+// must leave a parseable program whose diagnostics are a subset issue —
+// re-analysis shows no new errors.
+TEST(LintGoldPrograms, FixitApplicationNeverIntroducesErrors) {
+  for (const llm::AlgorithmId id : llm::all_algorithms()) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const std::string source = print_program(llm::gold_program(task));
+    const ParseResult parsed = parse(source);
+    ASSERT_TRUE(parsed.ok());
+    const auto report =
+        analyze(*parsed.program, LanguageRegistry::current(), {});
+    const FixItResult fixed = apply_fixits(source, report.diagnostics);
+    const ParseResult reparsed = parse(fixed.source);
+    ASSERT_TRUE(reparsed.ok()) << llm::algorithm_name(id) << "\n"
+                               << fixed.source;
+    const auto again =
+        analyze(*reparsed.program, LanguageRegistry::current(), {});
+    EXPECT_TRUE(again.ok()) << llm::algorithm_name(id) << "\n"
+                            << format_error_trace(again.diagnostics);
+  }
+}
+
+}  // namespace
+}  // namespace qcgen::qasm
