@@ -13,10 +13,12 @@
 #include <vector>
 
 #include "agents/pipeline.hpp"
+#include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/judge.hpp"
 #include "eval/suite.hpp"
+#include "qasm/diagnostics.hpp"
 
 using namespace qcgen;
 
@@ -47,27 +49,38 @@ const char* bucket_name(Bucket b) {
 /// Classifies one failed pipeline result.
 Bucket classify(const agents::PipelineResult& result) {
   if (!result.syntactic_ok) {
-    // Inspect the final pass's diagnostics; match on the stable
-    // bracketed diagnostic codes, not free-form message text (parse
-    // errors mention the word "import" in expectations, for instance).
-    const std::string& trace = result.trace.back().error_trace;
-    if (trace.find("[parse-error]") != std::string::npos ||
-        trace.find("[lex-error]") != std::string::npos) {
-      return Bucket::kMalformed;
+    // Key on the structured diagnostic codes the trace now carries
+    // (PassTrace::diagnostics), not on the rendered error-trace text.
+    using qasm::DiagCode;
+    bool malformed = false;
+    bool import_misuse = false;
+    bool gate_misuse = false;
+    for (const qasm::Diagnostic& d : result.trace.back().diagnostics) {
+      switch (d.code) {
+        case DiagCode::kLexError:
+        case DiagCode::kParseError:
+          malformed = true;
+          break;
+        case DiagCode::kDeprecatedImport:
+        case DiagCode::kUnknownImport:
+        case DiagCode::kMissingQiskitImport:
+          import_misuse = true;
+          break;
+        case DiagCode::kUnknownGate:
+        case DiagCode::kWrongArity:
+        case DiagCode::kWrongParamCount:
+        case DiagCode::kQubitOutOfRange:
+        case DiagCode::kClbitOutOfRange:
+        case DiagCode::kDuplicateQubit:
+          gate_misuse = true;
+          break;
+        default:
+          break;
+      }
     }
-    if (trace.find("[deprecated-import]") != std::string::npos ||
-        trace.find("[unknown-import]") != std::string::npos ||
-        trace.find("[missing-qiskit-import]") != std::string::npos) {
-      return Bucket::kImportMisuse;
-    }
-    if (trace.find("[unknown-gate]") != std::string::npos ||
-        trace.find("[wrong-arity]") != std::string::npos ||
-        trace.find("[wrong-param-count]") != std::string::npos ||
-        trace.find("[qubit-out-of-range]") != std::string::npos ||
-        trace.find("[clbit-out-of-range]") != std::string::npos ||
-        trace.find("[duplicate-qubit]") != std::string::npos) {
-      return Bucket::kGateMisuse;
-    }
+    if (malformed) return Bucket::kMalformed;
+    if (import_misuse) return Bucket::kImportMisuse;
+    if (gate_misuse) return Bucket::kGateMisuse;
     return Bucket::kOther;
   }
   // Syntactically clean but behaviourally wrong: use the generation
@@ -88,8 +101,10 @@ Bucket classify(const agents::PipelineResult& result) {
 
 int main(int argc, char** argv) {
   std::size_t samples = 3;
+  bool json_output = false;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--quick") samples = 1;
+    if (std::string(argv[i]) == "--json") json_output = true;
   }
   const auto suite = eval::semantic_suite();
   std::printf("SEC5DE-TAX: failure taxonomy per technique (%zu prompts x %zu "
@@ -117,6 +132,7 @@ int main(int argc, char** argv) {
   table.set_title("Share of FAILED samples by dominant error class "
                   "(percentages of failures)");
 
+  JsonArray json_failures;
   for (const Row& row : rows) {
     agents::MultiAgentPipeline pipeline(
         row.config, agents::SemanticAnalyzerAgent::Options(), std::nullopt,
@@ -132,7 +148,19 @@ int main(int argc, char** argv) {
         ++total;
         if (result.semantic_ok) continue;
         ++failures;
-        ++histogram[classify(result)];
+        const Bucket bucket = classify(result);
+        ++histogram[bucket];
+        if (json_output) {
+          Json record;
+          record["technique"] = row.name;
+          record["prompt"] = i;
+          record["sample"] = s;
+          record["bucket"] = bucket_name(bucket);
+          record["passes_used"] = result.passes_used;
+          record["diagnostics"] =
+              qasm::diagnostics_to_json(result.trace.back().diagnostics);
+          json_failures.push_back(std::move(record));
+        }
       }
     }
     std::vector<std::string> cells = {
@@ -155,5 +183,10 @@ int main(int argc, char** argv) {
       "class overall -- exactly the paper's Sec V-D account of why the "
       "gains plateau; (2) SCoT collapses the wrong-plan share, leaving "
       "syntactic classes (chiefly import misuse) as the bottleneck.\n");
+  if (json_output) {
+    Json doc;
+    doc["failures"] = Json(std::move(json_failures));
+    std::printf("%s\n", doc.dump(2).c_str());
+  }
   return 0;
 }

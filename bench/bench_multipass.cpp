@@ -9,6 +9,11 @@
 // to mechanical diagnostics (deprecated imports, alias renames, ...).
 // Each row is run twice — with fix-its in the error trace and without —
 // to measure how much verbatim patches accelerate repair convergence.
+//
+// Second ablation: the stabilizer-domain abstract interpreter adds
+// proof-backed facts (unreachable conditionals, redundant resets,
+// trivial controlled gates) to the trace. A third run per row disables
+// it to measure what the proofs buy on top of the dataflow lints.
 
 #include <cstdio>
 #include <string>
@@ -30,16 +35,21 @@ int main(int argc, char** argv) {
   with_fixits.samples_per_case = samples;
   eval::RunnerOptions without_fixits = with_fixits;
   without_fixits.analyzer.analysis.emit_fixits = false;
+  eval::RunnerOptions without_abstract = with_fixits;
+  without_abstract.analyzer.analysis.abstract_lints = false;
 
   std::printf("SEC5D-MP: multi-pass inference on the fine-tuned model "
               "(paper: 28%% -> 34%% at 3 passes, then plateau)\n\n");
 
   Table table({"passes", "semantic %", "mean passes", "semantic % (no fixit)",
-               "mean passes (no fixit)", "delta vs 1-pass"});
-  table.set_title("Multi-pass inference accuracy (fix-its on vs off)");
+               "mean passes (no fixit)", "semantic % (no abstract)",
+               "mean passes (no abstract)", "delta vs 1-pass"});
+  table.set_title(
+      "Multi-pass inference accuracy (fix-its and abstract facts on vs off)");
   std::vector<std::pair<std::string, double>> chart;
   double first = 0.0;
   double passes_gain_sum = 0.0;
+  double abstract_gain_sum = 0.0;
   int multi_pass_rows = 0;
   for (int passes : {1, 2, 3, 4, 5, 6}) {
     const auto config = agents::TechniqueConfig::with_multipass(
@@ -48,9 +58,13 @@ int main(int argc, char** argv) {
         eval::evaluate_technique(config, suite, with_fixits);
     const eval::AccuracyReport ablated =
         eval::evaluate_technique(config, suite, without_fixits);
+    const eval::AccuracyReport no_abstract =
+        eval::evaluate_technique(config, suite, without_abstract);
     if (passes == 1) first = report.semantic_rate;
     if (passes > 1) {
       passes_gain_sum += ablated.mean_passes_used - report.mean_passes_used;
+      abstract_gain_sum +=
+          no_abstract.mean_passes_used - report.mean_passes_used;
       ++multi_pass_rows;
     }
     table.add_row({std::to_string(passes),
@@ -58,6 +72,8 @@ int main(int argc, char** argv) {
                    format_double(report.mean_passes_used, 2),
                    format_double(100 * ablated.semantic_rate, 1),
                    format_double(ablated.mean_passes_used, 2),
+                   format_double(100 * no_abstract.semantic_rate, 1),
+                   format_double(no_abstract.mean_passes_used, 2),
                    "+" + format_double(
                              100 * (report.semantic_rate - first), 1)});
     chart.emplace_back("passes=" + std::to_string(passes),
@@ -72,6 +88,10 @@ int main(int argc, char** argv) {
     std::printf("Fix-it check: mean passes-to-success with fix-its should "
                 "not exceed the ablation (avg saving %.3f passes/run).\n",
                 passes_gain_sum / multi_pass_rows);
+    std::printf("Abstract-interpretation check: mean passes-to-success with "
+                "abstract facts should not exceed the ablation (avg saving "
+                "%.3f passes/run).\n",
+                abstract_gain_sum / multi_pass_rows);
   }
   return 0;
 }

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# CI entry point: strict build, full test suite, then a sanitizer build
-# of the language front-end tests (the part that chews model-corrupted
-# input all day and so is the most UB-prone).
+# CI entry point: strict build, full test suite, clang-tidy (when
+# installed), then a sanitizer build of the language front-end tests
+# (the part that chews model-corrupted input all day and so is the most
+# UB-prone).
 #
 # Usage: scripts/check.sh [--skip-sanitizers]
 
@@ -18,19 +19,30 @@ done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> [1/3] strict build (warnings as errors)"
-cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON >/dev/null
+echo "==> [1/4] strict build (warnings as errors)"
+cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 
-echo "==> [2/3] full test suite"
+echo "==> [2/4] full test suite"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
+echo "==> [3/4] clang-tidy (.clang-tidy profile)"
+if command -v clang-tidy >/dev/null 2>&1; then
+  # Project sources only; third-party and generated code stay out via
+  # the explicit file list (compile_commands.json covers everything).
+  mapfile -t TIDY_SOURCES < <(find src bench -name '*.cpp' | sort)
+  clang-tidy -p build-check --quiet "${TIDY_SOURCES[@]}"
+else
+  echo "    clang-tidy not installed; skipping (profile: .clang-tidy)"
+fi
+
 if [[ "$SKIP_SAN" == "1" ]]; then
-  echo "==> [3/3] sanitizers skipped (--skip-sanitizers)"
+  echo "==> [4/4] sanitizers skipped (--skip-sanitizers)"
   exit 0
 fi
 
-echo "==> [3/3] ASan+UBSan build, qasm/lint/fuzz tests"
+echo "==> [4/4] ASan+UBSan build, qasm/lint/fuzz tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE="address;undefined" \

@@ -27,6 +27,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
     trace.syntactic_ok = static_report.syntactic_ok;
     trace.error_trace = static_report.error_trace;
     trace.error_count = static_report.diagnostics.size();
+    trace.diagnostics = static_report.diagnostics;
 
     bool semantic_ok = false;
     if (static_report.syntactic_ok) {

@@ -21,6 +21,10 @@ struct PassTrace {
   double tvd = 1.0;
   std::size_t error_count = 0;
   std::string error_trace;
+  /// Structured diagnostics behind `error_trace` (including abstract.*
+  /// facts), so eval/bench tooling can classify without string-scraping;
+  /// serialise with qasm::diagnostics_to_json.
+  std::vector<qasm::Diagnostic> diagnostics;
 };
 
 /// Final pipeline outcome for one task.

@@ -1,9 +1,16 @@
 #pragma once
 // Semantic Analysis Agent (paper Sec III-A, second agent).
 //
-// Performs static analysis (parse + semantic checks) and behavioural
-// verification (simulate and compare against a reference distribution),
-// producing the error traces that drive the multi-pass repair loop.
+// Performs static analysis (parse + semantic checks + stabilizer-domain
+// abstract interpretation — deterministic measurements, unreachable
+// conditionals, redundant resets, trivial controlled gates) and
+// behavioural verification (simulate and compare against a reference
+// distribution), producing the error traces that drive the multi-pass
+// repair loop. Abstract facts surface in the trace like any other
+// diagnostic, so the repair agent sees e.g. "this conditional is
+// provably unreachable" with its delete fix-it. Set
+// Options::analysis.topology (agents::coupling_map) to also check
+// two-qubit gates against a device coupling graph.
 
 #include <optional>
 #include <string>

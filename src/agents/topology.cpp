@@ -186,4 +186,12 @@ int DeviceTopology::max_surface_code_distance() const {
   return 0;
 }
 
+qasm::lint::CouplingMap coupling_map(const DeviceTopology& device) {
+  qasm::lint::CouplingMap map;
+  map.name = device.name();
+  map.num_qubits = device.num_qubits();
+  map.edges = device.edges();
+  return map;
+}
+
 }  // namespace qcgen::agents

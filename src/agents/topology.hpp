@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "qasm/lint/pass.hpp"
 #include "sim/noise.hpp"
 
 namespace qcgen::agents {
@@ -73,5 +74,10 @@ class DeviceTopology {
   std::vector<std::pair<std::size_t, std::size_t>> edges_;
   sim::NoiseModel noise_;
 };
+
+/// The device's coupling graph in the lint layer's vocabulary, for
+/// qasm::AnalyzerOptions::topology / abstract.topology-conformance
+/// (qasm cannot depend on agents, so the conversion lives here).
+qasm::lint::CouplingMap coupling_map(const DeviceTopology& device);
 
 }  // namespace qcgen::agents

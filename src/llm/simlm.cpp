@@ -54,6 +54,17 @@ double repair_success_probability(DiagCode code) {
       return 0.55;
     case DiagCode::kNoMeasurement:
       return 0.45;
+    case DiagCode::kDeterministicMeasurement:
+    case DiagCode::kNonAdjacentQubits:
+      // Informational abstract facts: a constant outcome is not a defect
+      // to patch, and routing needs a compiler, not a line edit.
+      return 0.0;
+    case DiagCode::kUnreachableConditional:
+    case DiagCode::kRedundantReset:
+    case DiagCode::kTrivialControlledGate:
+      // Proof-backed dead code: the trace says exactly which statement
+      // can be deleted, so the model usually gets it right.
+      return 0.5;
     default:
       return 0.20;
   }
@@ -61,6 +72,8 @@ double repair_success_probability(DiagCode code) {
 
 double repair_success_probability(const qasm::Diagnostic& diag) {
   const double base = repair_success_probability(diag.code);
+  // Informational facts stay informational even when a fix-it rides along.
+  if (base <= 0.0) return base;
   // A fix-it in the trace turns the repair into verbatim line copying;
   // even the resistant classes (deprecated imports) become near-certain.
   if (diag.fixit.has_value()) return std::max(base, 0.92);
@@ -467,8 +480,22 @@ GenerationResult SimLM::repair(const TaskSpec& task,
   if (!has_error_diags && semantic_failure) {
     // Behaviourally wrong but statically clean. Mostly the model sticks
     // to its flawed plan (no new information about the algorithm); only
-    // occasionally does the feedback trigger a genuine replan.
-    if (!rng_.bernoulli(semantic_replan_probability(pass_number))) {
+    // occasionally does the feedback trigger a genuine replan. Abstract
+    // facts in the trace (e.g. "this measurement is provably constant 0",
+    // "this cx has a |0> control") are new information about *why* the
+    // behaviour is wrong — precisely what a bare mismatch signal lacks —
+    // so they multiply the replan odds.
+    const bool has_abstract_facts = std::any_of(
+        diagnostics.begin(), diagnostics.end(),
+        [](const qasm::Diagnostic& d) {
+          return d.code == DiagCode::kDeterministicMeasurement ||
+                 d.code == DiagCode::kUnreachableConditional ||
+                 d.code == DiagCode::kRedundantReset ||
+                 d.code == DiagCode::kTrivialControlledGate;
+        });
+    const double replan = semantic_replan_probability(pass_number) *
+                          (has_abstract_facts ? 4.0 : 1.0);
+    if (!rng_.bernoulli(replan)) {
       GenerationResult stubborn = prev;
       return stubborn;
     }
@@ -501,10 +528,14 @@ GenerationResult SimLM::repair(const TaskSpec& task,
 
   bool reprint_cleanly = false;
   std::vector<FaultKind> fixed;
+  int drop_unreachable = 0;
+  int drop_redundant_reset = 0;
+  int drop_trivial_control = 0;
   for (const qasm::Diagnostic& diag : diagnostics) {
-    if (!rng_.bernoulli(repair_success_probability(diag) * attempt_decay)) {
-      continue;
-    }
+    const double p = repair_success_probability(diag) * attempt_decay;
+    // Skip zero-probability diags without consuming a draw so the RNG
+    // stream matches runs where the informational passes are disabled.
+    if (p <= 0.0 || !rng_.bernoulli(p)) continue;
     switch (diag.code) {
       case DiagCode::kLexError:
       case DiagCode::kParseError:
@@ -649,8 +680,132 @@ GenerationResult SimLM::repair(const TaskSpec& task,
         }
         break;
       }
+      case DiagCode::kUnreachableConditional:
+        // Structural deletions are deferred until after this loop: they
+        // shift statement indices, and the intent-restoring repairs above
+        // address body by the fault record's stmt_index.
+        ++drop_unreachable;
+        break;
+      case DiagCode::kRedundantReset:
+        ++drop_redundant_reset;
+        break;
+      case DiagCode::kTrivialControlledGate:
+        ++drop_trivial_control;
+        break;
       default:
         break;
+    }
+  }
+
+  // Proof-backed deletions, applied after the indexed repairs above so
+  // those saw unshifted statement positions. Each deletes one statement
+  // the abstract interpreter proved to be a no-op.
+  const auto delete_first_unreachable = [&]() -> bool {
+    // First conditional whose clbit is tested true but never written
+    // before it (the statement the fix-it span covers).
+    std::vector<bool> written(next.ast.circuits.front().num_clbits, false);
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (const auto* m = std::get_if<qasm::MeasureStmt>(&body[i])) {
+        if (m->clbit.index < written.size()) written[m->clbit.index] = true;
+        continue;
+      }
+      if (std::holds_alternative<qasm::MeasureAllStmt>(body[i])) {
+        written.assign(written.size(), true);
+        continue;
+      }
+      const auto* cond = std::get_if<std::shared_ptr<qasm::IfStmt>>(&body[i]);
+      if (cond == nullptr || *cond == nullptr) continue;
+      const qasm::IfStmt& guard = **cond;
+      if (guard.value && guard.clbit.index < written.size() &&
+          !written[guard.clbit.index]) {
+        body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+        return true;
+      }
+    }
+    return false;
+  };
+  const auto delete_first_redundant_reset = [&]() -> bool {
+    // First reset on a qubit that nothing has touched yet.
+    std::vector<bool> touched(next.ast.circuits.front().num_qubits, false);
+    const auto touch = [&](const RegRef& ref) {
+      if (ref.index < touched.size()) touched[ref.index] = true;
+    };
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (const auto* r = std::get_if<qasm::ResetStmt>(&body[i])) {
+        if (r->qubit.index < touched.size() && !touched[r->qubit.index]) {
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+          return true;
+        }
+        touch(r->qubit);
+      } else if (is_gate(body[i])) {
+        for (const RegRef& ref : std::get<GateStmt>(body[i]).operands) {
+          touch(ref);
+        }
+      } else if (const auto* m = std::get_if<qasm::MeasureStmt>(&body[i])) {
+        touch(m->qubit);
+      } else if (std::holds_alternative<qasm::MeasureAllStmt>(body[i])) {
+        touched.assign(touched.size(), true);
+      } else if (std::holds_alternative<std::shared_ptr<qasm::IfStmt>>(
+                     body[i])) {
+        // Conservative: a guarded statement may touch anything.
+        touched.assign(touched.size(), true);
+      }
+    }
+    return false;
+  };
+  const auto delete_first_trivial_control = [&]() -> bool {
+    // First controlled gate whose control qubit is still in |0> —
+    // untouched since preparation, so the gate is a provable identity.
+    std::vector<bool> touched(next.ast.circuits.front().num_qubits, false);
+    const auto touch = [&](const RegRef& ref) {
+      if (ref.index < touched.size()) touched[ref.index] = true;
+    };
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (is_gate(body[i])) {
+        const auto& g = std::get<GateStmt>(body[i]);
+        const auto kind = registry.resolve_gate(g.name);
+        const bool controlled =
+            kind.has_value() &&
+            (*kind == sim::GateKind::kCX || *kind == sim::GateKind::kCY ||
+             *kind == sim::GateKind::kCZ || *kind == sim::GateKind::kCSwap ||
+             *kind == sim::GateKind::kCCX || *kind == sim::GateKind::kCPhase);
+        if (controlled && !g.operands.empty() &&
+            g.operands.front().index < touched.size() &&
+            !touched[g.operands.front().index]) {
+          body.erase(body.begin() + static_cast<std::ptrdiff_t>(i));
+          return true;
+        }
+        for (const RegRef& ref : g.operands) touch(ref);
+      } else if (const auto* m = std::get_if<qasm::MeasureStmt>(&body[i])) {
+        touch(m->qubit);
+      } else if (const auto* r = std::get_if<qasm::ResetStmt>(&body[i])) {
+        touch(r->qubit);
+      } else if (std::holds_alternative<qasm::MeasureAllStmt>(body[i])) {
+        touched.assign(touched.size(), true);
+      } else if (std::holds_alternative<std::shared_ptr<qasm::IfStmt>>(
+                     body[i])) {
+        touched.assign(touched.size(), true);
+      }
+    }
+    return false;
+  };
+  // A still-missing measurement can be the only reason the premise holds
+  // ("clbit never written", "control untouched"): deleting the statement
+  // now would bake the breakage in once the measurement is restored, so
+  // hold the deletions until that fault class is gone.
+  const bool measure_fix_pending = std::any_of(
+      prev.faults.begin(), prev.faults.end(), [&](const Fault& f) {
+        return f.kind == FaultKind::kMissingMeasure &&
+               std::find(fixed.begin(), fixed.end(), f.kind) == fixed.end();
+      });
+  if (!measure_fix_pending) {
+    for (int k = 0; k < drop_unreachable && delete_first_unreachable(); ++k) {
+    }
+    for (int k = 0;
+         k < drop_redundant_reset && delete_first_redundant_reset(); ++k) {
+    }
+    for (int k = 0;
+         k < drop_trivial_control && delete_first_trivial_control(); ++k) {
     }
   }
   (void)reprint_cleanly;  // re-print below always restores text integrity

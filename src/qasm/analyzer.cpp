@@ -14,6 +14,10 @@ lint::LintConfig AnalyzerOptions::to_lint_config() const {
   if (!dataflow_lints) {
     config.disabled_groups.insert("dataflow.");
   }
+  if (!abstract_lints) {
+    config.disabled_groups.insert("abstract.");
+  }
+  config.topology = topology;
   config.emit_fixits = emit_fixits;
   return config;
 }

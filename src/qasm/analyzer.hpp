@@ -28,6 +28,13 @@ struct AnalyzerOptions {
   /// Run the dataflow lints (gate-after-measure, dead-code, ...). Off
   /// reproduces the pre-lint analyzer surface exactly.
   bool dataflow_lints = true;
+  /// Run the stabilizer-domain abstract-interpretation lints
+  /// (deterministic-measurement, unreachable-conditional, ...). The
+  /// bench_multipass ablation flips this off.
+  bool abstract_lints = true;
+  /// Target device coupling map for abstract.topology-conformance;
+  /// unset leaves the pass silent (no hardware target committed).
+  std::optional<lint::CouplingMap> topology;
   /// Attach machine-applicable fix-its to diagnostics that have one.
   bool emit_fixits = true;
 

@@ -31,6 +31,12 @@ std::string_view diag_code_name(DiagCode code) {
       return "condition-on-stale-clbit";
     case DiagCode::kDeadOperation: return "dead-operation";
     case DiagCode::kRedundantGatePair: return "redundant-gate-pair";
+    case DiagCode::kDeterministicMeasurement:
+      return "deterministic-measurement";
+    case DiagCode::kUnreachableConditional: return "unreachable-conditional";
+    case DiagCode::kRedundantReset: return "redundant-reset";
+    case DiagCode::kTrivialControlledGate: return "trivial-gate";
+    case DiagCode::kNonAdjacentQubits: return "non-adjacent-qubits";
   }
   return "?";
 }
@@ -179,6 +185,31 @@ std::string format_error_trace(const std::vector<Diagnostic>& diags) {
       }
       out += "\n";
     }
+  }
+  return out;
+}
+
+Json diagnostics_to_json(const std::vector<Diagnostic>& diags) {
+  Json out(JsonArray{});
+  for (const Diagnostic& d : diags) {
+    Json entry;
+    entry["severity"] = d.severity == Severity::kError ? "error" : "warning";
+    entry["code"] = std::string(diag_code_name(d.code));
+    entry["pass"] = d.pass_id;
+    entry["line"] = d.line;
+    entry["column"] = d.column;
+    entry["message"] = d.message;
+    if (d.fixit.has_value()) {
+      Json fix;
+      fix["line_begin"] = d.fixit->line_begin;
+      fix["line_end"] = d.fixit->line_end;
+      fix["replacement"] = d.fixit->replacement;
+      fix["guard"] = d.fixit->guard;
+      entry["fixit"] = std::move(fix);
+    } else {
+      entry["fixit"] = nullptr;
+    }
+    out.push_back(std::move(entry));
   }
   return out;
 }

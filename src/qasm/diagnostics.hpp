@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+
 namespace qcgen::qasm {
 
 enum class Severity { kWarning, kError };
@@ -51,6 +53,12 @@ enum class DiagCode {
   kConditionOnStaleClbit,
   kDeadOperation,
   kRedundantGatePair,
+  // Abstract interpretation (stabilizer-domain semantic lints).
+  kDeterministicMeasurement,
+  kUnreachableConditional,
+  kRedundantReset,
+  kTrivialControlledGate,
+  kNonAdjacentQubits,
 };
 
 /// Human-readable mnemonic (e.g. "deprecated-import") for a code.
@@ -125,5 +133,11 @@ bool has_errors(const std::vector<Diagnostic>& diags);
 ///   error[deprecated-import] at line 2: ...
 ///     fixit: replace line 2 with `import qiskit.primitives;`
 std::string format_error_trace(const std::vector<Diagnostic>& diags);
+
+/// Machine-readable counterpart of format_error_trace: a JSON array of
+/// objects {severity, code, pass, line, column, message, fixit} so eval
+/// and bench tooling can consume lint results without string-scraping
+/// the human trace. `fixit` is null when the diagnostic carries none.
+Json diagnostics_to_json(const std::vector<Diagnostic>& diags);
 
 }  // namespace qcgen::qasm

@@ -1,6 +1,12 @@
 #include "qasm/lint/driver.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "qasm/lint/abstract/interpreter.hpp"
 
 namespace qcgen::qasm {
 
@@ -31,17 +37,43 @@ AnalysisReport run_passes(const Program& program,
                           const PassRegistry& registry,
                           const LintConfig& config) {
   const ProgramFacts facts = ProgramFacts::compute(program);
-  const PassContext ctx{program, facts, language};
+  // The abstract interpreter runs once, and only if some abstract.* pass
+  // will actually read its results.
+  std::optional<abstract::AbstractFacts> abstract_facts;
+  const bool want_abstract = std::any_of(
+      registry.passes().begin(), registry.passes().end(),
+      [&](const std::unique_ptr<LintPass>& pass) {
+        return pass->id().substr(0, 9) == "abstract." &&
+               config.pass_enabled(pass->id());
+      });
+  if (want_abstract) {
+    abstract_facts = abstract::AbstractFacts::compute(facts, language);
+  }
+  const PassContext ctx{program, facts, language, config,
+                        abstract_facts ? &*abstract_facts : nullptr};
   AnalysisReport report;
   for (const auto& pass : registry.passes()) {
     if (!config.pass_enabled(pass->id())) continue;
     DiagnosticSink sink(report.diagnostics, pass->id(), config);
     pass->run(ctx, sink);
   }
+  // Deterministic presentation for the repair loop: order by source
+  // position, then by pass id for same-line overlap; identical
+  // (code, line, message) triples from overlapping passes report once.
   std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
-                     return a.line < b.line;
+                     return std::tie(a.line, a.pass_id) <
+                            std::tie(b.line, b.pass_id);
                    });
+  std::set<std::tuple<int, DiagCode, std::string>> seen;
+  std::vector<Diagnostic> unique;
+  unique.reserve(report.diagnostics.size());
+  for (Diagnostic& d : report.diagnostics) {
+    if (seen.insert({d.line, d.code, d.message}).second) {
+      unique.push_back(std::move(d));
+    }
+  }
+  report.diagnostics = std::move(unique);
   return report;
 }
 

@@ -19,6 +19,27 @@
 
 namespace qcgen::qasm::lint {
 
+namespace abstract {
+struct AbstractFacts;
+}  // namespace abstract
+
+/// Physical qubit connectivity of a target device, in the lint layer's
+/// own vocabulary so qasm stays independent of agents/. Edges are
+/// undirected pairs of physical qubit indices; agents::coupling_map()
+/// converts a DeviceTopology into this form.
+struct CouplingMap {
+  std::string name;
+  std::size_t num_qubits = 0;
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+
+  bool adjacent(std::size_t a, std::size_t b) const {
+    for (const auto& [u, v] : edges) {
+      if ((u == a && v == b) || (u == b && v == a)) return true;
+    }
+    return false;
+  }
+};
+
 /// Per-pass configuration knobs.
 struct PassSettings {
   bool enabled = true;
@@ -41,6 +62,9 @@ struct LintConfig {
   /// When false, diagnostics are stripped of fix-its (the repair-loop
   /// ablation in bench_multipass flips this).
   bool emit_fixits = true;
+  /// Target device connectivity for abstract.topology-conformance; the
+  /// pass is silent when unset (no target committed yet).
+  std::optional<CouplingMap> topology;
 
   bool pass_enabled(std::string_view id) const;
 };
@@ -50,6 +74,10 @@ struct PassContext {
   const Program& program;
   const ProgramFacts& facts;
   const LanguageRegistry& registry;
+  const LintConfig& config;
+  /// Stabilizer-domain abstract interpretation results; null when no
+  /// abstract.* pass is enabled (the interpreter is skipped entirely).
+  const abstract::AbstractFacts* abstract = nullptr;
 };
 
 /// Collects diagnostics for one pass invocation.

@@ -19,6 +19,7 @@ const PassRegistry& PassRegistry::builtin() {
     PassRegistry registry;
     register_core_passes(registry);
     register_dataflow_passes(registry);
+    register_abstract_passes(registry);
     return registry;
   }();
   return kRegistry;

@@ -2,7 +2,8 @@
 // PassRegistry: the ordered collection of lint passes the driver runs.
 //
 // The built-in registry carries the refactored legacy analyzer checks
-// (core.*) followed by the dataflow lints (dataflow.*). Callers may
+// (core.*), the dataflow lints (dataflow.*) and the stabilizer-domain
+// abstract-interpretation lints (abstract.*). Callers may
 // build their own registry to add project-specific passes or subset
 // the built-ins; per-run enable/severity tweaks belong in LintConfig,
 // not in registry surgery.
@@ -38,8 +39,9 @@ class PassRegistry {
 };
 
 /// Registration hooks for the built-in pass families
-/// (core_passes.cpp / dataflow_passes.cpp).
+/// (core_passes.cpp / dataflow_passes.cpp / abstract/abstract_passes.cpp).
 void register_core_passes(PassRegistry& registry);
 void register_dataflow_passes(PassRegistry& registry);
+void register_abstract_passes(PassRegistry& registry);
 
 }  // namespace qcgen::qasm::lint

@@ -1,0 +1,125 @@
+#pragma once
+// Shared Clifford kernel: the Aaronson-Gottesman ("CHP") stabilizer
+// tableau mechanics behind both the concrete simulator (sim::Tableau)
+// and the lint abstract interpreter (qasm::lint::abstract).
+//
+// Representation: 2n+1 rows of Pauli operators over n qubits. Rows
+// 0..n-1 are destabilizers, rows n..2n-1 stabilizers, row 2n is scratch.
+// Each row stores packed x-bits, packed z-bits and a sign.
+//
+// The kernel generalises the classic tableau in one way: row signs are
+// three-valued. SignBit::kUnknown marks a sign the abstract interpreter
+// deliberately stops tracking (e.g. the outcome of a genuinely random
+// measurement it cannot resolve). Unknown is absorbing through all sign
+// arithmetic, so every *definite* sign the kernel reports is exact. The
+// concrete simulator never introduces kUnknown and pays nothing for the
+// generality.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qcgen::sim {
+
+/// Three-valued Pauli-row sign: kZero is +1, kOne is -1, kUnknown is a
+/// definite but untracked value (the abstract domain's partial top).
+enum class SignBit : std::uint8_t { kZero = 0, kOne = 1, kUnknown = 2 };
+
+inline bool sign_known(SignBit s) { return s != SignBit::kUnknown; }
+
+/// XOR with unknown absorbing.
+inline SignBit sign_xor(SignBit a, SignBit b) {
+  if (!sign_known(a) || !sign_known(b)) return SignBit::kUnknown;
+  return a == b ? SignBit::kZero : SignBit::kOne;
+}
+
+/// Flips a known sign; unknown stays unknown.
+inline SignBit sign_flip(SignBit s) {
+  switch (s) {
+    case SignBit::kZero: return SignBit::kOne;
+    case SignBit::kOne: return SignBit::kZero;
+    case SignBit::kUnknown: return SignBit::kUnknown;
+  }
+  return SignBit::kUnknown;
+}
+
+/// Stabilizer tableau over n qubits, initially |0...0>.
+class CliffordTableau {
+ public:
+  explicit CliffordTableau(std::size_t num_qubits);
+
+  std::size_t num_qubits() const noexcept { return n_; }
+
+  /// Restores |0...0>.
+  void reset_all();
+
+  // Clifford gates (conjugation action on every row).
+  void h(std::size_t q);
+  void s(std::size_t q);
+  void sdg(std::size_t q);
+  void x(std::size_t q);
+  void y(std::size_t q);
+  void z(std::size_t q);
+  void cx(std::size_t control, std::size_t target);
+  void cz(std::size_t a, std::size_t b);
+  void cy(std::size_t control, std::size_t target);
+  void swap(std::size_t a, std::size_t b);
+  void sx(std::size_t q);
+
+  // Row-level access for clients implementing their own protocols
+  // (measurement post-processing, Gaussian elimination). Rows 0..n-1
+  // are destabilizers, n..2n-1 stabilizers, 2n scratch.
+  bool xbit(std::size_t row, std::size_t q) const;
+  bool zbit(std::size_t row, std::size_t q) const;
+  void set_xbit(std::size_t row, std::size_t q, bool v);
+  void set_zbit(std::size_t row, std::size_t q, bool v);
+  SignBit row_sign(std::size_t row) const { return r_[row]; }
+  void set_row_sign(std::size_t row, SignBit s) { r_[row] = s; }
+  /// row[h] <- row[h] * row[i], tracking the sign (AG "rowsum"); an
+  /// unknown sign on either operand makes the result sign unknown.
+  void rowsum(std::size_t h, std::size_t i);
+  void row_copy(std::size_t dst, std::size_t src);
+  void row_clear(std::size_t row);
+
+  /// True if measuring q now would give a deterministic outcome.
+  bool is_deterministic(std::size_t q) const;
+  /// Sign of the deterministic Z-measurement of q (kUnknown when the
+  /// outcome is fixed but derived from untracked signs). Requires
+  /// is_deterministic(q).
+  SignBit deterministic_sign(std::size_t q) const;
+
+  /// Z-basis measurement with collapse. For a random outcome the state
+  /// collapses to the branch labelled `random_sign` (which may be
+  /// kUnknown: the abstract interpreter collapses without choosing);
+  /// `pivot` is the stabilizer row holding the fresh +/-Z_q generator.
+  /// Deterministic outcomes leave the state untouched and pivot unset.
+  struct MeasureResult {
+    SignBit outcome = SignBit::kUnknown;
+    bool random = false;
+    std::size_t pivot = 0;  ///< valid only when random
+  };
+  MeasureResult measure_with(std::size_t q, SignBit random_sign);
+
+  /// Sign of the Pauli-Z string over `qubits` if it is in the stabilizer
+  /// group (duplicates cancel), std::nullopt-like via `deterministic`
+  /// false when the string's outcome is random.
+  struct ZSign {
+    bool deterministic = false;
+    SignBit sign = SignBit::kUnknown;
+  };
+  ZSign pauli_z_sign(const std::vector<std::size_t>& qubits) const;
+
+  /// Stabilizer generators as strings like "+XZ_Z" ('?' sign when
+  /// unknown) for debugging/tests.
+  std::vector<std::string> stabilizer_strings() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  // x_[row * words_ + w], z_ likewise; r_ has one sign per row.
+  std::vector<std::uint64_t> x_;
+  std::vector<std::uint64_t> z_;
+  std::vector<SignBit> r_;
+};
+
+}  // namespace qcgen::sim

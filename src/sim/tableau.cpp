@@ -1,133 +1,8 @@
 #include "sim/tableau.hpp"
 
-#include <algorithm>
-
 #include "common/error.hpp"
 
 namespace qcgen::sim {
-
-Tableau::Tableau(std::size_t num_qubits) : n_(num_qubits) {
-  require(n_ >= 1, "Tableau requires at least 1 qubit");
-  words_ = (n_ + 63) / 64;
-  x_.assign((2 * n_ + 1) * words_, 0);
-  z_.assign((2 * n_ + 1) * words_, 0);
-  r_.assign(2 * n_ + 1, 0);
-  reset_all();
-}
-
-void Tableau::reset_all() {
-  std::fill(x_.begin(), x_.end(), 0ULL);
-  std::fill(z_.begin(), z_.end(), 0ULL);
-  std::fill(r_.begin(), r_.end(), 0);
-  for (std::size_t i = 0; i < n_; ++i) {
-    set_xbit(i, i, true);        // destabilizer i = X_i
-    set_zbit(n_ + i, i, true);   // stabilizer i = Z_i
-  }
-}
-
-bool Tableau::xbit(std::size_t row, std::size_t q) const {
-  return (x_[row * words_ + q / 64] >> (q % 64)) & 1ULL;
-}
-bool Tableau::zbit(std::size_t row, std::size_t q) const {
-  return (z_[row * words_ + q / 64] >> (q % 64)) & 1ULL;
-}
-void Tableau::set_xbit(std::size_t row, std::size_t q, bool v) {
-  const std::uint64_t mask = 1ULL << (q % 64);
-  auto& word = x_[row * words_ + q / 64];
-  word = v ? (word | mask) : (word & ~mask);
-}
-void Tableau::set_zbit(std::size_t row, std::size_t q, bool v) {
-  const std::uint64_t mask = 1ULL << (q % 64);
-  auto& word = z_[row * words_ + q / 64];
-  word = v ? (word | mask) : (word & ~mask);
-}
-
-void Tableau::h(std::size_t q) {
-  require(q < n_, "Tableau::h: qubit out of range");
-  for (std::size_t i = 0; i < 2 * n_; ++i) {
-    const bool xi = xbit(i, q);
-    const bool zi = zbit(i, q);
-    r_[i] ^= static_cast<std::uint8_t>(xi && zi);
-    set_xbit(i, q, zi);
-    set_zbit(i, q, xi);
-  }
-}
-
-void Tableau::s(std::size_t q) {
-  require(q < n_, "Tableau::s: qubit out of range");
-  for (std::size_t i = 0; i < 2 * n_; ++i) {
-    const bool xi = xbit(i, q);
-    const bool zi = zbit(i, q);
-    r_[i] ^= static_cast<std::uint8_t>(xi && zi);
-    set_zbit(i, q, zi ^ xi);
-  }
-}
-
-void Tableau::sdg(std::size_t q) {
-  s(q);
-  s(q);
-  s(q);
-}
-
-void Tableau::x(std::size_t q) {
-  require(q < n_, "Tableau::x: qubit out of range");
-  for (std::size_t i = 0; i < 2 * n_; ++i) {
-    r_[i] ^= static_cast<std::uint8_t>(zbit(i, q));
-  }
-}
-
-void Tableau::z(std::size_t q) {
-  require(q < n_, "Tableau::z: qubit out of range");
-  for (std::size_t i = 0; i < 2 * n_; ++i) {
-    r_[i] ^= static_cast<std::uint8_t>(xbit(i, q));
-  }
-}
-
-void Tableau::y(std::size_t q) {
-  require(q < n_, "Tableau::y: qubit out of range");
-  for (std::size_t i = 0; i < 2 * n_; ++i) {
-    r_[i] ^= static_cast<std::uint8_t>(xbit(i, q) ^ zbit(i, q));
-  }
-}
-
-void Tableau::cx(std::size_t control, std::size_t target) {
-  require(control < n_ && target < n_ && control != target,
-          "Tableau::cx: bad operands");
-  for (std::size_t i = 0; i < 2 * n_; ++i) {
-    const bool xc = xbit(i, control);
-    const bool zc = zbit(i, control);
-    const bool xt = xbit(i, target);
-    const bool zt = zbit(i, target);
-    r_[i] ^= static_cast<std::uint8_t>(xc && zt && (xt == zc));
-    set_xbit(i, target, xt ^ xc);
-    set_zbit(i, control, zc ^ zt);
-  }
-}
-
-void Tableau::cz(std::size_t a, std::size_t b) {
-  h(b);
-  cx(a, b);
-  h(b);
-}
-
-void Tableau::cy(std::size_t control, std::size_t target) {
-  sdg(target);
-  cx(control, target);
-  s(target);
-}
-
-void Tableau::swap(std::size_t a, std::size_t b) {
-  cx(a, b);
-  cx(b, a);
-  cx(a, b);
-}
-
-void Tableau::sx(std::size_t q) {
-  // sx = h s h (up to global phase).
-  h(q);
-  s(q);
-  h(q);
-}
 
 void Tableau::apply(const Operation& op) {
   switch (op.kind) {
@@ -151,101 +26,24 @@ void Tableau::apply(const Operation& op) {
   }
 }
 
-void Tableau::rowsum(std::size_t h, std::size_t i) {
-  // Phase exponent arithmetic mod 4 (Aaronson-Gottesman g function).
-  int phase = 2 * (r_[h] + r_[i]);
-  for (std::size_t q = 0; q < n_; ++q) {
-    const int x1 = xbit(i, q), z1 = zbit(i, q);
-    const int x2 = xbit(h, q), z2 = zbit(h, q);
-    int g = 0;
-    if (x1 == 0 && z1 == 0) {
-      g = 0;
-    } else if (x1 == 1 && z1 == 1) {
-      g = z2 - x2;
-    } else if (x1 == 1 && z1 == 0) {
-      g = z2 * (2 * x2 - 1);
-    } else {  // x1 == 0 && z1 == 1
-      g = x2 * (1 - 2 * z2);
-    }
-    phase += g;
-  }
-  phase = ((phase % 4) + 4) % 4;
-  // Multiplying commuting rows always yields an even exponent. Odd
-  // exponents occur only when a destabilizer row is multiplied by an
-  // anticommuting stabilizer during measurement; destabilizer signs are
-  // never read, so any consistent convention works (AG store them the
-  // same way).
-  ensure(phase % 2 == 0 || h < n_, "rowsum: odd phase on stabilizer row");
-  r_[h] = static_cast<std::uint8_t>(phase >= 2);
-  for (std::size_t w = 0; w < words_; ++w) {
-    x_[h * words_ + w] ^= x_[i * words_ + w];
-    z_[h * words_ + w] ^= z_[i * words_ + w];
-  }
-}
-
-void Tableau::row_copy(std::size_t dst, std::size_t src) {
-  for (std::size_t w = 0; w < words_; ++w) {
-    x_[dst * words_ + w] = x_[src * words_ + w];
-    z_[dst * words_ + w] = z_[src * words_ + w];
-  }
-  r_[dst] = r_[src];
-}
-
-void Tableau::row_clear(std::size_t row) {
-  for (std::size_t w = 0; w < words_; ++w) {
-    x_[row * words_ + w] = 0;
-    z_[row * words_ + w] = 0;
-  }
-  r_[row] = 0;
-}
-
-bool Tableau::is_deterministic(std::size_t q) const {
-  require(q < n_, "Tableau::is_deterministic: qubit out of range");
-  for (std::size_t i = n_; i < 2 * n_; ++i) {
-    if (xbit(i, q)) return false;
-  }
-  return true;
-}
-
 bool Tableau::deterministic_outcome(std::size_t q) const {
-  require(is_deterministic(q),
-          "Tableau::deterministic_outcome: measurement is random");
-  // Work on a copy: accumulate destabilizer contributions in scratch row.
-  Tableau copy(*this);
-  copy.row_clear(2 * n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    if (copy.xbit(i, q)) copy.rowsum(2 * n_, i + n_);
-  }
-  return copy.r_[2 * n_] != 0;
+  const SignBit sign = kernel_.deterministic_sign(q);
+  // The concrete simulator never introduces unknown signs.
+  ensure(sign_known(sign), "Tableau: unexpected unknown sign");
+  return sign == SignBit::kOne;
 }
 
 bool Tableau::measure(std::size_t q, Rng& rng) {
-  require(q < n_, "Tableau::measure: qubit out of range");
-  std::size_t p = 2 * n_;  // first stabilizer row with x-bit set at q
-  for (std::size_t i = n_; i < 2 * n_; ++i) {
-    if (xbit(i, q)) {
-      p = i;
-      break;
-    }
+  require(q < num_qubits(), "Tableau::measure: qubit out of range");
+  // Resolve the random branch before collapsing so the kernel stays
+  // randomness-free; a deterministic outcome must not consume a draw,
+  // so peek at determinism first (same RNG stream as the fused version).
+  if (kernel_.is_deterministic(q)) {
+    return deterministic_outcome(q);
   }
-  if (p < 2 * n_) {
-    // Random outcome.
-    for (std::size_t i = 0; i < 2 * n_; ++i) {
-      if (i != p && xbit(i, q)) rowsum(i, p);
-    }
-    row_copy(p - n_, p);
-    row_clear(p);
-    set_zbit(p, q, true);
-    const bool outcome = rng.bernoulli(0.5);
-    r_[p] = static_cast<std::uint8_t>(outcome);
-    return outcome;
-  }
-  // Deterministic outcome.
-  row_clear(2 * n_);
-  for (std::size_t i = 0; i < n_; ++i) {
-    if (xbit(i, q)) rowsum(2 * n_, i + n_);
-  }
-  return r_[2 * n_] != 0;
+  const bool outcome = rng.bernoulli(0.5);
+  kernel_.measure_with(q, outcome ? SignBit::kOne : SignBit::kZero);
+  return outcome;
 }
 
 void Tableau::reset(std::size_t q, Rng& rng) {
@@ -253,97 +51,10 @@ void Tableau::reset(std::size_t q, Rng& rng) {
 }
 
 int Tableau::pauli_z_expectation(std::vector<std::size_t> qubits) const {
-  // The Z-string is deterministic iff it lies in the stabilizer group:
-  // equivalently, in the span of the X-free subgroup of the stabilizer
-  // group (a combination with residual X support can never equal a pure
-  // Z-string). We find that subgroup by Gaussian elimination on the X
-  // submatrix, bring its Z parts to echelon form, and reduce the target.
-  Tableau copy(*this);
-  std::vector<bool> want_z(n_, false);
-  for (std::size_t q : qubits) {
-    require(q < n_, "pauli_z_expectation: qubit out of range");
-    want_z[q] = !want_z[q];  // duplicates cancel
-  }
-
-  const std::size_t rows = n_;
-  std::vector<std::size_t> stab(rows);
-  for (std::size_t i = 0; i < rows; ++i) stab[i] = n_ + i;
-
-  // Phase 1: echelon over the X submatrix. After processing all columns,
-  // rows pivot_row..rows-1 have empty X part.
-  std::size_t pivot_row = 0;
-  for (std::size_t col = 0; col < n_ && pivot_row < rows; ++col) {
-    std::size_t sel = rows;
-    for (std::size_t r = pivot_row; r < rows; ++r) {
-      if (copy.xbit(stab[r], col)) {
-        sel = r;
-        break;
-      }
-    }
-    if (sel == rows) continue;
-    std::swap(stab[pivot_row], stab[sel]);
-    for (std::size_t r = pivot_row + 1; r < rows; ++r) {
-      if (copy.xbit(stab[r], col)) {
-        copy.rowsum(stab[r], stab[pivot_row]);
-      }
-    }
-    ++pivot_row;
-  }
-
-  // Phase 2: echelon over the Z parts of the X-free rows.
-  std::vector<std::size_t> zfree(stab.begin() + static_cast<std::ptrdiff_t>(pivot_row),
-                                 stab.end());
-  std::size_t zpivot = 0;
-  std::vector<std::size_t> lead_col(zfree.size(), n_);
-  for (std::size_t col = 0; col < n_ && zpivot < zfree.size(); ++col) {
-    std::size_t sel = zfree.size();
-    for (std::size_t r = zpivot; r < zfree.size(); ++r) {
-      if (copy.zbit(zfree[r], col)) {
-        sel = r;
-        break;
-      }
-    }
-    if (sel == zfree.size()) continue;
-    std::swap(zfree[zpivot], zfree[sel]);
-    lead_col[zpivot] = col;
-    for (std::size_t r = zpivot + 1; r < zfree.size(); ++r) {
-      if (copy.zbit(zfree[r], col)) {
-        copy.rowsum(zfree[r], zfree[zpivot]);
-      }
-    }
-    ++zpivot;
-  }
-
-  // Phase 3: reduce the target Z-vector by the echelon basis, tracking
-  // the sign via scratch-row multiplication.
-  copy.row_clear(2 * n_);
-  for (std::size_t q = 0; q < n_; ++q) {
-    if (want_z[q]) copy.set_zbit(2 * n_, q, true);
-  }
-  for (std::size_t r = 0; r < zpivot; ++r) {
-    if (copy.zbit(2 * n_, lead_col[r])) {
-      copy.rowsum(2 * n_, zfree[r]);
-    }
-  }
-  for (std::size_t q = 0; q < n_; ++q) {
-    if (copy.zbit(2 * n_, q) || copy.xbit(2 * n_, q)) return 0;
-  }
-  return copy.r_[2 * n_] ? -1 : 1;
-}
-
-std::vector<std::string> Tableau::stabilizer_strings() const {
-  std::vector<std::string> out;
-  out.reserve(n_);
-  for (std::size_t i = n_; i < 2 * n_; ++i) {
-    std::string s(1, r_[i] ? '-' : '+');
-    for (std::size_t q = 0; q < n_; ++q) {
-      const bool xq = xbit(i, q);
-      const bool zq = zbit(i, q);
-      s += xq ? (zq ? 'Y' : 'X') : (zq ? 'Z' : '_');
-    }
-    out.push_back(std::move(s));
-  }
-  return out;
+  const CliffordTableau::ZSign result = kernel_.pauli_z_sign(qubits);
+  if (!result.deterministic) return 0;
+  ensure(sign_known(result.sign), "Tableau: unexpected unknown sign");
+  return result.sign == SignBit::kOne ? -1 : 1;
 }
 
 std::vector<bool> run_tableau_trajectory(const Circuit& circuit, Tableau& tab,

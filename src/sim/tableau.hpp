@@ -6,9 +6,9 @@
 // surface-code syndrome extraction in qcgen::qec, where circuits run to
 // hundreds of qubits — far beyond the dense state-vector simulator.
 //
-// Representation: 2n+1 rows of Pauli operators over n qubits. Rows
-// 0..n-1 are destabilizers, rows n..2n-1 stabilizers, row 2n is scratch.
-// Each row stores packed x-bits, packed z-bits and a sign bit.
+// The tableau mechanics live in sim/clifford.hpp (shared with the lint
+// abstract interpreter); this class binds them to concrete randomness
+// and the Circuit/Operation vocabulary.
 
 #include <cstdint>
 #include <string>
@@ -16,31 +16,36 @@
 
 #include "common/rng.hpp"
 #include "sim/circuit.hpp"
+#include "sim/clifford.hpp"
 
 namespace qcgen::sim {
 
 /// Stabilizer state over n qubits, initially |0...0>.
 class Tableau {
  public:
-  explicit Tableau(std::size_t num_qubits);
+  explicit Tableau(std::size_t num_qubits) : kernel_(num_qubits) {}
 
-  std::size_t num_qubits() const noexcept { return n_; }
+  std::size_t num_qubits() const noexcept { return kernel_.num_qubits(); }
 
   /// Restores |0...0>.
-  void reset_all();
+  void reset_all() { kernel_.reset_all(); }
 
   // Clifford gates.
-  void h(std::size_t q);
-  void s(std::size_t q);
-  void sdg(std::size_t q);
-  void x(std::size_t q);
-  void y(std::size_t q);
-  void z(std::size_t q);
-  void cx(std::size_t control, std::size_t target);
-  void cz(std::size_t a, std::size_t b);
-  void cy(std::size_t control, std::size_t target);
-  void swap(std::size_t a, std::size_t b);
-  void sx(std::size_t q);
+  void h(std::size_t q) { kernel_.h(q); }
+  void s(std::size_t q) { kernel_.s(q); }
+  void sdg(std::size_t q) { kernel_.sdg(q); }
+  void x(std::size_t q) { kernel_.x(q); }
+  void y(std::size_t q) { kernel_.y(q); }
+  void z(std::size_t q) { kernel_.z(q); }
+  void cx(std::size_t control, std::size_t target) {
+    kernel_.cx(control, target);
+  }
+  void cz(std::size_t a, std::size_t b) { kernel_.cz(a, b); }
+  void cy(std::size_t control, std::size_t target) {
+    kernel_.cy(control, target);
+  }
+  void swap(std::size_t a, std::size_t b) { kernel_.swap(a, b); }
+  void sx(std::size_t q) { kernel_.sx(q); }
 
   /// Applies a Clifford circuit operation (throws for non-Clifford
   /// unitaries; measure/reset need an Rng so use the methods below).
@@ -49,7 +54,9 @@ class Tableau {
   /// Z-basis measurement with collapse. Returns the outcome bit.
   bool measure(std::size_t q, Rng& rng);
   /// True if measuring q now would give a deterministic outcome.
-  bool is_deterministic(std::size_t q) const;
+  bool is_deterministic(std::size_t q) const {
+    return kernel_.is_deterministic(q);
+  }
   /// Outcome of a deterministic measurement without collapsing;
   /// throws InvalidArgumentError if the outcome is random.
   bool deterministic_outcome(std::size_t q) const;
@@ -61,24 +68,12 @@ class Tableau {
   int pauli_z_expectation(std::vector<std::size_t> qubits) const;
 
   /// Stabilizer generators as strings like "+XZ_Z" for debugging/tests.
-  std::vector<std::string> stabilizer_strings() const;
+  std::vector<std::string> stabilizer_strings() const {
+    return kernel_.stabilizer_strings();
+  }
 
  private:
-  bool xbit(std::size_t row, std::size_t q) const;
-  bool zbit(std::size_t row, std::size_t q) const;
-  void set_xbit(std::size_t row, std::size_t q, bool v);
-  void set_zbit(std::size_t row, std::size_t q, bool v);
-  /// row[h] <- row[h] * row[i], tracking sign (AG "rowsum").
-  void rowsum(std::size_t h, std::size_t i);
-  void row_copy(std::size_t dst, std::size_t src);
-  void row_clear(std::size_t row);
-
-  std::size_t n_ = 0;
-  std::size_t words_ = 0;
-  // x_[row * words_ + w], z_ likewise; r_ has one sign bit per row.
-  std::vector<std::uint64_t> x_;
-  std::vector<std::uint64_t> z_;
-  std::vector<std::uint8_t> r_;
+  CliffordTableau kernel_;
 };
 
 /// Runs a Clifford circuit on the tableau simulator, returning the

@@ -26,6 +26,17 @@ TEST(Topology, LinearChain) {
   EXPECT_EQ(t.max_surface_code_distance(), 0);
 }
 
+TEST(Topology, CouplingMapExportMatchesDevice) {
+  const DeviceTopology t = DeviceTopology::linear(4);
+  const qasm::lint::CouplingMap map = coupling_map(t);
+  EXPECT_EQ(map.name, t.name());
+  EXPECT_EQ(map.num_qubits, 4u);
+  EXPECT_EQ(map.edges.size(), t.edges().size());
+  EXPECT_TRUE(map.adjacent(1, 2));
+  EXPECT_TRUE(map.adjacent(2, 1));
+  EXPECT_FALSE(map.adjacent(0, 3));
+}
+
 TEST(Topology, GridStructure) {
   const DeviceTopology t = DeviceTopology::grid(3, 4);
   EXPECT_EQ(t.num_qubits(), 12u);

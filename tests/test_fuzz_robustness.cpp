@@ -77,6 +77,20 @@ TEST_P(ParserFuzz, NeverCrashesAndBoundsDiagnostics) {
           qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),
                         quiet);
       EXPECT_LE(quiet_report.diagnostics.size(), report.diagnostics.size());
+      // The abstract interpreter must survive whatever parsed — with the
+      // passes off (ablation path) and with a device topology committed
+      // (topology-conformance active).
+      qasm::AnalyzerOptions no_abstract;
+      no_abstract.abstract_lints = false;
+      const auto no_abstract_report = qasm::analyze(
+          *parsed.program, qasm::LanguageRegistry::current(), no_abstract);
+      EXPECT_LE(no_abstract_report.diagnostics.size(),
+                report.diagnostics.size());
+      qasm::AnalyzerOptions with_topology;
+      with_topology.topology =
+          qasm::lint::CouplingMap{"linear-3", 3, {{0, 1}, {1, 2}}};
+      qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),
+                    with_topology);  // must not throw
       // Printing whatever parsed must itself re-parse.
       const std::string reprinted = qasm::print_program(*parsed.program);
       const auto again = qasm::parse(reprinted);

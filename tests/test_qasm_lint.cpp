@@ -6,13 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 
 #include "llm/tasks.hpp"
 #include "llm/templates.hpp"
 #include "qasm/analyzer.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/lint/abstract/interpreter.hpp"
 #include "qasm/lint/driver.hpp"
 #include "qasm/parser.hpp"
 #include "qasm/printer.hpp"
+#include "sim/statevector.hpp"
 
 namespace qcgen::qasm {
 namespace {
@@ -57,6 +61,11 @@ TEST(LintRegistry, BuiltinCarriesAllPasses) {
       "core.unused-qubit",      "dataflow.clbit-liveness",
       "dataflow.gate-after-measure", "dataflow.double-measure",
       "dataflow.dead-code",     "dataflow.redundant-pair",
+      "abstract.deterministic-measurement",
+      "abstract.unreachable-conditional",
+      "abstract.redundant-reset",
+      "abstract.trivial-gate",
+      "abstract.topology-conformance",
   };
   for (const char* id : expected) {
     const lint::LintPass* pass = registry.find(id);
@@ -298,11 +307,12 @@ TEST(DeadCode, SkipsCircuitsWithoutMeasurement) {
 }
 
 TEST(DeadCode, ReportCountIsCapped) {
-  // 40 dead gates on q[1]; the pass caps per-circuit reports at 16 and
-  // appends one summary diagnostic.
-  std::string source = "import qiskit; circuit main(q: 2, c: 1) { ";
-  for (int i = 0; i < 40; ++i) source += "x q[1]; ";
-  source += "measure q[0] -> c[0]; }";
+  // 40 dead gates on q[1], each on its own line (the driver dedupes
+  // identical same-line diagnostics); the pass caps per-circuit reports
+  // at 16 and appends one summary diagnostic.
+  std::string source = "import qiskit;\ncircuit main(q: 2, c: 1) {\n";
+  for (int i = 0; i < 40; ++i) source += "x q[1];\n";
+  source += "measure q[0] -> c[0];\n}\n";
   const auto report = analyze_source(source);
   const auto dead = std::count_if(
       report.diagnostics.begin(), report.diagnostics.end(),
@@ -482,6 +492,367 @@ TEST(FixItApply, MultipleFixitsApplyBottomUp) {
   EXPECT_FALSE(has_code(fixed, DiagCode::kDeprecatedImport));
   EXPECT_FALSE(has_code(fixed, DiagCode::kRedundantGatePair));
   EXPECT_TRUE(fixed.ok());
+}
+
+// ---------------------------------------------------------------------
+// Abstract interpretation: stabilizer-domain lints
+// ---------------------------------------------------------------------
+
+TEST(AbstractLint, DeterministicMeasurementPositive) {
+  const std::string source =
+      "import qiskit; circuit main(q: 1, c: 1) { x q[0]; "
+      "measure q[0] -> c[0]; }";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag =
+      find_code(report, DiagCode::kDeterministicMeasurement);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->severity, Severity::kWarning);
+  EXPECT_EQ(diag->pass_id, "abstract.deterministic-measurement");
+  EXPECT_NE(diag->message.find("always 1"), std::string::npos);
+  EXPECT_FALSE(diag->fixit.has_value());  // informational, nothing to patch
+
+  // The underlying fact: the interpreter proved the outcome is |1>.
+  const ParseResult parsed = parse(source);
+  ASSERT_TRUE(parsed.ok());
+  const auto facts = lint::ProgramFacts::compute(*parsed.program);
+  const auto abs =
+      lint::abstract::AbstractFacts::compute(facts,
+                                             LanguageRegistry::current());
+  ASSERT_EQ(abs.circuits.size(), 1u);
+  ASSERT_TRUE(abs.circuits[0].computed);
+  const auto& measure_fact = abs.circuits[0].ops.back();
+  EXPECT_TRUE(measure_fact.has_outcome);
+  EXPECT_EQ(measure_fact.outcome, sim::SignBit::kOne);
+}
+
+TEST(AbstractLint, RandomMeasurementNotFlagged) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kDeterministicMeasurement));
+}
+
+TEST(AbstractLint, BellAndGhzMakeNoDeterministicClaim) {
+  // Entangled outcomes are correlated but random; claiming a constant
+  // would be unsound, so the interpreter must stay silent.
+  for (const llm::AlgorithmId id :
+       {llm::AlgorithmId::kBellPair, llm::AlgorithmId::kGhz}) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const auto report =
+        analyze_source(print_program(llm::gold_program(task)));
+    EXPECT_FALSE(has_code(report, DiagCode::kDeterministicMeasurement))
+        << llm::algorithm_name(id);
+  }
+}
+
+TEST(AbstractLint, DeutschJozsaConstantOracleProvedConstant) {
+  // DJ with a constant oracle is all-Clifford and deterministic: the
+  // input register provably reads back |0...0>.
+  llm::TaskSpec task;
+  task.algorithm = llm::AlgorithmId::kDeutschJozsa;  // default: constant
+  const auto report = analyze_source(print_program(llm::gold_program(task)));
+  const Diagnostic* diag =
+      find_code(report, DiagCode::kDeterministicMeasurement);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_NE(diag->message.find("always 0"), std::string::npos);
+}
+
+TEST(AbstractLint, NonCliffordGateWidensToUnknown) {
+  // h t h is genuinely random from |0>; more importantly the t must
+  // widen the qubit so no claim survives, even though the surrounding
+  // gates are Clifford.
+  const auto hth = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; t q[0]; h q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_FALSE(has_code(hth, DiagCode::kDeterministicMeasurement));
+  // ry(0) is the identity, but the domain widens on the *gate kind*, not
+  // the angle — no claim, by design (soundness beats precision).
+  const auto ry = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { ry(0) q[0]; "
+      "measure q[0] -> c[0]; }");
+  EXPECT_FALSE(has_code(ry, DiagCode::kDeterministicMeasurement));
+}
+
+TEST(AbstractLint, TrivialControlledGateFlaggedAndFixable) {
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 2, c: 2) {\n"
+      "  cx q[0], q[1];\n"
+      "  h q[0];\n"
+      "  measure_all;\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kTrivialControlledGate);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->pass_id, "abstract.trivial-gate");
+  EXPECT_EQ(diag->line, 3);
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_EQ(diag->fixit->guard, "cx");
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kTrivialControlledGate));
+}
+
+TEST(AbstractLint, ActiveControlNotFlagged) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; cx q[0], q[1]; "
+      "measure_all; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kTrivialControlledGate));
+}
+
+TEST(AbstractLint, SymmetricDiagonalGateTrivialOnEitherOperand) {
+  // cz is diagonal and symmetric: q[1] still being |0> makes it trivial
+  // even though the first operand is in superposition.
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; cz q[0], q[1]; "
+      "h q[1]; measure_all; }");
+  EXPECT_TRUE(has_code(report, DiagCode::kTrivialControlledGate));
+}
+
+TEST(AbstractLint, RedundantResetFlaggedAndFixable) {
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  reset q[0];\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag = find_code(report, DiagCode::kRedundantReset);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->pass_id, "abstract.redundant-reset");
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_EQ(diag->fixit->guard, "reset");
+  const auto fixed = fix_and_reanalyze(source, report, 1);
+  EXPECT_FALSE(has_code(fixed, DiagCode::kRedundantReset));
+}
+
+TEST(AbstractLint, ResetAfterSuperpositionNotFlagged) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; reset q[0]; "
+      "h q[0]; measure q[0] -> c[0]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantReset));
+}
+
+TEST(AbstractLint, UnreachableConditionalFlaggedAndFixable) {
+  // q[0] is never excited, so the measured bit is provably 0 and the
+  // guard can never fire.
+  const std::string source =
+      "import qiskit;\n"
+      "circuit main(q: 2, c: 2) {\n"
+      "  measure q[0] -> c[0];\n"
+      "  if (c[0] == 1) x q[1];\n"
+      "  h q[1];\n"
+      "  measure q[1] -> c[1];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  const Diagnostic* diag =
+      find_code(report, DiagCode::kUnreachableConditional);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->pass_id, "abstract.unreachable-conditional");
+  EXPECT_EQ(diag->line, 4);
+  ASSERT_TRUE(diag->fixit.has_value());
+  EXPECT_EQ(diag->fixit->guard, "if");
+  const FixItResult fixed = apply_fixits(source, report.diagnostics);
+  EXPECT_EQ(fixed.source.find("if ("), std::string::npos);
+  const auto again = analyze_source(fixed.source);
+  EXPECT_FALSE(has_code(again, DiagCode::kUnreachableConditional));
+}
+
+TEST(AbstractLint, ConditionalOnRandomBitNotFlagged) {
+  // The teleportation idiom: guards on genuinely random measurement
+  // outcomes must stay un-flagged, and the maybe-taken branch must
+  // widen its targets (no deterministic claim on q[1] either).
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 2, c: 2) { h q[0]; "
+      "measure q[0] -> c[0]; if (c[0] == 1) x q[1]; "
+      "measure q[1] -> c[1]; }");
+  EXPECT_FALSE(has_code(report, DiagCode::kUnreachableConditional));
+  EXPECT_FALSE(has_code(report, DiagCode::kDeterministicMeasurement));
+}
+
+TEST(AbstractLint, TeleportationGoldTemplateStaysClean) {
+  llm::TaskSpec task;
+  task.algorithm = llm::AlgorithmId::kTeleportation;
+  const auto report = analyze_source(print_program(llm::gold_program(task)));
+  EXPECT_FALSE(has_code(report, DiagCode::kUnreachableConditional));
+  EXPECT_FALSE(has_code(report, DiagCode::kDeterministicMeasurement));
+  EXPECT_FALSE(has_code(report, DiagCode::kRedundantReset));
+  EXPECT_FALSE(has_code(report, DiagCode::kTrivialControlledGate));
+}
+
+TEST(AbstractLint, GroupDisableSuppressesAbstractPasses) {
+  AnalyzerOptions options;
+  options.abstract_lints = false;
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { x q[0]; "
+      "measure q[0] -> c[0]; }",
+      options);
+  EXPECT_FALSE(has_code(report, DiagCode::kDeterministicMeasurement));
+}
+
+TEST(AbstractLint, TopologyConformance) {
+  const std::string source =
+      "import qiskit; circuit main(q: 3, c: 3) { h q[0]; cx q[0], q[2]; "
+      "cx q[0], q[1]; cx q[1], q[2]; measure_all; }";
+  // Without a committed topology the pass stays silent.
+  EXPECT_FALSE(has_code(analyze_source(source), DiagCode::kNonAdjacentQubits));
+  AnalyzerOptions options;
+  options.topology = lint::CouplingMap{"linear-3", 3, {{0, 1}, {1, 2}}};
+  const auto report = analyze_source(source, options);
+  const Diagnostic* diag = find_code(report, DiagCode::kNonAdjacentQubits);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_EQ(diag->pass_id, "abstract.topology-conformance");
+  // cx q[0], q[2] needs one swap on the line; the adjacent pairs pass.
+  EXPECT_NE(diag->message.find("~1 swap(s)"), std::string::npos);
+  const std::size_t flagged = static_cast<std::size_t>(std::count_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) {
+        return d.code == DiagCode::kNonAdjacentQubits;
+      }));
+  EXPECT_EQ(flagged, 1u);
+}
+
+TEST(AbstractLint, TopologyBeyondDeviceQubits) {
+  AnalyzerOptions options;
+  options.topology = lint::CouplingMap{"tiny-2", 2, {{0, 1}}};
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 3, c: 3) { h q[0]; cx q[0], q[2]; "
+      "cx q[0], q[1]; measure_all; }",
+      options);
+  const Diagnostic* diag = find_code(report, DiagCode::kNonAdjacentQubits);
+  ASSERT_NE(diag, nullptr);
+  EXPECT_NE(diag->message.find("beyond the 2 qubits"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Driver ordering, dedupe, JSON serialisation
+// ---------------------------------------------------------------------
+
+TEST(LintDriver, DiagnosticsSortedAndDeduped) {
+  const std::string source =
+      "import qiskit.execute;\n"
+      "circuit main(q: 2, c: 2) {\n"
+      "  x q[1]; x q[1];\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n";
+  const auto report = analyze_source(source);
+  // Stable order: (line, pass_id) non-decreasing.
+  for (std::size_t i = 0; i + 1 < report.diagnostics.size(); ++i) {
+    const Diagnostic& a = report.diagnostics[i];
+    const Diagnostic& b = report.diagnostics[i + 1];
+    EXPECT_LE(std::tie(a.line, a.pass_id), std::tie(b.line, b.pass_id));
+  }
+  // The two identical dead `x q[1]` ops share line, code and message:
+  // exactly one survives.
+  const std::size_t dead = static_cast<std::size_t>(std::count_if(
+      report.diagnostics.begin(), report.diagnostics.end(),
+      [](const Diagnostic& d) { return d.code == DiagCode::kDeadOperation; }));
+  EXPECT_EQ(dead, 1u);
+  // No duplicate (line, code, message) triple anywhere.
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    for (std::size_t j = i + 1; j < report.diagnostics.size(); ++j) {
+      const Diagnostic& a = report.diagnostics[i];
+      const Diagnostic& b = report.diagnostics[j];
+      EXPECT_FALSE(a.line == b.line && a.code == b.code &&
+                   a.message == b.message)
+          << a.message;
+    }
+  }
+}
+
+TEST(DiagnosticsJson, SerialisesCodesAndFixits) {
+  const auto report = analyze_source(
+      "import qiskit.execute;\n"
+      "circuit main(q: 1, c: 1) {\n"
+      "  h q[0];\n"
+      "  measure q[0] -> c[0];\n"
+      "}\n");
+  ASSERT_FALSE(report.diagnostics.empty());
+  const Json json = diagnostics_to_json(report.diagnostics);
+  ASSERT_TRUE(json.is_array());
+  const std::string dumped = json.dump();
+  EXPECT_NE(dumped.find("\"deprecated-import\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"severity\""), std::string::npos);
+  EXPECT_NE(dumped.find("\"pass\""), std::string::npos);
+  // The deprecated import carries a replacement fix-it.
+  EXPECT_NE(dumped.find("\"replacement\""), std::string::npos);
+}
+
+TEST(DiagnosticsJson, FixitlessDiagnosticSerialisesNull) {
+  const auto report = analyze_source(
+      "import qiskit; circuit main(q: 1, c: 1) { x q[0]; "
+      "measure q[0] -> c[0]; }");
+  ASSERT_TRUE(has_code(report, DiagCode::kDeterministicMeasurement));
+  const std::string dumped = diagnostics_to_json(report.diagnostics).dump();
+  EXPECT_NE(dumped.find("\"deterministic-measurement\""), std::string::npos);
+  EXPECT_NE(dumped.find("null"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Soundness: every claimed constant must match the exact distribution
+// ---------------------------------------------------------------------
+
+TEST(AbstractSoundness, ClaimedConstantsMatchExactDistribution) {
+  for (const llm::AlgorithmId id : llm::all_algorithms()) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const Program gold = llm::gold_program(task);
+    const std::string source = print_program(gold);
+    const ParseResult parsed = parse(source);
+    ASSERT_TRUE(parsed.ok()) << source;
+    const auto facts = lint::ProgramFacts::compute(*parsed.program);
+    const auto abs = lint::abstract::AbstractFacts::compute(
+        facts, LanguageRegistry::current());
+    ASSERT_EQ(abs.circuits.size(), facts.circuits.size());
+
+    // Gather (clbit, expected bit) claims from the entry circuit.
+    ASSERT_FALSE(facts.circuits.empty());
+    const auto& cf = facts.circuits[0];
+    const auto& acf = abs.circuits[0];
+    std::vector<std::pair<std::size_t, char>> claims;
+    for (std::size_t i = 0; i < cf.ops.size(); ++i) {
+      const auto& fact = acf.ops[i];
+      if (!acf.computed || !fact.has_outcome ||
+          fact.reach != lint::abstract::OpFact::Reach::kRun) {
+        continue;
+      }
+      if (const auto* m = std::get_if<MeasureStmt>(cf.ops[i].stmt)) {
+        claims.emplace_back(m->clbit.index,
+                            fact.outcome == sim::SignBit::kOne ? '1' : '0');
+      } else if (std::holds_alternative<MeasureAllStmt>(*cf.ops[i].stmt)) {
+        for (std::size_t j = 0; j < fact.constant_bits.size(); ++j) {
+          claims.emplace_back(j, fact.constant_bits[j]);
+        }
+      }
+    }
+    if (claims.empty()) continue;
+
+    // A claim is about the measurement's outcome; comparing against the
+    // final register is only valid when that clbit is written once.
+    const auto written_once = [&](std::size_t clbit) {
+      std::size_t writes = 0;
+      for (const auto& ev : cf.clbit_events[clbit]) {
+        if (ev.kind == lint::ClbitEvent::Kind::kWrite) ++writes;
+      }
+      return writes == 1;
+    };
+    const sim::Circuit circuit = build_circuit(*parsed.program);
+    const sim::Distribution dist = sim::exact_distribution(circuit);
+    ASSERT_FALSE(dist.empty()) << llm::algorithm_name(id);
+    for (const auto& [key, p] : dist) {
+      if (p < 1e-9) continue;
+      for (const auto& [clbit, bit] : claims) {
+        if (!written_once(clbit)) continue;
+        ASSERT_LT(clbit, key.size());
+        // Distribution keys are Qiskit convention: clbit 0 rightmost.
+        EXPECT_EQ(key[key.size() - 1 - clbit], bit)
+            << llm::algorithm_name(id) << " claimed c[" << clbit << "] == "
+            << bit << " but outcome \"" << key << "\" has p=" << p;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------

@@ -133,6 +133,32 @@ TEST(Tableau, ResetRestoresZero) {
   EXPECT_FALSE(tab.deterministic_outcome(0));
 }
 
+TEST(CliffordKernel, UnknownSignsPropagateSoundly) {
+  CliffordTableau k(2);
+  // Fresh qubits are deterministically |0>.
+  EXPECT_TRUE(k.is_deterministic(0));
+  EXPECT_EQ(k.deterministic_sign(0), SignBit::kZero);
+  // Collapse a superposed qubit to an *unknown* computational state:
+  // subsequent queries know the qubit is classical but not which bit.
+  k.h(0);
+  EXPECT_FALSE(k.is_deterministic(0));
+  const auto r = k.measure_with(0, SignBit::kUnknown);
+  EXPECT_TRUE(r.random);
+  EXPECT_TRUE(k.is_deterministic(0));
+  EXPECT_EQ(k.deterministic_sign(0), SignBit::kUnknown);
+  // Unknown absorbs sign flips.
+  k.x(0);
+  EXPECT_EQ(k.deterministic_sign(0), SignBit::kUnknown);
+  // Copying the unknown bit leaves each single-qubit outcome unknown,
+  // but the joint parity Z0 Z1 is provably even — definite signs stay
+  // exact even in a partially-unknown tableau.
+  k.cx(0, 1);
+  EXPECT_EQ(k.deterministic_sign(1), SignBit::kUnknown);
+  const auto parity = k.pauli_z_sign({0, 1});
+  EXPECT_TRUE(parity.deterministic);
+  EXPECT_EQ(parity.sign, SignBit::kZero);
+}
+
 TEST(Tableau, RejectsNonClifford) {
   Tableau tab(1);
   Operation op;
