@@ -14,16 +14,18 @@
 
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "qec/logical_error.hpp"
 
 using namespace qcgen;
 using namespace qcgen::qec;
 
 int main(int argc, char** argv) {
-  std::size_t trials = 2000;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") trials = 400;
-  }
+  // `--samples` is the Monte-Carlo trial count per (decoder, d, p) point.
+  bench::Harness harness("ablation_decoders", argc, argv,
+                         {.samples = 2000, .quick_samples = 400,
+                          .seed = 1234});
+  const std::size_t trials = harness.samples();
 
   std::printf("ABL-DEC: decoder comparison (phenomenological noise, "
               "d rounds + perfect readout, %zu trials/point)\n\n",
@@ -38,6 +40,8 @@ int main(int argc, char** argv) {
   Table table({"decoder", "d", "p", "logical error rate", "95% CI",
                "us/trial"});
   table.set_title("Logical error rate vs decoder / distance / physical p");
+  JsonArray json_rows;
+  std::size_t total_trials = 0;
   for (DecoderKind kind : kinds) {
     for (int d : distances) {
       if (kind == DecoderKind::kLookup && d != 3) continue;
@@ -47,7 +51,7 @@ int main(int argc, char** argv) {
         config.noise.data_error = p;
         config.noise.meas_error = p;
         config.trials = trials;
-        config.seed = 1234;
+        config.seed = harness.seed();
         const auto start = std::chrono::steady_clock::now();
         const LogicalErrorEstimate estimate =
             estimate_logical_error(code, kind, config);
@@ -56,6 +60,7 @@ int main(int argc, char** argv) {
                 std::chrono::steady_clock::now() - start)
                 .count() /
             static_cast<double>(trials);
+        total_trials += trials;
         table.add_row(
             {std::string(decoder_kind_name(kind)), std::to_string(d),
              format_double(p, 3),
@@ -63,6 +68,14 @@ int main(int argc, char** argv) {
              "[" + format_double(estimate.confidence.lo, 4) + ", " +
                  format_double(estimate.confidence.hi, 4) + "]",
              format_double(elapsed, 1)});
+        Json record;
+        record["decoder"] = std::string(decoder_kind_name(kind));
+        record["distance"] = d;
+        record["physical_error"] = p;
+        record["logical_error_rate"] = estimate.logical_error_rate;
+        record["ci_lo"] = estimate.confidence.lo;
+        record["ci_hi"] = estimate.confidence.hi;
+        json_rows.push_back(std::move(record));
       }
       std::fflush(stdout);
     }
@@ -73,5 +86,7 @@ int main(int argc, char** argv) {
       "close to mwpm; (3) at low p, d=5 beats d=3 for matching decoders; "
       "(4) lookup degrades fastest as measurement noise rises because it "
       "decodes the final syndrome only.\n");
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.set_trials(total_trials);
+  return harness.finish();
 }

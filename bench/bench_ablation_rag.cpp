@@ -13,23 +13,23 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/runner.hpp"
+#include "harness.hpp"
 
 using namespace qcgen;
 
 int main(int argc, char** argv) {
-  std::size_t samples = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") samples = 1;
-  }
+  bench::Harness harness("ablation_rag", argc, argv, {.samples = 3});
   const auto suite = eval::semantic_suite();
   eval::RunnerOptions options;
-  options.samples_per_case = samples;
+  options.samples_per_case = harness.samples();
+  options.seed = harness.seed();
+  options.threads = harness.threads();
 
   using agents::TechniqueConfig;
   const auto profile = llm::ModelProfile::kStarCoder3B;
 
   std::printf("ABL-RAG: retrieval ablation on the semantic suite "
-              "(fine-tuned base, %zu samples/case)\n\n", samples);
+              "(fine-tuned base, %zu samples/case)\n\n", harness.samples());
 
   struct Row {
     std::string name;
@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   Table table({"configuration", "syntactic %", "semantic %",
                "delta vs no-rag"});
   table.set_title("RAG ablation");
+  JsonArray json_rows;
   double baseline = 0.0;
   for (const Row& row : rows) {
     const eval::AccuracyReport report =
@@ -82,6 +83,11 @@ int main(int argc, char** argv) {
     table.add_row({row.name, format_double(100 * report.syntactic_rate, 1),
                    format_double(100 * report.semantic_rate, 1),
                    format_double(100 * (report.semantic_rate - baseline), 1)});
+    Json record;
+    record["configuration"] = row.name;
+    record["syntactic_rate"] = report.syntactic_rate;
+    record["semantic_rate"] = report.semantic_rate;
+    json_rows.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -93,5 +99,7 @@ int main(int argc, char** argv) {
               "chunking strategy barely moves the needle at this corpus "
               "scale -- the documentation being out of date, not how it is "
               "split, is the binding constraint (paper Sec V-E).\n");
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.set_trials(rows.size() * suite.size() * harness.samples());
+  return harness.finish();
 }

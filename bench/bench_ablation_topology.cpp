@@ -6,6 +6,7 @@
 // distance, decoder synthesis cost and the achieved lifetime extension —
 // quantifying the scalability problem the paper flags as future work.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -14,15 +15,17 @@
 #include "agents/topology.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 
 using namespace qcgen;
 using namespace qcgen::agents;
 
 int main(int argc, char** argv) {
-  std::size_t trials = 3000;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") trials = 500;
-  }
+  // `--samples` is the Monte-Carlo trial count behind each QEC plan,
+  // clamped to the QEC agent's statistical minimum of 100.
+  bench::Harness harness("ablation_topology", argc, argv,
+                         {.samples = 3000, .quick_samples = 500});
+  const std::size_t trials = std::max<std::size_t>(100, harness.samples());
 
   std::printf("ABL-TOPO: QEC planning across device topologies\n\n");
 
@@ -40,12 +43,15 @@ int main(int argc, char** argv) {
   Table table({"device", "kind", "qubits", "max distance", "plan d=3",
                "synthesis cost", "lifetime extension"});
   table.set_title("Topology-specific decoder generation");
+  JsonArray json_devices;
+  std::size_t total_trials = 0;
   for (const DeviceTopology& device : devices) {
     QecDecoderAgent::Options options;
     options.target_distance = 3;
     options.trials = trials;
     const QecDecoderAgent agent(options);
     const QecPlan plan = agent.plan_for(device);
+    total_trials += trials;
     table.add_row({device.name(),
                    std::string(topology_kind_name(device.kind())),
                    std::to_string(device.num_qubits()),
@@ -57,6 +63,16 @@ int main(int argc, char** argv) {
                        ? format_double(plan.lifetime.lifetime_extension, 1) +
                              "x"
                        : "-"});
+    Json record;
+    record["device"] = device.name();
+    record["qubits"] = device.num_qubits();
+    record["max_distance"] = device.max_surface_code_distance();
+    record["feasible"] = plan.feasible;
+    if (plan.feasible) {
+      record["synthesis_cost"] = plan.synthesis_cost;
+      record["lifetime_extension"] = plan.lifetime.lifetime_extension;
+    }
+    json_devices.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -76,6 +92,7 @@ int main(int argc, char** argv) {
     h.set_noise(sim::NoiseModel::ibm_brisbane());
     return h;
   }();
+  JsonArray json_scaling;
   for (int d : {3, 5, 7}) {
     QecDecoderAgent::Options options;
     options.target_distance = d;
@@ -83,6 +100,7 @@ int main(int argc, char** argv) {
     const QecDecoderAgent agent(options);
     const QecPlan grid_plan = agent.plan_for(big_grid);
     const QecPlan hex_plan = agent.plan_for(hex);
+    total_trials += 2 * trials;
     scale.add_row(
         {std::to_string(d),
          grid_plan.feasible ? format_double(grid_plan.synthesis_cost, 0) : "-",
@@ -90,6 +108,19 @@ int main(int argc, char** argv) {
          grid_plan.feasible
              ? format_double(grid_plan.lifetime.lifetime_extension, 1) + "x"
              : "-"});
+    Json record;
+    record["target_distance"] = d;
+    record["grid_feasible"] = grid_plan.feasible;
+    record["hex_feasible"] = hex_plan.feasible;
+    if (grid_plan.feasible) {
+      record["grid_synthesis_cost"] = grid_plan.synthesis_cost;
+      record["grid_lifetime_extension"] =
+          grid_plan.lifetime.lifetime_extension;
+    }
+    if (hex_plan.feasible) {
+      record["hex_synthesis_cost"] = hex_plan.synthesis_cost;
+    }
+    json_scaling.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", scale.to_string().c_str());
@@ -99,5 +130,8 @@ int main(int argc, char** argv) {
               "threshold at d=7 (Brisbane-level noise sits close to the "
               "surface-code threshold, so ever-larger codes stop paying "
               "off -- the scalability pressure Sec V-E highlights).\n");
-  return 0;
+  harness.record("devices", Json(std::move(json_devices)));
+  harness.record("distance_scaling", Json(std::move(json_scaling)));
+  harness.set_trials(total_trials);
+  return harness.finish();
 }

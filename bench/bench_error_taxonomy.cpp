@@ -16,8 +16,10 @@
 #include "common/json.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
-#include "eval/judge.hpp"
+#include "eval/parallel.hpp"
+#include "eval/runner.hpp"
 #include "eval/suite.hpp"
+#include "harness.hpp"
 #include "qasm/diagnostics.hpp"
 
 using namespace qcgen;
@@ -100,13 +102,15 @@ Bucket classify(const agents::PipelineResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::size_t samples = 3;
-  bool json_output = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") samples = 1;
-    if (std::string(argv[i]) == "--json") json_output = true;
-  }
+  bench::Harness harness("error_taxonomy", argc, argv,
+                         {.samples = 3, .seed = 77});
+  const std::size_t samples = harness.samples();
   const auto suite = eval::semantic_suite();
+  eval::RunnerOptions options;
+  options.samples_per_case = samples;
+  options.seed = harness.seed();
+  options.threads = harness.threads();
+
   std::printf("SEC5DE-TAX: failure taxonomy per technique (%zu prompts x %zu "
               "samples)\n\n",
               suite.size(), samples);
@@ -133,39 +137,34 @@ int main(int argc, char** argv) {
                   "(percentages of failures)");
 
   JsonArray json_failures;
+  std::size_t total_trials = 0;
   for (const Row& row : rows) {
-    agents::MultiAgentPipeline pipeline(
-        row.config, agents::SemanticAnalyzerAgent::Options(), std::nullopt,
-        std::nullopt, 77);
-    eval::ReferenceOracle oracle;
+    // Run the whole (case x sample) matrix on the trial scheduler; the
+    // classification below walks the results in deterministic order.
+    const std::vector<eval::TrialResult> trials =
+        eval::run_trial_matrix(row.config, suite, samples, options);
     std::map<Bucket, std::size_t> histogram;
     std::size_t failures = 0;
-    std::size_t total = 0;
-    for (std::size_t i = 0; i < suite.size(); ++i) {
-      const auto& reference = oracle.reference_for(suite[i]);
-      for (std::size_t s = 0; s < samples; ++s) {
-        const auto result = pipeline.run(suite[i].task, reference, i);
-        ++total;
-        if (result.semantic_ok) continue;
-        ++failures;
-        const Bucket bucket = classify(result);
-        ++histogram[bucket];
-        if (json_output) {
-          Json record;
-          record["technique"] = row.name;
-          record["prompt"] = i;
-          record["sample"] = s;
-          record["bucket"] = bucket_name(bucket);
-          record["passes_used"] = result.passes_used;
-          record["diagnostics"] =
-              qasm::diagnostics_to_json(result.trace.back().diagnostics);
-          json_failures.push_back(std::move(record));
-        }
-      }
+    for (const eval::TrialResult& trial : trials) {
+      ++total_trials;
+      const agents::PipelineResult& result = trial.pipeline;
+      if (result.semantic_ok) continue;
+      ++failures;
+      const Bucket bucket = classify(result);
+      ++histogram[bucket];
+      Json record;
+      record["technique"] = row.name;
+      record["prompt"] = trial.case_idx;
+      record["sample"] = trial.sample_idx;
+      record["bucket"] = bucket_name(bucket);
+      record["passes_used"] = result.passes_used;
+      record["diagnostics"] =
+          qasm::diagnostics_to_json(result.trace.back().diagnostics);
+      json_failures.push_back(std::move(record));
     }
     std::vector<std::string> cells = {
         row.name,
-        format_double(100.0 * failures / total, 1),
+        format_double(100.0 * failures / trials.size(), 1),
     };
     for (Bucket b : buckets) {
       const double share =
@@ -183,10 +182,7 @@ int main(int argc, char** argv) {
       "class overall -- exactly the paper's Sec V-D account of why the "
       "gains plateau; (2) SCoT collapses the wrong-plan share, leaving "
       "syntactic classes (chiefly import misuse) as the bottleneck.\n");
-  if (json_output) {
-    Json doc;
-    doc["failures"] = Json(std::move(json_failures));
-    std::printf("%s\n", doc.dump(2).c_str());
-  }
-  return 0;
+  harness.record("failures", Json(std::move(json_failures)));
+  harness.set_trials(total_trials);
+  return harness.finish();
 }

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "qec/decoder.hpp"
 #include "qec/logical_error.hpp"
 #include "qec/pauli_frame.hpp"
@@ -60,9 +61,13 @@ std::string render_round(const SurfaceCode& code, const Syndrome& syndrome,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // `--samples` scales the number of noisy extraction rounds here (the
+  // figure's time axis); the paper figure uses 5.
+  bench::Harness harness("fig2_syndromes", argc, argv,
+                         {.samples = 5, .quick_samples = 2});
   const int distance = 5;
-  const std::size_t rounds = 5;
+  const std::size_t rounds = harness.samples();
   const double p_data = 0.03;
   const double p_meas = 0.02;
   const SurfaceCode code = SurfaceCode::rotated(distance);
@@ -77,7 +82,7 @@ int main() {
   // Stabilizer-circuit execution on the tableau simulator, exactly as the
   // caption describes: physical qubits subject to noise over time, with
   // faulty syndrome measurement.
-  Rng rng(2025);
+  Rng rng(harness.seed());
   const SyndromeHistory history = run_syndrome_circuit(
       code, rounds, p_data, p_meas, /*prepare_logical_one=*/true, rng);
 
@@ -133,5 +138,13 @@ int main() {
   std::printf("Residual violated stabilizers after correction: %zu "
               "(0 means the decoder returned the full required set)\n",
               violated);
-  return 0;
+
+  harness.record("distance", distance);
+  harness.record("rounds", rounds);
+  harness.record("detection_events", z_events.size() + x_events.size());
+  harness.record("corrections", z_fix.size() + x_fix.size());
+  harness.record("logical_state_preserved", !(x_flip || z_flip));
+  harness.record("residual_violations", violated);
+  harness.set_trials(rounds);
+  return harness.finish();
 }

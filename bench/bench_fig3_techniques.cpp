@@ -13,15 +13,12 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/runner.hpp"
+#include "harness.hpp"
 
 using namespace qcgen;
 
 int main(int argc, char** argv) {
-  std::size_t samples = 4;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--quick") samples = 1;
-  }
+  bench::Harness harness("fig3_techniques", argc, argv, {.samples = 4});
 
   const auto suite = eval::semantic_suite();
   const auto mix = eval::tier_mix(suite);
@@ -31,7 +28,9 @@ int main(int argc, char** argv) {
               100 * mix.advanced);
 
   eval::RunnerOptions options;
-  options.samples_per_case = samples;
+  options.samples_per_case = harness.samples();
+  options.seed = harness.seed();
+  options.threads = harness.threads();
 
   struct Row {
     std::string name;
@@ -53,6 +52,7 @@ int main(int argc, char** argv) {
   table.set_title("Fig 3 reproduction (semantic % = syntactically AND "
                   "semantically valid)");
   std::vector<std::pair<std::string, double>> chart;
+  JsonArray json_rows;
   for (const Row& row : rows) {
     eval::AccuracyReport report =
         eval::evaluate_technique(row.config, suite, options);
@@ -69,11 +69,21 @@ int main(int argc, char** argv) {
         format_double(row.paper, 1),
     });
     chart.emplace_back(row.name, 100 * report.semantic_rate);
+    Json record;
+    record["technique"] = row.name;
+    record["syntactic_rate"] = report.syntactic_rate;
+    record["semantic_rate"] = report.semantic_rate;
+    record["ci_lo"] = report.semantic_ci.lo;
+    record["ci_hi"] = report.semantic_ci.hi;
+    record["paper_rate"] = row.paper / 100.0;
+    json_rows.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("%s\n", bar_chart(chart, 100.0, 50, "%").c_str());
   std::printf("Shape checks: fine-tuning > base; RAG adds little; CoT adds a "
               "lot; SCoT > CoT.\n");
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.set_trials(rows.size() * suite.size() * harness.samples());
+  return harness.finish();
 }

@@ -22,17 +22,17 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/runner.hpp"
+#include "harness.hpp"
 
 using namespace qcgen;
 
 int main(int argc, char** argv) {
-  std::size_t samples = 3;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") samples = 1;
-  }
+  bench::Harness harness("multipass", argc, argv, {.samples = 3});
   const auto suite = eval::semantic_suite();
   eval::RunnerOptions with_fixits;
-  with_fixits.samples_per_case = samples;
+  with_fixits.samples_per_case = harness.samples();
+  with_fixits.seed = harness.seed();
+  with_fixits.threads = harness.threads();
   eval::RunnerOptions without_fixits = with_fixits;
   without_fixits.analyzer.analysis.emit_fixits = false;
   eval::RunnerOptions without_abstract = with_fixits;
@@ -47,11 +47,13 @@ int main(int argc, char** argv) {
   table.set_title(
       "Multi-pass inference accuracy (fix-its and abstract facts on vs off)");
   std::vector<std::pair<std::string, double>> chart;
+  JsonArray json_rows;
   double first = 0.0;
   double passes_gain_sum = 0.0;
   double abstract_gain_sum = 0.0;
   int multi_pass_rows = 0;
-  for (int passes : {1, 2, 3, 4, 5, 6}) {
+  const std::vector<int> pass_counts = {1, 2, 3, 4, 5, 6};
+  for (int passes : pass_counts) {
     const auto config = agents::TechniqueConfig::with_multipass(
         llm::ModelProfile::kStarCoder3B, passes);
     const eval::AccuracyReport report =
@@ -78,6 +80,15 @@ int main(int argc, char** argv) {
                              100 * (report.semantic_rate - first), 1)});
     chart.emplace_back("passes=" + std::to_string(passes),
                        100 * report.semantic_rate);
+    Json record;
+    record["passes"] = passes;
+    record["semantic_rate"] = report.semantic_rate;
+    record["mean_passes_used"] = report.mean_passes_used;
+    record["semantic_rate_no_fixit"] = ablated.semantic_rate;
+    record["mean_passes_no_fixit"] = ablated.mean_passes_used;
+    record["semantic_rate_no_abstract"] = no_abstract.semantic_rate;
+    record["mean_passes_no_abstract"] = no_abstract.mean_passes_used;
+    json_rows.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -93,5 +104,8 @@ int main(int argc, char** argv) {
                 "%.3f passes/run).\n",
                 abstract_gain_sum / multi_pass_rows);
   }
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.set_trials(3 * pass_counts.size() * suite.size() *
+                     harness.samples());
+  return harness.finish();
 }

@@ -2,10 +2,18 @@
 // every experiment rests on: state-vector gate throughput, noisy
 // trajectory sampling, tableau operations, syndrome extraction and
 // decoder throughput, plus the language front-end.
+//
+// Harness flags come first; unrecognised --benchmark_* flags pass
+// through to google-benchmark. --quick / --samples 1 injects a short
+// --benchmark_min_time so the CI smoke run stays cheap.
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "harness.hpp"
 #include "llm/templates.hpp"
 #include "qasm/builder.hpp"
 #include "qasm/parser.hpp"
@@ -143,6 +151,69 @@ void BM_ExactDistribution(benchmark::State& state) {
 }
 BENCHMARK(BM_ExactDistribution);
 
+/// Console reporter that also captures every run into the harness report
+/// (name, time/iteration, iterations, throughput counters).
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.error_occurred) continue;
+      Json record;
+      record["name"] = run.benchmark_name();
+      record["iterations"] = run.iterations;
+      record["real_time"] = run.GetAdjustedRealTime();
+      record["time_unit"] = std::string(
+          benchmark::GetTimeUnitString(run.time_unit));
+      const auto items = run.counters.find("items_per_second");
+      if (items != run.counters.end()) {
+        record["items_per_second"] = static_cast<double>(items->second);
+      }
+      const auto bytes = run.counters.find("bytes_per_second");
+      if (bytes != run.counters.end()) {
+        record["bytes_per_second"] = static_cast<double>(bytes->second);
+      }
+      total_iterations += static_cast<std::size_t>(run.iterations);
+      captured.push_back(std::move(record));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  JsonArray captured;
+  std::size_t total_iterations = 0;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness harness("sim_throughput", argc, argv, {.samples = 1});
+
+  // Rebuild an argv for google-benchmark: program name + passthrough
+  // --benchmark_* flags, with a short min-time injected for smoke runs
+  // unless the caller pinned one explicitly.
+  std::vector<std::string> flag_storage;
+  flag_storage.emplace_back(argv[0]);
+  bool min_time_given = false;
+  for (const std::string& flag : harness.passthrough()) {
+    if (flag.rfind("--benchmark_min_time", 0) == 0) min_time_given = true;
+    flag_storage.push_back(flag);
+  }
+  if (!min_time_given && (harness.quick() || harness.samples() <= 1)) {
+    flag_storage.emplace_back("--benchmark_min_time=0.01");
+  }
+  std::vector<char*> bench_argv;
+  bench_argv.reserve(flag_storage.size());
+  for (std::string& flag : flag_storage) bench_argv.push_back(flag.data());
+  int bench_argc = static_cast<int>(bench_argv.size());
+
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  harness.record("benchmarks", Json(std::move(reporter.captured)));
+  harness.set_trials(reporter.total_iterations);
+  return harness.finish();
+}

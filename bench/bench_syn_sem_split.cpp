@@ -14,16 +14,16 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/runner.hpp"
+#include "harness.hpp"
 
 using namespace qcgen;
 
 int main(int argc, char** argv) {
-  std::size_t samples = 4;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") samples = 1;
-  }
+  bench::Harness harness("syn_sem_split", argc, argv, {.samples = 4});
   eval::RunnerOptions options;
-  options.samples_per_case = samples;
+  options.samples_per_case = harness.samples();
+  options.seed = harness.seed();
+  options.threads = harness.threads();
 
   using agents::TechniqueConfig;
   using llm::ModelProfile;
@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   Table table({"technique", "syntactic %", "semantic %",
                "syn-but-not-sem gap %", "paper syn %", "paper sem %"});
   table.set_title("Sec V-C split on the QHE-style benchmark");
+  JsonArray json_rows;
   for (const Row& row : rows) {
     const eval::AccuracyReport report =
         eval::evaluate_technique(row.config, qhe_suite, options);
@@ -57,6 +58,11 @@ int main(int argc, char** argv) {
          format_double(100 * (report.syntactic_rate - report.semantic_rate),
                        1),
          format_double(row.paper_syn, 1), format_double(row.paper_sem, 1)});
+    Json record;
+    record["technique"] = row.name;
+    record["syntactic_rate"] = report.syntactic_rate;
+    record["semantic_rate"] = report.semantic_rate;
+    json_rows.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -79,5 +85,12 @@ int main(int argc, char** argv) {
   std::printf("%s\n", table2.to_string().c_str());
   std::printf("Shape checks: RAG's syntactic-semantic gap is much larger than "
               "CoT's; CoT scores higher on the semantic suite than on QHE.\n");
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.record("cot_semantic_suite_rate", on_own.semantic_rate);
+  harness.record("cot_qhe_suite_rate", on_qhe.semantic_rate);
+  harness.set_trials(
+      (rows.size() * qhe_suite.size() + semantic_suite.size() +
+       qhe_suite.size()) *
+      harness.samples());
+  return harness.finish();
 }

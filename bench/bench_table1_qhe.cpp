@@ -13,21 +13,21 @@
 #include "common/strings.hpp"
 #include "common/table.hpp"
 #include "eval/runner.hpp"
+#include "harness.hpp"
 
 using namespace qcgen;
 
 int main(int argc, char** argv) {
-  std::size_t samples = 4;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--quick") samples = 1;
-  }
+  bench::Harness harness("table1_qhe", argc, argv, {.samples = 4});
   const auto suite = eval::qhe_suite();
   std::printf("TAB1: Qiskit-HumanEval-style scores (%zu prompts, syntax "
               "difficulty x%.2f)\n\n",
               suite.size(), eval::kQheSyntaxDifficulty);
 
   eval::RunnerOptions options;
-  options.samples_per_case = samples;
+  options.samples_per_case = harness.samples();
+  options.seed = harness.seed();
+  options.threads = harness.threads();
 
   using agents::TechniqueConfig;
   using llm::ModelProfile;
@@ -58,6 +58,7 @@ int main(int argc, char** argv) {
   Table table({"model", "QHE score %", "syntactic %", "paper %"});
   table.set_title("Table I reproduction");
   std::vector<std::pair<std::string, double>> chart;
+  JsonArray json_rows;
   for (const Row& row : rows) {
     const eval::AccuracyReport report =
         eval::evaluate_technique(row.config, suite, options);
@@ -65,6 +66,12 @@ int main(int argc, char** argv) {
                    format_double(100 * report.syntactic_rate, 1),
                    format_double(row.paper, 1)});
     chart.emplace_back(row.name, 100 * report.semantic_rate);
+    Json record;
+    record["model"] = row.name;
+    record["semantic_rate"] = report.semantic_rate;
+    record["syntactic_rate"] = report.syntactic_rate;
+    record["paper_score"] = row.paper;
+    json_rows.push_back(std::move(record));
     std::fflush(stdout);
   }
   std::printf("%s\n", table.to_string().c_str());
@@ -72,5 +79,7 @@ int main(int argc, char** argv) {
   std::printf("Shape checks: QK > base; RAG and CoT both add large gains on "
               "this syntax-heavy benchmark; the 20B reference model stays on "
               "top with a ~5%% gap to 7B+CoT.\n");
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.set_trials(rows.size() * suite.size() * harness.samples());
+  return harness.finish();
 }

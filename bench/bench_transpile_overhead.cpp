@@ -10,6 +10,7 @@
 #include "agents/topology.hpp"
 #include "common/strings.hpp"
 #include "common/table.hpp"
+#include "harness.hpp"
 #include "llm/templates.hpp"
 #include "qasm/builder.hpp"
 #include "transpile/optimize.hpp"
@@ -17,7 +18,11 @@
 
 using namespace qcgen;
 
-int main() {
+int main(int argc, char** argv) {
+  // Transpilation is deterministic; --samples/--seed have no effect and
+  // each (workload, device) row counts as one trial.
+  bench::Harness harness("transpile_overhead", argc, argv, {.samples = 1});
+
   std::printf("PERF-TRANSPILE: native-basis + routing overhead per workload "
               "and topology (greedy/trivial best layout)\n\n");
 
@@ -37,6 +42,8 @@ int main() {
                "2q gates", "2q after opt", "swaps", "verified"});
   table.set_title("Transpilation overhead (verified = exact behavioural "
                   "equivalence where simulable)");
+  JsonArray json_rows;
+  std::size_t total_rows = 0;
   for (llm::AlgorithmId id : workloads) {
     llm::TaskSpec task;
     task.algorithm = id;
@@ -50,6 +57,7 @@ int main() {
       const bool verified = small_enough &&
                             transpile::equivalent(circuit, result.circuit) &&
                             transpile::equivalent(circuit, optimized);
+      ++total_rows;
       table.add_row({std::string(llm::algorithm_name(id)), device.name(),
                      std::to_string(result.depth_before),
                      std::to_string(result.depth_after),
@@ -57,6 +65,16 @@ int main() {
                      std::to_string(optimized.multi_qubit_gate_count()),
                      std::to_string(result.swaps_inserted),
                      small_enough ? (verified ? "yes" : "MISMATCH") : "n/a"});
+      Json record;
+      record["workload"] = std::string(llm::algorithm_name(id));
+      record["device"] = device.name();
+      record["depth_before"] = result.depth_before;
+      record["depth_after"] = result.depth_after;
+      record["two_qubit_gates"] = result.native_two_qubit_gates;
+      record["two_qubit_after_opt"] = optimized.multi_qubit_gate_count();
+      record["swaps"] = result.swaps_inserted;
+      record["verified"] = verified;
+      json_rows.push_back(std::move(record));
       std::fflush(stdout);
     }
   }
@@ -65,5 +83,7 @@ int main() {
               "optimized forms); linear devices pay the most swaps; "
               "fully-connected devices pay none; peephole optimization "
               "recovers part of the routing overhead.\n");
-  return 0;
+  harness.record("rows", Json(std::move(json_rows)));
+  harness.set_trials(total_rows);
+  return harness.finish();
 }

@@ -1,0 +1,148 @@
+#include "harness.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace qcgen::bench {
+
+namespace {
+
+[[noreturn]] void usage(const std::string& name, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: bench_%s [--samples N] [--quick] [--seed S] [--threads N]\n"
+      "                [--json [PATH]]\n"
+      "  --samples N   work multiplier (samples per case / MC trials)\n"
+      "  --quick       reduced-sample smoke run\n"
+      "  --seed S      experiment seed\n"
+      "  --threads N   trial-scheduler workers (0 = all hardware threads)\n"
+      "  --json [PATH] write machine-readable report (default "
+      "BENCH_%s.json)\n",
+      name.c_str(), name.c_str());
+  std::exit(code);
+}
+
+std::uint64_t parse_u64(const std::string& name, const char* flag,
+                        const char* value) {
+  if (value == nullptr) {
+    std::fprintf(stderr, "%s: missing value for %s\n", name.c_str(), flag);
+    std::exit(2);
+  }
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long parsed = std::stoull(value, &consumed);
+    if (consumed != std::string(value).size()) throw std::invalid_argument("");
+    return static_cast<std::uint64_t>(parsed);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "%s: bad value for %s: '%s'\n", name.c_str(), flag,
+                 value);
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+Harness::Harness(std::string name, int argc, char** argv, Defaults defaults)
+    : name_(std::move(name)),
+      samples_(defaults.samples),
+      seed_(defaults.seed),
+      start_(std::chrono::steady_clock::now()) {
+  bool samples_overridden = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* next = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage(name_, 0);
+    } else if (arg == "--quick") {
+      quick_ = true;
+    } else if (arg == "--samples") {
+      samples_ = static_cast<std::size_t>(parse_u64(name_, "--samples", next));
+      samples_overridden = true;
+      ++i;
+    } else if (arg == "--seed") {
+      seed_ = parse_u64(name_, "--seed", next);
+      ++i;
+    } else if (arg == "--threads") {
+      threads_ = static_cast<std::size_t>(parse_u64(name_, "--threads", next));
+      ++i;
+    } else if (arg == "--json") {
+      json_requested_ = true;
+      // Optional path operand; anything flag-like starts the next option.
+      if (next != nullptr && next[0] != '-') {
+        json_path_ = next;
+        ++i;
+      }
+    } else if (arg.rfind("--benchmark_", 0) == 0) {
+      passthrough_.push_back(arg);
+    } else {
+      std::fprintf(stderr, "bench_%s: unknown argument '%s'\n", name_.c_str(),
+                   arg.c_str());
+      usage(name_, 2);
+    }
+  }
+  if (quick_ && !samples_overridden) samples_ = defaults.quick_samples;
+  if (samples_ == 0) {
+    std::fprintf(stderr, "bench_%s: --samples must be >= 1\n", name_.c_str());
+    std::exit(2);
+  }
+  if (json_requested_ && json_path_.empty()) {
+    json_path_ = "BENCH_" + name_ + ".json";
+  }
+}
+
+void Harness::record(const std::string& key, Json value) {
+  results_[key] = std::move(value);
+}
+
+int Harness::finish(int exit_code) {
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  if (trials_ > 0) {
+    std::printf("[bench_%s] %zu trials in %.2fs (%.1f trials/s, threads=%zu"
+                "%s)\n",
+                name_.c_str(), trials_, wall,
+                wall > 0.0 ? static_cast<double>(trials_) / wall : 0.0,
+                threads_, threads_ == 0 ? "=auto" : "");
+  } else {
+    std::printf("[bench_%s] completed in %.2fs\n", name_.c_str(), wall);
+  }
+
+  if (json_requested_) {
+    Json report;
+    report["schema_version"] = 1;
+    report["bench"] = name_;
+    JsonObject config;
+    config["samples"] = samples_;
+    config["seed"] = static_cast<double>(seed_);
+    config["threads"] = threads_;
+    config["quick"] = quick_;
+    report["config"] = Json(std::move(config));
+    JsonObject timing;
+    timing["wall_seconds"] = wall;
+    timing["trials"] = trials_;
+    timing["trials_per_second"] =
+        wall > 0.0 ? static_cast<double>(trials_) / wall : 0.0;
+    report["timing"] = Json(std::move(timing));
+    report["results"] = Json(results_);
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::fprintf(stderr, "bench_%s: cannot write %s\n", name_.c_str(),
+                   json_path_.c_str());
+      return 1;
+    }
+    out << report.dump(2) << "\n";
+    out.close();
+    if (!out) {
+      std::fprintf(stderr, "bench_%s: write to %s failed\n", name_.c_str(),
+                   json_path_.c_str());
+      return 1;
+    }
+    std::printf("[bench_%s] wrote %s\n", name_.c_str(), json_path_.c_str());
+  }
+  return exit_code;
+}
+
+}  // namespace qcgen::bench

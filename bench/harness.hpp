@@ -1,0 +1,85 @@
+#pragma once
+// Shared bench harness: one flag parser, one timing/throughput measurer
+// and one BenchReport -> JSON writer for every bench_* binary.
+//
+// Common flags (all optional):
+//   --samples N     work multiplier (samples/case for eval benches,
+//                   Monte-Carlo trials for decoder benches)
+//   --quick         reduced-sample smoke run (bench-specific default)
+//   --seed S        experiment seed (bench-specific default, usually 2025)
+//   --threads N     trial-scheduler workers; 0 = all hardware threads
+//   --json [PATH]   write the machine-readable report; PATH defaults to
+//                   BENCH_<name>.json in the working directory
+//   --benchmark_*   passed through (google-benchmark based benches)
+//
+// Report schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "bench": "<name>",
+//     "config":  {"samples": N, "seed": S, "threads": T, "quick": B},
+//     "timing":  {"wall_seconds": W, "trials": N, "trials_per_second": R},
+//     "results": { ... bench-specific ... }
+//   }
+// Everything outside "timing" is deterministic for a fixed (samples,
+// seed) at any --threads value; scripts/validate_bench_json.py checks
+// the schema and compares reports modulo "timing".
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace qcgen::bench {
+
+class Harness {
+ public:
+  struct Defaults {
+    std::size_t samples = 3;        ///< full-run work multiplier
+    std::size_t quick_samples = 1;  ///< value --quick maps samples to
+    std::uint64_t seed = 2025;
+  };
+
+  /// Parses argv (exits 2 on unknown flags, 0 on --help) and starts the
+  /// wall clock. `name` becomes the report's "bench" field and the
+  /// default artifact name BENCH_<name>.json.
+  Harness(std::string name, int argc, char** argv, Defaults defaults);
+
+  const std::string& name() const noexcept { return name_; }
+  std::size_t samples() const noexcept { return samples_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+  std::size_t threads() const noexcept { return threads_; }
+  bool quick() const noexcept { return quick_; }
+  bool json_requested() const noexcept { return json_requested_; }
+  /// Unrecognised --benchmark_* flags, for benchmark::Initialize.
+  const std::vector<std::string>& passthrough() const noexcept {
+    return passthrough_;
+  }
+
+  /// Records one entry of the report's "results" object.
+  void record(const std::string& key, Json value);
+
+  /// Total trials executed, for the trials/sec throughput figure.
+  void set_trials(std::size_t trials) noexcept { trials_ = trials; }
+
+  /// Stops the clock, prints the throughput summary line and writes the
+  /// JSON artifact when --json was given. Returns the process exit code
+  /// (1 when the artifact could not be written, else `exit_code`).
+  int finish(int exit_code = 0);
+
+ private:
+  std::string name_;
+  std::size_t samples_ = 3;
+  std::uint64_t seed_ = 2025;
+  std::size_t threads_ = 0;
+  bool quick_ = false;
+  bool json_requested_ = false;
+  std::string json_path_;
+  std::vector<std::string> passthrough_;
+  JsonObject results_;
+  std::size_t trials_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace qcgen::bench

@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: strict build, full test suite, clang-tidy (when
-# installed), then a sanitizer build of the language front-end tests
-# (the part that chews model-corrupted input all day and so is the most
-# UB-prone).
+# installed), then two sanitizer builds — ASan+UBSan over the language
+# front-end tests (the part that chews model-corrupted input all day and
+# so is the most UB-prone), and TSan over the thread-pool / parallel
+# evaluation tests (the part that actually runs concurrent code).
 #
-# Usage: scripts/check.sh [--skip-sanitizers]
+# Usage: scripts/check.sh [--quick] [--skip-sanitizers]
+#   --quick            skip both sanitizer stages (developer inner loop)
+#   --skip-sanitizers  legacy alias for --quick
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,22 +15,22 @@ cd "$(dirname "$0")/.."
 SKIP_SAN=0
 for arg in "$@"; do
   case "$arg" in
-    --skip-sanitizers) SKIP_SAN=1 ;;
+    --quick|--skip-sanitizers) SKIP_SAN=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> [1/4] strict build (warnings as errors)"
+echo "==> [1/5] strict build (warnings as errors)"
 cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 
-echo "==> [2/4] full test suite"
+echo "==> [2/5] full test suite"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "==> [3/4] clang-tidy (.clang-tidy profile)"
+echo "==> [3/5] clang-tidy (.clang-tidy profile)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Project sources only; third-party and generated code stay out via
   # the explicit file list (compile_commands.json covers everything).
@@ -38,11 +41,11 @@ else
 fi
 
 if [[ "$SKIP_SAN" == "1" ]]; then
-  echo "==> [4/4] sanitizers skipped (--skip-sanitizers)"
+  echo "==> [4/5] and [5/5] sanitizers skipped (--quick)"
   exit 0
 fi
 
-echo "==> [4/4] ASan+UBSan build, qasm/lint/fuzz tests"
+echo "==> [4/5] ASan+UBSan build, qasm/lint/fuzz tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE="address;undefined" \
@@ -51,5 +54,15 @@ cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_fuzz_robustness|test_openqasm'
+
+echo "==> [5/5] TSan build, thread-pool / parallel-eval tests"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DQCGEN_SANITIZE=thread \
+  -DQCGEN_BUILD_BENCH=OFF -DQCGEN_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "$JOBS"
+TSAN_OPTIONS=halt_on_error=1 \
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
+    -R 'test_thread_pool|test_parallel_eval'
 
 echo "==> all checks passed"

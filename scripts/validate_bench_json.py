@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts emitted by the bench harness.
+
+Usage:
+  scripts/validate_bench_json.py FILE [FILE ...]
+      Schema-check each report (schema_version 1; see bench/harness.hpp).
+
+  scripts/validate_bench_json.py --compare A.json B.json
+      Assert two reports from the same bench/config are identical modulo
+      the "timing" subtree and config.threads — the determinism contract
+      of the parallel evaluation engine.
+
+Exits non-zero on the first malformed or mismatching report. Uses only
+the Python standard library.
+"""
+
+import json
+import sys
+
+SCHEMA_VERSION = 1
+
+
+def fail(msg: str) -> None:
+    print(f"validate_bench_json: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be a JSON object")
+    return doc
+
+
+def check_schema(path: str, doc: dict) -> None:
+    if doc.get("schema_version") != SCHEMA_VERSION:
+        fail(f"{path}: schema_version must be {SCHEMA_VERSION}, "
+             f"got {doc.get('schema_version')!r}")
+    bench = doc.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(f"{path}: 'bench' must be a non-empty string")
+
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(f"{path}: 'config' must be an object")
+    for key, kind in (("samples", (int, float)), ("seed", (int, float)),
+                      ("threads", (int, float)), ("quick", bool)):
+        if key not in config:
+            fail(f"{path}: config.{key} missing")
+        if not isinstance(config[key], kind):
+            fail(f"{path}: config.{key} has wrong type "
+                 f"({type(config[key]).__name__})")
+
+    timing = doc.get("timing")
+    if not isinstance(timing, dict):
+        fail(f"{path}: 'timing' must be an object")
+    for key in ("wall_seconds", "trials", "trials_per_second"):
+        if not isinstance(timing.get(key), (int, float)):
+            fail(f"{path}: timing.{key} must be a number")
+    if timing["wall_seconds"] < 0:
+        fail(f"{path}: timing.wall_seconds is negative")
+    if timing["trials"] < 0:
+        fail(f"{path}: timing.trials is negative")
+
+    if not isinstance(doc.get("results"), dict):
+        fail(f"{path}: 'results' must be an object")
+
+
+def strip_nondeterministic(doc: dict) -> dict:
+    """Drops the fields allowed to differ between runs of one experiment:
+    wall-clock timing, and the thread count used to produce the report."""
+    out = {k: v for k, v in doc.items() if k != "timing"}
+    out["config"] = {k: v for k, v in doc.get("config", {}).items()
+                     if k != "threads"}
+    # trials is deterministic; keep it in the comparison.
+    out["trials"] = doc.get("timing", {}).get("trials")
+    return out
+
+
+def diff_paths(a, b, prefix=""):
+    """Yields dotted paths where two JSON values differ."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in sorted(set(a) | set(b)):
+            yield from diff_paths(a.get(key), b.get(key), f"{prefix}.{key}")
+    elif isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            yield f"{prefix} (length {len(a)} vs {len(b)})"
+            return
+        for i, (x, y) in enumerate(zip(a, b)):
+            yield from diff_paths(x, y, f"{prefix}[{i}]")
+    elif a != b:
+        yield f"{prefix} ({a!r} vs {b!r})"
+
+
+def main(argv: list) -> int:
+    if not argv:
+        fail("no files given (see --help in the module docstring)")
+    if argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+
+    if argv[0] == "--compare":
+        if len(argv) != 3:
+            fail("--compare takes exactly two files")
+        a_path, b_path = argv[1], argv[2]
+        a, b = load(a_path), load(b_path)
+        check_schema(a_path, a)
+        check_schema(b_path, b)
+        mismatches = list(diff_paths(strip_nondeterministic(a),
+                                     strip_nondeterministic(b)))
+        if mismatches:
+            for m in mismatches[:20]:
+                print(f"  mismatch at {m}", file=sys.stderr)
+            fail(f"{a_path} and {b_path} differ outside 'timing' "
+                 f"({len(mismatches)} paths)")
+        print(f"OK: {a_path} == {b_path} (modulo timing)")
+        return 0
+
+    for path in argv:
+        doc = load(path)
+        check_schema(path, doc)
+        print(f"OK: {path} (bench={doc['bench']}, "
+              f"trials={doc['timing']['trials']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -52,29 +52,32 @@ TechniqueConfig TechniqueConfig::with_multipass(llm::ModelProfile profile,
   return c;
 }
 
+namespace {
+const llm::KnowledgeState& checked_knowledge(
+    const std::shared_ptr<const TechniqueResources>& resources) {
+  require(resources != nullptr, "CodeGenAgent: null resources");
+  return resources->knowledge();
+}
+}  // namespace
+
 CodeGenAgent::CodeGenAgent(const TechniqueConfig& config, std::uint64_t seed)
+    : CodeGenAgent(config, std::make_shared<const TechniqueResources>(config),
+                   seed) {}
+
+CodeGenAgent::CodeGenAgent(
+    const TechniqueConfig& config,
+    std::shared_ptr<const TechniqueResources> resources, std::uint64_t seed)
     : config_(config),
-      model_(config.fine_tuned
-                 ? llm::apply_finetuning(llm::base_knowledge(config.profile),
-                                         config.finetune)
-                 : llm::base_knowledge(config.profile),
-             seed) {
+      resources_(std::move(resources)),
+      model_(checked_knowledge(resources_), seed) {
   require(config.max_passes >= 1, "CodeGenAgent: max_passes >= 1");
-  if (config_.rag_api) {
-    api_store_ = std::make_unique<llm::VectorStore>(llm::chunk_documents(
-        llm::qiskit_api_corpus(config_.api_stale_fraction), config_.chunking));
-  }
-  if (config_.rag_guides) {
-    guide_store_ = std::make_unique<llm::VectorStore>(
-        llm::chunk_documents(llm::algorithm_guide_corpus(), config_.chunking));
-  }
 }
 
 llm::GenerationContext CodeGenAgent::make_context(
     std::size_t prompt_index) const {
   llm::GenerationContext ctx;
-  ctx.api_store = api_store_.get();
-  ctx.guide_store = guide_store_.get();
+  ctx.api_store = resources_->api_store();
+  ctx.guide_store = resources_->guide_store();
   ctx.rag_top_k = config_.rag_top_k;
   ctx.cot = config_.cot;
   ctx.cot_hand_written = prompt_index < config_.cot_hand_written;

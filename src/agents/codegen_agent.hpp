@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 
+#include "agents/technique_resources.hpp"
 #include "llm/cot.hpp"
 #include "llm/finetune.hpp"
 #include "llm/knowledge.hpp"
@@ -48,10 +49,21 @@ struct TechniqueConfig {
                                         int passes);
 };
 
-/// The agent: owns the model instance and retrieval indexes.
+/// The agent: owns the model instance; retrieval indexes are either
+/// owned (standalone construction) or shared with sibling agents.
 class CodeGenAgent {
  public:
+  /// Standalone: builds a private TechniqueResources for `config`.
   CodeGenAgent(const TechniqueConfig& config, std::uint64_t seed);
+
+  /// Shares an immutable resource bundle built once for the technique;
+  /// only the SimLM (knowledge copy + RNG stream) is per-agent, which is
+  /// what makes per-trial agents cheap enough to construct inside a
+  /// parallel trial scheduler. Generates identically to a standalone
+  /// agent with the same config and seed.
+  CodeGenAgent(const TechniqueConfig& config,
+               std::shared_ptr<const TechniqueResources> resources,
+               std::uint64_t seed);
 
   const TechniqueConfig& config() const noexcept { return config_; }
   const llm::KnowledgeState& knowledge() const { return model_.knowledge(); }
@@ -72,8 +84,7 @@ class CodeGenAgent {
   llm::GenerationContext make_context(std::size_t prompt_index) const;
 
   TechniqueConfig config_;
-  std::unique_ptr<llm::VectorStore> api_store_;
-  std::unique_ptr<llm::VectorStore> guide_store_;
+  std::shared_ptr<const TechniqueResources> resources_;
   llm::SimLM model_;
 };
 

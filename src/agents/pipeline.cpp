@@ -7,7 +7,18 @@ MultiAgentPipeline::MultiAgentPipeline(
     SemanticAnalyzerAgent::Options analyzer_options,
     std::optional<QecDecoderAgent::Options> qec_options,
     std::optional<DeviceTopology> device, std::uint64_t seed)
-    : codegen_(technique, seed),
+    : MultiAgentPipeline(
+          technique, std::make_shared<const TechniqueResources>(technique),
+          std::move(analyzer_options), std::move(qec_options),
+          std::move(device), seed) {}
+
+MultiAgentPipeline::MultiAgentPipeline(
+    const TechniqueConfig& technique,
+    std::shared_ptr<const TechniqueResources> resources,
+    SemanticAnalyzerAgent::Options analyzer_options,
+    std::optional<QecDecoderAgent::Options> qec_options,
+    std::optional<DeviceTopology> device, std::uint64_t seed)
+    : codegen_(technique, std::move(resources), seed),
       analyzer_(analyzer_options),
       device_(std::move(device)) {
   if (qec_options.has_value()) qec_agent_.emplace(*qec_options);

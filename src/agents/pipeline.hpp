@@ -48,6 +48,17 @@ class MultiAgentPipeline {
                      std::optional<DeviceTopology> device,
                      std::uint64_t seed);
 
+  /// Shares an immutable corpora/knowledge bundle built once for the
+  /// technique (see TechniqueResources): the cheap per-pipeline state is
+  /// just the SimLM and the analyzer, so a trial scheduler can construct
+  /// one pipeline per (case, sample) trial without re-indexing corpora.
+  MultiAgentPipeline(const TechniqueConfig& technique,
+                     std::shared_ptr<const TechniqueResources> resources,
+                     SemanticAnalyzerAgent::Options analyzer_options,
+                     std::optional<QecDecoderAgent::Options> qec_options,
+                     std::optional<DeviceTopology> device,
+                     std::uint64_t seed);
+
   CodeGenAgent& codegen() { return codegen_; }
   const SemanticAnalyzerAgent& analyzer() const { return analyzer_; }
 

@@ -1,0 +1,26 @@
+#include "agents/technique_resources.hpp"
+
+#include "agents/codegen_agent.hpp"
+#include "llm/corpus.hpp"
+#include "llm/finetune.hpp"
+
+namespace qcgen::agents {
+
+TechniqueResources::TechniqueResources(const TechniqueConfig& config)
+    : knowledge_(config.fine_tuned
+                     ? llm::apply_finetuning(
+                           llm::base_knowledge(config.profile),
+                           config.finetune)
+                     : llm::base_knowledge(config.profile)) {
+  if (config.rag_api) {
+    api_store_ = std::make_unique<const llm::VectorStore>(
+        llm::chunk_documents(llm::qiskit_api_corpus(config.api_stale_fraction),
+                             config.chunking));
+  }
+  if (config.rag_guides) {
+    guide_store_ = std::make_unique<const llm::VectorStore>(
+        llm::chunk_documents(llm::algorithm_guide_corpus(), config.chunking));
+  }
+}
+
+}  // namespace qcgen::agents

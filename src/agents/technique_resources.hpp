@@ -1,0 +1,41 @@
+#pragma once
+// Immutable, shareable per-technique state: the fine-tuned knowledge
+// profile and the RAG vector stores.
+//
+// Building these is the expensive part of standing up a CodeGenAgent
+// (corpus synthesis, chunking, BM25 indexing); everything in here is
+// read-only after construction, so one build can back any number of
+// per-trial agents across worker threads (VectorStore::retrieve is
+// const and the KnowledgeState is copied into each SimLM).
+
+#include <memory>
+
+#include "llm/knowledge.hpp"
+#include "llm/vectorstore.hpp"
+
+namespace qcgen::agents {
+
+struct TechniqueConfig;
+
+class TechniqueResources {
+ public:
+  /// Builds knowledge + stores for `config` exactly as a standalone
+  /// CodeGenAgent would; stores are only built for enabled RAG corpora.
+  explicit TechniqueResources(const TechniqueConfig& config);
+
+  const llm::KnowledgeState& knowledge() const noexcept { return knowledge_; }
+  /// nullptr when the corresponding RAG corpus is disabled.
+  const llm::VectorStore* api_store() const noexcept {
+    return api_store_.get();
+  }
+  const llm::VectorStore* guide_store() const noexcept {
+    return guide_store_.get();
+  }
+
+ private:
+  llm::KnowledgeState knowledge_;
+  std::unique_ptr<const llm::VectorStore> api_store_;
+  std::unique_ptr<const llm::VectorStore> guide_store_;
+};
+
+}  // namespace qcgen::agents

@@ -1,0 +1,143 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qcgen {
+
+std::size_t resolve_thread_count(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t count = resolve_thread_count(threads);
+  queues_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  require(static_cast<bool>(task), "ThreadPool::submit: empty task");
+  {
+    // The push happens under state_mutex_ so it cannot interleave with a
+    // worker's empty-scan-then-sleep sequence (which also holds it); a
+    // task is therefore either visible to the scan or notified after the
+    // worker is inside wait().
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    require(!stopping_, "ThreadPool::submit after shutdown");
+    ++pending_;
+    const std::size_t target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    std::lock_guard<std::mutex> qlock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::try_pop_local(std::size_t index,
+                               std::function<void()>& task) {
+  Queue& queue = *queues_[index];
+  std::lock_guard<std::mutex> lock(queue.mutex);
+  if (queue.tasks.empty()) return false;
+  // LIFO on the owner's side: the most recently pushed task is the one
+  // whose working set is most likely still cache-resident.
+  task = std::move(queue.tasks.back());
+  queue.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief, std::function<void()>& task) {
+  const std::size_t n = queues_.size();
+  for (std::size_t offset = 1; offset < n; ++offset) {
+    Queue& victim = *queues_[(thief + offset) % n];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.tasks.empty()) continue;
+    // FIFO on the thief's side: take the oldest (coldest) task so the
+    // owner keeps its warm tail.
+    task = std::move(victim.tasks.front());
+    victim.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t index) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop_local(index, task) || try_steal(index, task)) {
+      task();
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (--pending_ == 0) idle_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(state_mutex_);
+    if (stopping_) return;
+    // Re-check under the lock: a task may have been submitted between
+    // the failed scans and acquiring the lock.
+    bool any = false;
+    for (const auto& queue : queues_) {
+      std::lock_guard<std::mutex> qlock(queue->mutex);
+      if (!queue->tasks.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (any) continue;
+    work_available_.wait(lock);
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  // Failures are collected out-of-band: the first exception wins and is
+  // rethrown on the caller once every index has run to completion.
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+  for (std::size_t i = 0; i < n; ++i) {
+    submit([&body, i, first_error, error, error_mutex] {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error->exchange(true)) {
+          std::lock_guard<std::mutex> lock(*error_mutex);
+          *error = std::current_exception();
+        }
+      }
+    });
+  }
+  wait_idle();
+  if (first_error->load()) {
+    std::lock_guard<std::mutex> lock(*error_mutex);
+    std::rethrow_exception(*error);
+  }
+}
+
+}  // namespace qcgen

@@ -1,0 +1,69 @@
+#pragma once
+// Work-stealing thread pool for embarrassingly-parallel trial scheduling.
+//
+// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+// and steals FIFO from a victim when empty, so uneven trial costs (a
+// 6-pass repair loop next to a single-shot success) balance out without
+// a central queue becoming the bottleneck. Determinism is the caller's
+// job: parallel_for hands out index ranges, and callers seed each index
+// independently so the schedule never influences results.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace qcgen {
+
+/// Resolves a `--threads`-style request: 0 means "all hardware threads".
+std::size_t resolve_thread_count(std::size_t requested) noexcept;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency). A pool of one
+  /// worker is valid and runs everything serially in submission order.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues one task. Tasks must not throw; wrap fallible work and
+  /// record failures out-of-band (parallel_for does this for callers).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void wait_idle();
+
+  /// Runs body(i) for each i in [0, n) across the pool and blocks until
+  /// all calls completed. The first exception thrown by any body is
+  /// rethrown on the calling thread (remaining indices still run).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct Queue {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mutex;
+  };
+
+  void worker_loop(std::size_t index);
+  bool try_pop_local(std::size_t index, std::function<void()>& task);
+  bool try_steal(std::size_t thief, std::function<void()>& task);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex state_mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::size_t pending_ = 0;     ///< submitted but not yet finished
+  std::size_t next_queue_ = 0;  ///< round-robin submission cursor
+  bool stopping_ = false;
+};
+
+}  // namespace qcgen

@@ -21,6 +21,10 @@ const sim::Distribution& ReferenceOracle::reference_for(
   return cache_.emplace(test_case.id, std::move(reference)).first->second;
 }
 
+void ReferenceOracle::prewarm(const std::vector<TestCase>& suite) {
+  for (const TestCase& test_case : suite) reference_for(test_case);
+}
+
 Verdict judge_source(const std::string& source,
                      const sim::Distribution& reference,
                      const agents::SemanticAnalyzerAgent& analyzer) {

@@ -30,6 +30,11 @@ class ReferenceOracle {
   /// Exact reference distribution for a case (cached on first use).
   const sim::Distribution& reference_for(const TestCase& test_case);
 
+  /// Fills the cache for every case up front. After prewarming a suite,
+  /// reference_for is read-only for its cases and safe to call from
+  /// concurrent trial workers.
+  void prewarm(const std::vector<TestCase>& suite);
+
  private:
   Options options_;
   std::map<std::string, sim::Distribution> cache_;

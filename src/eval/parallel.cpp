@@ -1,0 +1,61 @@
+#include "eval/parallel.hpp"
+
+#include <memory>
+
+#include "agents/technique_resources.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "eval/judge.hpp"
+#include "eval/runner.hpp"
+
+namespace qcgen::eval {
+
+std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t case_idx,
+                         std::uint64_t sample_idx) noexcept {
+  // Chain the SplitMix64 finalizer over (seed, case, sample). The +1
+  // offsets keep index 0 from degenerating into a no-op mix.
+  std::uint64_t state = seed + 0x9e3779b97f4a7c15ULL * (case_idx + 1);
+  const std::uint64_t mixed = splitmix64(state);
+  state = mixed + 0x9e3779b97f4a7c15ULL * (sample_idx + 1);
+  return splitmix64(state);
+}
+
+std::vector<TrialResult> run_trial_matrix(
+    const agents::TechniqueConfig& technique,
+    const std::vector<TestCase>& suite, std::size_t samples_per_case,
+    const RunnerOptions& options) {
+  require(!suite.empty(), "run_trial_matrix: empty suite");
+  require(samples_per_case >= 1, "run_trial_matrix: samples_per_case >= 1");
+
+  // Suite-wide immutable state, built exactly once: the RAG indexes and
+  // knowledge profile (shared by every per-trial pipeline) and the gold
+  // reference distributions (prewarmed so workers only read the cache).
+  const auto resources =
+      std::make_shared<const agents::TechniqueResources>(technique);
+  ReferenceOracle oracle(options.oracle);
+  oracle.prewarm(suite);
+  std::vector<const sim::Distribution*> references;
+  references.reserve(suite.size());
+  for (const TestCase& tc : suite) references.push_back(&oracle.reference_for(tc));
+
+  const std::size_t n_trials = suite.size() * samples_per_case;
+  std::vector<TrialResult> results(n_trials);
+
+  ThreadPool pool(options.threads);
+  pool.parallel_for(n_trials, [&](std::size_t trial) {
+    const std::size_t case_idx = trial / samples_per_case;
+    const std::size_t sample_idx = trial % samples_per_case;
+    agents::MultiAgentPipeline pipeline(
+        technique, resources, options.analyzer, std::nullopt, std::nullopt,
+        trial_seed(options.seed, case_idx, sample_idx));
+    TrialResult& out = results[trial];
+    out.case_idx = case_idx;
+    out.sample_idx = sample_idx;
+    out.pipeline = pipeline.run(suite[case_idx].task, *references[case_idx],
+                                case_idx);
+  });
+  return results;
+}
+
+}  // namespace qcgen::eval

@@ -1,0 +1,48 @@
+#pragma once
+// Parallel trial scheduler for the evaluation experiments.
+//
+// Every (case, sample) trial is an independent unit of work: it gets its
+// own pipeline (SimLM + analyzer) constructed from a per-trial RNG
+// stream derived by trial_seed(seed, case_idx, sample_idx), while the
+// expensive immutable state — RAG corpora/indexes, the fine-tuned
+// knowledge profile, the reference distributions — is built once per
+// suite and shared read-only across workers. Because no trial observes
+// another trial's RNG stream, the per-trial results (and anything
+// aggregated from them in index order) are bit-identical at any thread
+// count, including --threads 1.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "agents/codegen_agent.hpp"
+#include "agents/pipeline.hpp"
+#include "eval/suite.hpp"
+
+namespace qcgen::eval {
+
+struct RunnerOptions;
+
+/// Derives the independent RNG stream for trial (case_idx, sample_idx)
+/// from the experiment seed via two chained SplitMix64 finalizations.
+/// Collision-free in practice across experiment-sized matrices and
+/// stable across platforms (pure 64-bit integer mixing).
+std::uint64_t trial_seed(std::uint64_t seed, std::uint64_t case_idx,
+                         std::uint64_t sample_idx) noexcept;
+
+/// Per-trial outcome, in row-major (case-major, then sample) order.
+struct TrialResult {
+  std::size_t case_idx = 0;
+  std::size_t sample_idx = 0;
+  agents::PipelineResult pipeline;
+};
+
+/// Runs the full (case x sample) trial matrix for one technique on a
+/// work-stealing pool (`options.threads`; 0 = all hardware threads).
+/// Results come back indexed, in deterministic order.
+std::vector<TrialResult> run_trial_matrix(
+    const agents::TechniqueConfig& technique,
+    const std::vector<TestCase>& suite, std::size_t samples_per_case,
+    const RunnerOptions& options);
+
+}  // namespace qcgen::eval

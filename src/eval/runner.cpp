@@ -1,6 +1,7 @@
 #include "eval/runner.hpp"
 
 #include "common/error.hpp"
+#include "eval/parallel.hpp"
 #include "llm/passk.hpp"
 
 namespace qcgen::eval {
@@ -12,10 +13,8 @@ AccuracyReport evaluate_technique(const agents::TechniqueConfig& technique,
   require(options.samples_per_case >= 1,
           "evaluate_technique: samples_per_case >= 1");
 
-  agents::MultiAgentPipeline pipeline(technique, options.analyzer,
-                                      std::nullopt, std::nullopt,
-                                      options.seed);
-  ReferenceOracle oracle(options.oracle);
+  const std::vector<TrialResult> trials =
+      run_trial_matrix(technique, suite, options.samples_per_case, options);
 
   AccuracyReport report;
   report.label = technique.label();
@@ -24,27 +23,23 @@ AccuracyReport evaluate_technique(const agents::TechniqueConfig& technique,
 
   std::size_t syntactic = 0;
   std::size_t semantic = 0;
-  std::size_t total = 0;
   std::size_t passes_total = 0;
   std::map<llm::Tier, std::pair<std::size_t, std::size_t>> by_tier;
 
-  for (std::size_t i = 0; i < suite.size(); ++i) {
-    const TestCase& tc = suite[i];
-    const sim::Distribution& reference = oracle.reference_for(tc);
-    for (std::size_t s = 0; s < options.samples_per_case; ++s) {
-      const agents::PipelineResult result =
-          pipeline.run(tc.task, reference, i);
-      ++total;
-      passes_total += static_cast<std::size_t>(result.passes_used);
-      if (result.syntactic_ok) ++syntactic;
-      auto& tier_counts = by_tier[tc.tier];
-      ++tier_counts.second;
-      if (result.semantic_ok) {
-        ++semantic;
-        ++tier_counts.first;
-      }
+  // Trials arrive index-ordered regardless of worker schedule, so this
+  // aggregation (including the double sums) is thread-count invariant.
+  for (const TrialResult& trial : trials) {
+    const agents::PipelineResult& result = trial.pipeline;
+    passes_total += static_cast<std::size_t>(result.passes_used);
+    if (result.syntactic_ok) ++syntactic;
+    auto& tier_counts = by_tier[suite[trial.case_idx].tier];
+    ++tier_counts.second;
+    if (result.semantic_ok) {
+      ++semantic;
+      ++tier_counts.first;
     }
   }
+  const std::size_t total = trials.size();
   report.syntactic_rate = static_cast<double>(syntactic) / total;
   report.semantic_rate = static_cast<double>(semantic) / total;
   report.mean_passes_used = static_cast<double>(passes_total) / total;
@@ -62,22 +57,17 @@ double evaluate_pass_at_k(const agents::TechniqueConfig& technique,
                           const std::vector<TestCase>& suite,
                           std::size_t n_samples, std::size_t k,
                           const RunnerOptions& options) {
+  require(!suite.empty(), "evaluate_pass_at_k: empty suite");
   require(k >= 1 && k <= n_samples, "evaluate_pass_at_k: 1 <= k <= n");
-  agents::MultiAgentPipeline pipeline(technique, options.analyzer,
-                                      std::nullopt, std::nullopt,
-                                      options.seed);
-  ReferenceOracle oracle(options.oracle);
+  const std::vector<TrialResult> trials =
+      run_trial_matrix(technique, suite, n_samples, options);
+  std::vector<std::size_t> correct(suite.size(), 0);
+  for (const TrialResult& trial : trials) {
+    if (trial.pipeline.semantic_ok) ++correct[trial.case_idx];
+  }
   double total = 0.0;
   for (std::size_t i = 0; i < suite.size(); ++i) {
-    const TestCase& tc = suite[i];
-    const sim::Distribution& reference = oracle.reference_for(tc);
-    std::size_t correct = 0;
-    for (std::size_t s = 0; s < n_samples; ++s) {
-      const agents::PipelineResult result =
-          pipeline.run(tc.task, reference, i);
-      if (result.semantic_ok) ++correct;
-    }
-    total += llm::pass_at_k(n_samples, correct, k);
+    total += llm::pass_at_k(n_samples, correct[i], k);
   }
   return total / static_cast<double>(suite.size());
 }

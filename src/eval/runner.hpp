@@ -29,6 +29,10 @@ struct AccuracyReport {
 struct RunnerOptions {
   std::size_t samples_per_case = 3;
   std::uint64_t seed = 2025;
+  /// Worker threads for the trial scheduler; 0 = all hardware threads.
+  /// Reports are bit-identical at any thread count (each trial draws
+  /// from an independent RNG stream; see eval/parallel.hpp).
+  std::size_t threads = 0;
   agents::SemanticAnalyzerAgent::Options analyzer;
   ReferenceOracle::Options oracle;
 };

@@ -1,0 +1,127 @@
+// Tests for the work-stealing trial scheduler (common/thread_pool.hpp).
+
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace qcgen {
+namespace {
+
+TEST(ResolveThreadCount, ZeroMeansHardwareConcurrency) {
+  EXPECT_GE(resolve_thread_count(0), 1u);
+  EXPECT_EQ(resolve_thread_count(1), 1u);
+  EXPECT_EQ(resolve_thread_count(7), 7u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, SingleWorkerPoolIsValid) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  pool.parallel_for(50, [&counter](std::size_t) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsIsANoOp) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&ran](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, UnevenTaskCostsStillComplete) {
+  // Mimics the eval workload: most trials are cheap, a few are long
+  // (multi-pass repair); stealing must keep all indices covered.
+  ThreadPool pool(4);
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(64, [&done](std::size_t i) {
+    if (i % 16 == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    done.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(done.load(), 64u);
+}
+
+TEST(ThreadPool, ParallelForRethrowsFirstException) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> completed{0};
+  EXPECT_THROW(
+      pool.parallel_for(32,
+                        [&completed](std::size_t i) {
+                          if (i == 7) throw std::runtime_error("trial 7 died");
+                          completed.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  // Remaining indices still ran: the pool is reusable after a failure.
+  EXPECT_EQ(completed.load(), 31u);
+  std::atomic<std::size_t> again{0};
+  pool.parallel_for(8, [&again](std::size_t) {
+    again.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(again.load(), 8u);
+}
+
+TEST(ThreadPool, WaitIdleWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ManySmallBatchesReuseThePool) {
+  ThreadPool pool(3);
+  std::size_t total = 0;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(10, [&count](std::size_t) {
+      count.fetch_add(1, std::memory_order_relaxed);
+    });
+    total += count.load();
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(ThreadPool, OversubscribedPoolMatchesSerialSum) {
+  // More workers than hardware threads (nproc may be 1 in CI): results
+  // must not depend on the scheduling interleaving.
+  ThreadPool pool(8);
+  std::vector<std::size_t> out(257, 0);
+  pool.parallel_for(out.size(), [&out](std::size_t i) { out[i] = i * i; });
+  std::size_t sum = std::accumulate(out.begin(), out.end(), std::size_t{0});
+  std::size_t expect = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) expect += i * i;
+  EXPECT_EQ(sum, expect);
+}
+
+}  // namespace
+}  // namespace qcgen
