@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   bench::Harness harness("ablation_decoders", argc, argv,
                          {.samples = 2000, .quick_samples = 400,
                           .seed = 1234});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const std::size_t trials = harness.samples();
 
   std::printf("ABL-DEC: decoder comparison (phenomenological noise, "

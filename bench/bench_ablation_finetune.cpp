@@ -19,6 +19,7 @@ using namespace qcgen;
 
 int main(int argc, char** argv) {
   bench::Harness harness("ablation_finetune", argc, argv, {.samples = 6});
+  trace::SinkScope trace_scope(harness.trace_sink());
   auto suite = eval::semantic_suite();
   std::vector<eval::TestCase> sampled;
   for (std::size_t i = 0; i < suite.size(); i += 2) sampled.push_back(suite[i]);
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   options.samples_per_case = harness.samples();
   options.seed = harness.seed();
   options.threads = harness.threads();
+  options.trace = harness.trace_sink();
   const auto profile = llm::ModelProfile::kStarCoder3B;
 
   std::printf("ABL-FT: fine-tuning ablation (%zu prompts, %zu samples)\n\n",

@@ -19,11 +19,13 @@ using namespace qcgen;
 
 int main(int argc, char** argv) {
   bench::Harness harness("ablation_rag", argc, argv, {.samples = 3});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const auto suite = eval::semantic_suite();
   eval::RunnerOptions options;
   options.samples_per_case = harness.samples();
   options.seed = harness.seed();
   options.threads = harness.threads();
+  options.trace = harness.trace_sink();
 
   using agents::TechniqueConfig;
   const auto profile = llm::ModelProfile::kStarCoder3B;

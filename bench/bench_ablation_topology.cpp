@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
   // clamped to the QEC agent's statistical minimum of 100.
   bench::Harness harness("ablation_topology", argc, argv,
                          {.samples = 3000, .quick_samples = 500});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const std::size_t trials = std::max<std::size_t>(100, harness.samples());
 
   std::printf("ABL-TOPO: QEC planning across device topologies\n\n");

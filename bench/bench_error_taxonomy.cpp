@@ -104,12 +104,14 @@ Bucket classify(const agents::PipelineResult& result) {
 int main(int argc, char** argv) {
   bench::Harness harness("error_taxonomy", argc, argv,
                          {.samples = 3, .seed = 77});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const std::size_t samples = harness.samples();
   const auto suite = eval::semantic_suite();
   eval::RunnerOptions options;
   options.samples_per_case = samples;
   options.seed = harness.seed();
   options.threads = harness.threads();
+  options.trace = harness.trace_sink();
 
   std::printf("SEC5DE-TAX: failure taxonomy per technique (%zu prompts x %zu "
               "samples)\n\n",

@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
   // figure's time axis); the paper figure uses 5.
   bench::Harness harness("fig2_syndromes", argc, argv,
                          {.samples = 5, .quick_samples = 2});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const int distance = 5;
   const std::size_t rounds = harness.samples();
   const double p_data = 0.03;

@@ -19,6 +19,7 @@ using namespace qcgen;
 
 int main(int argc, char** argv) {
   bench::Harness harness("fig3_techniques", argc, argv, {.samples = 4});
+  trace::SinkScope trace_scope(harness.trace_sink());
 
   const auto suite = eval::semantic_suite();
   const auto mix = eval::tier_mix(suite);
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   options.samples_per_case = harness.samples();
   options.seed = harness.seed();
   options.threads = harness.threads();
+  options.trace = harness.trace_sink();
 
   struct Row {
     std::string name;

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
   // --samples scales the number of noisy sampling shots (x1024).
   bench::Harness harness("fig4_qec_dj", argc, argv,
                          {.samples = 4, .quick_samples = 1, .seed = 7});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const std::uint64_t shots = 1024 * harness.samples();
   const std::size_t n = 3;
 

@@ -28,11 +28,13 @@ using namespace qcgen;
 
 int main(int argc, char** argv) {
   bench::Harness harness("multipass", argc, argv, {.samples = 3});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const auto suite = eval::semantic_suite();
   eval::RunnerOptions with_fixits;
   with_fixits.samples_per_case = harness.samples();
   with_fixits.seed = harness.seed();
   with_fixits.threads = harness.threads();
+  with_fixits.trace = harness.trace_sink();
   eval::RunnerOptions without_fixits = with_fixits;
   without_fixits.analyzer.analysis.emit_fixits = false;
   eval::RunnerOptions without_abstract = with_fixits;

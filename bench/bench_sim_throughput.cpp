@@ -186,6 +186,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 
 int main(int argc, char** argv) {
   bench::Harness harness("sim_throughput", argc, argv, {.samples = 1});
+  trace::SinkScope trace_scope(harness.trace_sink());
 
   // Rebuild an argv for google-benchmark: program name + passthrough
   // --benchmark_* flags, with a short min-time injected for smoke runs

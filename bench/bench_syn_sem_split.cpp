@@ -20,10 +20,12 @@ using namespace qcgen;
 
 int main(int argc, char** argv) {
   bench::Harness harness("syn_sem_split", argc, argv, {.samples = 4});
+  trace::SinkScope trace_scope(harness.trace_sink());
   eval::RunnerOptions options;
   options.samples_per_case = harness.samples();
   options.seed = harness.seed();
   options.threads = harness.threads();
+  options.trace = harness.trace_sink();
 
   using agents::TechniqueConfig;
   using llm::ModelProfile;

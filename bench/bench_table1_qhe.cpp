@@ -19,6 +19,7 @@ using namespace qcgen;
 
 int main(int argc, char** argv) {
   bench::Harness harness("table1_qhe", argc, argv, {.samples = 4});
+  trace::SinkScope trace_scope(harness.trace_sink());
   const auto suite = eval::qhe_suite();
   std::printf("TAB1: Qiskit-HumanEval-style scores (%zu prompts, syntax "
               "difficulty x%.2f)\n\n",
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
   options.samples_per_case = harness.samples();
   options.seed = harness.seed();
   options.threads = harness.threads();
+  options.trace = harness.trace_sink();
 
   using agents::TechniqueConfig;
   using llm::ModelProfile;

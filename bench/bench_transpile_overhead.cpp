@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   // Transpilation is deterministic; --samples/--seed have no effect and
   // each (workload, device) row counts as one trial.
   bench::Harness harness("transpile_overhead", argc, argv, {.samples = 1});
+  trace::SinkScope trace_scope(harness.trace_sink());
 
   std::printf("PERF-TRANSPILE: native-basis + routing overhead per workload "
               "and topology (greedy/trivial best layout)\n\n");

@@ -13,14 +13,17 @@ namespace {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: bench_%s [--samples N] [--quick] [--seed S] [--threads N]\n"
-      "                [--json [PATH]]\n"
-      "  --samples N   work multiplier (samples per case / MC trials)\n"
-      "  --quick       reduced-sample smoke run\n"
-      "  --seed S      experiment seed\n"
-      "  --threads N   trial-scheduler workers (0 = all hardware threads)\n"
-      "  --json [PATH] write machine-readable report (default "
-      "BENCH_%s.json)\n",
-      name.c_str(), name.c_str());
+      "                [--json [PATH]] [--trace [PATH]]\n"
+      "  --samples N    work multiplier (samples per case / MC trials)\n"
+      "  --quick        reduced-sample smoke run\n"
+      "  --seed S       experiment seed\n"
+      "  --threads N    trial-scheduler workers (0 = all hardware threads)\n"
+      "  --json [PATH]  write machine-readable report (default "
+      "BENCH_%s.json)\n"
+      "  --trace [PATH] enable stage tracing; writes Chrome trace events\n"
+      "                 (default TRACE_%s.json) and adds a deterministic\n"
+      "                 \"trace\" summary to the --json report\n",
+      name.c_str(), name.c_str(), name.c_str());
   std::exit(code);
 }
 
@@ -74,6 +77,12 @@ Harness::Harness(std::string name, int argc, char** argv, Defaults defaults)
         json_path_ = next;
         ++i;
       }
+    } else if (arg == "--trace") {
+      sink_ = std::make_unique<trace::TraceSink>(/*keep_events=*/true);
+      if (next != nullptr && next[0] != '-') {
+        trace_path_ = next;
+        ++i;
+      }
     } else if (arg.rfind("--benchmark_", 0) == 0) {
       passthrough_.push_back(arg);
     } else {
@@ -89,6 +98,9 @@ Harness::Harness(std::string name, int argc, char** argv, Defaults defaults)
   }
   if (json_requested_ && json_path_.empty()) {
     json_path_ = "BENCH_" + name_ + ".json";
+  }
+  if (sink_ != nullptr && trace_path_.empty()) {
+    trace_path_ = "TRACE_" + name_ + ".json";
   }
 }
 
@@ -112,11 +124,12 @@ int Harness::finish(int exit_code) {
 
   if (json_requested_) {
     Json report;
-    report["schema_version"] = 1;
+    report["schema_version"] = 2;
     report["bench"] = name_;
     JsonObject config;
     config["samples"] = samples_;
-    config["seed"] = static_cast<double>(seed_);
+    // Exact integer: a double here silently corrupts seeds >= 2^53.
+    config["seed"] = seed_;
     config["threads"] = threads_;
     config["quick"] = quick_;
     report["config"] = Json(std::move(config));
@@ -125,6 +138,13 @@ int Harness::finish(int exit_code) {
     timing["trials"] = trials_;
     timing["trials_per_second"] =
         wall > 0.0 ? static_cast<double>(trials_) / wall : 0.0;
+    if (sink_ != nullptr) {
+      // Wall-clock-shaped trace data rides with "timing" so the
+      // validator's determinism compare strips it with the rest.
+      timing["stages"] = sink_->stage_seconds_json();
+      timing["scheduler"] = sink_->scheduler_json();
+      report["trace"] = sink_->summary_json();
+    }
     report["timing"] = Json(std::move(timing));
     report["results"] = Json(results_);
     std::ofstream out(json_path_);
@@ -141,6 +161,28 @@ int Harness::finish(int exit_code) {
       return 1;
     }
     std::printf("[bench_%s] wrote %s\n", name_.c_str(), json_path_.c_str());
+  }
+
+  if (sink_ != nullptr) {
+    const trace::Summary summary = sink_->summary();
+    std::uint64_t spans = 0;
+    for (const auto& [name, count] : summary.span_counts) spans += count;
+    std::ofstream trace_out(trace_path_);
+    if (!trace_out) {
+      std::fprintf(stderr, "bench_%s: cannot write %s\n", name_.c_str(),
+                   trace_path_.c_str());
+      return 1;
+    }
+    trace_out << sink_->chrome_trace_json() << "\n";
+    trace_out.close();
+    if (!trace_out) {
+      std::fprintf(stderr, "bench_%s: write to %s failed\n", name_.c_str(),
+                   trace_path_.c_str());
+      return 1;
+    }
+    std::printf("[bench_%s] traced %llu spans across %zu stages; wrote %s\n",
+                name_.c_str(), static_cast<unsigned long long>(spans),
+                summary.span_counts.size(), trace_path_.c_str());
   }
   return exit_code;
 }

@@ -10,26 +10,37 @@
 //   --threads N     trial-scheduler workers; 0 = all hardware threads
 //   --json [PATH]   write the machine-readable report; PATH defaults to
 //                   BENCH_<name>.json in the working directory
+//   --trace [PATH]  enable stage tracing; the report gains a "trace"
+//                   section and the raw Chrome trace-event stream is
+//                   written to PATH (default TRACE_<name>.json)
 //   --benchmark_*   passed through (google-benchmark based benches)
 //
-// Report schema (schema_version 1):
+// Report schema (schema_version 2; validators also accept 1):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "bench": "<name>",
 //     "config":  {"samples": N, "seed": S, "threads": T, "quick": B},
-//     "timing":  {"wall_seconds": W, "trials": N, "trials_per_second": R},
+//     "timing":  {"wall_seconds": W, "trials": N, "trials_per_second": R,
+//                 "stages": {...}, "scheduler": {...}},   // --trace only
+//     "trace":   {"spans": {...}, "counters": {...},
+//                 "histograms": {...}},                   // --trace only
 //     "results": { ... bench-specific ... }
 //   }
 // Everything outside "timing" is deterministic for a fixed (samples,
-// seed) at any --threads value; scripts/validate_bench_json.py checks
-// the schema and compares reports modulo "timing".
+// seed) at any --threads value — including the "trace" summary, whose
+// per-trial sinks merge in trial index order; wall-clock stage totals
+// and scheduler balance live under "timing", and raw timestamps only in
+// the Chrome export. scripts/validate_bench_json.py checks the schema
+// and compares reports modulo "timing".
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/json.hpp"
+#include "common/trace.hpp"
 
 namespace qcgen::bench {
 
@@ -52,6 +63,13 @@ class Harness {
   std::size_t threads() const noexcept { return threads_; }
   bool quick() const noexcept { return quick_; }
   bool json_requested() const noexcept { return json_requested_; }
+  bool trace_requested() const noexcept { return sink_ != nullptr; }
+
+  /// Aggregate trace sink, or nullptr when --trace was not given. Benches
+  /// install it on the main thread (trace::SinkScope) so directly-invoked
+  /// stages record into it, and pass it to RunnerOptions::trace so the
+  /// trial scheduler merges per-trial sinks into it deterministically.
+  trace::TraceSink* trace_sink() noexcept { return sink_.get(); }
   /// Unrecognised --benchmark_* flags, for benchmark::Initialize.
   const std::vector<std::string>& passthrough() const noexcept {
     return passthrough_;
@@ -76,6 +94,8 @@ class Harness {
   bool quick_ = false;
   bool json_requested_ = false;
   std::string json_path_;
+  std::string trace_path_;
+  std::unique_ptr<trace::TraceSink> sink_;
   std::vector<std::string> passthrough_;
   JsonObject results_;
   std::size_t trials_ = 0;

@@ -55,7 +55,7 @@ ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
     -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_fuzz_robustness|test_openqasm'
 
-echo "==> [5/5] TSan build, thread-pool / parallel-eval tests"
+echo "==> [5/5] TSan build, thread-pool / trace / parallel-eval tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE=thread \
@@ -63,6 +63,6 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'test_thread_pool|test_parallel_eval'
+    -R 'test_thread_pool|test_trace|test_parallel_eval'
 
 echo "==> all checks passed"

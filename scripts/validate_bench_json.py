@@ -3,7 +3,9 @@
 
 Usage:
   scripts/validate_bench_json.py FILE [FILE ...]
-      Schema-check each report (schema_version 1; see bench/harness.hpp).
+      Schema-check each report (schema_version 2, legacy 1 accepted; see
+      bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity are
+      not valid JSON) and, when present, validates the "trace" section.
 
   scripts/validate_bench_json.py --compare A.json B.json
       Assert two reports from the same bench/config are identical modulo
@@ -15,9 +17,10 @@ the Python standard library.
 """
 
 import json
+import math
 import sys
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSIONS = (1, 2)
 
 
 def fail(msg: str) -> None:
@@ -25,20 +28,38 @@ def fail(msg: str) -> None:
     sys.exit(1)
 
 
+def _reject_constant(token: str):
+    # Python's json accepts NaN/Infinity by default; real JSON does not,
+    # and a NaN in a report poisons every downstream comparison.
+    raise ValueError(f"non-finite numeric literal {token!r}")
+
+
+def check_finite(path: str, value, where: str = "$") -> None:
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(f"{path}: non-finite number at {where}")
+    elif isinstance(value, dict):
+        for key, item in value.items():
+            check_finite(path, item, f"{where}.{key}")
+    elif isinstance(value, list):
+        for i, item in enumerate(value):
+            check_finite(path, item, f"{where}[{i}]")
+
+
 def load(path: str) -> dict:
     try:
         with open(path, encoding="utf-8") as fh:
-            doc = json.load(fh)
-    except (OSError, json.JSONDecodeError) as exc:
+            doc = json.load(fh, parse_constant=_reject_constant)
+    except (OSError, ValueError) as exc:
         fail(f"{path}: {exc}")
     if not isinstance(doc, dict):
         fail(f"{path}: top level must be a JSON object")
+    check_finite(path, doc)
     return doc
 
 
 def check_schema(path: str, doc: dict) -> None:
-    if doc.get("schema_version") != SCHEMA_VERSION:
-        fail(f"{path}: schema_version must be {SCHEMA_VERSION}, "
+    if doc.get("schema_version") not in SCHEMA_VERSIONS:
+        fail(f"{path}: schema_version must be one of {SCHEMA_VERSIONS}, "
              f"got {doc.get('schema_version')!r}")
     bench = doc.get("bench")
     if not isinstance(bench, str) or not bench:
@@ -68,6 +89,34 @@ def check_schema(path: str, doc: dict) -> None:
 
     if not isinstance(doc.get("results"), dict):
         fail(f"{path}: 'results' must be an object")
+
+    if "trace" in doc:
+        check_trace(path, doc["trace"])
+
+
+def check_trace(path: str, trace) -> None:
+    """Validates the deterministic trace summary written under --trace."""
+    if not isinstance(trace, dict):
+        fail(f"{path}: 'trace' must be an object")
+    for section in ("spans", "counters", "histograms"):
+        if not isinstance(trace.get(section), dict):
+            fail(f"{path}: trace.{section} must be an object")
+    for name, count in trace["spans"].items():
+        if not isinstance(count, int) or count < 0:
+            fail(f"{path}: trace.spans.{name} must be a non-negative int")
+    for name, total in trace["counters"].items():
+        if not isinstance(total, int):
+            fail(f"{path}: trace.counters.{name} must be an int "
+                 f"(exact integers; doubles lose precision past 2**53)")
+    for name, hist in trace["histograms"].items():
+        if not isinstance(hist, dict):
+            fail(f"{path}: trace.histograms.{name} must be an object")
+        for key in ("count", "sum", "min", "max"):
+            if key not in hist:
+                fail(f"{path}: trace.histograms.{name}.{key} missing")
+        if not isinstance(hist["count"], int) or hist["count"] < 0:
+            fail(f"{path}: trace.histograms.{name}.count must be a "
+                 f"non-negative int")
 
 
 def strip_nondeterministic(doc: dict) -> dict:

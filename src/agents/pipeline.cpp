@@ -1,6 +1,12 @@
 #include "agents/pipeline.hpp"
 
+#include "common/trace.hpp"
+
 namespace qcgen::agents {
+
+// The loop-local PassTrace variable is named `trace`, which would shadow
+// the qcgen::trace namespace; the alias keeps the span sites readable.
+namespace qtrace = ::qcgen::trace;
 
 MultiAgentPipeline::MultiAgentPipeline(
     const TechniqueConfig& technique,
@@ -27,14 +33,23 @@ MultiAgentPipeline::MultiAgentPipeline(
 PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
                                        const sim::Distribution& reference,
                                        std::size_t prompt_index) {
+  qtrace::TraceSpan run_span("pipeline.run");
   PipelineResult result;
-  llm::GenerationResult generation = codegen_.generate(task, prompt_index);
+  llm::GenerationResult generation;
+  {
+    qtrace::TraceSpan span("pipeline.generate");
+    generation = codegen_.generate(task, prompt_index);
+  }
   const int max_passes = codegen_.config().max_passes;
 
   for (int pass = 1; pass <= max_passes; ++pass) {
     PassTrace trace;
     trace.pass = pass;
-    const StaticReport static_report = analyzer_.analyze(generation.source);
+    StaticReport static_report;
+    {
+      qtrace::TraceSpan span("pipeline.analyze");
+      static_report = analyzer_.analyze(generation.source);
+    }
     trace.syntactic_ok = static_report.syntactic_ok;
     trace.error_trace = static_report.error_trace;
     trace.error_count = static_report.diagnostics.size();
@@ -47,6 +62,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
         semantic_ok = true;
         trace.tvd = 0.0;
       } else {
+        qtrace::TraceSpan span("pipeline.verify");
         const BehaviorReport behavior =
             analyzer_.check_behavior(*static_report.circuit, reference);
         semantic_ok = behavior.matches;
@@ -67,12 +83,20 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       break;
     }
     // Feed the error trace back for the next inference pass.
+    qtrace::TraceSpan span("pipeline.repair");
+    qtrace::Metrics::counter("pipeline.repair_passes");
     generation = codegen_.repair(task, generation, static_report.diagnostics,
                                  /*semantic_failure=*/static_report.syntactic_ok,
                                  prompt_index, pass);
   }
 
+  qtrace::Metrics::counter("pipeline.trials");
+  if (result.syntactic_ok) qtrace::Metrics::counter("pipeline.syntactic_ok");
+  if (result.semantic_ok) qtrace::Metrics::counter("pipeline.semantic_ok");
+  qtrace::Metrics::observe("pipeline.passes_used",
+                          static_cast<double>(result.passes_used));
   if (qec_agent_.has_value() && device_.has_value() && result.semantic_ok) {
+    qtrace::TraceSpan span("pipeline.qec_plan");
     result.qec = qec_agent_->plan_for(*device_);
   }
   return result;

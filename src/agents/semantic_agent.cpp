@@ -1,6 +1,7 @@
 #include "agents/semantic_agent.hpp"
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 #include "qasm/builder.hpp"
 #include "sim/statevector.hpp"
 
@@ -15,21 +16,30 @@ SemanticAnalyzerAgent::SemanticAnalyzerAgent(Options options)
 
 StaticReport SemanticAnalyzerAgent::analyze(const std::string& source) const {
   StaticReport report;
-  qasm::ParseResult parsed = qasm::parse(source);
+  qasm::ParseResult parsed = [&] {
+    trace::TraceSpan span("analyze.parse");
+    return qasm::parse(source);
+  }();
   report.diagnostics = parsed.diagnostics;
   if (!parsed.ok()) {
+    trace::Metrics::counter("analyze.parse_failures");
     report.error_trace = qasm::format_error_trace(report.diagnostics);
     return report;
   }
-  qasm::AnalysisReport analysis =
-      qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),
-                    options_.analysis);
+  qasm::AnalysisReport analysis = [&] {
+    trace::TraceSpan span("analyze.lint");
+    return qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),
+                         options_.analysis);
+  }();
   report.diagnostics.insert(report.diagnostics.end(),
                             analysis.diagnostics.begin(),
                             analysis.diagnostics.end());
   report.error_trace = qasm::format_error_trace(report.diagnostics);
+  trace::Metrics::counter("analyze.diagnostics",
+                          static_cast<std::int64_t>(report.diagnostics.size()));
   if (!analysis.ok()) return report;
   report.syntactic_ok = true;
+  trace::TraceSpan span("analyze.lower");
   report.circuit = qasm::build_circuit(*parsed.program);
   return report;
 }
@@ -42,9 +52,16 @@ BehaviorReport SemanticAnalyzerAgent::check_behavior(
     report.matches = false;
     return report;
   }
-  const sim::Distribution observed = sim::exact_distribution(circuit);
-  report.tvd = total_variation_distance(observed, reference);
-  report.matches = !observed.empty() && report.tvd <= options_.tvd_threshold;
+  const sim::Distribution observed = [&] {
+    trace::TraceSpan span("analyze.simulate");
+    return sim::exact_distribution(circuit);
+  }();
+  {
+    trace::TraceSpan span("analyze.judge");
+    report.tvd = total_variation_distance(observed, reference);
+    report.matches = !observed.empty() && report.tvd <= options_.tvd_threshold;
+  }
+  trace::Metrics::observe("judge.tvd", report.tvd);
   return report;
 }
 

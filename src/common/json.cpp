@@ -53,8 +53,15 @@ void Json::dump_impl(std::string& out, int indent, int depth) const {
     out += "null";
   } else if (const bool* b = std::get_if<bool>(&value_)) {
     out += *b ? "true" : "false";
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    out += std::to_string(*i);
+  } else if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    out += std::to_string(*u);
   } else if (const double* d = std::get_if<double>(&value_)) {
-    if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
+    if (!std::isfinite(*d)) {
+      // JSON has no NaN/Inf literal; null is the conventional stand-in.
+      out += "null";
+    } else if (std::floor(*d) == *d && std::abs(*d) < 1e15) {
       out += std::to_string(static_cast<long long>(*d));
     } else {
       char buf[64];

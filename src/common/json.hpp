@@ -4,10 +4,12 @@
 // Intentionally write-only: the library never parses untrusted JSON; it only
 // serialises experiment results so downstream tooling can plot them.
 
+#include <concepts>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -17,15 +19,29 @@ class Json;
 using JsonArray = std::vector<Json>;
 using JsonObject = std::map<std::string, Json>;
 
-/// A JSON value: null, bool, number, string, array or object.
+/// A JSON value: null, bool, number (exact 64-bit integer or double),
+/// string, array or object.
+///
+/// Integers get their own variant arms: experiment seeds are full 64-bit
+/// values, and routing them through double would silently round anything
+/// above 2^53 (breaking replay-from-report). Doubles that are not finite
+/// serialise as null — bare `nan`/`inf` tokens are not JSON.
 class Json {
  public:
   Json() : value_(nullptr) {}
   Json(std::nullptr_t) : value_(nullptr) {}
   Json(bool b) : value_(b) {}
-  Json(int v) : value_(static_cast<double>(v)) {}
-  Json(std::size_t v) : value_(static_cast<double>(v)) {}
-  Json(std::int64_t v) : value_(static_cast<double>(v)) {}
+  /// Any integer type keeps its exact value (signed -> int64 arm,
+  /// unsigned -> uint64 arm); only floating-point input becomes double.
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  Json(T v) {
+    if constexpr (std::is_signed_v<T>) {
+      value_ = static_cast<std::int64_t>(v);
+    } else {
+      value_ = static_cast<std::uint64_t>(v);
+    }
+  }
   Json(double v) : value_(v) {}
   Json(const char* s) : value_(std::string(s)) {}
   Json(std::string s) : value_(std::move(s)) {}
@@ -46,8 +62,8 @@ class Json {
 
  private:
   void dump_impl(std::string& out, int indent, int depth) const;
-  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
-               JsonObject>
+  std::variant<std::nullptr_t, bool, std::int64_t, std::uint64_t, double,
+               std::string, JsonArray, JsonObject>
       value_;
 };
 

@@ -59,6 +59,9 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   if (lo > hi) throw std::invalid_argument("Rng::uniform_int: lo > hi");
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // The +1 wraps to zero exactly when [lo, hi] covers every int64 value;
+  // any raw 64-bit draw is then already uniform over the range.
+  if (span == 0) return static_cast<std::int64_t>(next());
   return lo + static_cast<std::int64_t>(uniform_int(span));
 }
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace qcgen {
 
@@ -77,16 +78,21 @@ bool ThreadPool::try_steal(std::size_t thief, std::function<void()>& task) {
     // owner keeps its warm tail.
     task = std::move(victim.tasks.front());
     victim.tasks.pop_front();
+    tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
 }
 
 void ThreadPool::worker_loop(std::size_t index) {
+  // Worker tag index+1 leaves 0 for the main thread, so Chrome trace
+  // exports separate the scheduler lanes from top-level bench work.
+  trace::set_thread_tag(static_cast<std::uint32_t>(index) + 1);
   for (;;) {
     std::function<void()> task;
     if (try_pop_local(index, task) || try_steal(index, task)) {
       task();
+      tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(state_mutex_);
       if (--pending_ == 0) idle_.notify_all();
       continue;

@@ -8,8 +8,10 @@
 // job: parallel_for hands out index ranges, and callers seed each index
 // independently so the schedule never influences results.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -45,6 +47,17 @@ class ThreadPool {
   /// rethrown on the calling thread (remaining indices still run).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
+  /// Scheduler-balance counters (lifetime totals). Tasks executed counts
+  /// every task a worker ran; tasks stolen counts the subset a worker
+  /// took from another worker's deque, exposing how much rebalancing the
+  /// work-stealing scheduler had to do.
+  std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t tasks_stolen() const noexcept {
+    return tasks_stolen_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Queue {
     std::deque<std::function<void()>> tasks;
@@ -57,6 +70,9 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<Queue>> queues_;
   std::vector<std::thread> workers_;
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
 
   std::mutex state_mutex_;
   std::condition_variable work_available_;

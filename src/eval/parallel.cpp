@@ -42,8 +42,22 @@ std::vector<TrialResult> run_trial_matrix(
   const std::size_t n_trials = suite.size() * samples_per_case;
   std::vector<TrialResult> results(n_trials);
 
+  // One sink per trial: each is written by exactly one worker while the
+  // trial runs, then merged below in trial index order, which keeps the
+  // aggregate summary independent of the worker schedule.
+  const bool tracing = options.trace != nullptr;
+  std::vector<std::unique_ptr<trace::TraceSink>> sinks;
+  if (tracing) {
+    sinks.reserve(n_trials);
+    for (std::size_t i = 0; i < n_trials; ++i) {
+      sinks.push_back(
+          std::make_unique<trace::TraceSink>(options.trace->keep_events()));
+    }
+  }
+
   ThreadPool pool(options.threads);
   pool.parallel_for(n_trials, [&](std::size_t trial) {
+    trace::SinkScope scope(tracing ? sinks[trial].get() : nullptr);
     const std::size_t case_idx = trial / samples_per_case;
     const std::size_t sample_idx = trial % samples_per_case;
     agents::MultiAgentPipeline pipeline(
@@ -55,6 +69,15 @@ std::vector<TrialResult> run_trial_matrix(
     out.pipeline = pipeline.run(suite[case_idx].task, *references[case_idx],
                                 case_idx);
   });
+
+  if (tracing) {
+    for (std::size_t trial = 0; trial < n_trials; ++trial) {
+      results[trial].trace = sinks[trial]->summary();
+      options.trace->merge(*sinks[trial]);
+    }
+    options.trace->add_scheduler(trace::SchedulerStats{
+        pool.size(), pool.tasks_executed(), pool.tasks_stolen()});
+  }
   return results;
 }
 

@@ -17,6 +17,7 @@
 
 #include "agents/codegen_agent.hpp"
 #include "agents/pipeline.hpp"
+#include "common/trace.hpp"
 #include "eval/suite.hpp"
 
 namespace qcgen::eval {
@@ -35,11 +36,21 @@ struct TrialResult {
   std::size_t case_idx = 0;
   std::size_t sample_idx = 0;
   agents::PipelineResult pipeline;
+  /// Deterministic per-trial trace summary; populated only when the
+  /// runner was handed a trace sink (empty otherwise).
+  trace::Summary trace;
 };
 
 /// Runs the full (case x sample) trial matrix for one technique on a
 /// work-stealing pool (`options.threads`; 0 = all hardware threads).
 /// Results come back indexed, in deterministic order.
+///
+/// When `options.trace` is set, every trial records into its own
+/// TraceSink (installed thread-locally around the trial body), and the
+/// per-trial sinks are merged into `options.trace` in trial index order
+/// after the pool drains — so the aggregate summary is bit-identical at
+/// any thread count. Scheduler stats (tasks executed/stolen) are folded
+/// in as timing-class data.
 std::vector<TrialResult> run_trial_matrix(
     const agents::TechniqueConfig& technique,
     const std::vector<TestCase>& suite, std::size_t samples_per_case,

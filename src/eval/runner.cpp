@@ -30,6 +30,7 @@ AccuracyReport evaluate_technique(const agents::TechniqueConfig& technique,
   // aggregation (including the double sums) is thread-count invariant.
   for (const TrialResult& trial : trials) {
     const agents::PipelineResult& result = trial.pipeline;
+    report.trace.merge(trial.trace);
     passes_total += static_cast<std::size_t>(result.passes_used);
     if (result.syntactic_ok) ++syntactic;
     auto& tier_counts = by_tier[suite[trial.case_idx].tier];

@@ -8,6 +8,7 @@
 
 #include "agents/codegen_agent.hpp"
 #include "agents/pipeline.hpp"
+#include "common/trace.hpp"
 #include "eval/judge.hpp"
 #include "eval/suite.hpp"
 
@@ -23,6 +24,10 @@ struct AccuracyReport {
   std::map<llm::Tier, double> semantic_by_tier;
   double mean_passes_used = 1.0;
   Interval semantic_ci;  ///< Wilson 95% over all samples
+  /// Deterministic per-stage trace summary for this evaluation (merged
+  /// from the per-trial sinks in trial index order); empty unless
+  /// RunnerOptions::trace was set.
+  trace::Summary trace;
 };
 
 /// Runner options shared across experiments.
@@ -35,6 +40,11 @@ struct RunnerOptions {
   std::size_t threads = 0;
   agents::SemanticAnalyzerAgent::Options analyzer;
   ReferenceOracle::Options oracle;
+  /// Optional tracing: when set, run_trial_matrix gives every trial its
+  /// own TraceSink and merges them into this sink in trial index order
+  /// (summaries stay bit-identical at any thread count). The bench
+  /// harness wires its --trace sink through here.
+  trace::TraceSink* trace = nullptr;
 };
 
 /// Evaluates one technique configuration (pass@1 over samples).

@@ -6,6 +6,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "common/trace.hpp"
 
 namespace qcgen::llm {
 
@@ -93,6 +94,7 @@ double VectorStore::score(const std::string& query_token,
 
 std::vector<Retrieved> VectorStore::retrieve(const std::string& query,
                                              std::size_t k) const {
+  trace::TraceSpan span("bm25.query");
   const auto query_tokens = tokenize(query);
   std::vector<Retrieved> hits;
   hits.reserve(chunks_.size());
@@ -106,6 +108,10 @@ std::vector<Retrieved> VectorStore::retrieve(const std::string& query,
     return a.chunk->doc_id < b.chunk->doc_id;
   });
   if (hits.size() > k) hits.resize(k);
+  trace::Metrics::counter("bm25.queries");
+  trace::Metrics::counter("bm25.hits",
+                          static_cast<std::int64_t>(hits.size()));
+  if (!hits.empty()) trace::Metrics::observe("bm25.top_score", hits[0].score);
   return hits;
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/trace.hpp"
 #include "qasm/lint/abstract/interpreter.hpp"
 
 namespace qcgen::qasm {
@@ -36,7 +37,10 @@ AnalysisReport run_passes(const Program& program,
                           const LanguageRegistry& language,
                           const PassRegistry& registry,
                           const LintConfig& config) {
-  const ProgramFacts facts = ProgramFacts::compute(program);
+  const ProgramFacts facts = [&] {
+    trace::TraceSpan span("lint.facts");
+    return ProgramFacts::compute(program);
+  }();
   // The abstract interpreter runs once, and only if some abstract.* pass
   // will actually read its results.
   std::optional<abstract::AbstractFacts> abstract_facts;
@@ -47,6 +51,7 @@ AnalysisReport run_passes(const Program& program,
                config.pass_enabled(pass->id());
       });
   if (want_abstract) {
+    trace::TraceSpan span("lint.abstract-interpret");
     abstract_facts = abstract::AbstractFacts::compute(facts, language);
   }
   const PassContext ctx{program, facts, language, config,
@@ -54,6 +59,9 @@ AnalysisReport run_passes(const Program& program,
   AnalysisReport report;
   for (const auto& pass : registry.passes()) {
     if (!config.pass_enabled(pass->id())) continue;
+    // Pass ids are stable string literals, so they double as per-pass
+    // span names ("dataflow.dead-code", "abstract.trivial-gate", ...).
+    trace::TraceSpan span(pass->id());
     DiagnosticSink sink(report.diagnostics, pass->id(), config);
     pass->run(ctx, sink);
   }

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace qcgen::qec {
 
@@ -25,9 +26,12 @@ DecodeOutcome decode_history(const SurfaceCode& code, Decoder& z_decoder,
   DecodeOutcome outcome;
 
   PauliFrame residual = history.frame;
+  std::size_t total_events = 0;
   // X errors: Z-stabilizer detection events.
   {
     const auto events = detection_events(history, PauliType::kZ);
+    total_events += events.size();
+    trace::TraceSpan span("qec.decode");
     const auto qubits = z_decoder.decode(events);
     outcome.corrections_applied += qubits.size();
     residual.apply(correction_frame(code, PauliType::kZ, qubits));
@@ -35,10 +39,16 @@ DecodeOutcome decode_history(const SurfaceCode& code, Decoder& z_decoder,
   // Z errors: X-stabilizer detection events.
   {
     const auto events = detection_events(history, PauliType::kX);
+    total_events += events.size();
+    trace::TraceSpan span("qec.decode");
     const auto qubits = x_decoder.decode(events);
     outcome.corrections_applied += qubits.size();
     residual.apply(correction_frame(code, PauliType::kX, qubits));
   }
+  trace::Metrics::counter("qec.detection_events",
+                          static_cast<std::int64_t>(total_events));
+  trace::Metrics::counter("qec.corrections",
+                          static_cast<std::int64_t>(outcome.corrections_applied));
   outcome.x_flip = logical_flip(code, residual, PauliType::kX);
   outcome.z_flip = logical_flip(code, residual, PauliType::kZ);
   return outcome;
@@ -57,9 +67,12 @@ LogicalErrorEstimate estimate_logical_error(const SurfaceCode& code,
   LogicalErrorEstimate estimate;
   estimate.trials = config.trials;
   Rng rng(config.seed);
+  trace::TraceSpan mc_span("qec.estimate_logical_error");
   for (std::size_t t = 0; t < config.trials; ++t) {
-    const SyndromeHistory history =
-        sample_history(code, config.noise, rounds, rng);
+    const SyndromeHistory history = [&] {
+      trace::TraceSpan span("qec.syndrome_extraction");
+      return sample_history(code, config.noise, rounds, rng);
+    }();
     const DecodeOutcome outcome =
         decode_history(code, *z_decoder, *x_decoder, history);
     if (outcome.x_flip) ++estimate.x_failures;

@@ -4,6 +4,7 @@
 #include <queue>
 
 #include "common/error.hpp"
+#include "common/trace.hpp"
 
 namespace qcgen::qec {
 
@@ -66,6 +67,14 @@ MatchingGraph::MatchingGraph(const SurfaceCode& code, PauliType type)
     ensure(boundary_dist_[u] != kInf,
            "MatchingGraph: node with no boundary path");
   }
+
+  std::size_t edges = 0;
+  for (const auto& neighbours : adjacency_) edges += neighbours.size();
+  trace::Metrics::counter("qec.matching_graph.builds");
+  trace::Metrics::counter("qec.matching_graph.nodes",
+                          static_cast<std::int64_t>(n));
+  trace::Metrics::counter("qec.matching_graph.edges",
+                          static_cast<std::int64_t>(edges / 2));
 }
 
 void MatchingGraph::bfs(std::size_t source, std::vector<std::size_t>& dist,

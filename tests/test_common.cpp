@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "common/error.hpp"
@@ -74,6 +76,32 @@ TEST(Rng, SignedRangeInclusive) {
     seen.insert(v);
   }
   EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, SignedFullRangeDoesNotThrow) {
+  // Regression: [INT64_MIN, INT64_MAX] has span 2^64, whose uint64
+  // representation wraps to 0 — the bounded path used to reject it as an
+  // empty range. The full range is exactly the raw generator output.
+  Rng rng(17);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 64; ++i) {
+    seen.insert(rng.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max()));
+  }
+  EXPECT_GT(seen.size(), 60u);  // 64 draws over 2^64 values: no repeats
+  Rng a(99), b(99);
+  EXPECT_EQ(a.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                          std::numeric_limits<std::int64_t>::max()),
+            b.uniform_int(std::numeric_limits<std::int64_t>::min(),
+                          std::numeric_limits<std::int64_t>::max()));
+}
+
+TEST(Rng, SignedDegenerateRangesAtExtremes) {
+  Rng rng(21);
+  const auto lo = std::numeric_limits<std::int64_t>::min();
+  const auto hi = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(rng.uniform_int(lo, lo), lo);
+  EXPECT_EQ(rng.uniform_int(hi, hi), hi);
 }
 
 TEST(Rng, BernoulliEdgeCases) {
@@ -246,6 +274,38 @@ TEST(Json, PrettyPrintIndents) {
   root["k"] = 1;
   const std::string s = root.dump(2);
   EXPECT_NE(s.find("\n  \"k\": 1\n"), std::string::npos);
+}
+
+TEST(Json, Uint64RoundTripsExactly) {
+  // Regression: seeds used to be coerced to double, silently rounding
+  // anything >= 2^53. 0xDEADBEEFDEADBEEF needs all 64 bits.
+  const std::uint64_t seed = 0xDEADBEEFDEADBEEFULL;
+  EXPECT_EQ(Json(seed).dump(), "16045690984833335023");
+  Json report;
+  report["seed"] = seed;
+  EXPECT_EQ(report.dump(), "{\"seed\":16045690984833335023}");
+}
+
+TEST(Json, Int64AboveDoubleMantissaIsExact) {
+  // 2^53 + 1 is the first integer a double cannot represent.
+  EXPECT_EQ(Json(static_cast<std::int64_t>(9007199254740993)).dump(),
+            "9007199254740993");
+  EXPECT_EQ(Json(static_cast<std::int64_t>(-9007199254740993)).dump(),
+            "-9007199254740993");
+  EXPECT_EQ(Json(std::numeric_limits<std::int64_t>::min()).dump(),
+            "-9223372036854775808");
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  // NaN/Infinity are not valid JSON; %.10g used to print them verbatim
+  // and produce unparseable artifacts.
+  EXPECT_EQ(Json(std::nan("")).dump(), "null");
+  EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Json(-std::numeric_limits<double>::infinity()).dump(), "null");
+  Json arr;
+  arr.push_back(1.5);
+  arr.push_back(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(arr.dump(), "[1.5,null]");
 }
 
 TEST(Strings, SplitKeepsEmptyFields) {

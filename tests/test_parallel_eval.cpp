@@ -11,6 +11,7 @@
 #include <set>
 #include <vector>
 
+#include "common/trace.hpp"
 #include "eval/runner.hpp"
 #include "eval/suite.hpp"
 
@@ -109,6 +110,54 @@ TEST(EvaluateTechnique, ReportIdenticalAtAnyThreadCount) {
   EXPECT_EQ(a.semantic_ci.lo, b.semantic_ci.lo);
   EXPECT_EQ(a.semantic_ci.hi, b.semantic_ci.hi);
   EXPECT_EQ(a.semantic_by_tier, b.semantic_by_tier);
+}
+
+TEST(EvaluateTechnique, TraceSummaryIdenticalAtAnyThreadCount) {
+  // The deterministic trace summary — span counts, counters, histogram
+  // aggregates — must be bit-identical at --threads 1 vs 8: per-trial
+  // sinks merge in trial index order, never in completion order.
+  const auto suite = small_suite();
+  const auto technique =
+      agents::TechniqueConfig::with_multipass(llm::ModelProfile::kStarCoder3B, 3);
+
+  RunnerOptions serial;
+  serial.samples_per_case = 2;
+  serial.seed = 2025;
+  serial.threads = 1;
+  trace::TraceSink serial_sink;
+  serial.trace = &serial_sink;
+
+  RunnerOptions wide = serial;
+  wide.threads = 8;
+  trace::TraceSink wide_sink;
+  wide.trace = &wide_sink;
+
+  const AccuracyReport a = evaluate_technique(technique, suite, serial);
+  const AccuracyReport b = evaluate_technique(technique, suite, wide);
+
+  EXPECT_EQ(a.trace, b.trace);
+  EXPECT_EQ(serial_sink.summary(), wide_sink.summary());
+  // Serialized form too: the bench harness compares reports as JSON.
+  EXPECT_EQ(serial_sink.summary_json().dump(), wide_sink.summary_json().dump());
+#if QCGEN_TRACE_ENABLED
+  // The pipeline instrumentation actually fired (one run span per
+  // trial); under -DQCGEN_TRACE=OFF the summaries are empty by design.
+  EXPECT_FALSE(a.trace.empty());
+  const auto& spans = serial_sink.summary().span_counts;
+  const auto it = spans.find("pipeline.run");
+  ASSERT_NE(it, spans.end());
+  EXPECT_EQ(it->second, suite.size() * 2);
+#endif
+}
+
+TEST(EvaluateTechnique, UntracedRunLeavesSummaryEmpty) {
+  const auto suite = small_suite();
+  const auto technique =
+      agents::TechniqueConfig::fine_tuned_only(llm::ModelProfile::kStarCoder3B);
+  RunnerOptions options;
+  options.samples_per_case = 1;
+  const AccuracyReport report = evaluate_technique(technique, suite, options);
+  EXPECT_TRUE(report.trace.empty());
 }
 
 TEST(EvaluatePassAtK, IdenticalAtAnyThreadCount) {
