@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
   options.seed = harness.seed();
   options.threads = harness.threads();
   options.trace = harness.trace_sink();
+  options.chaos_scenario = harness.scenario();
   const auto profile = llm::ModelProfile::kStarCoder3B;
 
   std::printf("ABL-FT: fine-tuning ablation (%zu prompts, %zu samples)\n\n",

@@ -112,6 +112,7 @@ int main(int argc, char** argv) {
   options.seed = harness.seed();
   options.threads = harness.threads();
   options.trace = harness.trace_sink();
+  options.chaos_scenario = harness.scenario();
 
   std::printf("SEC5DE-TAX: failure taxonomy per technique (%zu prompts x %zu "
               "samples)\n\n",
@@ -144,7 +145,7 @@ int main(int argc, char** argv) {
     // Run the whole (case x sample) matrix on the trial scheduler; the
     // classification below walks the results in deterministic order.
     const std::vector<eval::TrialResult> trials =
-        eval::run_trial_matrix(row.config, suite, samples, options);
+        eval::run_trial_matrix(row.config, suite, samples, options).trials;
     std::map<Bucket, std::size_t> histogram;
     std::size_t failures = 0;
     for (const eval::TrialResult& trial : trials) {

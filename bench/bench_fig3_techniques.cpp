@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   options.seed = harness.seed();
   options.threads = harness.threads();
   options.trace = harness.trace_sink();
+  options.chaos_scenario = harness.scenario();
 
   struct Row {
     std::string name;

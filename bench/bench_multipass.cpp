@@ -35,6 +35,7 @@ int main(int argc, char** argv) {
   with_fixits.seed = harness.seed();
   with_fixits.threads = harness.threads();
   with_fixits.trace = harness.trace_sink();
+  with_fixits.chaos_scenario = harness.scenario();
   eval::RunnerOptions without_fixits = with_fixits;
   without_fixits.analyzer.analysis.emit_fixits = false;
   eval::RunnerOptions without_abstract = with_fixits;

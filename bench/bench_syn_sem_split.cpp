@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
   options.seed = harness.seed();
   options.threads = harness.threads();
   options.trace = harness.trace_sink();
+  options.chaos_scenario = harness.scenario();
 
   using agents::TechniqueConfig;
   using llm::ModelProfile;

@@ -1,9 +1,12 @@
 #include "harness.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <stdexcept>
+
+#include "common/failpoint.hpp"
 
 namespace qcgen::bench {
 
@@ -13,7 +16,7 @@ namespace {
   std::fprintf(
       code == 0 ? stdout : stderr,
       "usage: bench_%s [--samples N] [--quick] [--seed S] [--threads N]\n"
-      "                [--json [PATH]] [--trace [PATH]]\n"
+      "                [--json [PATH]] [--trace [PATH]] [--scenario STR]\n"
       "  --samples N    work multiplier (samples per case / MC trials)\n"
       "  --quick        reduced-sample smoke run\n"
       "  --seed S       experiment seed\n"
@@ -22,27 +25,46 @@ namespace {
       "BENCH_%s.json)\n"
       "  --trace [PATH] enable stage tracing; writes Chrome trace events\n"
       "                 (default TRACE_%s.json) and adds a deterministic\n"
-      "                 \"trace\" summary to the --json report\n",
+      "                 \"trace\" summary to the --json report\n"
+      "  --scenario STR fault-injection scenario, e.g.\n"
+      "                 'llm.generate=error(0.1);qec.decode=error(1.0)'\n",
       name.c_str(), name.c_str(), name.c_str());
   std::exit(code);
 }
 
+/// Required-operand fetch: a missing next argument and a flag-like next
+/// argument both fail fast (so `--samples --json` cannot silently eat
+/// the following flag as its value).
+const char* required_value(const std::string& name, const char* flag,
+                           const char* value) {
+  if (value == nullptr || value[0] == '-') {
+    std::fprintf(stderr, "bench_%s: missing value for %s\n", name.c_str(),
+                 flag);
+    std::exit(2);
+  }
+  return value;
+}
+
 std::uint64_t parse_u64(const std::string& name, const char* flag,
                         const char* value) {
-  if (value == nullptr) {
-    std::fprintf(stderr, "%s: missing value for %s\n", name.c_str(), flag);
-    std::exit(2);
+  value = required_value(name, flag, value);
+  // Digits only: std::stoull alone would accept leading whitespace and
+  // signs ("-3" wraps around to 2^64-3).
+  const std::string text(value);
+  const bool all_digits =
+      !text.empty() && std::all_of(text.begin(), text.end(), [](char c) {
+        return c >= '0' && c <= '9';
+      });
+  if (all_digits) {
+    try {
+      return static_cast<std::uint64_t>(std::stoull(text));
+    } catch (const std::out_of_range&) {
+      // falls through to the shared diagnostic
+    }
   }
-  try {
-    std::size_t consumed = 0;
-    const unsigned long long parsed = std::stoull(value, &consumed);
-    if (consumed != std::string(value).size()) throw std::invalid_argument("");
-    return static_cast<std::uint64_t>(parsed);
-  } catch (const std::exception&) {
-    std::fprintf(stderr, "%s: bad value for %s: '%s'\n", name.c_str(), flag,
-                 value);
-    std::exit(2);
-  }
+  std::fprintf(stderr, "bench_%s: bad value for %s: '%s'\n", name.c_str(),
+               flag, value);
+  std::exit(2);
 }
 
 }  // namespace
@@ -83,6 +105,15 @@ Harness::Harness(std::string name, int argc, char** argv, Defaults defaults)
         trace_path_ = next;
         ++i;
       }
+    } else if (arg == "--scenario") {
+      scenario_ = required_value(name_, "--scenario", next);
+      ++i;
+      std::string error;
+      if (!failpoint::Scenario::try_parse(scenario_, &error).has_value()) {
+        std::fprintf(stderr, "bench_%s: bad --scenario: %s\n", name_.c_str(),
+                     error.c_str());
+        std::exit(2);
+      }
     } else if (arg.rfind("--benchmark_", 0) == 0) {
       passthrough_.push_back(arg);
     } else {
@@ -108,6 +139,16 @@ void Harness::record(const std::string& key, Json value) {
   results_[key] = std::move(value);
 }
 
+void Harness::record_trial_failures(Json failures) {
+  trial_failures_ = std::move(failures);
+  chaos_sections_ = true;
+}
+
+void Harness::record_degradations(Json degradations) {
+  degradations_ = std::move(degradations);
+  chaos_sections_ = true;
+}
+
 int Harness::finish(int exit_code) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -124,7 +165,7 @@ int Harness::finish(int exit_code) {
 
   if (json_requested_) {
     Json report;
-    report["schema_version"] = 2;
+    report["schema_version"] = chaos_sections_ ? 3 : 2;
     report["bench"] = name_;
     JsonObject config;
     config["samples"] = samples_;
@@ -132,7 +173,12 @@ int Harness::finish(int exit_code) {
     config["seed"] = seed_;
     config["threads"] = threads_;
     config["quick"] = quick_;
+    if (!scenario_.empty()) config["scenario"] = scenario_;
     report["config"] = Json(std::move(config));
+    if (chaos_sections_) {
+      report["trial_failures"] = trial_failures_;
+      report["degradations"] = degradations_;
+    }
     JsonObject timing;
     timing["wall_seconds"] = wall;
     timing["trials"] = trials_;

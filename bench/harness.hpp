@@ -13,17 +13,23 @@
 //   --trace [PATH]  enable stage tracing; the report gains a "trace"
 //                   section and the raw Chrome trace-event stream is
 //                   written to PATH (default TRACE_<name>.json)
+//   --scenario STR  fault-injection scenario (failpoint::Scenario
+//                   grammar); malformed specs exit 2 before running
 //   --benchmark_*   passed through (google-benchmark based benches)
 //
-// Report schema (schema_version 2; validators also accept 1):
+// Report schema (schema_version 2; validators also accept 1; a bench
+// that records chaos sections bumps itself to 3):
 //   {
 //     "schema_version": 2,
 //     "bench": "<name>",
-//     "config":  {"samples": N, "seed": S, "threads": T, "quick": B},
+//     "config":  {"samples": N, "seed": S, "threads": T, "quick": B,
+//                 "scenario": "..."},                     // --scenario only
 //     "timing":  {"wall_seconds": W, "trials": N, "trials_per_second": R,
 //                 "stages": {...}, "scheduler": {...}},   // --trace only
 //     "trace":   {"spans": {...}, "counters": {...},
 //                 "histograms": {...}},                   // --trace only
+//     "trial_failures": [...],   // schema 3: contained trial failures
+//     "degradations":   [...],   // schema 3: degradation-ladder steps
 //     "results": { ... bench-specific ... }
 //   }
 // Everything outside "timing" is deterministic for a fixed (samples,
@@ -64,6 +70,9 @@ class Harness {
   bool quick() const noexcept { return quick_; }
   bool json_requested() const noexcept { return json_requested_; }
   bool trace_requested() const noexcept { return sink_ != nullptr; }
+  /// Validated --scenario spec ("" when not given); feed to
+  /// RunnerOptions::chaos_scenario.
+  const std::string& scenario() const noexcept { return scenario_; }
 
   /// Aggregate trace sink, or nullptr when --trace was not given. Benches
   /// install it on the main thread (trace::SinkScope) so directly-invoked
@@ -77,6 +86,13 @@ class Harness {
 
   /// Records one entry of the report's "results" object.
   void record(const std::string& key, Json value);
+
+  /// Records the report's chaos sections (arrays shaped by
+  /// eval::trial_failures_to_json / eval::degradations_to_json) and
+  /// bumps the report to schema_version 3. Calling either is enough:
+  /// the other section defaults to an empty array.
+  void record_trial_failures(Json failures);
+  void record_degradations(Json degradations);
 
   /// Total trials executed, for the trials/sec throughput figure.
   void set_trials(std::size_t trials) noexcept { trials_ = trials; }
@@ -95,9 +111,13 @@ class Harness {
   bool json_requested_ = false;
   std::string json_path_;
   std::string trace_path_;
+  std::string scenario_;
   std::unique_ptr<trace::TraceSink> sink_;
   std::vector<std::string> passthrough_;
   JsonObject results_;
+  bool chaos_sections_ = false;
+  Json trial_failures_{JsonArray{}};
+  Json degradations_{JsonArray{}};
   std::size_t trials_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

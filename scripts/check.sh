@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# CI entry point: strict build, full test suite, clang-tidy (when
-# installed), then two sanitizer builds — ASan+UBSan over the language
-# front-end tests (the part that chews model-corrupted input all day and
-# so is the most UB-prone), and TSan over the thread-pool / parallel
-# evaluation tests (the part that actually runs concurrent code).
+# CI entry point: strict build, full test suite, chaos determinism,
+# clang-tidy (when installed), then the heavy stages — a fail-points-off
+# build (the fault-injection macros must compile away cleanly) and two
+# sanitizer builds: ASan+UBSan over the language front-end tests (the
+# part that chews model-corrupted input all day and so is the most
+# UB-prone) plus the fail-point/harness suites, and TSan over the
+# thread-pool / parallel evaluation / resilience tests (the part that
+# actually runs concurrent code, now including concurrent injectors).
 #
 # Usage: scripts/check.sh [--quick] [--skip-sanitizers]
-#   --quick            skip both sanitizer stages (developer inner loop)
+#   --quick            skip the heavy stages (developer inner loop)
 #   --skip-sanitizers  legacy alias for --quick
 
 set -euo pipefail
@@ -22,15 +25,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> [1/5] strict build (warnings as errors)"
+echo "==> [1/7] strict build (warnings as errors)"
 cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 
-echo "==> [2/5] full test suite"
+echo "==> [2/7] full test suite"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "==> [3/5] clang-tidy (.clang-tidy profile)"
+echo "==> [3/7] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
+# The fault-injection sweep must be bit-identical at any thread count
+# for a fixed (seed, samples, scenario) — including the schema-3
+# trial_failures/degradations sections, which --compare keeps.
+./build-check/bench/bench_chaos --quick --seed 7 --threads 1 \
+  --json build-check/BENCH_chaos_t1.json >/dev/null
+./build-check/bench/bench_chaos --quick --seed 7 --threads 8 \
+  --json build-check/BENCH_chaos_t8.json >/dev/null
+scripts/validate_bench_json.py \
+  build-check/BENCH_chaos_t1.json build-check/BENCH_chaos_t8.json
+scripts/validate_bench_json.py --compare \
+  build-check/BENCH_chaos_t1.json build-check/BENCH_chaos_t8.json
+
+echo "==> [4/7] clang-tidy (.clang-tidy profile)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Project sources only; third-party and generated code stay out via
   # the explicit file list (compile_commands.json covers everything).
@@ -41,11 +57,20 @@ else
 fi
 
 if [[ "$SKIP_SAN" == "1" ]]; then
-  echo "==> [4/5] and [5/5] sanitizers skipped (--quick)"
+  echo "==> [5/7] through [7/7] heavy stages skipped (--quick)"
   exit 0
 fi
 
-echo "==> [4/5] ASan+UBSan build, qasm/lint/fuzz tests"
+echo "==> [5/7] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
+# check()/trip() compile to inline no-op stubs; the dormant paths and
+# their tests must build and pass without the injection machinery.
+cmake -B build-nofp -S . -DQCGEN_FAILPOINTS=OFF \
+  -DQCGEN_BUILD_BENCH=OFF -DQCGEN_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-nofp -j "$JOBS"
+ctest --test-dir build-nofp --output-on-failure -j "$JOBS" \
+  -R 'test_failpoint|test_resilience|test_parallel_eval'
+
+echo "==> [6/7] ASan+UBSan build, qasm/lint/fuzz/chaos tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE="address;undefined" \
@@ -53,9 +78,9 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_fuzz_robustness|test_openqasm'
+    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness'
 
-echo "==> [5/5] TSan build, thread-pool / trace / parallel-eval tests"
+echo "==> [7/7] TSan build, thread-pool / trace / parallel-eval / chaos tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE=thread \
@@ -63,6 +88,6 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'test_thread_pool|test_trace|test_parallel_eval'
+    -R 'test_thread_pool|test_trace|test_parallel_eval|test_failpoint|test_resilience'
 
 echo "==> all checks passed"

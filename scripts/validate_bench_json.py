@@ -3,9 +3,11 @@
 
 Usage:
   scripts/validate_bench_json.py FILE [FILE ...]
-      Schema-check each report (schema_version 2, legacy 1 accepted; see
-      bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity are
-      not valid JSON) and, when present, validates the "trace" section.
+      Schema-check each report (schema_version 2 or 3, legacy 1 accepted;
+      see bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity
+      are not valid JSON) and, when present, validates the "trace"
+      section and the schema-3 chaos sections ("trial_failures" and
+      "degradations").
 
   scripts/validate_bench_json.py --compare A.json B.json
       Assert two reports from the same bench/config are identical modulo
@@ -20,7 +22,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSIONS = (1, 2)
+SCHEMA_VERSIONS = (1, 2, 3)
 
 
 def fail(msg: str) -> None:
@@ -93,6 +95,13 @@ def check_schema(path: str, doc: dict) -> None:
     if "trace" in doc:
         check_trace(path, doc["trace"])
 
+    if doc["schema_version"] >= 3:
+        check_chaos_sections(path, doc)
+    else:
+        for key in ("trial_failures", "degradations"):
+            if key in doc:
+                fail(f"{path}: '{key}' requires schema_version >= 3")
+
 
 def check_trace(path: str, trace) -> None:
     """Validates the deterministic trace summary written under --trace."""
@@ -117,6 +126,41 @@ def check_trace(path: str, trace) -> None:
         if not isinstance(hist["count"], int) or hist["count"] < 0:
             fail(f"{path}: trace.histograms.{name}.count must be a "
                  f"non-negative int")
+
+
+def check_chaos_sections(path: str, doc: dict) -> None:
+    """Validates the schema-3 chaos sections (see eval/runner.hpp:
+    trial_failures_to_json / degradations_to_json). Both arrays are
+    deterministic for a fixed (seed, samples, scenario), so the
+    --compare mode includes them."""
+    failures = doc.get("trial_failures")
+    if not isinstance(failures, list):
+        fail(f"{path}: 'trial_failures' must be an array (schema 3)")
+    for i, entry in enumerate(failures):
+        if not isinstance(entry, dict):
+            fail(f"{path}: trial_failures[{i}] must be an object")
+        for key, kind in (("case", int), ("sample", int), ("stage", str),
+                          ("site", str), ("retries", int), ("what", str)):
+            if not isinstance(entry.get(key), kind):
+                fail(f"{path}: trial_failures[{i}].{key} must be "
+                     f"{kind.__name__}")
+        if entry["retries"] < 0:
+            fail(f"{path}: trial_failures[{i}].retries is negative")
+        if not entry["stage"]:
+            fail(f"{path}: trial_failures[{i}].stage is empty")
+
+    degradations = doc.get("degradations")
+    if not isinstance(degradations, list):
+        fail(f"{path}: 'degradations' must be an array (schema 3)")
+    for i, entry in enumerate(degradations):
+        if not isinstance(entry, dict):
+            fail(f"{path}: degradations[{i}] must be an object")
+        for key, kind in (("case", int), ("sample", int), ("pass", int),
+                          ("stage", str), ("from", str), ("to", str),
+                          ("reason", str)):
+            if not isinstance(entry.get(key), kind):
+                fail(f"{path}: degradations[{i}].{key} must be "
+                     f"{kind.__name__}")
 
 
 def strip_nondeterministic(doc: dict) -> dict:

@@ -1,6 +1,8 @@
 #include "agents/codegen_agent.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
+#include "common/rng.hpp"
 
 namespace qcgen::agents {
 
@@ -73,11 +75,30 @@ CodeGenAgent::CodeGenAgent(
   require(config.max_passes >= 1, "CodeGenAgent: max_passes >= 1");
 }
 
-llm::GenerationContext CodeGenAgent::make_context(
-    std::size_t prompt_index) const {
+namespace {
+/// Deterministic output corruption for the `llm.generate` corrupt action:
+/// flips a few characters to syntactically hostile noise so downstream
+/// parsing/analysis sees a realistically mangled sample.
+void corrupt_source(std::string& source, std::uint64_t seed) {
+  Rng rng(seed);
+  if (source.empty()) {
+    source = "?";
+    return;
+  }
+  static constexpr char kNoise[] = "#$%&!?~^";
+  const std::uint64_t edits = 1 + rng.uniform_int(std::uint64_t{3});
+  for (std::uint64_t i = 0; i < edits; ++i) {
+    source[rng.uniform_int(static_cast<std::uint64_t>(source.size()))] =
+        kNoise[rng.uniform_int(sizeof kNoise - 1)];
+  }
+}
+}  // namespace
+
+llm::GenerationContext CodeGenAgent::make_context(std::size_t prompt_index,
+                                                  bool use_rag) const {
   llm::GenerationContext ctx;
-  ctx.api_store = resources_->api_store();
-  ctx.guide_store = resources_->guide_store();
+  ctx.api_store = use_rag ? resources_->api_store() : nullptr;
+  ctx.guide_store = use_rag ? resources_->guide_store() : nullptr;
   ctx.rag_top_k = config_.rag_top_k;
   ctx.cot = config_.cot;
   ctx.cot_hand_written = prompt_index < config_.cot_hand_written;
@@ -86,16 +107,31 @@ llm::GenerationContext CodeGenAgent::make_context(
 }
 
 llm::GenerationResult CodeGenAgent::generate(const llm::TaskSpec& task,
-                                             std::size_t prompt_index) {
-  return model_.generate(task, make_context(prompt_index));
+                                             std::size_t prompt_index,
+                                             bool use_rag) {
+  // Trip before the model draws, so an injected error leaves the model's
+  // RNG stream untouched and a retry regenerates identically.
+  const auto hit = failpoint::trip("llm.generate", 0);
+  llm::GenerationResult result =
+      model_.generate(task, make_context(prompt_index, use_rag));
+  if (hit.has_value() && hit->action == failpoint::Action::kCorrupt) {
+    corrupt_source(result.source, hit->corrupt_seed);
+  }
+  return result;
 }
 
 llm::GenerationResult CodeGenAgent::repair(
     const llm::TaskSpec& task, const llm::GenerationResult& previous,
     const std::vector<qasm::Diagnostic>& diagnostics, bool semantic_failure,
-    std::size_t prompt_index, int pass_number) {
-  return model_.repair(task, previous, diagnostics, semantic_failure,
-                       make_context(prompt_index), pass_number);
+    std::size_t prompt_index, int pass_number, bool use_rag) {
+  const auto hit = failpoint::trip("llm.generate", pass_number);
+  llm::GenerationResult result =
+      model_.repair(task, previous, diagnostics, semantic_failure,
+                    make_context(prompt_index, use_rag), pass_number);
+  if (hit.has_value() && hit->action == failpoint::Action::kCorrupt) {
+    corrupt_source(result.source, hit->corrupt_seed);
+  }
+  return result;
 }
 
 }  // namespace qcgen::agents

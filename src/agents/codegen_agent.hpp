@@ -69,19 +69,22 @@ class CodeGenAgent {
   const llm::KnowledgeState& knowledge() const { return model_.knowledge(); }
 
   /// Generates one program sample. `prompt_index` selects hand-written
-  /// vs. generated CoT scaffolds.
+  /// vs. generated CoT scaffolds. `use_rag = false` bypasses the vector
+  /// stores — the pipeline's degraded rung when retrieval is down.
   llm::GenerationResult generate(const llm::TaskSpec& task,
-                                 std::size_t prompt_index);
+                                 std::size_t prompt_index,
+                                 bool use_rag = true);
 
   /// Repair pass (multi-pass inference).
   llm::GenerationResult repair(const llm::TaskSpec& task,
                                const llm::GenerationResult& previous,
                                const std::vector<qasm::Diagnostic>& diagnostics,
                                bool semantic_failure, std::size_t prompt_index,
-                               int pass_number);
+                               int pass_number, bool use_rag = true);
 
  private:
-  llm::GenerationContext make_context(std::size_t prompt_index) const;
+  llm::GenerationContext make_context(std::size_t prompt_index,
+                                      bool use_rag) const;
 
   TechniqueConfig config_;
   std::shared_ptr<const TechniqueResources> resources_;

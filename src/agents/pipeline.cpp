@@ -1,12 +1,92 @@
 #include "agents/pipeline.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/failpoint.hpp"
 #include "common/trace.hpp"
+#include "qec/decoder.hpp"
 
 namespace qcgen::agents {
 
 // The loop-local PassTrace variable is named `trace`, which would shadow
 // the qcgen::trace namespace; the alias keeps the span sites readable.
 namespace qtrace = ::qcgen::trace;
+
+namespace {
+
+/// Permanent failure of one stage attempt sequence.
+struct StageFailure {
+  std::string site;  ///< fail-point site, "" for organic exceptions
+  std::string what;
+};
+
+/// Runs `body` under the resilience policy: retries with seeded,
+/// budget-charged backoff; injected delay units count against the stage
+/// budget; exhausting either retries or budget returns the failure.
+/// Returns nullopt on success. Behaviour-identical to a bare body()
+/// call when nothing throws and no delay fires.
+std::optional<StageFailure> run_guarded(const char* stage,
+                                        const ResilienceOptions& options,
+                                        Rng& rng, PipelineResult& result,
+                                        const std::function<void()>& body) {
+  failpoint::Injector* injector = failpoint::current_injector();
+  double budget_used = 0.0;
+  double delay_mark =
+      injector != nullptr ? injector->delay_units_charged() : 0.0;
+  for (int attempt = 0;; ++attempt) {
+    bool ok = false;
+    StageFailure failure;
+    try {
+      body();
+      ok = true;
+    } catch (const failpoint::InjectedFault& fault) {
+      failure = {fault.site(), fault.what()};
+    } catch (const std::exception& error) {
+      failure = {"", error.what()};
+    }
+    if (injector != nullptr) {
+      const double now = injector->delay_units_charged();
+      budget_used += now - delay_mark;
+      result.budget_consumed += now - delay_mark;
+      delay_mark = now;
+    }
+    const bool over_budget = options.stage_budget_units > 0.0 &&
+                             budget_used > options.stage_budget_units;
+    if (ok) {
+      if (over_budget) {
+        return StageFailure{
+            "", std::string(stage) + ": stage budget exhausted by delays"};
+      }
+      return std::nullopt;
+    }
+    if (over_budget || attempt >= options.max_stage_retries) return failure;
+    // Deterministic exponential backoff with seeded jitter, charged in
+    // budget units rather than slept (chaos runs stay bit-reproducible).
+    const double backoff = options.backoff_base_units *
+                           std::ldexp(1.0, attempt) *
+                           (1.0 + 0.5 * rng.uniform());
+    budget_used += backoff;
+    result.budget_consumed += backoff;
+    ++result.stage_retries;
+    qtrace::Metrics::counter("resilience.retries");
+    qtrace::Metrics::observe("resilience.backoff_units", backoff);
+    if (options.stage_budget_units > 0.0 &&
+        budget_used > options.stage_budget_units) {
+      return failure;
+    }
+  }
+}
+
+void note_degradation(PipelineResult& result, PassTrace* pass_trace,
+                      DegradationEvent event) {
+  qtrace::Metrics::counter("resilience.degradations");
+  if (pass_trace != nullptr) pass_trace->degradations.push_back(event);
+  result.degradations.push_back(std::move(event));
+}
+
+}  // namespace
 
 MultiAgentPipeline::MultiAgentPipeline(
     const TechniqueConfig& technique,
@@ -26,8 +106,18 @@ MultiAgentPipeline::MultiAgentPipeline(
     std::optional<DeviceTopology> device, std::uint64_t seed)
     : codegen_(technique, std::move(resources), seed),
       analyzer_(analyzer_options),
-      device_(std::move(device)) {
+      device_(std::move(device)),
+      resilience_rng_(seed ^ 0xc3a5c85c97cb3127ULL) {
   if (qec_options.has_value()) qec_agent_.emplace(*qec_options);
+}
+
+const SemanticAnalyzerAgent& MultiAgentPipeline::degraded_analyzer() {
+  if (!degraded_analyzer_.has_value()) {
+    SemanticAnalyzerAgent::Options options = analyzer_.options();
+    options.analysis.abstract_lints = false;
+    degraded_analyzer_.emplace(options);
+  }
+  return *degraded_analyzer_;
 }
 
 PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
@@ -36,9 +126,34 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
   qtrace::TraceSpan run_span("pipeline.run");
   PipelineResult result;
   llm::GenerationResult generation;
+  const bool has_rag =
+      codegen_.config().rag_api || codegen_.config().rag_guides;
+  // A no-RAG retry only helps when the failure plausibly came from the
+  // retrieval path, not from an injected model fault.
+  const auto rag_rung_applies = [&](const StageFailure& failure) {
+    return has_rag &&
+           (failure.site.empty() || failure.site == "retrieval.query");
+  };
+
   {
     qtrace::TraceSpan span("pipeline.generate");
-    generation = codegen_.generate(task, prompt_index);
+    auto failed = run_guarded(
+        "generate", resilience_, resilience_rng_, result,
+        [&] { generation = codegen_.generate(task, prompt_index); });
+    if (failed.has_value() && resilience_.degrade &&
+        rag_rung_applies(*failed)) {
+      note_degradation(result, nullptr,
+                       {0, "generate", "rag", "no-rag", failed->what});
+      failed = run_guarded("generate", resilience_, resilience_rng_, result,
+                           [&] {
+                             generation = codegen_.generate(
+                                 task, prompt_index, /*use_rag=*/false);
+                           });
+    }
+    if (failed.has_value()) {
+      throw PipelineStageError("generate", failed->site, result.stage_retries,
+                               failed->what);
+    }
   }
   const int max_passes = codegen_.config().max_passes;
 
@@ -48,7 +163,27 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
     StaticReport static_report;
     {
       qtrace::TraceSpan span("pipeline.analyze");
-      static_report = analyzer_.analyze(generation.source);
+      auto failed = run_guarded(
+          "analyze", resilience_, resilience_rng_, result,
+          [&] { static_report = analyzer_.analyze(generation.source); });
+      if (failed.has_value() && resilience_.degrade &&
+          analyzer_.options().analysis.abstract_lints) {
+        // Ladder: abstract interpretation down -> core lint passes only.
+        note_degradation(
+            result, &trace,
+            {pass, "analyze", "abstract-lints", "core-lints", failed->what});
+        failed = run_guarded("analyze", resilience_, resilience_rng_, result,
+                             [&] {
+                               static_report =
+                                   degraded_analyzer().analyze(
+                                       generation.source);
+                             });
+      }
+      if (failed.has_value()) {
+        result.trace.push_back(trace);
+        throw PipelineStageError("analyze", failed->site,
+                                 result.stage_retries, failed->what);
+      }
     }
     trace.syntactic_ok = static_report.syntactic_ok;
     trace.error_trace = static_report.error_trace;
@@ -63,10 +198,27 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
         trace.tvd = 0.0;
       } else {
         qtrace::TraceSpan span("pipeline.verify");
-        const BehaviorReport behavior =
-            analyzer_.check_behavior(*static_report.circuit, reference);
-        semantic_ok = behavior.matches;
-        trace.tvd = behavior.tvd;
+        BehaviorReport behavior;
+        auto failed = run_guarded("verify", resilience_, resilience_rng_,
+                                  result, [&] {
+                                    behavior = analyzer_.check_behavior(
+                                        *static_report.circuit, reference);
+                                  });
+        if (!failed.has_value()) {
+          semantic_ok = behavior.matches;
+          trace.tvd = behavior.tvd;
+        } else if (resilience_.degrade) {
+          // Ladder: behavioural verification down -> static-only verdict.
+          note_degradation(
+              result, &trace,
+              {pass, "verify", "behavioral", "static-only", failed->what});
+          semantic_ok = true;
+          trace.tvd = 0.0;
+        } else {
+          result.trace.push_back(trace);
+          throw PipelineStageError("verify", failed->site,
+                                   result.stage_retries, failed->what);
+        }
       }
     }
     trace.semantic_ok = semantic_ok;
@@ -85,9 +237,42 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
     // Feed the error trace back for the next inference pass.
     qtrace::TraceSpan span("pipeline.repair");
     qtrace::Metrics::counter("pipeline.repair_passes");
-    generation = codegen_.repair(task, generation, static_report.diagnostics,
-                                 /*semantic_failure=*/static_report.syntactic_ok,
-                                 prompt_index, pass);
+    auto failed = run_guarded(
+        "repair", resilience_, resilience_rng_, result, [&] {
+          generation = codegen_.repair(
+              task, generation, static_report.diagnostics,
+              /*semantic_failure=*/static_report.syntactic_ok, prompt_index,
+              pass);
+        });
+    if (failed.has_value() && resilience_.degrade &&
+        rag_rung_applies(*failed)) {
+      note_degradation(result, &result.trace.back(),
+                       {pass, "repair", "rag", "no-rag", failed->what});
+      failed = run_guarded("repair", resilience_, resilience_rng_, result,
+                           [&] {
+                             generation = codegen_.repair(
+                                 task, generation, static_report.diagnostics,
+                                 static_report.syntactic_ok, prompt_index,
+                                 pass, /*use_rag=*/false);
+                           });
+    }
+    if (failed.has_value()) {
+      if (!resilience_.degrade) {
+        throw PipelineStageError("repair", failed->site, result.stage_retries,
+                                 failed->what);
+      }
+      // Terminal rung: repair unavailable — keep the best pass so far
+      // instead of failing the trial.
+      note_degradation(result, &result.trace.back(),
+                       {pass, "repair", "multi-pass", "abort", failed->what});
+      result.syntactic_ok = trace.syntactic_ok;
+      result.semantic_ok = semantic_ok;
+      result.generation = generation;
+      if (static_report.circuit.has_value()) {
+        result.circuit = static_report.circuit;
+      }
+      break;
+    }
   }
 
   qtrace::Metrics::counter("pipeline.trials");
@@ -97,7 +282,45 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
                           static_cast<double>(result.passes_used));
   if (qec_agent_.has_value() && device_.has_value() && result.semantic_ok) {
     qtrace::TraceSpan span("pipeline.qec_plan");
-    result.qec = qec_agent_->plan_for(*device_);
+    // Ladder: configured decoder -> union-find -> lookup (distance 3
+    // only; the lookup decoder does not scale past it).
+    std::vector<qec::DecoderKind> ladder{qec_agent_->options().decoder};
+    const auto add_rung = [&](qec::DecoderKind kind) {
+      if (std::find(ladder.begin(), ladder.end(), kind) == ladder.end()) {
+        ladder.push_back(kind);
+      }
+    };
+    add_rung(qec::DecoderKind::kUnionFind);
+    if (qec_agent_->options().target_distance == 3) {
+      add_rung(qec::DecoderKind::kLookup);
+    }
+    const std::size_t rungs = resilience_.degrade ? ladder.size() : 1;
+    for (std::size_t rung = 0; rung < rungs; ++rung) {
+      std::optional<QecPlan> plan;
+      auto failed = run_guarded(
+          "qec", resilience_, resilience_rng_, result, [&] {
+            failpoint::trip("qec.decode", result.passes_used);
+            QecDecoderAgent::Options options = qec_agent_->options();
+            options.decoder = ladder[rung];
+            plan = QecDecoderAgent(options).plan_for(*device_);
+          });
+      if (!failed.has_value()) {
+        result.qec = std::move(plan);
+        break;
+      }
+      if (!resilience_.degrade) {
+        throw PipelineStageError("qec", failed->site, result.stage_retries,
+                                 failed->what);
+      }
+      const std::string next =
+          rung + 1 < ladder.size()
+              ? std::string(qec::decoder_kind_name(ladder[rung + 1]))
+              : "none";
+      note_degradation(result, nullptr,
+                       {result.passes_used, "qec",
+                        std::string(qec::decoder_kind_name(ladder[rung])),
+                        next, failed->what});
+    }
   }
   return result;
 }

@@ -1,6 +1,17 @@
 #pragma once
 // Multi-agent pipeline (paper Fig 1): code generation -> semantic
 // analysis -> iterative multi-pass repair -> optional QEC planning.
+//
+// The pipeline is the resilience boundary of the system: every stage
+// runs under ResilienceOptions, which give deterministic seeded
+// retry-with-backoff, per-stage budget limits, and graceful-degradation
+// ladders (abstract interpreter -> core lints only; MWPM decoder ->
+// union-find -> lookup; behavioural verification -> static-only;
+// RAG retrieval -> bare generation). Degradations are recorded as
+// DegradationEvents on the pass trace and the final result; a stage
+// that stays down after its ladder is exhausted raises
+// PipelineStageError, which the trial scheduler contains as a
+// TrialFailure instead of letting it abort the experiment.
 
 #include <optional>
 #include <vector>
@@ -9,9 +20,64 @@
 #include "agents/qec_agent.hpp"
 #include "agents/semantic_agent.hpp"
 #include "agents/topology.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace qcgen::agents {
+
+/// Resilient-execution policy for the pipeline stages. The defaults are
+/// fail-fast with ladders enabled, which is behaviour-identical to the
+/// pre-resilience pipeline as long as no stage actually fails.
+struct ResilienceOptions {
+  /// Retry attempts after a stage's first failure (0 = fail fast).
+  int max_stage_retries = 0;
+  /// Backoff charged per retry, in abstract budget units:
+  /// base * 2^attempt * (1 + jitter), jitter in [0, 0.5) drawn from the
+  /// pipeline's seeded stream — deterministic, no wall-clock sleeping.
+  double backoff_base_units = 1.0;
+  /// Budget per stage invocation in abstract units; 0 = unlimited.
+  /// Injected delays and retry backoff both consume it; exhausting it
+  /// fails the stage.
+  double stage_budget_units = 0.0;
+  /// Walk degradation ladders when retries are exhausted.
+  bool degrade = true;
+};
+
+/// One rung taken on a degradation ladder (or a terminal "gave up"
+/// marker when `to` is "none"/"abort").
+struct DegradationEvent {
+  int pass = 0;        ///< repair pass it happened in (0 = outside loop)
+  std::string stage;   ///< "generate", "analyze", "verify", "repair",
+                       ///< "qec", "oracle"
+  std::string from;    ///< rung degraded from, e.g. "mwpm", "abstract-lints"
+  std::string to;      ///< rung degraded to, e.g. "union-find", "core-lints"
+  std::string reason;  ///< the failure that forced the step
+  friend bool operator==(const DegradationEvent&,
+                         const DegradationEvent&) = default;
+};
+
+/// Raised when a mandatory stage stays down after retries and ladders
+/// are exhausted. The trial scheduler converts it into a structured
+/// TrialFailure; it never escapes eval::run_trial_matrix.
+class PipelineStageError : public QcgenError {
+ public:
+  PipelineStageError(std::string stage, std::string site, int retries,
+                     const std::string& what)
+      : QcgenError(what),
+        stage_(std::move(stage)),
+        site_(std::move(site)),
+        retries_(retries) {}
+  const std::string& stage() const noexcept { return stage_; }
+  /// Fail-point site that caused the failure ("" for organic failures).
+  const std::string& site() const noexcept { return site_; }
+  int retries() const noexcept { return retries_; }
+
+ private:
+  std::string stage_;
+  std::string site_;
+  int retries_ = 0;
+};
 
 /// Per-pass trace entry.
 struct PassTrace {
@@ -25,6 +91,8 @@ struct PassTrace {
   /// facts), so eval/bench tooling can classify without string-scraping;
   /// serialise with qasm::diagnostics_to_json.
   std::vector<qasm::Diagnostic> diagnostics;
+  /// Degradation-ladder steps taken during this pass.
+  std::vector<DegradationEvent> degradations;
 };
 
 /// Final pipeline outcome for one task.
@@ -36,6 +104,13 @@ struct PipelineResult {
   llm::GenerationResult generation;  ///< final artifact
   std::optional<sim::Circuit> circuit;
   std::optional<QecPlan> qec;
+  /// Every degradation-ladder step taken, in occurrence order (the
+  /// per-pass subset also appears on the matching PassTrace).
+  std::vector<DegradationEvent> degradations;
+  /// Total stage retry attempts spent across the run.
+  int stage_retries = 0;
+  /// Budget units consumed by injected delays plus retry backoff.
+  double budget_consumed = 0.0;
 };
 
 class MultiAgentPipeline {
@@ -62,19 +137,33 @@ class MultiAgentPipeline {
   CodeGenAgent& codegen() { return codegen_; }
   const SemanticAnalyzerAgent& analyzer() const { return analyzer_; }
 
+  const ResilienceOptions& resilience() const noexcept { return resilience_; }
+  void set_resilience(const ResilienceOptions& options) {
+    resilience_ = options;
+  }
+
   /// Runs generation + analysis (+ repair passes up to the technique's
   /// max_passes) on one task. `reference` enables the behavioural check;
   /// pass an empty distribution to restrict to static verification.
   /// `prompt_index` feeds the CoT hand-written-scaffold rule.
+  /// Throws PipelineStageError when a mandatory stage stays down after
+  /// the resilience policy (retries + ladders) is exhausted.
   PipelineResult run(const llm::TaskSpec& task,
                      const sim::Distribution& reference,
                      std::size_t prompt_index);
 
  private:
+  /// Analyzer with the abstract interpreter disabled — the "core lints
+  /// only" ladder rung; constructed lazily on first degradation.
+  const SemanticAnalyzerAgent& degraded_analyzer();
+
   CodeGenAgent codegen_;
   SemanticAnalyzerAgent analyzer_;
+  std::optional<SemanticAnalyzerAgent> degraded_analyzer_;
   std::optional<QecDecoderAgent> qec_agent_;
   std::optional<DeviceTopology> device_;
+  ResilienceOptions resilience_;
+  Rng resilience_rng_;  ///< seeded backoff jitter (per-trial stream)
 };
 
 }  // namespace qcgen::agents

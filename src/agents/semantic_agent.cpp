@@ -1,6 +1,7 @@
 #include "agents/semantic_agent.hpp"
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/trace.hpp"
 #include "qasm/builder.hpp"
 #include "sim/statevector.hpp"
@@ -16,6 +17,7 @@ SemanticAnalyzerAgent::SemanticAnalyzerAgent(Options options)
 
 StaticReport SemanticAnalyzerAgent::analyze(const std::string& source) const {
   StaticReport report;
+  failpoint::trip("analyzer.parse");
   qasm::ParseResult parsed = [&] {
     trace::TraceSpan span("analyze.parse");
     return qasm::parse(source);
@@ -52,6 +54,7 @@ BehaviorReport SemanticAnalyzerAgent::check_behavior(
     report.matches = false;
     return report;
   }
+  failpoint::trip("analyzer.simulate");
   const sim::Distribution observed = [&] {
     trace::TraceSpan span("analyze.simulate");
     return sim::exact_distribution(circuit);

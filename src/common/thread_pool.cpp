@@ -1,9 +1,11 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/trace.hpp"
@@ -92,6 +94,10 @@ void ThreadPool::worker_loop(std::size_t index) {
     std::function<void()> task;
     if (try_pop_local(index, task) || try_steal(index, task)) {
       task();
+      // Destroy the task (and anything it captured — e.g. parallel_for's
+      // shared error state) BEFORE signalling completion: wait_idle
+      // callers may use state the task owned the moment it returns.
+      task = nullptr;
       tasks_executed_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(state_mutex_);
       if (--pending_ == 0) idle_.notify_all();
@@ -122,27 +128,32 @@ void ThreadPool::wait_idle() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-  // Failures are collected out-of-band: the first exception wins and is
-  // rethrown on the caller once every index has run to completion.
-  auto first_error = std::make_shared<std::atomic<bool>>(false);
-  auto error = std::make_shared<std::exception_ptr>();
-  auto error_mutex = std::make_shared<std::mutex>();
+  // Failures are collected out-of-band with their index; every index
+  // still runs to completion, and the lowest-index exception is the one
+  // rethrown on the caller — deterministic no matter which worker's
+  // failure happened to land first.
+  struct Errors {
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::exception_ptr>> entries;
+  };
+  auto errors = std::make_shared<Errors>();
   for (std::size_t i = 0; i < n; ++i) {
-    submit([&body, i, first_error, error, error_mutex] {
+    submit([&body, i, errors] {
       try {
         body(i);
       } catch (...) {
-        if (!first_error->exchange(true)) {
-          std::lock_guard<std::mutex> lock(*error_mutex);
-          *error = std::current_exception();
-        }
+        std::lock_guard<std::mutex> lock(errors->mutex);
+        errors->entries.emplace_back(i, std::current_exception());
       }
     });
   }
   wait_idle();
-  if (first_error->load()) {
-    std::lock_guard<std::mutex> lock(*error_mutex);
-    std::rethrow_exception(*error);
+  std::lock_guard<std::mutex> lock(errors->mutex);
+  if (!errors->entries.empty()) {
+    const auto lowest = std::min_element(
+        errors->entries.begin(), errors->entries.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    std::rethrow_exception(lowest->second);
   }
 }
 

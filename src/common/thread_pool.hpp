@@ -43,8 +43,10 @@ class ThreadPool {
   void wait_idle();
 
   /// Runs body(i) for each i in [0, n) across the pool and blocks until
-  /// all calls completed. The first exception thrown by any body is
-  /// rethrown on the calling thread (remaining indices still run).
+  /// all calls completed. Exceptions are collected per index; after the
+  /// pool drains, the one thrown by the *lowest* failing index is
+  /// rethrown on the calling thread — deterministic under any worker
+  /// interleaving (remaining indices still run).
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
 
   /// Scheduler-balance counters (lifetime totals). Tasks executed counts

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.hpp"
 #include "llm/templates.hpp"
 #include "qasm/builder.hpp"
 #include "qasm/printer.hpp"
@@ -15,6 +16,7 @@ const sim::Distribution& ReferenceOracle::reference_for(
     const TestCase& test_case) {
   auto it = cache_.find(test_case.id);
   if (it != cache_.end()) return it->second;
+  failpoint::trip("oracle.reference");
   const qasm::Program gold = llm::gold_program(test_case.task);
   const sim::Circuit circuit = qasm::build_circuit(gold);
   sim::Distribution reference = sim::exact_distribution(circuit);

@@ -3,13 +3,16 @@
 // produces the accuracy numbers the benchmark binaries print.
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "agents/codegen_agent.hpp"
 #include "agents/pipeline.hpp"
+#include "common/json.hpp"
 #include "common/trace.hpp"
 #include "eval/judge.hpp"
+#include "eval/parallel.hpp"
 #include "eval/suite.hpp"
 
 namespace qcgen::eval {
@@ -24,6 +27,15 @@ struct AccuracyReport {
   std::map<llm::Tier, double> semantic_by_tier;
   double mean_passes_used = 1.0;
   Interval semantic_ci;  ///< Wilson 95% over all samples
+  /// Contained trial failures, in trial index order. Failed trials stay
+  /// in every rate denominator (a trial that did not complete is not a
+  /// success) but are excluded from mean_passes_used.
+  std::vector<TrialFailure> trial_failures;
+  /// Every degradation-ladder step taken: matrix-level events first,
+  /// then per-trial events in trial index order.
+  std::vector<DegradationRecord> degradations;
+  /// Fraction of trials that completed (1.0 when nothing failed).
+  double completed_rate = 1.0;
   /// Deterministic per-stage trace summary for this evaluation (merged
   /// from the per-trial sinks in trial index order); empty unless
   /// RunnerOptions::trace was set.
@@ -45,6 +57,17 @@ struct RunnerOptions {
   /// (summaries stay bit-identical at any thread count). The bench
   /// harness wires its --trace sink through here.
   trace::TraceSink* trace = nullptr;
+  /// Fault-injection scenario (failpoint::Scenario grammar, e.g.
+  /// "llm.generate=error(0.02);qec.decode=error(1.0)@pass>1"); empty
+  /// disarms injection. Parsed once per matrix; malformed specs throw
+  /// InvalidArgumentError before any trial runs.
+  std::string chaos_scenario;
+  /// Stage retry/budget/degradation policy applied to every pipeline.
+  agents::ResilienceOptions resilience;
+  /// Optional QEC planning stage for every trial (exercises the decoder
+  /// degradation ladder); requires `device`.
+  std::optional<agents::QecDecoderAgent::Options> qec;
+  std::optional<agents::DeviceTopology> device;
 };
 
 /// Evaluates one technique configuration (pass@1 over samples).
@@ -57,5 +80,10 @@ double evaluate_pass_at_k(const agents::TechniqueConfig& technique,
                           const std::vector<TestCase>& suite,
                           std::size_t n_samples, std::size_t k,
                           const RunnerOptions& options);
+
+/// Serialises contained trial failures / degradation records for the
+/// bench harness's schema-3 `trial_failures` / `degradations` sections.
+Json trial_failures_to_json(const std::vector<TrialFailure>& failures);
+Json degradations_to_json(const std::vector<DegradationRecord>& records);
 
 }  // namespace qcgen::eval

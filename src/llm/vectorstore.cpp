@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/failpoint.hpp"
 #include "common/strings.hpp"
 #include "common/trace.hpp"
 
@@ -94,6 +95,7 @@ double VectorStore::score(const std::string& query_token,
 
 std::vector<Retrieved> VectorStore::retrieve(const std::string& query,
                                              std::size_t k) const {
+  failpoint::trip("retrieval.query");
   trace::TraceSpan span("bm25.query");
   const auto query_tokens = tokenize(query);
   std::vector<Retrieved> hits;

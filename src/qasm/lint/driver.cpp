@@ -6,6 +6,7 @@
 #include <string>
 #include <tuple>
 
+#include "common/failpoint.hpp"
 #include "common/trace.hpp"
 #include "qasm/lint/abstract/interpreter.hpp"
 
@@ -51,6 +52,7 @@ AnalysisReport run_passes(const Program& program,
                config.pass_enabled(pass->id());
       });
   if (want_abstract) {
+    failpoint::trip("analyzer.abstract");
     trace::TraceSpan span("lint.abstract-interpret");
     abstract_facts = abstract::AbstractFacts::compute(facts, language);
   }

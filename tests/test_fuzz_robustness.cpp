@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/failpoint.hpp"
 #include "common/rng.hpp"
 #include "llm/simlm.hpp"
 #include "llm/templates.hpp"
@@ -209,6 +210,76 @@ TEST_P(RandomCircuitInvariants, NormPreservedAndDistributionsSane) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuitInvariants,
                          ::testing::Range(1, 11));
+
+/// try_parse must either accept a spec or reject it cleanly — never
+/// crash — and every accepted spec must survive a canonical round-trip.
+void check_scenario_input(const std::string& spec) {
+  std::string error;
+  const auto parsed = failpoint::Scenario::try_parse(spec, &error);
+  if (!parsed.has_value()) {
+    EXPECT_FALSE(error.empty()) << "rejected without a reason: " << spec;
+    return;
+  }
+  const std::string canonical = parsed->canonical();
+  const auto reparsed = failpoint::Scenario::try_parse(canonical, &error);
+  ASSERT_TRUE(reparsed.has_value())
+      << "canonical form of '" << spec << "' rejected: " << error;
+  EXPECT_EQ(*parsed, *reparsed) << spec;
+  EXPECT_EQ(reparsed->canonical(), canonical) << spec;
+}
+
+TEST(ScenarioParserFuzz, RandomByteStringsNeverCrashTheParser) {
+  // Alphabet biased toward the grammar's structural characters so the
+  // sweep reaches deep parser states, plus genuinely hostile bytes.
+  const std::string alphabet =
+      "abchijz.=();@>_-0123456789ep \t\n\"\\\x01\x7f";
+  Rng rng(0xfa11be75u);
+  std::size_t accepted = 0;
+  for (int round = 0; round < 4000; ++round) {
+    const std::size_t length = rng.uniform_int(std::uint64_t{64});
+    std::string spec;
+    spec.reserve(length);
+    for (std::size_t i = 0; i < length; ++i) {
+      spec.push_back(
+          alphabet[rng.uniform_int(std::uint64_t{alphabet.size()})]);
+    }
+    check_scenario_input(spec);
+    std::string error;
+    if (failpoint::Scenario::try_parse(spec, &error).has_value()) ++accepted;
+  }
+  // Mostly garbage: if the parser starts accepting everything, the
+  // rejection paths above stopped being exercised.
+  EXPECT_LT(accepted, 4000u);
+}
+
+TEST(ScenarioParserFuzz, MutatedValidSpecsParseOrRejectCleanly) {
+  const std::vector<std::string> seeds = {
+      "llm.generate=error(0.02);qec.decode=error(1.0)@pass>1",
+      "analyzer.parse=corrupt(0.5)@every=3",
+      "retrieval.query=delay(2.5)@p=0.1;pool.task=error",
+      "oracle.reference=error(1.0)",
+  };
+  Rng rng(20260805);
+  std::size_t still_valid = 0;
+  for (const std::string& seed : seeds) {
+    // Unmutated seeds are valid by construction.
+    std::string error;
+    ASSERT_TRUE(failpoint::Scenario::try_parse(seed, &error).has_value())
+        << error;
+    for (int round = 0; round < 1000; ++round) {
+      const std::string spec =
+          mutate(seed, 1 + static_cast<int>(rng.uniform_int(std::uint64_t{4})),
+                 rng);
+      check_scenario_input(spec);
+      if (failpoint::Scenario::try_parse(spec, &error).has_value()) {
+        ++still_valid;
+      }
+    }
+  }
+  // Single-character mutations frequently stay inside the grammar
+  // (e.g. a digit change); both branches must have been exercised.
+  EXPECT_GT(still_valid, 0u);
+}
 
 }  // namespace
 }  // namespace qcgen

@@ -53,7 +53,7 @@ TEST(RunTrialMatrix, ResultsComeBackInRowMajorOrder) {
   options.threads = 2;
   const auto trials = run_trial_matrix(
       agents::TechniqueConfig::fine_tuned_only(llm::ModelProfile::kStarCoder3B),
-      suite, 2, options);
+      suite, 2, options).trials;
   ASSERT_EQ(trials.size(), suite.size() * 2);
   for (std::size_t i = 0; i < trials.size(); ++i) {
     EXPECT_EQ(trials[i].case_idx, i / 2);
@@ -72,8 +72,8 @@ TEST(RunTrialMatrix, BitIdenticalAcrossThreadCounts) {
   RunnerOptions wide = serial;
   wide.threads = 8;
 
-  const auto a = run_trial_matrix(technique, suite, 3, serial);
-  const auto b = run_trial_matrix(technique, suite, 3, wide);
+  const auto a = run_trial_matrix(technique, suite, 3, serial).trials;
+  const auto b = run_trial_matrix(technique, suite, 3, wide).trials;
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].case_idx, b[i].case_idx);
@@ -189,8 +189,8 @@ TEST(EvaluateTechnique, DifferentSeedsProduceIndependentRuns) {
   x.seed = 1;
   RunnerOptions y = x;
   y.seed = 999;
-  const auto a = run_trial_matrix(technique, suite, 2, x);
-  const auto b = run_trial_matrix(technique, suite, 2, y);
+  const auto a = run_trial_matrix(technique, suite, 2, x).trials;
+  const auto b = run_trial_matrix(technique, suite, 2, y).trials;
   bool any_difference = false;
   for (std::size_t i = 0; i < a.size(); ++i) {
     if (a[i].pipeline.generation.source !=

@@ -92,6 +92,28 @@ TEST(ThreadPool, ParallelForRethrowsFirstException) {
   EXPECT_EQ(again.load(), 8u);
 }
 
+TEST(ThreadPool, ParallelForRethrowsLowestIndexDeterministically) {
+  // Multiple indices fail on every run; the surfaced exception must be
+  // the lowest-index one regardless of which worker lost the race. The
+  // later index is made fast (more likely to land first in a racy
+  // first-wins implementation) to give a regression a chance to show.
+  ThreadPool pool(8);
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallel_for(64, [](std::size_t i) {
+        if (i == 60) throw std::runtime_error("index 60");
+        if (i == 3) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+          throw std::runtime_error("index 3");
+        }
+      });
+      FAIL() << "parallel_for did not throw";
+    } catch (const std::runtime_error& error) {
+      EXPECT_STREQ(error.what(), "index 3") << "round " << round;
+    }
+  }
+}
+
 TEST(ThreadPool, WaitIdleWithNoWorkReturnsImmediately) {
   ThreadPool pool(2);
   pool.wait_idle();  // must not deadlock
