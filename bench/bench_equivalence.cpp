@@ -1,0 +1,363 @@
+// BENCH-EQUIVALENCE: prove rate and soundness of the translation-
+// validation engine (qasm/verify) over (a) the template fix-it corpus —
+// gold programs seeded with lintable defects, certified through
+// certify_and_apply_fixits — and (b) a differential mutation-fuzz sweep
+// where every verdict is cross-checked against exact reference
+// distributions. The headline numbers: fix-it prove rate (target >=
+// 0.95), zero false proved-equal and zero false proved-different.
+//
+// Deterministic at any --threads: each fuzz trial draws from its own
+// eval::trial_seed stream and results are aggregated in trial index
+// order, so the JSON artifact is bit-identical from --threads 1 to N.
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "eval/parallel.hpp"
+#include "harness.hpp"
+#include "llm/tasks.hpp"
+#include "llm/templates.hpp"
+#include "qasm/analyzer.hpp"
+#include "qasm/parser.hpp"
+#include "qasm/printer.hpp"
+#include "qasm/verify/certify.hpp"
+#include "qasm/verify/equivalence.hpp"
+#include "sim/circuit.hpp"
+#include "sim/statevector.hpp"
+
+using namespace qcgen;
+using qasm::verify::Certificate;
+using qasm::verify::Method;
+using qasm::verify::Verdict;
+using sim::Circuit;
+using sim::GateKind;
+using sim::Operation;
+
+namespace {
+
+// --------------------------------------------------------------------
+// Fix-it corpus: gold programs with injected lintable defects
+// --------------------------------------------------------------------
+
+/// Inserts `lines` right after the circuit-opening "{" line.
+std::string inject_after_open_brace(const std::string& source,
+                                    const std::vector<std::string>& lines) {
+  std::string out;
+  bool injected = false;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    const std::size_t end = source.find('\n', start);
+    const std::string line = source.substr(
+        start, end == std::string::npos ? std::string::npos : end - start);
+    out += line;
+    out += '\n';
+    if (!injected && line.find('{') != std::string::npos) {
+      injected = true;
+      for (const std::string& extra : lines) {
+        out += extra;
+        out += '\n';
+      }
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return out;
+}
+
+struct FixitTally {
+  std::size_t diagnostics = 0;
+  std::size_t attempted = 0;  ///< preservation-claiming, proof attempted
+  std::size_t proved = 0;     ///< decisive verdict (equal or different)
+  std::size_t certified = 0;
+  std::size_t unverified = 0;
+  std::size_t rejected = 0;
+};
+
+FixitTally run_fixit_corpus(JsonArray& rows) {
+  FixitTally tally;
+  for (const llm::AlgorithmId id : llm::all_algorithms()) {
+    llm::TaskSpec task;
+    task.algorithm = id;
+    const std::string gold = qasm::print_program(llm::gold_program(task));
+    // Seed defects with known-preserving fix-its: a redundant H pair and
+    // a dead S/Sdg pair on qubit 0 (every template uses q[0]).
+    const std::string source = inject_after_open_brace(
+        gold, {"  h q[0];", "  h q[0];", "  s q[0];", "  sdg q[0];"});
+    const qasm::ParseResult parsed = qasm::parse(source);
+    if (!parsed.ok()) continue;
+    const qasm::AnalysisReport report = qasm::analyze(*parsed.program);
+    const qasm::verify::CertifiedFixIts certified =
+        qasm::verify::certify_and_apply_fixits(source, report.diagnostics);
+    std::size_t attempted = 0;
+    std::size_t proved = 0;
+    for (const qasm::verify::FixItCertification& r : certified.records) {
+      ++tally.diagnostics;
+      if (!qasm::verify::fixit_claims_preservation(r.code)) continue;
+      const bool decisive = r.certificate.proved_equal() ||
+                            r.certificate.proved_different();
+      // Conflicts and guard-misses never reached the prover; everything
+      // applied or rejected under an obligation did.
+      if (!r.applied && !r.certificate.proved_different()) continue;
+      ++attempted;
+      if (decisive) ++proved;
+    }
+    tally.attempted += attempted;
+    tally.proved += proved;
+    tally.certified += certified.certified;
+    tally.unverified += certified.unverified;
+    tally.rejected += certified.rejected;
+    Json row;
+    row["workload"] = std::string(llm::algorithm_name(id));
+    row["attempted"] = attempted;
+    row["proved"] = proved;
+    row["applied"] = certified.applied;
+    row["certified"] = certified.certified;
+    row["rejected"] = certified.rejected;
+    rows.push_back(std::move(row));
+  }
+  return tally;
+}
+
+// --------------------------------------------------------------------
+// Differential mutation fuzz (mirrors tests/test_verify_fuzz.cpp)
+// --------------------------------------------------------------------
+
+Operation gate_op(GateKind kind, std::vector<std::size_t> qubits) {
+  Operation op;
+  op.kind = kind;
+  op.qubits = std::move(qubits);
+  return op;
+}
+
+Circuit rebuild(const Circuit& like, const std::vector<Operation>& ops) {
+  Circuit c(like.num_qubits(), like.num_clbits());
+  for (const Operation& op : ops) c.append(op);
+  return c;
+}
+
+std::size_t first_measure_index(const std::vector<Operation>& ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == GateKind::kMeasure) return i;
+  }
+  return ops.size();
+}
+
+Circuit random_circuit(Rng& rng, std::size_t n, std::size_t depth,
+                       bool with_t) {
+  Circuit c(n, n);
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::size_t q = rng.uniform_int(n);
+    switch (rng.uniform_int(with_t ? 8u : 6u)) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.x(q); break;
+      case 3: c.z(q); break;
+      case 4: c.cx(q, (q + 1 + rng.uniform_int(n - 1)) % n); break;
+      case 5: c.cz(q, (q + 1 + rng.uniform_int(n - 1)) % n); break;
+      case 6: c.t(q); break;
+      default: c.rz(0.3, q); break;
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+Circuit insert_identity_pair(const Circuit& c, Rng& rng) {
+  std::vector<Operation> ops = c.operations();
+  const std::size_t cut = rng.uniform_int(first_measure_index(ops) + 1);
+  const std::size_t n = c.num_qubits();
+  const std::size_t q = rng.uniform_int(n);
+  const std::size_t p = (q + 1 + rng.uniform_int(n - 1)) % n;
+  std::vector<Operation> pair;
+  switch (rng.uniform_int(6u)) {
+    case 0: pair = {gate_op(GateKind::kH, {q}), gate_op(GateKind::kH, {q})};
+      break;
+    case 1: pair = {gate_op(GateKind::kX, {q}), gate_op(GateKind::kX, {q})};
+      break;
+    case 2: pair = {gate_op(GateKind::kS, {q}), gate_op(GateKind::kSdg, {q})};
+      break;
+    case 3: pair = {gate_op(GateKind::kZ, {q}), gate_op(GateKind::kZ, {q})};
+      break;
+    case 4:
+      pair = {gate_op(GateKind::kCX, {q, p}), gate_op(GateKind::kCX, {q, p})};
+      break;
+    default:  // SWAP then its 3-CX expansion: net identity
+      pair = {gate_op(GateKind::kSwap, {q, p}), gate_op(GateKind::kCX, {q, p}),
+              gate_op(GateKind::kCX, {p, q}), gate_op(GateKind::kCX, {q, p})};
+      break;
+  }
+  ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(cut), pair.begin(),
+             pair.end());
+  return rebuild(c, ops);
+}
+
+Circuit insert_single_gate(const Circuit& c, Rng& rng) {
+  std::vector<Operation> ops = c.operations();
+  const std::size_t cut = rng.uniform_int(first_measure_index(ops) + 1);
+  const std::size_t q = rng.uniform_int(c.num_qubits());
+  static constexpr GateKind kPool[] = {GateKind::kX, GateKind::kH,
+                                       GateKind::kZ, GateKind::kS};
+  ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(cut),
+             gate_op(kPool[rng.uniform_int(4u)], {q}));
+  return rebuild(c, ops);
+}
+
+struct FuzzOutcome {
+  bool preserving_proved = false;
+  bool breaking = false;         ///< exact distributions actually differ
+  bool breaking_refuted = false;
+  bool false_equal = false;      ///< soundness violations (must stay 0)
+  bool false_different = false;
+  bool unknown = false;
+  std::string preserving_method;
+  std::string breaking_method;
+};
+
+FuzzOutcome run_fuzz_trial(std::uint64_t seed, std::size_t trial,
+                           trace::TraceSink* sink) {
+  FuzzOutcome out;
+  trace::SinkScope scope(sink);
+  Rng rng(eval::trial_seed(seed, trial, 0));
+  const bool with_t = trial % 3 == 2;
+  const Circuit base =
+      random_circuit(rng, 2 + trial % 3, 8 + trial % 8, with_t);
+
+  const Circuit padded = insert_identity_pair(base, rng);
+  const Certificate pad = qasm::verify::check_equivalence(base, padded);
+  out.preserving_proved = pad.proved_equal();
+  out.preserving_method = std::string(qasm::verify::method_name(pad.method));
+  if (pad.proved_different()) out.false_different = true;
+  if (pad.verdict == Verdict::kUnknown) out.unknown = true;
+
+  const Circuit mutated = insert_single_gate(base, rng);
+  const double tvd = total_variation_distance(
+      sim::exact_distribution(base), sim::exact_distribution(mutated));
+  const Certificate cert = qasm::verify::check_equivalence(base, mutated);
+  out.breaking_method = std::string(qasm::verify::method_name(cert.method));
+  out.breaking = tvd > 1e-9;
+  if (out.breaking) {
+    out.breaking_refuted = cert.proved_different();
+    if (cert.proved_equal()) out.false_equal = true;
+  } else if (cert.proved_different()) {
+    out.false_different = true;
+  }
+  if (cert.verdict == Verdict::kUnknown) out.unknown = true;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness("equivalence", argc, argv,
+                         {.samples = 3, .quick_samples = 1});
+  trace::SinkScope trace_scope(harness.trace_sink());
+
+  std::printf("BENCH-EQUIVALENCE: translation-validation prove rate over "
+              "the fix-it corpus and a differential mutation-fuzz sweep\n\n");
+
+  // ---- stage 1: fix-it corpus --------------------------------------
+  JsonArray fixit_rows;
+  const FixitTally fixit = run_fixit_corpus(fixit_rows);
+  const double prove_rate =
+      fixit.attempted == 0
+          ? 1.0
+          : static_cast<double>(fixit.proved) /
+                static_cast<double>(fixit.attempted);
+
+  // ---- stage 2: differential fuzz, parallel + index-ordered --------
+  const std::size_t trials = harness.samples() * 32;
+  std::vector<FuzzOutcome> outcomes(trials);
+  std::vector<std::unique_ptr<trace::TraceSink>> sinks(trials);
+  if (harness.trace_requested()) {
+    for (auto& sink : sinks) sink = std::make_unique<trace::TraceSink>();
+  }
+  {
+    ThreadPool pool(harness.threads());
+    pool.parallel_for(trials, [&](std::size_t i) {
+      outcomes[i] = run_fuzz_trial(harness.seed(), i, sinks[i].get());
+    });
+  }
+  std::size_t preserving_proved = 0;
+  std::size_t breaking_total = 0;
+  std::size_t breaking_refuted = 0;
+  std::size_t false_equal = 0;
+  std::size_t false_different = 0;
+  std::size_t unknown = 0;
+  std::map<std::string, std::size_t> method_counts;
+  for (std::size_t i = 0; i < trials; ++i) {  // trial index order
+    const FuzzOutcome& out = outcomes[i];
+    if (out.preserving_proved) ++preserving_proved;
+    if (out.breaking) ++breaking_total;
+    if (out.breaking_refuted) ++breaking_refuted;
+    if (out.false_equal) ++false_equal;
+    if (out.false_different) ++false_different;
+    if (out.unknown) ++unknown;
+    ++method_counts[out.preserving_method];
+    ++method_counts[out.breaking_method];
+    if (harness.trace_sink() != nullptr) {
+      harness.trace_sink()->merge(*sinks[i]);
+    }
+  }
+  JsonObject methods;
+  for (const auto& [name, count] : method_counts) methods[name] = count;
+  const bool sound = false_equal == 0 && false_different == 0;
+
+  Table table({"stage", "metric", "value"});
+  table.set_title("Translation validation");
+  table.add_row({"fixit", "attempted proofs", std::to_string(fixit.attempted)});
+  table.add_row({"fixit", "prove rate", std::to_string(prove_rate)});
+  table.add_row({"fixit", "certified", std::to_string(fixit.certified)});
+  table.add_row({"fixit", "rejected", std::to_string(fixit.rejected)});
+  table.add_row({"fuzz", "trials", std::to_string(trials)});
+  table.add_row({"fuzz", "preserving proved equal",
+                 std::to_string(preserving_proved) + "/" +
+                     std::to_string(trials)});
+  table.add_row({"fuzz", "breaking proved different",
+                 std::to_string(breaking_refuted) + "/" +
+                     std::to_string(breaking_total)});
+  table.add_row({"fuzz", "false proved-equal", std::to_string(false_equal)});
+  table.add_row({"fuzz", "false proved-different",
+                 std::to_string(false_different)});
+  table.add_row({"fuzz", "unknown verdicts", std::to_string(unknown)});
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("Shape checks: prove rate >= 0.95; every actually-breaking "
+              "mutation is refuted; zero false verdicts in either "
+              "direction (exit 1 otherwise).\n");
+
+  Json fixit_json;
+  fixit_json["rows"] = Json(std::move(fixit_rows));
+  fixit_json["attempted"] = fixit.attempted;
+  fixit_json["proved"] = fixit.proved;
+  fixit_json["certified"] = fixit.certified;
+  fixit_json["unverified"] = fixit.unverified;
+  fixit_json["rejected"] = fixit.rejected;
+  fixit_json["prove_rate"] = prove_rate;
+  harness.record("fixit", std::move(fixit_json));
+
+  Json fuzz_json;
+  fuzz_json["trials"] = trials;
+  fuzz_json["preserving_proved"] = preserving_proved;
+  fuzz_json["breaking_total"] = breaking_total;
+  fuzz_json["breaking_refuted"] = breaking_refuted;
+  fuzz_json["false_proved_equal"] = false_equal;
+  fuzz_json["false_proved_different"] = false_different;
+  fuzz_json["unknown"] = unknown;
+  fuzz_json["methods"] = Json(std::move(methods));
+  harness.record("fuzz", std::move(fuzz_json));
+  harness.record("sound", sound);
+  harness.record("prove_rate", prove_rate);
+
+  harness.set_trials(fixit.diagnostics + trials);
+  const bool ok = sound && prove_rate >= 0.95 &&
+                  breaking_refuted == breaking_total;
+  return harness.finish(ok ? 0 : 1);
+}

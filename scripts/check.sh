@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: strict build, full test suite, chaos determinism,
-# clang-tidy (when installed), then the heavy stages — a fail-points-off
+# translation-validation soundness (verify suites + bench_equivalence
+# thread-determinism), clang-tidy (when installed), then the heavy stages — a fail-points-off
 # build (the fault-injection macros must compile away cleanly) and two
 # sanitizer builds: ASan+UBSan over the language front-end tests (the
 # part that chews model-corrupted input all day and so is the most
@@ -25,15 +26,15 @@ done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> [1/7] strict build (warnings as errors)"
+echo "==> [1/8] strict build (warnings as errors)"
 cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 
-echo "==> [2/7] full test suite"
+echo "==> [2/8] full test suite"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "==> [3/7] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
+echo "==> [3/8] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
 # The fault-injection sweep must be bit-identical at any thread count
 # for a fixed (seed, samples, scenario) — including the schema-3
 # trial_failures/degradations sections, which --compare keeps.
@@ -46,7 +47,24 @@ scripts/validate_bench_json.py \
 scripts/validate_bench_json.py --compare \
   build-check/BENCH_chaos_t1.json build-check/BENCH_chaos_t8.json
 
-echo "==> [4/7] clang-tidy (.clang-tidy profile)"
+echo "==> [4/8] translation validation (verify suites + bench_equivalence)"
+# Every equivalence verdict is cross-checked against exact simulation;
+# bench_equivalence exits non-zero on any false proved-equal /
+# proved-different or a fix-it prove rate below 0.95, and its JSON
+# artifact must be identical at any thread count (modulo timing).
+ctest --test-dir build-check --output-on-failure -L verify
+./build-check/bench/bench_equivalence --samples 1 --threads 1 \
+  --json build-check/BENCH_equivalence_t1.json >/dev/null
+./build-check/bench/bench_equivalence --samples 1 --threads 8 \
+  --json build-check/BENCH_equivalence_t8.json >/dev/null
+scripts/validate_bench_json.py \
+  build-check/BENCH_equivalence_t1.json \
+  build-check/BENCH_equivalence_t8.json
+scripts/validate_bench_json.py --compare \
+  build-check/BENCH_equivalence_t1.json \
+  build-check/BENCH_equivalence_t8.json
+
+echo "==> [5/8] clang-tidy (.clang-tidy profile)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Project sources only; third-party and generated code stay out via
   # the explicit file list (compile_commands.json covers everything).
@@ -57,11 +75,11 @@ else
 fi
 
 if [[ "$SKIP_SAN" == "1" ]]; then
-  echo "==> [5/7] through [7/7] heavy stages skipped (--quick)"
+  echo "==> [6/8] through [8/8] heavy stages skipped (--quick)"
   exit 0
 fi
 
-echo "==> [5/7] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
+echo "==> [6/8] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
 # check()/trip() compile to inline no-op stubs; the dormant paths and
 # their tests must build and pass without the injection machinery.
 cmake -B build-nofp -S . -DQCGEN_FAILPOINTS=OFF \
@@ -70,7 +88,7 @@ cmake --build build-nofp -j "$JOBS"
 ctest --test-dir build-nofp --output-on-failure -j "$JOBS" \
   -R 'test_failpoint|test_resilience|test_parallel_eval'
 
-echo "==> [6/7] ASan+UBSan build, qasm/lint/fuzz/chaos tests"
+echo "==> [7/8] ASan+UBSan build, qasm/lint/fuzz/chaos tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE="address;undefined" \
@@ -78,9 +96,9 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness'
+    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness'
 
-echo "==> [7/7] TSan build, thread-pool / trace / parallel-eval / chaos tests"
+echo "==> [8/8] TSan build, thread-pool / trace / parallel-eval / chaos tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE=thread \

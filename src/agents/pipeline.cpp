@@ -6,6 +6,7 @@
 
 #include "common/failpoint.hpp"
 #include "common/trace.hpp"
+#include "qasm/verify/certify.hpp"
 #include "qec/decoder.hpp"
 
 namespace qcgen::agents {
@@ -86,6 +87,40 @@ void note_degradation(PipelineResult& result, PassTrace* pass_trace,
   result.degradations.push_back(std::move(event));
 }
 
+/// True when every diagnostic the repair was asked to fix carries a
+/// preservation claim — only then is a behaviour change a defect rather
+/// than the point of the repair.
+bool repair_is_preservation_obligated(
+    const std::vector<qasm::Diagnostic>& diagnostics) {
+  return !diagnostics.empty() &&
+         std::all_of(diagnostics.begin(), diagnostics.end(),
+                     [](const qasm::Diagnostic& d) {
+                       return qasm::verify::fixit_claims_preservation(d.code);
+                     });
+}
+
+/// Certifies the repair rewrite prev -> current and records the verdict
+/// on the pass trace and the pipeline counters. Purely observational:
+/// control flow and the RNG streams are untouched, so resilience and
+/// chaos runs stay bit-identical.
+void certify_repair(PipelineResult& result, PassTrace& trace,
+                    const std::optional<sim::Circuit>& prev,
+                    const std::optional<sim::Circuit>& current,
+                    bool obligated) {
+  if (!prev.has_value() || !current.has_value()) return;
+  const qasm::verify::Certificate cert =
+      qasm::verify::certify_rewrite(*prev, *current, "repair");
+  trace.repair_certificate = qasm::verify::certificate_summary(cert);
+  if (cert.proved_equal()) {
+    ++result.certified_repairs;
+    qtrace::Metrics::counter("pipeline.repairs_certified");
+  } else if (cert.proved_different() && obligated) {
+    trace.repair_rejected = true;
+    ++result.rejected_repairs;
+    qtrace::Metrics::counter("pipeline.repairs_rejected");
+  }
+}
+
 }  // namespace
 
 MultiAgentPipeline::MultiAgentPipeline(
@@ -157,6 +192,11 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
   }
   const int max_passes = codegen_.config().max_passes;
 
+  // Lowered circuit of the previous pass and whether its repair carried
+  // a preservation obligation — the inputs to repair certification.
+  std::optional<sim::Circuit> prev_circuit;
+  bool prev_obligated = false;
+
   for (int pass = 1; pass <= max_passes; ++pass) {
     PassTrace trace;
     trace.pass = pass;
@@ -189,6 +229,11 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
     trace.error_trace = static_report.error_trace;
     trace.error_count = static_report.diagnostics.size();
     trace.diagnostics = static_report.diagnostics;
+    if (pass > 1) {
+      // Translation validation of the repair that produced this pass.
+      certify_repair(result, trace, prev_circuit, static_report.circuit,
+                     prev_obligated);
+    }
 
     bool semantic_ok = false;
     if (static_report.syntactic_ok) {
@@ -235,6 +280,8 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       break;
     }
     // Feed the error trace back for the next inference pass.
+    prev_circuit = static_report.circuit;
+    prev_obligated = repair_is_preservation_obligated(static_report.diagnostics);
     qtrace::TraceSpan span("pipeline.repair");
     qtrace::Metrics::counter("pipeline.repair_passes");
     auto failed = run_guarded(

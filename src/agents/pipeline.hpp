@@ -93,6 +93,14 @@ struct PassTrace {
   std::vector<qasm::Diagnostic> diagnostics;
   /// Degradation-ladder steps taken during this pass.
   std::vector<DegradationEvent> degradations;
+  /// Translation-validation certificate for the repair step that produced
+  /// this pass's source (verify::certificate_summary rendering; empty on
+  /// pass 1 or when either side of the rewrite does not lower).
+  std::string repair_certificate;
+  /// True when the repair was certification-obligated (every diagnostic it
+  /// was asked to fix claimed semantic preservation) and the checker
+  /// proved the rewrite non-preserving.
+  bool repair_rejected = false;
 };
 
 /// Final pipeline outcome for one task.
@@ -111,6 +119,12 @@ struct PipelineResult {
   int stage_retries = 0;
   /// Budget units consumed by injected delays plus retry backoff.
   double budget_consumed = 0.0;
+  /// Repair steps the equivalence checker certified as preserving
+  /// (proved-equal before/after circuits).
+  int certified_repairs = 0;
+  /// Repair steps proven non-preserving although every diagnostic they
+  /// addressed claimed preservation (see PassTrace::repair_rejected).
+  int rejected_repairs = 0;
 };
 
 class MultiAgentPipeline {

@@ -1,6 +1,8 @@
 #include "qasm/diagnostics.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace qcgen::qasm {
 
@@ -37,6 +39,8 @@ std::string_view diag_code_name(DiagCode code) {
     case DiagCode::kRedundantReset: return "redundant-reset";
     case DiagCode::kTrivialControlledGate: return "trivial-gate";
     case DiagCode::kNonAdjacentQubits: return "non-adjacent-qubits";
+    case DiagCode::kNonPreservingFixIt: return "non-preserving-fixit";
+    case DiagCode::kFixItConflict: return "fixit-conflict";
   }
   return "?";
 }
@@ -121,24 +125,83 @@ std::optional<std::string> apply_fixit(std::string_view source,
   return out;
 }
 
+std::string FixItConflict::to_string() const {
+  const auto range = [](const FixIt& f) {
+    if (f.is_insertion()) {
+      return "insertion before line " + std::to_string(f.line_begin);
+    }
+    return f.line_begin == f.line_end
+               ? "line " + std::to_string(f.line_begin)
+               : "lines " + std::to_string(f.line_begin) + "-" +
+                     std::to_string(f.line_end);
+  };
+  return "fix-it for " + range(rejected) +
+         " conflicts with already-applied fix-it for " + range(winner);
+}
+
+namespace {
+
+/// True when `fix` touches source lines already claimed by `applied`
+/// (both in original-source coordinates, which bottom-up application
+/// keeps valid for every not-yet-applied fix-it).
+bool conflicts_with(const FixIt& applied, const FixIt& fix) {
+  if (fix.is_insertion()) {
+    // An insertion before line L sits between lines L-1 and L; it lands
+    // inside a replaced range [b, e] iff b < L <= e. Two insertions
+    // never collide (both apply, in deterministic order).
+    if (applied.is_insertion()) return false;
+    return applied.line_begin < fix.line_begin &&
+           fix.line_begin <= applied.line_end;
+  }
+  if (applied.is_insertion()) {
+    return fix.line_begin < applied.line_begin &&
+           applied.line_begin <= fix.line_end;
+  }
+  return applied.line_begin <= fix.line_end &&
+         fix.line_begin <= applied.line_end;
+}
+
+}  // namespace
+
 FixItResult apply_fixits(std::string_view source,
-                         const std::vector<Diagnostic>& diags) {
+                         const std::vector<Diagnostic>& diags,
+                         FixItConflictPolicy policy) {
   std::vector<const FixIt*> fixes;
   for (const Diagnostic& d : diags) {
     if (d.fixit.has_value()) fixes.push_back(&*d.fixit);
   }
-  // Bottom-up so earlier patches don't shift later line numbers; for
-  // equal lines, insertions after replacements (stable otherwise).
+  // Bottom-up so earlier patches don't shift later line numbers; stable
+  // on equal lines, so diagnostic order breaks ties deterministically.
   std::stable_sort(fixes.begin(), fixes.end(),
                    [](const FixIt* a, const FixIt* b) {
                      return a->line_begin > b->line_begin;
                    });
   FixItResult result;
   result.source = std::string(source);
+  std::vector<const FixIt*> claimed;
   for (const FixIt* fix : fixes) {
+    const FixIt* winner = nullptr;
+    for (const FixIt* earlier : claimed) {
+      if (conflicts_with(*earlier, *fix)) {
+        winner = earlier;
+        break;
+      }
+    }
+    if (winner != nullptr) {
+      FixItConflict conflict{*winner, *fix};
+      if (policy == FixItConflictPolicy::kFatal) {
+        std::fputs(("fatal fix-it conflict: " + conflict.to_string() + "\n")
+                       .c_str(),
+                   stderr);
+        std::abort();
+      }
+      result.conflicts.push_back(std::move(conflict));
+      continue;
+    }
     if (auto patched = apply_fixit(result.source, *fix)) {
       result.source = std::move(*patched);
       ++result.applied;
+      claimed.push_back(fix);
     }
   }
   return result;

@@ -59,6 +59,9 @@ enum class DiagCode {
   kRedundantReset,
   kTrivialControlledGate,
   kNonAdjacentQubits,
+  // Translation validation (qasm/verify certification layer).
+  kNonPreservingFixIt,
+  kFixItConflict,
 };
 
 /// Human-readable mnemonic (e.g. "deprecated-import") for a code.
@@ -96,17 +99,49 @@ struct FixIt {
 std::optional<std::string> apply_fixit(std::string_view source,
                                        const FixIt& fix);
 
+/// A structured note recording that `rejected` was refused because it
+/// targets source lines already claimed by `winner` this round.
+struct FixItConflict {
+  FixIt winner;
+  FixIt rejected;
+
+  /// Human-readable one-liner, e.g.
+  /// "fix-it for lines 2-3 conflicts with already-applied fix-it for
+  /// line 2".
+  std::string to_string() const;
+
+  friend bool operator==(const FixItConflict&, const FixItConflict&) = default;
+};
+
+/// What apply_fixits does when two fix-its target overlapping lines.
+enum class FixItConflictPolicy {
+  /// Deterministically keep the first fix-it in application order and
+  /// reject the second with a structured FixItConflict note.
+  kRejectSecond,
+  /// Abort the process (diagnostic printed to stderr first). For
+  /// pipelines that treat conflicting lint passes as a tooling bug.
+  kFatal,
+};
+
 /// Applies every fix-it carried by `diags` to `source`, bottom-up so
 /// earlier patches do not shift later line numbers. Fix-its that fail
-/// their guard are skipped. Returns the patched source and the number
-/// of fix-its applied.
+/// their guard are skipped. Two fix-its whose replacement ranges overlap
+/// (or an insertion landing strictly inside a replaced range) are a
+/// conflict: application order is deterministic — descending line_begin,
+/// stable on ties — and the second fix-it in that order is rejected and
+/// recorded in `conflicts` (or, under FixItConflictPolicy::kFatal, kills
+/// the process). Returns the patched source, the number of fix-its
+/// applied, and the conflict notes.
 struct FixItResult {
   std::string source;
   std::size_t applied = 0;
+  std::vector<FixItConflict> conflicts;
 };
 struct Diagnostic;
 FixItResult apply_fixits(std::string_view source,
-                         const std::vector<Diagnostic>& diags);
+                         const std::vector<Diagnostic>& diags,
+                         FixItConflictPolicy policy =
+                             FixItConflictPolicy::kRejectSecond);
 
 struct Diagnostic {
   Severity severity = Severity::kError;

@@ -69,17 +69,20 @@ AnalysisReport run_passes(const Program& program,
   }
   // Deterministic presentation for the repair loop: order by source
   // position, then by pass id for same-line overlap; identical
-  // (code, line, message) triples from overlapping passes report once.
+  // (pass, code, line, message) tuples report once. The pass id is part
+  // of the key on purpose — two distinct passes flagging the same code
+  // and line are independent findings, not duplicates, and collapsing
+  // them would hide one pass's fix-it behind the other's.
   std::stable_sort(report.diagnostics.begin(), report.diagnostics.end(),
                    [](const Diagnostic& a, const Diagnostic& b) {
                      return std::tie(a.line, a.pass_id) <
                             std::tie(b.line, b.pass_id);
                    });
-  std::set<std::tuple<int, DiagCode, std::string>> seen;
+  std::set<std::tuple<std::string, int, DiagCode, std::string>> seen;
   std::vector<Diagnostic> unique;
   unique.reserve(report.diagnostics.size());
   for (Diagnostic& d : report.diagnostics) {
-    if (seen.insert({d.line, d.code, d.message}).second) {
+    if (seen.insert({d.pass_id, d.line, d.code, d.message}).second) {
       unique.push_back(std::move(d));
     }
   }

@@ -1,0 +1,248 @@
+#include "qasm/verify/certify.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/trace.hpp"
+#include "qasm/analyzer.hpp"
+#include "qasm/builder.hpp"
+#include "qasm/parser.hpp"
+
+namespace qcgen::qasm::verify {
+
+bool fixit_claims_preservation(DiagCode code) {
+  switch (code) {
+    // Import surgery and alias renames keep the circuit untouched;
+    // removal fix-its are backed by a proof (dataflow or abstract
+    // interpretation) that the removed code was unobservable.
+    case DiagCode::kDeprecatedImport:
+    case DiagCode::kUnknownImport:
+    case DiagCode::kMissingQiskitImport:
+    case DiagCode::kDeprecatedGateAlias:
+    case DiagCode::kDoubleMeasurement:
+    case DiagCode::kDeadOperation:
+    case DiagCode::kRedundantGatePair:
+    case DiagCode::kUnreachableConditional:
+    case DiagCode::kRedundantReset:
+    case DiagCode::kTrivialControlledGate:
+    case DiagCode::kUnusedQubit:
+      return true;
+    default:
+      // Everything else (e.g. adding the missing measurement) repairs
+      // behaviour on purpose; no equivalence obligation.
+      return false;
+  }
+}
+
+namespace {
+
+/// Lowers a source text to its entry circuit, or nullopt when it does
+/// not parse, analyze clean, or build.
+std::optional<sim::Circuit> lower(std::string_view source) {
+  try {
+    const ParseResult parsed = parse(source);
+    if (!parsed.ok()) return std::nullopt;
+    const AnalysisReport report = analyze(*parsed.program);
+    if (!report.ok()) return std::nullopt;
+    return build_circuit(*parsed.program);
+  } catch (const QcgenError&) {
+    return std::nullopt;
+  }
+}
+
+Diagnostic make_verify_diagnostic(DiagCode code, std::string message, int line,
+                                  const FixIt& fix) {
+  Diagnostic diag;
+  diag.severity = Severity::kWarning;
+  diag.code = code;
+  diag.message = std::move(message);
+  diag.line = line;
+  diag.pass_id = "verify.translation-validation";
+  diag.fixit = fix;
+  return diag;
+}
+
+/// Same overlap rule as apply_fixits (kept in lockstep so certified and
+/// uncertified application accept the same conflict-free subset).
+bool conflicts_with(const FixIt& applied, const FixIt& fix) {
+  if (fix.is_insertion()) {
+    if (applied.is_insertion()) return false;
+    return applied.line_begin < fix.line_begin &&
+           fix.line_begin <= applied.line_end;
+  }
+  if (applied.is_insertion()) {
+    return fix.line_begin < applied.line_begin &&
+           applied.line_begin <= fix.line_end;
+  }
+  return applied.line_begin <= fix.line_end &&
+         fix.line_begin <= applied.line_end;
+}
+
+}  // namespace
+
+CertifiedFixIts certify_and_apply_fixits(std::string_view source,
+                                         const std::vector<Diagnostic>& diags,
+                                         const Options& options) {
+  struct Candidate {
+    std::size_t diag_index;
+    const Diagnostic* diag;
+  };
+  std::vector<Candidate> candidates;
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    if (diags[i].fixit.has_value()) candidates.push_back({i, &diags[i]});
+  }
+  // Deterministic bottom-up order, identical to apply_fixits.
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [](const Candidate& a, const Candidate& b) {
+                     return a.diag->fixit->line_begin >
+                            b.diag->fixit->line_begin;
+                   });
+
+  CertifiedFixIts result;
+  result.source = std::string(source);
+  // Lowered form of the current (accepted-so-far) source; recomputed
+  // lazily after each accepted patch.
+  std::optional<sim::Circuit> baseline;
+  bool baseline_valid = false;
+  std::vector<FixIt> claimed;
+
+  for (const Candidate& candidate : candidates) {
+    const FixIt& fix = *candidate.diag->fixit;
+    FixItCertification record;
+    record.diag_index = candidate.diag_index;
+    record.code = candidate.diag->code;
+
+    const auto rejected_by =
+        std::find_if(claimed.begin(), claimed.end(),
+                     [&](const FixIt& earlier) {
+                       return conflicts_with(earlier, fix);
+                     });
+    if (rejected_by != claimed.end()) {
+      const FixItConflict conflict{*rejected_by, fix};
+      record.detail = conflict.to_string();
+      ++result.rejected;
+      result.verify_diagnostics.push_back(make_verify_diagnostic(
+          DiagCode::kFixItConflict, conflict.to_string(), fix.line_begin,
+          fix));
+      result.records.push_back(std::move(record));
+      continue;
+    }
+
+    auto patched = apply_fixit(result.source, fix);
+    if (!patched.has_value()) {
+      record.detail = "fix-it not applicable (stale range or guard miss)";
+      result.records.push_back(std::move(record));
+      continue;
+    }
+
+    if (!fixit_claims_preservation(candidate.diag->code)) {
+      // Behaviour-changing by design: apply without a proof obligation.
+      result.source = std::move(*patched);
+      claimed.push_back(fix);
+      baseline_valid = false;
+      record.applied = true;
+      record.detail = "fix-it intentionally changes semantics";
+      ++result.applied;
+      ++result.unverified;
+      trace::Metrics::counter("verify.fixits_unverified");
+      result.records.push_back(std::move(record));
+      continue;
+    }
+
+    if (!baseline_valid) {
+      baseline = lower(result.source);
+      baseline_valid = true;
+    }
+    if (!baseline.has_value()) {
+      // Nothing to compare against: the unpatched program does not
+      // lower (the fix-it may be what makes it compile).
+      result.source = std::move(*patched);
+      claimed.push_back(fix);
+      baseline_valid = false;
+      record.applied = true;
+      record.detail = "baseline does not lower; equivalence not checkable";
+      ++result.applied;
+      ++result.unverified;
+      trace::Metrics::counter("verify.fixits_unverified");
+      result.records.push_back(std::move(record));
+      continue;
+    }
+
+    const std::optional<sim::Circuit> after = lower(*patched);
+    if (!after.has_value()) {
+      record.detail = "fix-it stops the program from lowering";
+      ++result.rejected;
+      trace::Metrics::counter("verify.fixits_rejected");
+      result.verify_diagnostics.push_back(make_verify_diagnostic(
+          DiagCode::kNonPreservingFixIt,
+          "fix-it for " + std::string(diag_code_name(candidate.diag->code)) +
+              " stops the program from lowering; rejected",
+          fix.line_begin, fix));
+      result.records.push_back(std::move(record));
+      continue;
+    }
+
+    record.certificate = check_equivalence(*baseline, *after, options);
+    if (record.certificate.proved_different()) {
+      record.detail = "rejected: " + record.certificate.counterexample;
+      ++result.rejected;
+      trace::Metrics::counter("verify.fixits_rejected");
+      result.verify_diagnostics.push_back(make_verify_diagnostic(
+          DiagCode::kNonPreservingFixIt,
+          "fix-it for " + std::string(diag_code_name(candidate.diag->code)) +
+              " does not preserve semantics (" +
+              record.certificate.counterexample + "); rejected",
+          fix.line_begin, fix));
+      result.records.push_back(std::move(record));
+      continue;
+    }
+
+    result.source = std::move(*patched);
+    claimed.push_back(fix);
+    baseline = std::move(after);  // reuse: candidate becomes the baseline
+    baseline_valid = true;
+    record.applied = true;
+    ++result.applied;
+    if (record.certificate.proved_equal()) {
+      ++result.certified;
+      trace::Metrics::counter("verify.fixits_certified");
+    } else {
+      record.detail = "applied without a verdict: " + record.certificate.note;
+      ++result.unverified;
+      trace::Metrics::counter("verify.fixits_unverified");
+    }
+    result.records.push_back(std::move(record));
+  }
+  return result;
+}
+
+Certificate certify_rewrite(const sim::Circuit& before,
+                            const sim::Circuit& after, std::string_view stage,
+                            const Options& options) {
+  Certificate cert = check_equivalence(before, after, options);
+  trace::Metrics::counter("verify.rewrites_checked");
+  if (cert.proved_different()) {
+    trace::Metrics::counter("verify.rewrites_rejected");
+  }
+  if (!cert.proved_equal()) {
+    const std::string prefix = "stage " + std::string(stage);
+    cert.note = cert.note.empty() ? prefix : prefix + ": " + cert.note;
+  }
+  return cert;
+}
+
+std::string certificate_summary(const Certificate& cert) {
+  std::string out(verdict_name(cert.verdict));
+  out += " [";
+  out += method_name(cert.method);
+  out += "/";
+  out += contract_name(cert.contract);
+  out += "]";
+  if (!cert.counterexample.empty()) out += ": " + cert.counterexample;
+  if (!cert.note.empty()) out += " (" + cert.note + ")";
+  return out;
+}
+
+}  // namespace qcgen::qasm::verify

@@ -1,0 +1,81 @@
+#pragma once
+// Certification layer over the equivalence checker: every rewrite the
+// pipeline performs on a program — lint fix-its, SimLM repair patches,
+// transpiler passes — passes through here so a non-preserving rewrite
+// is *caught* instead of silently inflating downstream accuracy.
+//
+// Fix-its are certified at the source level: each candidate patch is
+// lowered next to the unpatched program and the two circuits go through
+// verify::check_equivalence. A patch the checker proves non-preserving
+// is rejected and surfaced as a verify.non-preserving-fixit diagnostic
+// (with the counterexample observable in the message); everything else
+// applies exactly as the uncertified apply_fixits would, so certified
+// application is a strict refinement, not a behaviour change.
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "qasm/diagnostics.hpp"
+#include "qasm/verify/equivalence.hpp"
+#include "sim/circuit.hpp"
+
+namespace qcgen::qasm::verify {
+
+/// True for diagnostic codes whose fix-it claims to preserve circuit
+/// semantics (import/alias rewrites, redundant-code removal). Fix-its
+/// for codes outside this set intentionally change behaviour (e.g.
+/// adding the missing measurement) and are applied without an
+/// equivalence obligation.
+bool fixit_claims_preservation(DiagCode code);
+
+/// Per-fix-it certification record.
+struct FixItCertification {
+  std::size_t diag_index = 0;  ///< index into the input diagnostics
+  DiagCode code = DiagCode::kParseError;
+  bool applied = false;
+  Certificate certificate;  ///< kUnknown/kNone when no proof was attempted
+  std::string detail;       ///< why the fix-it was skipped or unverified
+};
+
+/// Result of certified fix-it application.
+struct CertifiedFixIts {
+  std::string source;       ///< patched source (accepted fix-its applied)
+  std::size_t applied = 0;  ///< fix-its applied (certified or unverified)
+  std::size_t certified = 0;   ///< applied with a proved-equal certificate
+  std::size_t unverified = 0;  ///< applied without a proof obligation/verdict
+  std::size_t rejected = 0;    ///< refused: proved non-preserving or broke
+                               ///< the program
+  /// verify.* diagnostics for every rejection, suitable for appending to
+  /// the analysis report the repair loop renders.
+  std::vector<Diagnostic> verify_diagnostics;
+  std::vector<FixItCertification> records;
+};
+
+/// Applies the fix-its carried by `diags` to `source` in the same
+/// deterministic bottom-up order as apply_fixits, certifying each
+/// semantics-preserving patch against the equivalence checker first.
+/// Patches proven non-preserving — or that stop the program from
+/// lowering — are rejected with a structured diagnostic instead of
+/// applied. Records trace counters verify.fixits_{certified,unverified,
+/// rejected}.
+CertifiedFixIts certify_and_apply_fixits(std::string_view source,
+                                         const std::vector<Diagnostic>& diags,
+                                         const Options& options = {});
+
+/// Certifies an already-performed circuit rewrite (a SimLM repair patch,
+/// a transpiler stage): checks equivalence and bumps the
+/// verify.rewrites_checked / verify.rewrites_rejected counters. `stage`
+/// labels the rewrite in the certificate note when the verdict is not
+/// proved-equal.
+Certificate certify_rewrite(const sim::Circuit& before,
+                            const sim::Circuit& after, std::string_view stage,
+                            const Options& options = {});
+
+/// One-line human-readable rendering of a certificate, e.g.
+/// "proved-equal [clifford/distribution]" or
+/// "proved-different [exact-sim/distribution]: P[01] = ...".
+std::string certificate_summary(const Certificate& cert);
+
+}  // namespace qcgen::qasm::verify

@@ -1,0 +1,126 @@
+#pragma once
+// Translation validation: a static equivalence checker over the
+// flattened operation list of two circuits.
+//
+// The checker certifies the rewrites the multi-agent system performs all
+// day — lint fix-its, SimLM repair patches, transpiler mapping/routing —
+// by *proving* whether the rewrite preserved observable semantics
+// instead of trusting it. Two cooperating engines cover the decidable
+// fragment:
+//
+//  * Clifford canonicalization (reusing sim::CliffordTableau): a
+//    measurement-deferrable Clifford circuit run from |0...0> leaves the
+//    classical register uniformly distributed over an affine subspace of
+//    GF(2)^num_clbits. Gaussian elimination over the final stabilizer
+//    group reduces that subspace to a canonical parity-constraint form,
+//    compared exactly; a constraint present on one side and absent (or
+//    negated) on the other is a *counterexample stabilizer* — a parity
+//    of classical bits fixed by one circuit and violated by the other.
+//  * Phase polynomials / path sums: circuits built from a leading layer
+//    of H gates, a linear-reversible part (X/CX/SWAP) and diagonal
+//    phase gates (Z/S/T/RZ/P/CZ/CP/RZZ). Because the linear part is
+//    injective no paths interfere, so the classical register is again
+//    uniform over an affine subspace (the image of the wire map), and
+//    for measurement-free circuits the unitary itself canonicalises to
+//    (linear map, offset, phase polynomial), compared term-by-term.
+//
+// Circuits that leave both fragments fall through to a *budgeted* exact
+// simulation (still a proof — the reference simulator is exact — but
+// exponential, so bounded by Options); past the budget the verdict is
+// kUnknown, never a guess. Both "proved" verdicts are sound:
+// proved-equal and proved-different statements are cross-checked against
+// exact simulation distributions by the differential fuzz suite
+// (tests/test_verify_fuzz.cpp, bench_equivalence).
+//
+// The observable contract is equality of exact measurement distributions
+// over the classical register from the all-zeros initial state — the
+// same contract the pipeline's behavioural check and transpile::
+// equivalent use. Measurement-free circuits are compared as unitaries
+// (up to global phase) instead, so optimizer/transpiler segments without
+// readout still certify meaningfully.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/circuit.hpp"
+
+namespace qcgen::qasm::verify {
+
+/// Outcome of an equivalence query.
+enum class Verdict {
+  kProvedEqual,      ///< semantics proven identical
+  kProvedDifferent,  ///< a distinguishing observable was exhibited
+  kUnknown,          ///< outside the decidable fragment and over budget
+};
+
+std::string_view verdict_name(Verdict verdict);
+
+/// Which engine decided (kNone for kUnknown verdicts).
+enum class Method {
+  kNone,
+  kStructural,  ///< normalized op lists identical
+  kClifford,    ///< canonical stabilizer / affine-subspace form
+  kPathSum,     ///< phase-polynomial canonical form
+  kExactSim,    ///< budgeted exact reference simulation
+};
+
+std::string_view method_name(Method method);
+
+/// What the verdict speaks about.
+enum class Contract {
+  kDistribution,  ///< exact measurement distribution over clbits
+  kUnitary,       ///< the unitary up to global phase (measurement-free)
+};
+
+std::string_view contract_name(Contract contract);
+
+/// Checker configuration. The defaults enable every engine; the static
+/// engines are polynomial, the simulation fallback is budgeted.
+struct Options {
+  bool structural = true;
+  bool clifford = true;
+  bool path_sum = true;
+  /// Exact-simulation fallback for circuits outside the static fragment.
+  bool simulation_fallback = true;
+  /// Simulation budget: refuse the fallback beyond this many qubits ...
+  std::size_t max_sim_qubits = 12;
+  /// ... or this many branching (measure/reset) ops in a trajectory
+  /// circuit (branch enumeration is 2^ops in the worst case).
+  std::size_t max_sim_branch_ops = 12;
+  /// Distribution probabilities closer than this are considered equal.
+  double tolerance = 1e-9;
+};
+
+/// An equivalence proof (or a refusal to produce one).
+struct Certificate {
+  Verdict verdict = Verdict::kUnknown;
+  Method method = Method::kNone;
+  Contract contract = Contract::kDistribution;
+  /// For kProvedDifferent: the distinguishing observable, e.g.
+  /// "parity(c0 c2) = 0 on lhs but free on rhs" or a basis state whose
+  /// probabilities differ. Empty otherwise.
+  std::string counterexample;
+  /// For kUnknown: why the static engines refused and the simulation
+  /// budget was not enough. Empty otherwise.
+  std::string note;
+
+  bool proved_equal() const noexcept {
+    return verdict == Verdict::kProvedEqual;
+  }
+  bool proved_different() const noexcept {
+    return verdict == Verdict::kProvedDifferent;
+  }
+};
+
+/// Proves, refutes, or declines to decide equivalence of two circuits
+/// under the distribution contract (unitary contract when both are
+/// measurement-free). Deterministic: no randomness, no wall-clock
+/// dependence. Records trace spans ("verify.prove",
+/// "verify.canonicalize") and counters ("verify.proved_equal",
+/// "verify.proved_different", "verify.unknown", "verify.method.<m>")
+/// into the installed trace sink.
+Certificate check_equivalence(const sim::Circuit& lhs,
+                              const sim::Circuit& rhs,
+                              const Options& options = {});
+
+}  // namespace qcgen::qasm::verify

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <tuple>
+#include <utility>
 
 #include "llm/tasks.hpp"
 #include "llm/templates.hpp"
@@ -906,6 +908,133 @@ TEST(LintGoldPrograms, FixitApplicationNeverIntroducesErrors) {
     EXPECT_TRUE(again.ok()) << llm::algorithm_name(id) << "\n"
                             << format_error_trace(again.diagnostics);
   }
+}
+
+// ---------------------------------------------------------------------
+// Driver dedupe: the key must include the pass id
+// ---------------------------------------------------------------------
+
+/// Minimal pass emitting the same diagnostic `repeats` times; used to
+/// probe the driver's dedupe key.
+class StubPass : public lint::LintPass {
+ public:
+  StubPass(std::string id, int repeats)
+      : id_(std::move(id)), repeats_(repeats) {}
+  std::string_view id() const override { return id_; }
+  std::string_view description() const override { return "test stub"; }
+  void run(const lint::PassContext&,
+           lint::DiagnosticSink& sink) const override {
+    for (int i = 0; i < repeats_; ++i) {
+      sink.report(Severity::kWarning, DiagCode::kDeadOperation,
+                  "stub finding", 2);
+    }
+  }
+
+ private:
+  std::string id_;
+  int repeats_;
+};
+
+// Two distinct passes flagging the same (code, line, message) are
+// independent findings and must both survive dedupe; the same pass
+// repeating itself is a duplicate and must collapse.
+TEST(LintDriver, DedupeKeyIncludesPassId) {
+  const ParseResult parsed = parse(
+      "import qiskit; circuit main(q: 1, c: 1) { h q[0]; "
+      "measure q[0] -> c[0]; }");
+  ASSERT_TRUE(parsed.ok());
+  lint::PassRegistry registry;
+  registry.add(std::make_unique<StubPass>("test.alpha", 2))
+      .add(std::make_unique<StubPass>("test.beta", 1));
+  const auto report = lint::run_passes(*parsed.program,
+                                       LanguageRegistry::current(), registry,
+                                       lint::LintConfig{});
+  ASSERT_EQ(report.diagnostics.size(), 2u)
+      << format_error_trace(report.diagnostics);
+  EXPECT_EQ(report.diagnostics[0].pass_id, "test.alpha");
+  EXPECT_EQ(report.diagnostics[1].pass_id, "test.beta");
+  EXPECT_EQ(report.diagnostics[0].message, report.diagnostics[1].message);
+}
+
+// ---------------------------------------------------------------------
+// apply_fixits conflict handling
+// ---------------------------------------------------------------------
+
+Diagnostic diag_with_fixit(FixIt fix) {
+  Diagnostic d;
+  d.severity = Severity::kWarning;
+  d.code = DiagCode::kDeadOperation;
+  d.message = "test";
+  d.line = fix.line_begin;
+  d.fixit = std::move(fix);
+  return d;
+}
+
+TEST(ApplyFixIts, OverlappingReplacementRejectsSecondDeterministically) {
+  const std::string source = "line a\nline b\nline c\n";
+  // Bottom-up order applies the line-2 fix first; the [1,2] fix then
+  // conflicts with the already-claimed line 2.
+  const std::vector<Diagnostic> diags = {
+      diag_with_fixit(FixIt{1, 2, "patched one", ""}),
+      diag_with_fixit(FixIt{2, 2, "patched two", ""}),
+  };
+  const FixItResult result = apply_fixits(source, diags);
+  EXPECT_EQ(result.applied, 1u);
+  EXPECT_EQ(result.source, "line a\npatched two\nline c\n");
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].winner, (FixIt{2, 2, "patched two", ""}));
+  EXPECT_EQ(result.conflicts[0].rejected, (FixIt{1, 2, "patched one", ""}));
+  EXPECT_NE(result.conflicts[0].to_string().find("conflicts with"),
+            std::string::npos);
+}
+
+TEST(ApplyFixIts, SameLineTieKeepsFirstInDiagnosticOrder) {
+  const std::string source = "one\ntwo\n";
+  const std::vector<Diagnostic> diags = {
+      diag_with_fixit(FixIt{2, 2, "first wins", ""}),
+      diag_with_fixit(FixIt{2, 2, "second loses", ""}),
+  };
+  const FixItResult result = apply_fixits(source, diags);
+  EXPECT_EQ(result.applied, 1u);
+  EXPECT_EQ(result.source, "one\nfirst wins\n");
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].rejected.replacement, "second loses");
+}
+
+TEST(ApplyFixIts, InsertionsBeforeSameLineNeverConflict) {
+  const std::string source = "one\ntwo\n";
+  const std::vector<Diagnostic> diags = {
+      diag_with_fixit(FixIt{2, 1, "alpha", ""}),  // insertion before line 2
+      diag_with_fixit(FixIt{2, 1, "beta", ""}),
+  };
+  const FixItResult result = apply_fixits(source, diags);
+  EXPECT_EQ(result.applied, 2u);
+  EXPECT_TRUE(result.conflicts.empty());
+  EXPECT_EQ(result.source, "one\nbeta\nalpha\ntwo\n");
+}
+
+TEST(ApplyFixIts, InsertionInsideReplacedRangeConflicts) {
+  const std::string source = "one\ntwo\nthree\n";
+  const std::vector<Diagnostic> diags = {
+      diag_with_fixit(FixIt{2, 1, "inserted", ""}),  // before line 2
+      diag_with_fixit(FixIt{1, 3, "replaced all", ""}),
+  };
+  const FixItResult result = apply_fixits(source, diags);
+  // The insertion (line_begin 2) applies first bottom-up; the [1,3]
+  // replacement then straddles the insertion point and is rejected.
+  EXPECT_EQ(result.applied, 1u);
+  ASSERT_EQ(result.conflicts.size(), 1u);
+  EXPECT_EQ(result.conflicts[0].rejected, (FixIt{1, 3, "replaced all", ""}));
+}
+
+TEST(ApplyFixItsDeathTest, FatalPolicyAbortsOnConflict) {
+  const std::string source = "one\ntwo\n";
+  const std::vector<Diagnostic> diags = {
+      diag_with_fixit(FixIt{1, 2, "a", ""}),
+      diag_with_fixit(FixIt{2, 2, "b", ""}),
+  };
+  EXPECT_DEATH(apply_fixits(source, diags, FixItConflictPolicy::kFatal),
+               "fatal fix-it conflict");
 }
 
 }  // namespace

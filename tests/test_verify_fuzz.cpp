@@ -1,0 +1,215 @@
+// Differential fuzzing for the equivalence checker: random circuits are
+// mutated either semantics-preservingly (identity-pair insertion,
+// SWAP = 3 CX rewriting, commuting adjacent disjoint gates) or
+// semantics-breakingly (a single extra gate), and every verdict is
+// cross-checked against exact reference distributions. The acceptance
+// bar is zero false proved-equal verdicts: whenever the exact
+// distributions differ the checker must say proved-different, and it
+// must never refute a preserving mutation.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "qasm/verify/equivalence.hpp"
+#include "sim/circuit.hpp"
+#include "sim/statevector.hpp"
+
+namespace qcgen::qasm::verify {
+namespace {
+
+using sim::Circuit;
+using sim::GateKind;
+using sim::Operation;
+
+Operation gate_op(GateKind kind, std::vector<std::size_t> qubits,
+                  std::vector<double> params = {}) {
+  Operation op;
+  op.kind = kind;
+  op.qubits = std::move(qubits);
+  op.params = std::move(params);
+  return op;
+}
+
+Circuit rebuild(std::size_t num_qubits, std::size_t num_clbits,
+                const std::vector<Operation>& ops) {
+  Circuit c(num_qubits, num_clbits);
+  for (const Operation& op : ops) c.append(op);
+  return c;
+}
+
+std::size_t first_measure_index(const std::vector<Operation>& ops) {
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].kind == GateKind::kMeasure) return i;
+  }
+  return ops.size();
+}
+
+/// Random measured circuit over {H,S,X,Z,CX,CZ} (+T/RZ when `with_t`).
+Circuit random_circuit(Rng& rng, std::size_t n, std::size_t depth,
+                       bool with_t) {
+  Circuit c(n, n);
+  for (std::size_t i = 0; i < depth; ++i) {
+    const std::size_t q = rng.uniform_int(n);
+    const std::size_t r = rng.uniform_int(with_t ? 8u : 6u);
+    switch (r) {
+      case 0: c.h(q); break;
+      case 1: c.s(q); break;
+      case 2: c.x(q); break;
+      case 3: c.z(q); break;
+      case 4: {
+        const std::size_t p = (q + 1 + rng.uniform_int(n - 1)) % n;
+        c.cx(q, p);
+        break;
+      }
+      case 5: {
+        const std::size_t p = (q + 1 + rng.uniform_int(n - 1)) % n;
+        c.cz(q, p);
+        break;
+      }
+      case 6: c.t(q); break;
+      default: c.rz(0.3, q); break;
+    }
+  }
+  c.measure_all();
+  return c;
+}
+
+/// Inserts a provably-identity gate sequence at a random point before
+/// the measurement tail.
+Circuit insert_identity_pair(const Circuit& c, Rng& rng) {
+  std::vector<Operation> ops = c.operations();
+  const std::size_t cut = rng.uniform_int(first_measure_index(ops) + 1);
+  const std::size_t n = c.num_qubits();
+  const std::size_t q = rng.uniform_int(n);
+  const std::size_t p = (q + 1 + rng.uniform_int(n - 1)) % n;
+  std::vector<Operation> pair;
+  switch (rng.uniform_int(6u)) {
+    case 0: pair = {gate_op(GateKind::kH, {q}), gate_op(GateKind::kH, {q})};
+      break;
+    case 1: pair = {gate_op(GateKind::kX, {q}), gate_op(GateKind::kX, {q})};
+      break;
+    case 2: pair = {gate_op(GateKind::kS, {q}), gate_op(GateKind::kSdg, {q})};
+      break;
+    case 3: pair = {gate_op(GateKind::kZ, {q}), gate_op(GateKind::kZ, {q})};
+      break;
+    case 4:
+      pair = {gate_op(GateKind::kCX, {q, p}), gate_op(GateKind::kCX, {q, p})};
+      break;
+    default:
+      // SWAP followed by its three-CX expansion: net identity.
+      pair = {gate_op(GateKind::kSwap, {q, p}), gate_op(GateKind::kCX, {q, p}),
+              gate_op(GateKind::kCX, {p, q}), gate_op(GateKind::kCX, {q, p})};
+      break;
+  }
+  ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(cut), pair.begin(),
+             pair.end());
+  return rebuild(c.num_qubits(), c.num_clbits(), ops);
+}
+
+/// Swaps one random adjacent pair of gates with disjoint qubit support
+/// (a commuting reordering); `changed` reports whether a pair existed.
+Circuit commute_adjacent(const Circuit& c, Rng& rng, bool* changed) {
+  std::vector<Operation> ops = c.operations();
+  std::vector<std::size_t> sites;
+  for (std::size_t i = 0; i + 1 < ops.size(); ++i) {
+    const Operation& a = ops[i];
+    const Operation& b = ops[i + 1];
+    if (a.kind == GateKind::kMeasure || b.kind == GateKind::kMeasure) continue;
+    bool disjoint = true;
+    for (const std::size_t qa : a.qubits) {
+      for (const std::size_t qb : b.qubits) {
+        if (qa == qb) disjoint = false;
+      }
+    }
+    if (disjoint) sites.push_back(i);
+  }
+  *changed = !sites.empty();
+  if (sites.empty()) return c;
+  const std::size_t i = sites[rng.uniform_int(sites.size())];
+  std::swap(ops[i], ops[i + 1]);
+  return rebuild(c.num_qubits(), c.num_clbits(), ops);
+}
+
+/// Inserts one extra gate — usually semantics-breaking, sometimes a
+/// coincidental no-op; the caller decides from the exact distributions.
+Circuit insert_single_gate(const Circuit& c, Rng& rng) {
+  std::vector<Operation> ops = c.operations();
+  const std::size_t cut = rng.uniform_int(first_measure_index(ops) + 1);
+  const std::size_t q = rng.uniform_int(c.num_qubits());
+  static constexpr GateKind kPool[] = {GateKind::kX, GateKind::kH,
+                                       GateKind::kZ, GateKind::kS};
+  ops.insert(ops.begin() + static_cast<std::ptrdiff_t>(cut),
+             gate_op(kPool[rng.uniform_int(4u)], {q}));
+  return rebuild(c.num_qubits(), c.num_clbits(), ops);
+}
+
+double exact_tvd(const Circuit& a, const Circuit& b) {
+  return total_variation_distance(sim::exact_distribution(a),
+                                  sim::exact_distribution(b));
+}
+
+constexpr std::size_t kCliffordTrials = 40;
+constexpr std::size_t kMixedTrials = 20;
+
+Circuit trial_circuit(std::size_t trial, Rng& rng) {
+  const bool with_t = trial >= kCliffordTrials;
+  return random_circuit(rng, 2 + trial % 3, 8 + trial % 8, with_t);
+}
+
+TEST(VerifyFuzz, PreservingMutationsProveEqual) {
+  for (std::size_t trial = 0; trial < kCliffordTrials + kMixedTrials;
+       ++trial) {
+    Rng rng(0x5eed0000 + trial);
+    const Circuit base = trial_circuit(trial, rng);
+
+    const Circuit padded = insert_identity_pair(base, rng);
+    ASSERT_LE(exact_tvd(base, padded), 1e-9) << "mutation harness bug";
+    const Certificate pad_cert = check_equivalence(base, padded);
+    EXPECT_TRUE(pad_cert.proved_equal())
+        << "trial " << trial << ": " << pad_cert.note << "\n"
+        << base.to_string() << "vs\n" << padded.to_string();
+
+    bool changed = false;
+    const Circuit commuted = commute_adjacent(base, rng, &changed);
+    if (changed) {
+      ASSERT_LE(exact_tvd(base, commuted), 1e-9) << "mutation harness bug";
+      const Certificate cert = check_equivalence(base, commuted);
+      EXPECT_TRUE(cert.proved_equal())
+          << "trial " << trial << ": " << cert.note;
+    }
+  }
+}
+
+TEST(VerifyFuzz, BreakingMutationsNeverProveEqual) {
+  std::size_t actually_breaking = 0;
+  for (std::size_t trial = 0; trial < kCliffordTrials + kMixedTrials;
+       ++trial) {
+    Rng rng(0xb4d0000 + trial);
+    const Circuit base = trial_circuit(trial, rng);
+    const Circuit mutated = insert_single_gate(base, rng);
+    const double tvd = exact_tvd(base, mutated);
+    const Certificate cert = check_equivalence(base, mutated);
+    EXPECT_NE(cert.verdict, Verdict::kUnknown)
+        << "trial " << trial << ": " << cert.note;
+    if (tvd > 1e-9) {
+      ++actually_breaking;
+      EXPECT_TRUE(cert.proved_different())
+          << "FALSE EQUIVALENCE at trial " << trial << " (tvd=" << tvd
+          << "): " << cert.note << "\n"
+          << base.to_string() << "vs\n" << mutated.to_string();
+    } else {
+      EXPECT_FALSE(cert.proved_different())
+          << "false refutation at trial " << trial << ": "
+          << cert.counterexample;
+    }
+  }
+  // The mutation pool must actually exercise the breaking path.
+  EXPECT_GE(actually_breaking, 15u);
+}
+
+}  // namespace
+}  // namespace qcgen::qasm::verify
