@@ -140,6 +140,9 @@ int main(int argc, char** argv) {
 
   harness.record("passes_used", result.passes_used);
   harness.record("qec_distance", plan.distance);
+  // Fault-tolerant cost estimate the pipeline derived from the static
+  // resource lattice of the generated program (qasm/analysis).
+  harness.record("qec_resources", agents::resource_plan_to_json(plan.resources));
   harness.record("lifetime_extension", plan.lifetime.lifetime_extension);
   harness.record("p000_noisy", p_noisy);
   harness.record("p000_qec", p_qec);

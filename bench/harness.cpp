@@ -149,6 +149,14 @@ void Harness::record_degradations(Json degradations) {
   chaos_sections_ = true;
 }
 
+void Harness::record_resources(Json resources) {
+  resources_ = std::move(resources);
+  resources_section_ = true;
+  // Schema versions are cumulative: 4 implies the chaos sections, which
+  // stay empty arrays unless a record_* call filled them.
+  chaos_sections_ = true;
+}
+
 int Harness::finish(int exit_code) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -165,7 +173,8 @@ int Harness::finish(int exit_code) {
 
   if (json_requested_) {
     Json report;
-    report["schema_version"] = chaos_sections_ ? 3 : 2;
+    report["schema_version"] =
+        resources_section_ ? 4 : (chaos_sections_ ? 3 : 2);
     report["bench"] = name_;
     JsonObject config;
     config["samples"] = samples_;
@@ -179,6 +188,7 @@ int Harness::finish(int exit_code) {
       report["trial_failures"] = trial_failures_;
       report["degradations"] = degradations_;
     }
+    if (resources_section_) report["resources"] = resources_;
     JsonObject timing;
     timing["wall_seconds"] = wall;
     timing["trials"] = trials_;

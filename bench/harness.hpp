@@ -18,7 +18,8 @@
 //   --benchmark_*   passed through (google-benchmark based benches)
 //
 // Report schema (schema_version 2; validators also accept 1; a bench
-// that records chaos sections bumps itself to 3):
+// that records chaos sections bumps itself to 3, and one that records a
+// resources section to 4):
 //   {
 //     "schema_version": 2,
 //     "bench": "<name>",
@@ -30,6 +31,7 @@
 //                 "histograms": {...}},                   // --trace only
 //     "trial_failures": [...],   // schema 3: contained trial failures
 //     "degradations":   [...],   // schema 3: degradation-ladder steps
+//     "resources":      [...],   // schema 4: static resource rows
 //     "results": { ... bench-specific ... }
 //   }
 // Everything outside "timing" is deterministic for a fixed (samples,
@@ -94,6 +96,12 @@ class Harness {
   void record_trial_failures(Json failures);
   void record_degradations(Json degradations);
 
+  /// Records the report's "resources" section (array of per-workload
+  /// static resource rows; see scripts/validate_bench_json.py for the
+  /// required keys) and bumps the report to schema_version 4. Schema 4
+  /// implies the schema-3 chaos sections, which default to empty arrays.
+  void record_resources(Json resources);
+
   /// Total trials executed, for the trials/sec throughput figure.
   void set_trials(std::size_t trials) noexcept { trials_ = trials; }
 
@@ -116,8 +124,10 @@ class Harness {
   std::vector<std::string> passthrough_;
   JsonObject results_;
   bool chaos_sections_ = false;
+  bool resources_section_ = false;
   Json trial_failures_{JsonArray{}};
   Json degradations_{JsonArray{}};
+  Json resources_{JsonArray{}};
   std::size_t trials_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

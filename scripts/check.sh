@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: strict build, full test suite, chaos determinism,
 # translation-validation soundness (verify suites + bench_equivalence
-# thread-determinism), clang-tidy (when installed), then the heavy stages — a fail-points-off
+# thread-determinism), static resource analysis (resources suites +
+# bench_qec_resources thread-determinism), clang-tidy (when installed), then the heavy stages — a fail-points-off
 # build (the fault-injection macros must compile away cleanly) and two
 # sanitizer builds: ASan+UBSan over the language front-end tests (the
 # part that chews model-corrupted input all day and so is the most
@@ -26,15 +27,15 @@ done
 
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
-echo "==> [1/8] strict build (warnings as errors)"
+echo "==> [1/9] strict build (warnings as errors)"
 cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
 cmake --build build-check -j "$JOBS"
 
-echo "==> [2/8] full test suite"
+echo "==> [2/9] full test suite"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "==> [3/8] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
+echo "==> [3/9] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
 # The fault-injection sweep must be bit-identical at any thread count
 # for a fixed (seed, samples, scenario) — including the schema-3
 # trial_failures/degradations sections, which --compare keeps.
@@ -47,7 +48,7 @@ scripts/validate_bench_json.py \
 scripts/validate_bench_json.py --compare \
   build-check/BENCH_chaos_t1.json build-check/BENCH_chaos_t8.json
 
-echo "==> [4/8] translation validation (verify suites + bench_equivalence)"
+echo "==> [4/9] translation validation (verify suites + bench_equivalence)"
 # Every equivalence verdict is cross-checked against exact simulation;
 # bench_equivalence exits non-zero on any false proved-equal /
 # proved-different or a fix-it prove rate below 0.95, and its JSON
@@ -64,7 +65,23 @@ scripts/validate_bench_json.py --compare \
   build-check/BENCH_equivalence_t1.json \
   build-check/BENCH_equivalence_t8.json
 
-echo "==> [5/8] clang-tidy (.clang-tidy profile)"
+echo "==> [5/9] static resource analysis (resources suites + bench_qec_resources)"
+# The cost-lattice engine and its QEC ResourcePlan consumer: exact
+# enumeration cross-checks, the certified qubit-reuse fix-it gate, and
+# the schema-4 resource sweep, bit-identical at any thread count.
+ctest --test-dir build-check --output-on-failure -L resources
+./build-check/bench/bench_qec_resources --samples 1 --threads 1 \
+  --json build-check/BENCH_qec_resources_t1.json >/dev/null
+./build-check/bench/bench_qec_resources --samples 1 --threads 8 \
+  --json build-check/BENCH_qec_resources_t8.json >/dev/null
+scripts/validate_bench_json.py \
+  build-check/BENCH_qec_resources_t1.json \
+  build-check/BENCH_qec_resources_t8.json
+scripts/validate_bench_json.py --compare \
+  build-check/BENCH_qec_resources_t1.json \
+  build-check/BENCH_qec_resources_t8.json
+
+echo "==> [6/9] clang-tidy (.clang-tidy profile)"
 if command -v clang-tidy >/dev/null 2>&1; then
   # Project sources only; third-party and generated code stay out via
   # the explicit file list (compile_commands.json covers everything).
@@ -75,11 +92,11 @@ else
 fi
 
 if [[ "$SKIP_SAN" == "1" ]]; then
-  echo "==> [6/8] through [8/8] heavy stages skipped (--quick)"
+  echo "==> [7/9] through [9/9] heavy stages skipped (--quick)"
   exit 0
 fi
 
-echo "==> [6/8] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
+echo "==> [7/9] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
 # check()/trip() compile to inline no-op stubs; the dormant paths and
 # their tests must build and pass without the injection machinery.
 cmake -B build-nofp -S . -DQCGEN_FAILPOINTS=OFF \
@@ -88,7 +105,7 @@ cmake --build build-nofp -j "$JOBS"
 ctest --test-dir build-nofp --output-on-failure -j "$JOBS" \
   -R 'test_failpoint|test_resilience|test_parallel_eval'
 
-echo "==> [7/8] ASan+UBSan build, qasm/lint/fuzz/chaos tests"
+echo "==> [8/9] ASan+UBSan build, qasm/lint/fuzz/chaos tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE="address;undefined" \
@@ -96,9 +113,9 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness'
+    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_resource_analysis|test_qec_resources|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness'
 
-echo "==> [8/8] TSan build, thread-pool / trace / parallel-eval / chaos tests"
+echo "==> [9/9] TSan build, thread-pool / trace / parallel-eval / chaos tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE=thread \

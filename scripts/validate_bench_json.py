@@ -3,11 +3,12 @@
 
 Usage:
   scripts/validate_bench_json.py FILE [FILE ...]
-      Schema-check each report (schema_version 2 or 3, legacy 1 accepted;
-      see bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity
-      are not valid JSON) and, when present, validates the "trace"
-      section and the schema-3 chaos sections ("trial_failures" and
-      "degradations").
+      Schema-check each report (schema_version 2, 3 or 4, legacy 1
+      accepted; see bench/harness.hpp). Rejects non-finite numerics
+      (NaN/Infinity are not valid JSON) and, when present, validates the
+      "trace" section, the schema-3 chaos sections ("trial_failures" and
+      "degradations") and the schema-4 "resources" section (per-workload
+      static resource counts).
 
   scripts/validate_bench_json.py --compare A.json B.json
       Assert two reports from the same bench/config are identical modulo
@@ -22,7 +23,16 @@ import json
 import math
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3)
+SCHEMA_VERSIONS = (1, 2, 3, 4)
+
+# Required keys of each schema-4 "resources" row; every one is a count
+# from the static resource-analysis engine (qasm/analysis) and must be a
+# non-negative integer.
+RESOURCE_COUNT_KEYS = (
+    "qubits", "qubits_used", "gate_count", "t_count", "ccx_count",
+    "rotation_count", "two_qubit_count", "non_clifford_count",
+    "measure_count", "depth", "t_depth",
+)
 
 
 def fail(msg: str) -> None:
@@ -102,6 +112,11 @@ def check_schema(path: str, doc: dict) -> None:
             if key in doc:
                 fail(f"{path}: '{key}' requires schema_version >= 3")
 
+    if doc["schema_version"] >= 4:
+        check_resources(path, doc)
+    elif "resources" in doc:
+        fail(f"{path}: 'resources' requires schema_version >= 4")
+
 
 def check_trace(path: str, trace) -> None:
     """Validates the deterministic trace summary written under --trace."""
@@ -161,6 +176,33 @@ def check_chaos_sections(path: str, doc: dict) -> None:
             if not isinstance(entry.get(key), kind):
                 fail(f"{path}: degradations[{i}].{key} must be "
                      f"{kind.__name__}")
+
+
+def check_resources(path: str, doc: dict) -> None:
+    """Validates the schema-4 "resources" section: one row per workload,
+    each a static resource digest (see qasm/analysis/resources.hpp).
+    The section is fully deterministic, so --compare includes it."""
+    resources = doc.get("resources")
+    if not isinstance(resources, list):
+        fail(f"{path}: 'resources' must be an array (schema 4)")
+    for i, entry in enumerate(resources):
+        if not isinstance(entry, dict):
+            fail(f"{path}: resources[{i}] must be an object")
+        workload = entry.get("workload")
+        if not isinstance(workload, str) or not workload:
+            fail(f"{path}: resources[{i}].workload must be a non-empty "
+                 f"string")
+        for key in RESOURCE_COUNT_KEYS:
+            value = entry.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(f"{path}: resources[{i}].{key} must be an int "
+                     f"(exact counts; got {type(value).__name__})")
+            if value < 0:
+                fail(f"{path}: resources[{i}].{key} is negative")
+        if entry["qubits_used"] > entry["qubits"]:
+            fail(f"{path}: resources[{i}]: qubits_used exceeds qubits")
+        if entry["t_depth"] > entry["depth"]:
+            fail(f"{path}: resources[{i}]: t_depth exceeds depth")
 
 
 def strip_nondeterministic(doc: dict) -> dict:

@@ -196,6 +196,9 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
   // a preservation obligation — the inputs to repair certification.
   std::optional<sim::Circuit> prev_circuit;
   bool prev_obligated = false;
+  // Resource digest of the final artifact, feeding the QEC stage's
+  // fault-tolerance cost estimate.
+  qasm::analysis::ResourceSummary final_resources;
 
   for (int pass = 1; pass <= max_passes; ++pass) {
     PassTrace trace;
@@ -277,6 +280,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       if (static_report.circuit.has_value()) {
         result.circuit = static_report.circuit;
       }
+      final_resources = static_report.resources;
       break;
     }
     // Feed the error trace back for the next inference pass.
@@ -318,6 +322,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       if (static_report.circuit.has_value()) {
         result.circuit = static_report.circuit;
       }
+      final_resources = static_report.resources;
       break;
     }
   }
@@ -349,7 +354,8 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
             failpoint::trip("qec.decode", result.passes_used);
             QecDecoderAgent::Options options = qec_agent_->options();
             options.decoder = ladder[rung];
-            plan = QecDecoderAgent(options).plan_for(*device_);
+            plan = QecDecoderAgent(options).plan_for(*device_,
+                                                     &final_resources);
           });
       if (!failed.has_value()) {
         result.qec = std::move(plan);

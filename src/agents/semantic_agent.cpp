@@ -28,6 +28,10 @@ StaticReport SemanticAnalyzerAgent::analyze(const std::string& source) const {
     report.error_trace = qasm::format_error_trace(report.diagnostics);
     return report;
   }
+  report.resources = [&] {
+    trace::TraceSpan span("analyze.resources");
+    return qasm::analysis::summarize_entry(*parsed.program);
+  }();
   qasm::AnalysisReport analysis = [&] {
     trace::TraceSpan span("analyze.lint");
     return qasm::analyze(*parsed.program, qasm::LanguageRegistry::current(),

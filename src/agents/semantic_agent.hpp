@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
+#include "qasm/analysis/resources.hpp"
 #include "qasm/analyzer.hpp"
 #include "qasm/parser.hpp"
 #include "sim/circuit.hpp"
@@ -32,6 +33,9 @@ struct StaticReport {
   std::optional<sim::Circuit> circuit;
   /// Formatted trace for the repair prompt (Sec IV-A).
   std::string error_trace;
+  /// Static resource digest of the entry circuit (computed whenever the
+  /// source parses); the QEC agent turns it into a ResourcePlan.
+  qasm::analysis::ResourceSummary resources;
 };
 
 /// Behavioural check outcome.

@@ -59,6 +59,15 @@ double repair_success_probability(DiagCode code) {
       // Informational abstract facts: a constant outcome is not a defect
       // to patch, and routing needs a compiler, not a line edit.
       return 0.0;
+    case DiagCode::kQubitReuse:
+    case DiagCode::kIdleQubitHotspot:
+    case DiagCode::kUncomputedAncilla:
+    case DiagCode::kDepthDominatingLayer:
+      // Resource-analysis advisories: reuse/idle/serialisation findings
+      // describe cost, not incorrectness — the program behaves the same
+      // without the edit, so the repair loop leaves them alone (the
+      // certified fix-it path in qasm/verify applies qubit-reuse).
+      return 0.0;
     case DiagCode::kUnreachableConditional:
     case DiagCode::kRedundantReset:
     case DiagCode::kTrivialControlledGate:

@@ -16,8 +16,9 @@ using qasm::Program;
 using qasm::RegRef;
 using qasm::Stmt;
 
-qasm::Stmt make_gate(std::string name, std::vector<std::size_t> qubits,
-                     std::vector<double> params, const std::string& qreg) {
+qasm::Stmt make_gate(std::string name, const std::vector<std::size_t>& qubits,
+                     const std::vector<double>& params,
+                     const std::string& qreg) {
   GateStmt g;
   g.name = std::move(name);
   for (double p : params) g.params.push_back(Expr::make_number(p));
@@ -25,8 +26,9 @@ qasm::Stmt make_gate(std::string name, std::vector<std::size_t> qubits,
   return Stmt{std::move(g)};
 }
 
-qasm::Stmt make_pi_gate(std::string name, std::vector<std::size_t> qubits,
-                        std::vector<ExprPtr> params, const std::string& qreg) {
+qasm::Stmt make_pi_gate(std::string name, const std::vector<std::size_t>& qubits,
+                        std::vector<ExprPtr> params,
+                        const std::string& qreg) {
   GateStmt g;
   g.name = std::move(name);
   g.params = std::move(params);

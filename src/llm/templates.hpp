@@ -14,10 +14,10 @@ namespace qcgen::llm {
 qasm::Program gold_program(const TaskSpec& task);
 
 // AST construction helpers shared with the fault injector.
-qasm::Stmt make_gate(std::string name, std::vector<std::size_t> qubits,
-                     std::vector<double> params = {},
+qasm::Stmt make_gate(std::string name, const std::vector<std::size_t>& qubits,
+                     const std::vector<double>& params = {},
                      const std::string& qreg = "q");
-qasm::Stmt make_pi_gate(std::string name, std::vector<std::size_t> qubits,
+qasm::Stmt make_pi_gate(std::string name, const std::vector<std::size_t>& qubits,
                         std::vector<qasm::ExprPtr> params,
                         const std::string& qreg = "q");
 qasm::Stmt make_measure(std::size_t qubit, std::size_t clbit);

@@ -17,6 +17,9 @@ lint::LintConfig AnalyzerOptions::to_lint_config() const {
   if (!abstract_lints) {
     config.disabled_groups.insert("abstract.");
   }
+  if (!resource_lints) {
+    config.disabled_groups.insert("resource.");
+  }
   config.topology = topology;
   config.emit_fixits = emit_fixits;
   return config;

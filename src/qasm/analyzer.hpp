@@ -32,6 +32,9 @@ struct AnalyzerOptions {
   /// (deterministic-measurement, unreachable-conditional, ...). The
   /// bench_multipass ablation flips this off.
   bool abstract_lints = true;
+  /// Run the static resource-analysis lints (qubit-reuse,
+  /// idle-qubit-hotspot, uncomputed-ancilla, depth-dominating-layer).
+  bool resource_lints = true;
   /// Target device coupling map for abstract.topology-conformance;
   /// unset leaves the pass silent (no hardware target committed).
   std::optional<lint::CouplingMap> topology;

@@ -41,6 +41,10 @@ std::string_view diag_code_name(DiagCode code) {
     case DiagCode::kNonAdjacentQubits: return "non-adjacent-qubits";
     case DiagCode::kNonPreservingFixIt: return "non-preserving-fixit";
     case DiagCode::kFixItConflict: return "fixit-conflict";
+    case DiagCode::kQubitReuse: return "qubit-reuse";
+    case DiagCode::kIdleQubitHotspot: return "idle-qubit-hotspot";
+    case DiagCode::kUncomputedAncilla: return "uncomputed-ancilla";
+    case DiagCode::kDepthDominatingLayer: return "depth-dominating-layer";
   }
   return "?";
 }

@@ -62,6 +62,11 @@ enum class DiagCode {
   // Translation validation (qasm/verify certification layer).
   kNonPreservingFixIt,
   kFixItConflict,
+  // Static resource analysis (qasm/analysis cost-lattice lints).
+  kQubitReuse,
+  kIdleQubitHotspot,
+  kUncomputedAncilla,
+  kDepthDominatingLayer,
 };
 
 /// Human-readable mnemonic (e.g. "deprecated-import") for a code.

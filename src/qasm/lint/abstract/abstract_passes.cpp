@@ -5,7 +5,6 @@
 // for certainly-reachable ops, so a fix-it never fires on speculation.
 
 #include <algorithm>
-#include <deque>
 #include <optional>
 #include <string>
 
@@ -270,29 +269,6 @@ class TopologyConformancePass final : public LintPass {
         ++reported;
       }
     }
-  }
-
- private:
-  /// BFS hop count between physical qubits a and b; 0 = disconnected.
-  static std::size_t coupling_distance(const CouplingMap& topo,
-                                       std::size_t a, std::size_t b) {
-    std::vector<std::size_t> dist(topo.num_qubits, 0);
-    std::deque<std::size_t> queue{a};
-    std::vector<bool> seen(topo.num_qubits, false);
-    seen[a] = true;
-    while (!queue.empty()) {
-      const std::size_t u = queue.front();
-      queue.pop_front();
-      for (const auto& [x, y] : topo.edges) {
-        const std::size_t v = x == u ? y : (y == u ? x : topo.num_qubits);
-        if (v >= topo.num_qubits || seen[v]) continue;
-        seen[v] = true;
-        dist[v] = dist[u] + 1;
-        if (v == b) return dist[v];
-        queue.push_back(v);
-      }
-    }
-    return 0;
   }
 };
 

@@ -8,6 +8,7 @@
 
 #include "common/failpoint.hpp"
 #include "common/trace.hpp"
+#include "qasm/analysis/resources.hpp"
 #include "qasm/lint/abstract/interpreter.hpp"
 
 namespace qcgen::qasm {
@@ -56,8 +57,24 @@ AnalysisReport run_passes(const Program& program,
     trace::TraceSpan span("lint.abstract-interpret");
     abstract_facts = abstract::AbstractFacts::compute(facts, language);
   }
+  // Same deal for the resource lattice: computed once, only when some
+  // resource.* pass will read it. It reuses the abstract reachability
+  // verdicts when the interpreter ran, so conditional costs tighten.
+  std::optional<analysis::ResourceFacts> resource_facts;
+  const bool want_resources = std::any_of(
+      registry.passes().begin(), registry.passes().end(),
+      [&](const std::unique_ptr<LintPass>& pass) {
+        return pass->id().substr(0, 9) == "resource." &&
+               config.pass_enabled(pass->id());
+      });
+  if (want_resources) {
+    trace::TraceSpan span("lint.resource-analysis");
+    resource_facts = analysis::ResourceFacts::compute(
+        facts, language, abstract_facts ? &*abstract_facts : nullptr);
+  }
   const PassContext ctx{program, facts, language, config,
-                        abstract_facts ? &*abstract_facts : nullptr};
+                        abstract_facts ? &*abstract_facts : nullptr,
+                        resource_facts ? &*resource_facts : nullptr};
   AnalysisReport report;
   for (const auto& pass : registry.passes()) {
     if (!config.pass_enabled(pass->id())) continue;

@@ -1,6 +1,32 @@
 #include "qasm/lint/pass.hpp"
 
+#include <deque>
+
 namespace qcgen::qasm::lint {
+
+std::size_t coupling_distance(const CouplingMap& topology, std::size_t a,
+                              std::size_t b) {
+  if (a >= topology.num_qubits || b >= topology.num_qubits) return 0;
+  if (a == b) return 0;
+  std::vector<std::size_t> dist(topology.num_qubits, 0);
+  std::deque<std::size_t> queue{a};
+  std::vector<bool> seen(topology.num_qubits, false);
+  seen[a] = true;
+  while (!queue.empty()) {
+    const std::size_t u = queue.front();
+    queue.pop_front();
+    for (const auto& [x, y] : topology.edges) {
+      const std::size_t v =
+          x == u ? y : (y == u ? x : topology.num_qubits);
+      if (v >= topology.num_qubits || seen[v]) continue;
+      seen[v] = true;
+      dist[v] = dist[u] + 1;
+      if (v == b) return dist[v];
+      queue.push_back(v);
+    }
+  }
+  return 0;
+}
 
 bool LintConfig::pass_enabled(std::string_view id) const {
   if (const auto it = passes.find(id); it != passes.end()) {

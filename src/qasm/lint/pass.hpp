@@ -23,6 +23,14 @@ namespace abstract {
 struct AbstractFacts;
 }  // namespace abstract
 
+}  // namespace qcgen::qasm::lint
+
+namespace qcgen::qasm::analysis {
+struct ResourceFacts;
+}  // namespace qcgen::qasm::analysis
+
+namespace qcgen::qasm::lint {
+
 /// Physical qubit connectivity of a target device, in the lint layer's
 /// own vocabulary so qasm stays independent of agents/. Edges are
 /// undirected pairs of physical qubit indices; agents::coupling_map()
@@ -39,6 +47,13 @@ struct CouplingMap {
     return false;
   }
 };
+
+/// BFS hop count between physical qubits `a` and `b` on the coupling
+/// graph; 0 when disconnected (or out of range). Shared by
+/// abstract.topology-conformance and the QEC agent's routing-overhead
+/// model.
+std::size_t coupling_distance(const CouplingMap& topology, std::size_t a,
+                              std::size_t b);
 
 /// Per-pass configuration knobs.
 struct PassSettings {
@@ -78,6 +93,9 @@ struct PassContext {
   /// Stabilizer-domain abstract interpretation results; null when no
   /// abstract.* pass is enabled (the interpreter is skipped entirely).
   const abstract::AbstractFacts* abstract = nullptr;
+  /// Static resource lattice (qasm/analysis); null when no resource.*
+  /// pass is enabled (the analysis is skipped entirely).
+  const analysis::ResourceFacts* resources = nullptr;
 };
 
 /// Collects diagnostics for one pass invocation.

@@ -20,6 +20,7 @@ const PassRegistry& PassRegistry::builtin() {
     register_core_passes(registry);
     register_dataflow_passes(registry);
     register_abstract_passes(registry);
+    register_resource_passes(registry);
     return registry;
   }();
   return kRegistry;

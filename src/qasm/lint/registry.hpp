@@ -2,8 +2,9 @@
 // PassRegistry: the ordered collection of lint passes the driver runs.
 //
 // The built-in registry carries the refactored legacy analyzer checks
-// (core.*), the dataflow lints (dataflow.*) and the stabilizer-domain
-// abstract-interpretation lints (abstract.*). Callers may
+// (core.*), the dataflow lints (dataflow.*), the stabilizer-domain
+// abstract-interpretation lints (abstract.*) and the static
+// resource-analysis lints (resource.*). Callers may
 // build their own registry to add project-specific passes or subset
 // the built-ins; per-run enable/severity tweaks belong in LintConfig,
 // not in registry surgery.
@@ -39,9 +40,11 @@ class PassRegistry {
 };
 
 /// Registration hooks for the built-in pass families
-/// (core_passes.cpp / dataflow_passes.cpp / abstract/abstract_passes.cpp).
+/// (core_passes.cpp / dataflow_passes.cpp / abstract/abstract_passes.cpp
+/// / analysis/resource_passes.cpp).
 void register_core_passes(PassRegistry& registry);
 void register_dataflow_passes(PassRegistry& registry);
 void register_abstract_passes(PassRegistry& registry);
+void register_resource_passes(PassRegistry& registry);
 
 }  // namespace qcgen::qasm::lint

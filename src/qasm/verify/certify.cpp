@@ -28,6 +28,10 @@ bool fixit_claims_preservation(DiagCode code) {
     case DiagCode::kRedundantReset:
     case DiagCode::kTrivialControlledGate:
     case DiagCode::kUnusedQubit:
+    // Qubit-reuse remaps a dead qubit onto a released (reset-to-|0>)
+    // ancilla; the measured bits are untouched, so the rewrite claims
+    // preservation and must prove it.
+    case DiagCode::kQubitReuse:
       return true;
     default:
       // Everything else (e.g. adding the missing measurement) repairs

@@ -50,7 +50,7 @@ void Tableau::reset(std::size_t q, Rng& rng) {
   if (measure(q, rng)) x(q);
 }
 
-int Tableau::pauli_z_expectation(std::vector<std::size_t> qubits) const {
+int Tableau::pauli_z_expectation(const std::vector<std::size_t>& qubits) const {
   const CliffordTableau::ZSign result = kernel_.pauli_z_sign(qubits);
   if (!result.deterministic) return 0;
   ensure(sign_known(result.sign), "Tableau: unexpected unknown sign");

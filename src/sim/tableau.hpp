@@ -65,7 +65,7 @@ class Tableau {
 
   /// Expectation of the Pauli-Z string over `qubits`: +1, -1 or 0
   /// (0 when the outcome is random).
-  int pauli_z_expectation(std::vector<std::size_t> qubits) const;
+  int pauli_z_expectation(const std::vector<std::size_t>& qubits) const;
 
   /// Stabilizer generators as strings like "+XZ_Z" for debugging/tests.
   std::vector<std::string> stabilizer_strings() const {

@@ -1,0 +1,223 @@
+// Tests for the QEC agent's ResourcePlan: the code-distance solve
+// against a target logical error rate, magic-state factory sizing from
+// T-count/T-depth, routing overhead from the coupling map, and the JSON
+// serialisation the bench artifacts carry.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "agents/qec_agent.hpp"
+#include "agents/topology.hpp"
+#include "common/json.hpp"
+#include "qasm/analysis/resources.hpp"
+
+namespace qcgen::agents {
+namespace {
+
+using qasm::analysis::ResourceSummary;
+using qasm::analysis::TwoQubitPair;
+
+/// A synthetic program digest: `pairs` defaults to a single adjacent
+/// coupling so routing stays out of the way unless a test opts in.
+ResourceSummary make_summary(std::size_t qubits, std::size_t depth,
+                             std::size_t t_count, std::size_t t_depth,
+                             std::vector<TwoQubitPair> pairs = {{0, 1, 1}}) {
+  ResourceSummary summary;
+  summary.computed = true;
+  summary.qubits = qubits;
+  summary.qubits_used = qubits;
+  summary.gate_count = depth * qubits;
+  summary.t_count = t_count;
+  summary.t_depth = t_depth;
+  summary.two_qubit_count = pairs.size();
+  summary.depth = depth;
+  summary.two_qubit_pairs = std::move(pairs);
+  return summary;
+}
+
+QecPlan plan_with(const DeviceTopology& device, const ResourceSummary& summary,
+                  double target = 1e-6, int probe_distance = 3) {
+  QecDecoderAgent::Options options;
+  options.target_distance = probe_distance;
+  options.trials = 400;
+  options.seed = 99;
+  options.target_logical_error = target;
+  return QecDecoderAgent(options).plan_for(device, &summary);
+}
+
+TEST(QecResourcePlan, ComputedOnlyWhenAProgramIsSupplied) {
+  const DeviceTopology device = DeviceTopology::grid(13, 13);
+  QecDecoderAgent::Options options;
+  options.trials = 400;
+  const QecPlan bare = QecDecoderAgent(options).plan_for(device);
+  ASSERT_TRUE(bare.feasible);
+  EXPECT_FALSE(bare.resources.computed);
+
+  const ResourceSummary summary = make_summary(3, 10, 4, 2);
+  const QecPlan with = QecDecoderAgent(options).plan_for(device, &summary);
+  ASSERT_TRUE(with.feasible);
+  EXPECT_TRUE(with.resources.computed);
+  EXPECT_EQ(with.resources.logical_qubits, 3u);
+  EXPECT_EQ(with.resources.circuit_depth, 10u);
+}
+
+TEST(QecResourcePlan, InfeasibleDeviceCarriesNoEstimate) {
+  // Linear chains host no 2D surface code at all.
+  const DeviceTopology device = DeviceTopology::linear(20);
+  const ResourceSummary summary = make_summary(2, 5, 0, 0);
+  const QecPlan plan = plan_with(device, summary);
+  EXPECT_FALSE(plan.feasible);
+  EXPECT_FALSE(plan.resources.computed);
+}
+
+TEST(QecResourcePlan, DistanceSolveIsMonotoneInTheTarget) {
+  // Brisbane noise keeps the measured logical error per round nonzero,
+  // so the solve actually has to climb the distance ladder. (Ideal-noise
+  // grids measure zero and trivially meet any target at distance 3.)
+  const DeviceTopology device = DeviceTopology::ibm_brisbane();
+  const ResourceSummary summary = make_summary(3, 20, 8, 4);
+  const QecPlan loose = plan_with(device, summary, /*target=*/1e-1);
+  const QecPlan tight = plan_with(device, summary, /*target=*/1e-9);
+  ASSERT_TRUE(loose.resources.computed);
+  ASSERT_TRUE(tight.resources.computed);
+  EXPECT_LE(loose.resources.code_distance, tight.resources.code_distance);
+  // Solved distances are odd and within the device's range.
+  for (const QecPlan* plan : {&loose, &tight}) {
+    EXPECT_GE(plan->resources.code_distance, 3);
+    EXPECT_LE(plan->resources.code_distance,
+              device.max_surface_code_distance());
+    EXPECT_EQ(plan->resources.code_distance % 2, 1);
+  }
+  // A loose target is met; projected error respects the model.
+  EXPECT_TRUE(loose.resources.target_met);
+  if (tight.resources.target_met) {
+    EXPECT_LE(tight.resources.projected_error_per_round,
+              tight.resources.target_logical_error);
+  }
+}
+
+TEST(QecResourcePlan, UnreachableTargetFallsBackToMaxDistance) {
+  // At Brisbane noise Lambda is barely above 1, so a 1e-300 target is
+  // far beyond what the device's distance range can suppress.
+  const DeviceTopology device = DeviceTopology::ibm_brisbane();
+  const ResourceSummary summary = make_summary(2, 8, 0, 0);
+  const QecPlan plan = plan_with(device, summary, /*target=*/1e-300);
+  ASSERT_TRUE(plan.resources.computed);
+  EXPECT_FALSE(plan.resources.target_met);
+  EXPECT_EQ(plan.resources.code_distance,
+            device.max_surface_code_distance());
+}
+
+TEST(QecResourcePlan, FactoriesTrackMagicStateDemand) {
+  const DeviceTopology device = DeviceTopology::grid(13, 13);
+
+  // Clifford-only program: no magic states, no factories.
+  const QecPlan clifford = plan_with(device, make_summary(3, 10, 0, 0));
+  ASSERT_TRUE(clifford.resources.computed);
+  EXPECT_EQ(clifford.resources.t_equivalents, 0u);
+  EXPECT_EQ(clifford.resources.factory_count, 0u);
+  EXPECT_EQ(clifford.resources.factory_physical_qubits, 0u);
+
+  // Any T gate forces at least one factory.
+  const QecPlan one_t = plan_with(device, make_summary(3, 10, 1, 1));
+  ASSERT_TRUE(one_t.resources.computed);
+  EXPECT_EQ(one_t.resources.t_equivalents, 1u);
+  EXPECT_GE(one_t.resources.factory_count, 1u);
+
+  // More T work at the same depth needs at least as many factories.
+  const QecPlan heavy = plan_with(device, make_summary(3, 10, 40, 1));
+  ASSERT_TRUE(heavy.resources.computed);
+  EXPECT_GE(heavy.resources.factory_count, one_t.resources.factory_count);
+
+  // The T-depth parallelism cap binds: serialised T work (t_depth ==
+  // t_count) never needs more than ceil(t/t_depth) = 1 extra pipeline.
+  const QecPlan serial = plan_with(device, make_summary(3, 40, 40, 40));
+  ASSERT_TRUE(serial.resources.computed);
+  EXPECT_EQ(serial.resources.factory_count, 1u);
+}
+
+TEST(QecResourcePlan, ToffoliAndRotationsConvertToMagicStates) {
+  const DeviceTopology device = DeviceTopology::grid(13, 13);
+  ResourceSummary summary = make_summary(3, 10, 2, 1);
+  summary.ccx_count = 3;
+  summary.rotation_count = 1;
+  const QecPlan plan = plan_with(device, summary);
+  ASSERT_TRUE(plan.resources.computed);
+  // 2 explicit T + 3 * 7 per Toffoli + 1 * 30 per rotation.
+  EXPECT_EQ(plan.resources.t_equivalents, 2u + 21u + 30u);
+}
+
+TEST(QecResourcePlan, RoutingOverheadFollowsTheCouplingMap) {
+  // Fully-connected device: every pair is adjacent, zero routing.
+  const DeviceTopology full = DeviceTopology::fully_connected(25);
+  const QecPlan direct = plan_with(
+      full, make_summary(4, 10, 0, 0, {{0, 1, 5}, {0, 3, 2}}));
+  ASSERT_TRUE(direct.resources.computed);
+  EXPECT_EQ(direct.resources.routing_extra_cx, 0u);
+
+  // Grid device, far-apart pair: qubits 0 and 12 sit 12 hops apart on
+  // the first row, so each cx pays 3 swaps per intermediate hop.
+  const DeviceTopology grid = DeviceTopology::grid(13, 13);
+  const QecPlan routed =
+      plan_with(grid, make_summary(13, 10, 0, 0, {{0, 12, 2}}));
+  ASSERT_TRUE(routed.resources.computed);
+  EXPECT_EQ(routed.resources.routing_extra_cx, 2u * 3u * 11u);
+
+  // Adjacent pair on the same grid: free.
+  const QecPlan adjacent =
+      plan_with(grid, make_summary(2, 10, 0, 0, {{0, 1, 7}}));
+  ASSERT_TRUE(adjacent.resources.computed);
+  EXPECT_EQ(adjacent.resources.routing_extra_cx, 0u);
+}
+
+TEST(QecResourcePlan, SpaceAndTimeAccountingIsConsistent) {
+  const DeviceTopology device = DeviceTopology::grid(13, 13);
+  const QecPlan plan = plan_with(device, make_summary(3, 10, 4, 2));
+  const ResourcePlan& res = plan.resources;
+  ASSERT_TRUE(res.computed);
+  const auto d = static_cast<std::size_t>(res.code_distance);
+  EXPECT_EQ(res.physical_qubits_per_logical, 2 * d * d - 1);
+  EXPECT_EQ(res.data_physical_qubits,
+            res.logical_qubits * res.physical_qubits_per_logical);
+  EXPECT_EQ(res.routing_physical_qubits,
+            ((res.logical_qubits + 1) / 2) * res.physical_qubits_per_logical);
+  EXPECT_EQ(res.total_physical_qubits,
+            res.data_physical_qubits + res.routing_physical_qubits +
+                res.factory_physical_qubits);
+  EXPECT_EQ(res.logical_time_rounds, res.circuit_depth * d);
+  EXPECT_EQ(res.factory_rounds_per_state, 6 * d);
+  EXPECT_DOUBLE_EQ(res.space_time_volume,
+                   static_cast<double>(res.total_physical_qubits) *
+                       static_cast<double>(res.logical_time_rounds));
+}
+
+TEST(QecResourcePlan, PlanIsDeterministicForAFixedSeed) {
+  const DeviceTopology device = DeviceTopology::grid(13, 13);
+  const ResourceSummary summary = make_summary(3, 12, 6, 3);
+  const Json a = resource_plan_to_json(plan_with(device, summary).resources);
+  const Json b = resource_plan_to_json(plan_with(device, summary).resources);
+  EXPECT_EQ(a.dump(), b.dump());
+}
+
+TEST(QecResourcePlan, JsonCarriesEveryField) {
+  const DeviceTopology device = DeviceTopology::grid(13, 13);
+  const QecPlan plan = plan_with(device, make_summary(3, 10, 4, 2));
+  const std::string json = resource_plan_to_json(plan.resources).dump();
+  for (const char* key :
+       {"computed", "logical_qubits", "circuit_depth", "t_count", "t_depth",
+        "t_equivalents", "two_qubit_count", "target_logical_error",
+        "code_distance", "target_met", "projected_error_per_round",
+        "physical_qubits_per_logical", "data_physical_qubits",
+        "routing_physical_qubits", "factory_count",
+        "factory_physical_qubits", "total_physical_qubits",
+        "factory_rounds_per_state", "logical_time_rounds",
+        "routing_extra_cx", "space_time_volume"}) {
+    EXPECT_NE(json.find(std::string("\"") + key + "\""), std::string::npos)
+        << key;
+  }
+}
+
+}  // namespace
+}  // namespace qcgen::agents
