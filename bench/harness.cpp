@@ -139,6 +139,10 @@ void Harness::record(const std::string& key, Json value) {
   results_[key] = std::move(value);
 }
 
+void Harness::record_timing(const std::string& key, Json value) {
+  extra_timing_[key] = std::move(value);
+}
+
 void Harness::record_trial_failures(Json failures) {
   trial_failures_ = std::move(failures);
   chaos_sections_ = true;
@@ -154,6 +158,14 @@ void Harness::record_resources(Json resources) {
   resources_section_ = true;
   // Schema versions are cumulative: 4 implies the chaos sections, which
   // stay empty arrays unless a record_* call filled them.
+  chaos_sections_ = true;
+}
+
+void Harness::record_serving(Json serving) {
+  serving_ = std::move(serving);
+  serving_section_ = true;
+  // Cumulative schema: 5 implies the 3/4 sections (default-empty).
+  resources_section_ = true;
   chaos_sections_ = true;
 }
 
@@ -174,7 +186,8 @@ int Harness::finish(int exit_code) {
   if (json_requested_) {
     Json report;
     report["schema_version"] =
-        resources_section_ ? 4 : (chaos_sections_ ? 3 : 2);
+        serving_section_ ? 5
+                         : (resources_section_ ? 4 : (chaos_sections_ ? 3 : 2));
     report["bench"] = name_;
     JsonObject config;
     config["samples"] = samples_;
@@ -189,7 +202,8 @@ int Harness::finish(int exit_code) {
       report["degradations"] = degradations_;
     }
     if (resources_section_) report["resources"] = resources_;
-    JsonObject timing;
+    if (serving_section_) report["serving"] = serving_;
+    JsonObject timing = extra_timing_;
     timing["wall_seconds"] = wall;
     timing["trials"] = trials_;
     timing["trials_per_second"] =

@@ -18,8 +18,8 @@
 //   --benchmark_*   passed through (google-benchmark based benches)
 //
 // Report schema (schema_version 2; validators also accept 1; a bench
-// that records chaos sections bumps itself to 3, and one that records a
-// resources section to 4):
+// that records chaos sections bumps itself to 3, one that records a
+// resources section to 4, and one that records a serving section to 5):
 //   {
 //     "schema_version": 2,
 //     "bench": "<name>",
@@ -32,6 +32,7 @@
 //     "trial_failures": [...],   // schema 3: contained trial failures
 //     "degradations":   [...],   // schema 3: degradation-ladder steps
 //     "resources":      [...],   // schema 4: static resource rows
+//     "serving":        {...},   // schema 5: serving rows + events
 //     "results": { ... bench-specific ... }
 //   }
 // Everything outside "timing" is deterministic for a fixed (samples,
@@ -89,6 +90,11 @@ class Harness {
   /// Records one entry of the report's "results" object.
   void record(const std::string& key, Json value);
 
+  /// Records one entry of the report's "timing" object — for wall-clock-
+  /// shaped data (measured latency quantiles, goodput) that must be
+  /// stripped by the determinism compare along with the harness timings.
+  void record_timing(const std::string& key, Json value);
+
   /// Records the report's chaos sections (arrays shaped by
   /// eval::trial_failures_to_json / eval::degradations_to_json) and
   /// bumps the report to schema_version 3. Calling either is enough:
@@ -101,6 +107,13 @@ class Harness {
   /// required keys) and bumps the report to schema_version 4. Schema 4
   /// implies the schema-3 chaos sections, which default to empty arrays.
   void record_resources(Json resources);
+
+  /// Records the report's "serving" section (object with a "rows" array
+  /// of serve::ServingSummary::to_json rows; see
+  /// scripts/validate_bench_json.py check_serving) and bumps the report
+  /// to schema_version 5. Schema 5 implies the schema-3/4 sections,
+  /// which default to empty arrays.
+  void record_serving(Json serving);
 
   /// Total trials executed, for the trials/sec throughput figure.
   void set_trials(std::size_t trials) noexcept { trials_ = trials; }
@@ -123,11 +136,14 @@ class Harness {
   std::unique_ptr<trace::TraceSink> sink_;
   std::vector<std::string> passthrough_;
   JsonObject results_;
+  JsonObject extra_timing_;
   bool chaos_sections_ = false;
   bool resources_section_ = false;
+  bool serving_section_ = false;
   Json trial_failures_{JsonArray{}};
   Json degradations_{JsonArray{}};
   Json resources_{JsonArray{}};
+  Json serving_;
   std::size_t trials_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

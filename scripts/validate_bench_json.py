@@ -3,12 +3,14 @@
 
 Usage:
   scripts/validate_bench_json.py FILE [FILE ...]
-      Schema-check each report (schema_version 2, 3 or 4, legacy 1
-      accepted; see bench/harness.hpp). Rejects non-finite numerics
-      (NaN/Infinity are not valid JSON) and, when present, validates the
-      "trace" section, the schema-3 chaos sections ("trial_failures" and
-      "degradations") and the schema-4 "resources" section (per-workload
-      static resource counts).
+      Schema-check each report (schema_version 2..5, legacy 1 accepted;
+      see bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity
+      are not valid JSON) and, when present, validates the "trace"
+      section, the schema-3 chaos sections ("trial_failures" and
+      "degradations"), the schema-4 "resources" section (per-workload
+      static resource counts) and the schema-5 "serving" section
+      (per-workload admission counts, latency quantiles and request-id-
+      sorted shed/degradation event arrays).
 
   scripts/validate_bench_json.py --compare A.json B.json
       Assert two reports from the same bench/config are identical modulo
@@ -23,7 +25,7 @@ import json
 import math
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3, 4)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
 
 # Required keys of each schema-4 "resources" row; every one is a count
 # from the static resource-analysis engine (qasm/analysis) and must be a
@@ -117,6 +119,11 @@ def check_schema(path: str, doc: dict) -> None:
     elif "resources" in doc:
         fail(f"{path}: 'resources' requires schema_version >= 4")
 
+    if doc["schema_version"] >= 5:
+        check_serving(path, doc)
+    elif "serving" in doc:
+        fail(f"{path}: 'serving' requires schema_version >= 5")
+
 
 def check_trace(path: str, trace) -> None:
     """Validates the deterministic trace summary written under --trace."""
@@ -203,6 +210,91 @@ def check_resources(path: str, doc: dict) -> None:
             fail(f"{path}: resources[{i}]: qubits_used exceeds qubits")
         if entry["t_depth"] > entry["depth"]:
             fail(f"{path}: resources[{i}]: t_depth exceeds depth")
+
+
+def check_serving(path: str, doc: dict) -> None:
+    """Validates the schema-5 "serving" section: one row per workload
+    (see serve/report.hpp ServingSummary::to_json). Everything here —
+    counts, virtual-time latency quantiles, shed/degradation events — is
+    deterministic at any --threads value, so --compare includes it;
+    wall-clock serving latency lives under "timing"."""
+    serving = doc.get("serving")
+    if not isinstance(serving, dict):
+        fail(f"{path}: 'serving' must be an object (schema 5)")
+    rows = serving.get("rows")
+    if not isinstance(rows, list):
+        fail(f"{path}: serving.rows must be an array")
+    for i, row in enumerate(rows):
+        where = f"serving.rows[{i}]"
+        if not isinstance(row, dict):
+            fail(f"{path}: {where} must be an object")
+        mix = row.get("mix")
+        if not isinstance(mix, str) or not mix:
+            fail(f"{path}: {where}.mix must be a non-empty string")
+        if not isinstance(row.get("rate"), (int, float)) or row["rate"] <= 0:
+            fail(f"{path}: {where}.rate must be a positive number")
+        for key in ("requests", "completed", "shed", "failed", "semantic_ok",
+                    "admitted_full", "admitted_no_rag",
+                    "admitted_static_only"):
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(f"{path}: {where}.{key} must be an int")
+            if value < 0:
+                fail(f"{path}: {where}.{key} is negative")
+        admitted = (row["admitted_full"] + row["admitted_no_rag"]
+                    + row["admitted_static_only"])
+        if admitted + row["shed"] != row["requests"]:
+            fail(f"{path}: {where}: admission counts ({admitted} admitted "
+                 f"+ {row['shed']} shed) do not sum to requests "
+                 f"({row['requests']})")
+        if row["completed"] + row["failed"] != admitted:
+            fail(f"{path}: {where}: completed + failed != admitted")
+        if row["semantic_ok"] > row["completed"]:
+            fail(f"{path}: {where}: semantic_ok exceeds completed")
+
+        quantiles = row.get("virtual_latency")
+        if not isinstance(quantiles, dict):
+            fail(f"{path}: {where}.virtual_latency must be an object")
+        for key in ("p50", "p90", "p99", "p999", "mean", "max"):
+            value = quantiles.get(key)
+            # Finiteness was already enforced globally by check_finite.
+            if not isinstance(value, (int, float)):
+                fail(f"{path}: {where}.virtual_latency.{key} must be a "
+                     f"number")
+            if value < 0:
+                fail(f"{path}: {where}.virtual_latency.{key} is negative")
+        if not (quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+                <= quantiles["p999"] <= quantiles["max"]):
+            fail(f"{path}: {where}.virtual_latency quantiles are not "
+                 f"monotonic")
+
+        for section, keys in (("shed_events", ("request", "arrival_vt",
+                                               "depth")),
+                              ("degradation_events",
+                               ("request", "arrival_vt", "depth", "stage",
+                                "from", "to"))):
+            events = row.get(section)
+            if not isinstance(events, list):
+                fail(f"{path}: {where}.{section} must be an array")
+            previous = -1
+            for j, event in enumerate(events):
+                if not isinstance(event, dict):
+                    fail(f"{path}: {where}.{section}[{j}] must be an object")
+                for key in keys:
+                    if key not in event:
+                        fail(f"{path}: {where}.{section}[{j}].{key} missing")
+                request = event["request"]
+                if not isinstance(request, int) or request < 0:
+                    fail(f"{path}: {where}.{section}[{j}].request must be a "
+                         f"non-negative int")
+                # Sorted by request id (non-strict: a static-only
+                # admission records two degradation rungs for one id).
+                if request < previous:
+                    fail(f"{path}: {where}.{section} not sorted by request "
+                         f"id at [{j}]")
+                previous = request
+        if len(row["shed_events"]) != row["shed"]:
+            fail(f"{path}: {where}: shed_events length != shed count")
 
 
 def strip_nondeterministic(doc: dict) -> dict:

@@ -161,8 +161,11 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
   qtrace::TraceSpan run_span("pipeline.run");
   PipelineResult result;
   llm::GenerationResult generation;
+  // Admission control may have pre-walked the rag rung (rag_enabled_
+  // false), in which case the ladder has nowhere further to go.
   const bool has_rag =
-      codegen_.config().rag_api || codegen_.config().rag_guides;
+      rag_enabled_ &&
+      (codegen_.config().rag_api || codegen_.config().rag_guides);
   // A no-RAG retry only helps when the failure plausibly came from the
   // retrieval path, not from an injected model fault.
   const auto rag_rung_applies = [&](const StageFailure& failure) {
@@ -173,8 +176,9 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
   {
     qtrace::TraceSpan span("pipeline.generate");
     auto failed = run_guarded(
-        "generate", resilience_, resilience_rng_, result,
-        [&] { generation = codegen_.generate(task, prompt_index); });
+        "generate", resilience_, resilience_rng_, result, [&] {
+          generation = codegen_.generate(task, prompt_index, rag_enabled_);
+        });
     if (failed.has_value() && resilience_.degrade &&
         rag_rung_applies(*failed)) {
       note_degradation(result, nullptr,
@@ -293,7 +297,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
           generation = codegen_.repair(
               task, generation, static_report.diagnostics,
               /*semantic_failure=*/static_report.syntactic_ok, prompt_index,
-              pass);
+              pass, rag_enabled_);
         });
     if (failed.has_value() && resilience_.degrade &&
         rag_rung_applies(*failed)) {

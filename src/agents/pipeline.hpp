@@ -156,6 +156,13 @@ class MultiAgentPipeline {
     resilience_ = options;
   }
 
+  /// Admission-control hook (serve layer): pre-walks the first rung of
+  /// the generate/repair degradation ladder, so every generation and
+  /// repair in this pipeline bypasses the RAG stores — the same reduced
+  /// configuration a retrieval failure would degrade to at runtime.
+  void set_rag_enabled(bool enabled) noexcept { rag_enabled_ = enabled; }
+  bool rag_enabled() const noexcept { return rag_enabled_; }
+
   /// Runs generation + analysis (+ repair passes up to the technique's
   /// max_passes) on one task. `reference` enables the behavioural check;
   /// pass an empty distribution to restrict to static verification.
@@ -177,6 +184,7 @@ class MultiAgentPipeline {
   std::optional<QecDecoderAgent> qec_agent_;
   std::optional<DeviceTopology> device_;
   ResilienceOptions resilience_;
+  bool rag_enabled_ = true;  ///< admission pre-degradation (see setter)
   Rng resilience_rng_;  ///< seeded backoff jitter (per-trial stream)
 };
 

@@ -42,6 +42,13 @@ class ThreadPool {
   /// Blocks until every submitted task has finished executing.
   void wait_idle();
 
+  /// Tasks submitted but not yet finished (a live gauge — by the time
+  /// the caller reads it, workers may already have drained more).
+  std::size_t pending() const {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    return pending_;
+  }
+
   /// Runs body(i) for each i in [0, n) across the pool and blocks until
   /// all calls completed. Exceptions are collected per index; after the
   /// pool drains, the one thrown by the *lowest* failing index is
@@ -76,7 +83,7 @@ class ThreadPool {
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> tasks_stolen_{0};
 
-  std::mutex state_mutex_;
+  mutable std::mutex state_mutex_;
   std::condition_variable work_available_;
   std::condition_variable idle_;
   std::size_t pending_ = 0;     ///< submitted but not yet finished

@@ -27,6 +27,12 @@ void ReferenceOracle::prewarm(const std::vector<TestCase>& suite) {
   for (const TestCase& test_case : suite) reference_for(test_case);
 }
 
+const sim::Distribution* ReferenceOracle::find(
+    const std::string& case_id) const {
+  const auto it = cache_.find(case_id);
+  return it != cache_.end() ? &it->second : nullptr;
+}
+
 Verdict judge_source(const std::string& source,
                      const sim::Distribution& reference,
                      const agents::SemanticAnalyzerAgent& analyzer) {

@@ -35,6 +35,12 @@ class ReferenceOracle {
   /// concurrent trial workers.
   void prewarm(const std::vector<TestCase>& suite);
 
+  /// Read-only cache lookup by case id (nullptr when the case was never
+  /// prewarmed or requested). Unlike reference_for it can never compile
+  /// a gold program, so concurrent workers may call it freely as long
+  /// as no thread is mutating the cache — the serving layer's contract.
+  const sim::Distribution* find(const std::string& case_id) const;
+
  private:
   Options options_;
   std::map<std::string, sim::Distribution> cache_;

@@ -1,0 +1,23 @@
+#include "serve/queue.hpp"
+
+namespace qcgen::serve {
+
+void RequestQueue::push(QueuedRequest item) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  items_.push_back(std::move(item));
+}
+
+std::optional<QueuedRequest> RequestQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (items_.empty()) return std::nullopt;
+  QueuedRequest item = std::move(items_.front());
+  items_.pop_front();
+  return item;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace qcgen::serve

@@ -1,0 +1,44 @@
+#pragma once
+// Thread-safe FIFO of admitted requests awaiting a pool worker.
+//
+// The queue sits between admission (sequential, virtual-time) and
+// execution (work-stealing pool, wall-clock): Server::submit books an
+// admission ticket, pushes the request here, and schedules one pool task
+// that pops one entry. Pop order is FIFO, but nothing downstream depends
+// on it — every request is seeded by its own id — so the queue only has
+// to be safe, not ordered, under concurrent pops.
+
+#include <chrono>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+
+#include "serve/admission.hpp"
+#include "serve/request.hpp"
+
+namespace qcgen::serve {
+
+/// An admitted request parked until a worker executes it.
+struct QueuedRequest {
+  Request request;
+  AdmissionTicket ticket;
+  std::promise<RequestResult> promise;
+  /// Wall-clock submit instant; completion - submit is the reported
+  /// serving latency (queue wait + execution).
+  std::chrono::steady_clock::time_point submitted_at;
+};
+
+class RequestQueue {
+ public:
+  void push(QueuedRequest item);
+  /// Pops the oldest entry; nullopt when empty.
+  std::optional<QueuedRequest> try_pop();
+  std::size_t depth() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<QueuedRequest> items_;
+};
+
+}  // namespace qcgen::serve

@@ -1,0 +1,48 @@
+#include "serve/request.hpp"
+
+#include "common/rng.hpp"
+
+namespace qcgen::serve {
+
+namespace {
+
+// Salts the server seed before the trial_seed-style chaining so request
+// streams are disjoint from eval::trial_seed streams derived from the
+// same experiment seed (a server and a batch run sharing --seed must not
+// share RNG streams).
+constexpr std::uint64_t kRequestSalt = 0xa24baed4963ee407ULL;
+
+}  // namespace
+
+std::uint64_t request_seed(std::uint64_t seed,
+                           std::uint64_t request_id) noexcept {
+  // Chain the SplitMix64 finalizer over (salted seed, id); the +1 keeps
+  // id 0 from degenerating into a no-op mix (same discipline as
+  // eval::trial_seed).
+  std::uint64_t state =
+      (seed ^ kRequestSalt) + 0x9e3779b97f4a7c15ULL * (request_id + 1);
+  const std::uint64_t mixed = splitmix64(state);
+  state = mixed + 0x9e3779b97f4a7c15ULL;
+  return splitmix64(state);
+}
+
+std::string_view admission_level_name(AdmissionLevel level) noexcept {
+  switch (level) {
+    case AdmissionLevel::kFull: return "full";
+    case AdmissionLevel::kNoRag: return "no-rag";
+    case AdmissionLevel::kStaticOnly: return "static-only";
+    case AdmissionLevel::kShed: return "shed";
+  }
+  return "unknown";
+}
+
+std::string_view request_outcome_name(RequestOutcome outcome) noexcept {
+  switch (outcome) {
+    case RequestOutcome::kCompleted: return "completed";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+}  // namespace qcgen::serve

@@ -1,0 +1,203 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qcgen::serve {
+
+namespace {
+
+// Salts the server seed into an independent per-request chaos stream, so
+// arming a scenario never perturbs the pipelines' own RNG streams (the
+// same separation eval/parallel.cpp keeps for trials).
+constexpr std::uint64_t kServeChaosSalt = 0x39d2f1b7a85c64e9ULL;
+
+const sim::Distribution kEmptyReference;
+
+}  // namespace
+
+Server::Server(Options options, const std::vector<eval::TestCase>& catalog)
+    : options_(std::move(options)),
+      resources_(std::make_shared<const agents::TechniqueResources>(
+          options_.technique)),
+      oracle_(options_.oracle),
+      admission_(options_.admission),
+      pool_(options_.threads) {
+  require(!options_.qec.has_value() || options_.device.has_value(),
+          "Server: qec options require a device");
+  if (!options_.chaos_scenario.empty()) {
+    scenario_ = std::make_shared<const failpoint::Scenario>(
+        failpoint::Scenario::parse(options_.chaos_scenario));
+    if (scenario_->empty()) scenario_.reset();
+  }
+  // Prewarm makes reference_for read-only for catalog cases, so worker
+  // threads can look references up concurrently; the prompt index fixes
+  // each case's scaffold slot independently of request order.
+  oracle_.prewarm(catalog);
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    prompt_index_.emplace(catalog[i].id, i);
+  }
+}
+
+Server::~Server() { drain(); }
+
+std::future<RequestResult> Server::submit(Request request) {
+  const AdmissionTicket ticket =
+      admission_.offer(request.id, request.arrival_vt);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submitted;
+    if (ticket.level == AdmissionLevel::kShed) ++stats_.shed;
+  }
+  std::promise<RequestResult> promise;
+  std::future<RequestResult> future = promise.get_future();
+  if (ticket.level == AdmissionLevel::kShed) {
+    RequestResult result;
+    result.id = request.id;
+    result.case_id = request.test_case.id;
+    result.outcome = RequestOutcome::kShed;
+    result.level = AdmissionLevel::kShed;
+    promise.set_value(std::move(result));
+    return future;
+  }
+  queue_.push({std::move(request), ticket, std::move(promise),
+               std::chrono::steady_clock::now()});
+  pool_.submit([this] { execute_one(); });
+  return future;
+}
+
+void Server::execute_one() {
+  std::optional<QueuedRequest> item = queue_.try_pop();
+  if (!item.has_value()) return;  // submit/pop pairing makes this unreachable
+
+  // Per-request sink so the aggregate summary can merge in id order.
+  std::unique_ptr<trace::TraceSink> sink;
+  if (options_.trace != nullptr) {
+    sink = std::make_unique<trace::TraceSink>(options_.trace->keep_events());
+  }
+  RequestResult result;
+  {
+    trace::SinkScope scope(sink.get());
+    result = run_request(item->request, item->ticket);
+  }
+  result.wall_latency_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    item->submitted_at)
+          .count();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    wall_latencies_[result.id] = result.wall_latency_seconds;
+    if (result.outcome == RequestOutcome::kCompleted) {
+      ++stats_.completed;
+      if (result.pipeline.semantic_ok) ++stats_.semantic_ok;
+    } else {
+      ++stats_.failed;
+    }
+    if (sink != nullptr) sinks_[result.id] = std::move(sink);
+  }
+  item->promise.set_value(std::move(result));
+}
+
+RequestResult Server::run_request(const Request& request,
+                                  const AdmissionTicket& ticket) {
+  RequestResult result;
+  result.id = request.id;
+  result.case_id = request.test_case.id;
+  result.level = ticket.level;
+  result.virtual_start = ticket.virtual_start;
+  result.virtual_finish = ticket.virtual_finish;
+  result.virtual_latency = ticket.virtual_finish - request.arrival_vt;
+
+  // Per-request injector on an independent chaos stream: injection
+  // decisions depend only on (seed, id), never the worker schedule.
+  std::optional<failpoint::Injector> injector;
+  std::optional<failpoint::InjectorScope> injector_scope;
+  if (scenario_ != nullptr) {
+    injector.emplace(scenario_,
+                     request_seed(options_.seed ^ kServeChaosSalt, request.id));
+    injector_scope.emplace(&*injector);
+  }
+
+  // Static-only admissions verify against an empty reference; so do
+  // requests for cases outside the prewarmed catalog (only the const
+  // cache lookup is worker-safe — reference_for would lazily compile the
+  // gold program, a mutation we must not race across workers).
+  const sim::Distribution* reference = &kEmptyReference;
+  std::size_t prompt_index = prompt_index_.size();
+  if (const auto found = prompt_index_.find(request.test_case.id);
+      found != prompt_index_.end()) {
+    prompt_index = found->second;
+    if (ticket.level != AdmissionLevel::kStaticOnly) {
+      if (const sim::Distribution* cached =
+              oracle_.find(request.test_case.id)) {
+        reference = cached;
+      }
+    }
+  }
+
+  try {
+    failpoint::trip("pool.task");
+    agents::MultiAgentPipeline pipeline(
+        options_.technique, resources_, options_.analyzer,
+        request.options.qec ? options_.qec : std::nullopt, options_.device,
+        request_seed(options_.seed, request.id));
+    pipeline.set_resilience(options_.resilience);
+    // Admission pre-walks the generate/repair ladder's first rung.
+    if (ticket.level != AdmissionLevel::kFull) pipeline.set_rag_enabled(false);
+    result.pipeline =
+        pipeline.run(request.test_case.task, *reference, prompt_index);
+    result.outcome = RequestOutcome::kCompleted;
+    trace::Metrics::counter("serve.completed");
+  } catch (const agents::PipelineStageError& error) {
+    result.outcome = RequestOutcome::kFailed;
+    result.failure_stage = error.stage();
+    result.failure_site = error.site();
+    result.failure_what = error.what();
+    trace::Metrics::counter("serve.request_failures");
+  } catch (const failpoint::InjectedFault& fault) {
+    result.outcome = RequestOutcome::kFailed;
+    result.failure_stage = "request";
+    result.failure_site = fault.site();
+    result.failure_what = fault.what();
+    trace::Metrics::counter("serve.request_failures");
+  } catch (const std::exception& error) {
+    result.outcome = RequestOutcome::kFailed;
+    result.failure_stage = "request";
+    result.failure_what = error.what();
+    trace::Metrics::counter("serve.request_failures");
+  }
+  return result;
+}
+
+void Server::drain() {
+  pool_.wait_idle();
+  if (options_.trace == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Request-id order, not completion order: the merged summary must be
+  // independent of the worker schedule.
+  for (const auto& [id, sink] : sinks_) {
+    options_.trace->merge(*sink);
+  }
+  sinks_.clear();
+  // Scheduler counters are lifetime totals; report only the delta since
+  // the last drain so repeated drains never double-count.
+  const trace::SchedulerStats current{pool_.size(), pool_.tasks_executed(),
+                                      pool_.tasks_stolen()};
+  options_.trace->add_scheduler(
+      {current.workers, current.tasks_executed - reported_scheduler_.tasks_executed,
+       current.tasks_stolen - reported_scheduler_.tasks_stolen});
+  reported_scheduler_ = current;
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::map<std::uint64_t, double> Server::wall_latencies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wall_latencies_;
+}
+
+}  // namespace qcgen::serve

@@ -1,0 +1,134 @@
+#pragma once
+// Long-lived server core: an asynchronous request engine in front of the
+// existing work-stealing thread pool.
+//
+// One Server owns, for its lifetime:
+//   * the expensive immutable state built once and shared read-only by
+//     every request — agents::TechniqueResources (knowledge + BM25
+//     stores) and a prewarmed eval::ReferenceOracle over the catalog of
+//     gold cases it serves;
+//   * an AdmissionController making deterministic virtual-time
+//     admission/shedding decisions at enqueue time;
+//   * a RequestQueue of admitted requests and a ThreadPool of workers
+//     draining it.
+//
+// Each request executes on its own cheap per-request pipeline seeded by
+// request_seed(seed, id), so any interleaving of worker execution — any
+// --threads value, any enqueue order — yields bit-identical per-request
+// results. Admission degradations pre-walk the pipeline's resilience
+// ladders (rag -> no-rag via MultiAgentPipeline::set_rag_enabled;
+// behavioural -> static-only verification via an empty reference), and
+// sheds resolve the request future immediately with a structured
+// RequestOutcome::kShed.
+
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "agents/pipeline.hpp"
+#include "common/failpoint.hpp"
+#include "common/thread_pool.hpp"
+#include "common/trace.hpp"
+#include "eval/judge.hpp"
+#include "eval/suite.hpp"
+#include "serve/admission.hpp"
+#include "serve/queue.hpp"
+#include "serve/request.hpp"
+
+namespace qcgen::serve {
+
+class Server {
+ public:
+  struct Options {
+    agents::TechniqueConfig technique;
+    agents::SemanticAnalyzerAgent::Options analyzer;
+    /// QEC planning stage (applied per request when its options ask for
+    /// it); requires `device`.
+    std::optional<agents::QecDecoderAgent::Options> qec;
+    std::optional<agents::DeviceTopology> device;
+    agents::ResilienceOptions resilience;
+    AdmissionOptions admission;
+    eval::ReferenceOracle::Options oracle;
+    std::uint64_t seed = 2025;
+    /// Worker threads (0 = all hardware threads). Per-request results
+    /// are bit-identical at any value.
+    std::size_t threads = 0;
+    /// Fault-injection scenario armed per request (failpoint::Scenario
+    /// grammar; one injector per request seeded from its stream, so
+    /// injection decisions are request-deterministic). "" disarms.
+    std::string chaos_scenario;
+    /// Optional aggregate sink: every request records into its own
+    /// TraceSink, merged into this one in request-id order on drain()
+    /// — the merged summary is thread-count invariant.
+    trace::TraceSink* trace = nullptr;
+  };
+
+  /// Deterministic wall-clock-free operation counters.
+  struct Stats {
+    std::size_t submitted = 0;  ///< offers, including sheds
+    std::size_t completed = 0;
+    std::size_t shed = 0;
+    std::size_t failed = 0;
+    std::size_t semantic_ok = 0;  ///< completed with a passing verdict
+  };
+
+  /// Builds the shared resources and prewarms the reference oracle over
+  /// `catalog` (the gold cases this server can verify behaviourally; a
+  /// request for a case outside the catalog still runs, verified
+  /// static-only). The catalog also fixes each case's prompt index,
+  /// which feeds the CoT hand-written-scaffold rule.
+  Server(Options options, const std::vector<eval::TestCase>& catalog);
+
+  /// Drains in-flight work before tearing down the pool.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Books an admission decision (sequential, virtual-time) and, when
+  /// admitted, queues the request for asynchronous execution. The future
+  /// resolves when the request completes, fails, or — immediately — when
+  /// it is shed. Callers should submit in non-decreasing arrival_vt.
+  std::future<RequestResult> submit(Request request);
+
+  /// Blocks until every queued request finished, then folds per-request
+  /// trace sinks into Options::trace in request-id order.
+  void drain();
+
+  const AdmissionController& admission() const noexcept { return admission_; }
+  Stats stats() const;
+  /// Wall-clock submit -> completion latency per completed/failed
+  /// request id, in seconds (timing-class data).
+  std::map<std::uint64_t, double> wall_latencies() const;
+  /// Live depth gauges (wall-clock-shaped; for logging, not reports).
+  std::size_t queued() const { return queue_.depth(); }
+  std::size_t pool_backlog() const { return pool_.pending(); }
+
+ private:
+  void execute_one();
+  RequestResult run_request(const Request& request,
+                            const AdmissionTicket& ticket);
+
+  Options options_;
+  std::shared_ptr<const agents::TechniqueResources> resources_;
+  eval::ReferenceOracle oracle_;
+  std::map<std::string, std::size_t> prompt_index_;  ///< catalog order
+  std::shared_ptr<const failpoint::Scenario> scenario_;
+  AdmissionController admission_;
+  RequestQueue queue_;
+
+  mutable std::mutex mutex_;  ///< stats, latencies, per-request sinks
+  Stats stats_;
+  std::map<std::uint64_t, double> wall_latencies_;
+  std::map<std::uint64_t, std::unique_ptr<trace::TraceSink>> sinks_;
+  /// Pool counters already folded into Options::trace (drain reports
+  /// deltas so repeated drains never double-count).
+  trace::SchedulerStats reported_scheduler_;
+
+  ThreadPool pool_;  ///< last member: workers must die before state
+};
+
+}  // namespace qcgen::serve

@@ -1,0 +1,41 @@
+#include "serve/session.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace qcgen::serve {
+
+Session::Session(Server& server, std::uint32_t session_id,
+                 RequestOptions defaults)
+    : server_(server), session_id_(session_id), defaults_(defaults) {
+  require(session_id < (1u << 24), "Session: session_id must be < 2^24");
+}
+
+std::future<RequestResult> Session::submit(std::uint64_t request_id,
+                                           eval::TestCase test_case,
+                                           double arrival_vt) {
+  return submit(request_id, std::move(test_case), arrival_vt, defaults_);
+}
+
+std::future<RequestResult> Session::submit(std::uint64_t request_id,
+                                           eval::TestCase test_case,
+                                           double arrival_vt,
+                                           const RequestOptions& options) {
+  Request request;
+  request.id = request_id;
+  request.test_case = std::move(test_case);
+  request.arrival_vt = arrival_vt;
+  request.options = options;
+  return server_.submit(std::move(request));
+}
+
+std::future<RequestResult> Session::submit(eval::TestCase test_case,
+                                           double arrival_vt) {
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(session_id_) << 40) |
+      next_.fetch_add(1, std::memory_order_relaxed);
+  return submit(id, std::move(test_case), arrival_vt, defaults_);
+}
+
+}  // namespace qcgen::serve

@@ -1,0 +1,116 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace qcgen::serve {
+
+namespace {
+
+/// Exponential inter-arrival draw; 1-u keeps log's argument in (0, 1].
+double exponential(Rng& rng, double rate) {
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+std::size_t draw_case(Rng& rng, const WorkloadOptions& options,
+                      std::size_t cases) {
+  if (options.mix == CaseMix::kUniform) {
+    return static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::uint64_t>(cases)));
+  }
+  // Zipf over catalog order by inverse-CDF on the normalised harmonic
+  // weights; cases is experiment-sized, so the linear scan is fine.
+  double total = 0.0;
+  for (std::size_t k = 1; k <= cases; ++k) {
+    total += std::pow(static_cast<double>(k), -options.zipf_exponent);
+  }
+  double u = rng.uniform() * total;
+  for (std::size_t k = 1; k <= cases; ++k) {
+    u -= std::pow(static_cast<double>(k), -options.zipf_exponent);
+    if (u <= 0.0) return k - 1;
+  }
+  return cases - 1;
+}
+
+}  // namespace
+
+std::string_view arrival_process_name(ArrivalProcess process) noexcept {
+  switch (process) {
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kBursty: return "bursty";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+  }
+  return "unknown";
+}
+
+std::vector<Arrival> generate_arrivals(const WorkloadOptions& options,
+                                       std::size_t cases) {
+  require(cases >= 1, "generate_arrivals: empty catalog");
+  require(options.count >= 1, "generate_arrivals: count >= 1");
+  require(options.rate > 0.0, "generate_arrivals: rate > 0");
+  require(options.diurnal_amplitude >= 0.0 && options.diurnal_amplitude < 1.0,
+          "generate_arrivals: diurnal_amplitude in [0, 1)");
+  require(options.burst_factor >= 1.0,
+          "generate_arrivals: burst_factor >= 1");
+
+  Rng rng(options.seed);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(options.count);
+  double t = 0.0;
+
+  switch (options.process) {
+    case ArrivalProcess::kPoisson: {
+      while (arrivals.size() < options.count) {
+        t += exponential(rng, options.rate);
+        arrivals.push_back({arrivals.size(), t, draw_case(rng, options, cases)});
+      }
+      break;
+    }
+    case ArrivalProcess::kBursty: {
+      // Two-state MMPP: phases of exponential length alternate between
+      // the base rate and rate * burst_factor.
+      bool bursting = false;
+      double phase_end = exponential(rng, 1.0 / options.burst_phase_mean);
+      while (arrivals.size() < options.count) {
+        const double rate =
+            bursting ? options.rate * options.burst_factor : options.rate;
+        const double next = t + exponential(rng, rate);
+        if (next > phase_end) {
+          // No arrival before the phase flips; restart the draw from the
+          // boundary under the other rate (memorylessness makes the
+          // discard exact).
+          t = phase_end;
+          bursting = !bursting;
+          phase_end += exponential(rng, 1.0 / options.burst_phase_mean);
+          continue;
+        }
+        t = next;
+        arrivals.push_back({arrivals.size(), t, draw_case(rng, options, cases)});
+      }
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      // Lewis-Shedler thinning against the peak rate.
+      const double peak = options.rate * (1.0 + options.diurnal_amplitude);
+      while (arrivals.size() < options.count) {
+        t += exponential(rng, peak);
+        const double rate_t =
+            options.rate *
+            (1.0 + options.diurnal_amplitude *
+                       std::sin(2.0 * std::numbers::pi * t /
+                                options.diurnal_period));
+        if (rng.uniform() * peak <= rate_t) {
+          arrivals.push_back(
+              {arrivals.size(), t, draw_case(rng, options, cases)});
+        }
+      }
+      break;
+    }
+  }
+  return arrivals;
+}
+
+}  // namespace qcgen::serve

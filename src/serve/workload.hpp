@@ -1,0 +1,60 @@
+#pragma once
+// Open-loop arrival-process generators for the serving bench.
+//
+// Each generator produces a deterministic, time-sorted arrival sequence
+// from a seed: virtual arrival instants (the workload clock the
+// admission controller consumes) plus a case index into the catalog the
+// server was built over. Open-loop means arrivals never wait for
+// completions — exactly the regime where admission control and load
+// shedding earn their keep.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qcgen::serve {
+
+/// One arrival: request id = position in the generated sequence.
+struct Arrival {
+  std::uint64_t request_id = 0;
+  double vt = 0.0;  ///< virtual arrival instant, seconds
+  std::size_t case_idx = 0;
+  friend bool operator==(const Arrival&, const Arrival&) = default;
+};
+
+enum class ArrivalProcess {
+  kPoisson,  ///< homogeneous: exponential inter-arrivals at `rate`
+  kBursty,   ///< two-state MMPP: `rate` off-phase, rate*burst_factor on
+  kDiurnal,  ///< sinusoidal rate over `period` (thinning), mean `rate`
+};
+
+std::string_view arrival_process_name(ArrivalProcess process) noexcept;
+
+enum class CaseMix {
+  kUniform,  ///< cases drawn uniformly from the catalog
+  kZipf,     ///< Zipf(s = zipf_exponent) over catalog order
+};
+
+struct WorkloadOptions {
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  std::size_t count = 100;   ///< arrivals to generate
+  double rate = 4.0;         ///< mean arrivals per virtual second
+  std::uint64_t seed = 2025;
+  CaseMix mix = CaseMix::kUniform;
+  double zipf_exponent = 1.1;
+  // Bursty (two-state Markov-modulated Poisson) parameters.
+  double burst_factor = 8.0;      ///< on-phase rate multiplier
+  double burst_phase_mean = 2.0;  ///< mean phase length, virtual seconds
+  // Diurnal parameters: rate(t) = rate * (1 + amplitude*sin(2*pi*t/period)).
+  double diurnal_period = 30.0;
+  double diurnal_amplitude = 0.8;  ///< must stay below 1
+};
+
+/// Generates `options.count` arrivals over a catalog of `cases` test
+/// cases. Output is sorted by vt with request_id = position; the same
+/// options always produce the same sequence.
+std::vector<Arrival> generate_arrivals(const WorkloadOptions& options,
+                                       std::size_t cases);
+
+}  // namespace qcgen::serve
