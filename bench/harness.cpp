@@ -169,6 +169,21 @@ void Harness::record_serving(Json serving) {
   chaos_sections_ = true;
 }
 
+void Harness::record_cache(Json cache) {
+  cache_ = std::move(cache);
+  cache_section_ = true;
+  // Cumulative schema: 6 implies the 3/4/5 sections. A cache-only bench
+  // gets an empty serving section rather than a null one.
+  if (!serving_section_) {
+    JsonObject serving;
+    serving["rows"] = Json(JsonArray{});
+    serving_ = Json(std::move(serving));
+  }
+  serving_section_ = true;
+  resources_section_ = true;
+  chaos_sections_ = true;
+}
+
 int Harness::finish(int exit_code) {
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -186,8 +201,11 @@ int Harness::finish(int exit_code) {
   if (json_requested_) {
     Json report;
     report["schema_version"] =
-        serving_section_ ? 5
-                         : (resources_section_ ? 4 : (chaos_sections_ ? 3 : 2));
+        cache_section_
+            ? 6
+            : (serving_section_
+                   ? 5
+                   : (resources_section_ ? 4 : (chaos_sections_ ? 3 : 2)));
     report["bench"] = name_;
     JsonObject config;
     config["samples"] = samples_;
@@ -203,6 +221,7 @@ int Harness::finish(int exit_code) {
     }
     if (resources_section_) report["resources"] = resources_;
     if (serving_section_) report["serving"] = serving_;
+    if (cache_section_) report["cache"] = cache_;
     JsonObject timing = extra_timing_;
     timing["wall_seconds"] = wall;
     timing["trials"] = trials_;

@@ -19,7 +19,8 @@
 //
 // Report schema (schema_version 2; validators also accept 1; a bench
 // that records chaos sections bumps itself to 3, one that records a
-// resources section to 4, and one that records a serving section to 5):
+// resources section to 4, one that records a serving section to 5, and
+// one that records a cache section to 6):
 //   {
 //     "schema_version": 2,
 //     "bench": "<name>",
@@ -33,6 +34,7 @@
 //     "degradations":   [...],   // schema 3: degradation-ladder steps
 //     "resources":      [...],   // schema 4: static resource rows
 //     "serving":        {...},   // schema 5: serving rows + events
+//     "cache":          {...},   // schema 6: per-layer/policy hit rates
 //     "results": { ... bench-specific ... }
 //   }
 // Everything outside "timing" is deterministic for a fixed (samples,
@@ -115,6 +117,13 @@ class Harness {
   /// which default to empty arrays.
   void record_serving(Json serving);
 
+  /// Records the report's "cache" section (object with a "studies" array
+  /// of per-layer live stats and per-policy replayed hit rates; see
+  /// scripts/validate_bench_json.py check_cache) and bumps the report to
+  /// schema_version 6. Schema 6 implies the schema-3/4/5 sections; the
+  /// serving section defaults to an empty rows object if never recorded.
+  void record_cache(Json cache);
+
   /// Total trials executed, for the trials/sec throughput figure.
   void set_trials(std::size_t trials) noexcept { trials_ = trials; }
 
@@ -140,10 +149,12 @@ class Harness {
   bool chaos_sections_ = false;
   bool resources_section_ = false;
   bool serving_section_ = false;
+  bool cache_section_ = false;
   Json trial_failures_{JsonArray{}};
   Json degradations_{JsonArray{}};
   Json resources_{JsonArray{}};
   Json serving_;
+  Json cache_;
   std::size_t trials_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

@@ -148,12 +148,15 @@ scripts/validate_bench_json.py --compare \
   build-check/BENCH_qec_resources_t1.json \
   build-check/BENCH_qec_resources_t8.json
 
-echo "==> [6/10] serving determinism (serve suites + bench_serving)"
-# The async request engine: admission decisions, shed/degradation
-# events and virtual-time latency quantiles (the schema-5 "serving"
-# section) must be bit-identical at any worker thread count; wall-clock
-# serving latency lives under "timing", which --compare strips.
+echo "==> [6/10] serving + cache determinism (serve/cache suites + bench_serving)"
+# The async request engine and the content-addressed caching layer:
+# admission decisions, shed/degradation events, virtual-time latency
+# quantiles and the per-layer cache counters/policy-replay stats (the
+# schema-6 "serving" + "cache" sections) must be bit-identical at any
+# worker thread count; wall-clock latency and cache speedup live under
+# "timing", which --compare strips.
 ctest --test-dir build-check --output-on-failure -L serve
+ctest --test-dir build-check --output-on-failure -L cache
 ./build-check/bench/bench_serving --quick --seed 7 --threads 1 \
   --json build-check/BENCH_serving_t1.json >/dev/null
 ./build-check/bench/bench_serving --quick --seed 7 --threads 8 \
@@ -201,9 +204,9 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_resource_analysis|test_qec_resources|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness|test_serve'
+    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_resource_analysis|test_qec_resources|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness|test_cache|test_serve'
 
-echo "==> [10/10] TSan build, thread-pool / trace / parallel-eval / chaos / serve tests"
+echo "==> [10/10] TSan build, thread-pool / trace / parallel-eval / chaos / cache / serve tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE=thread \
@@ -212,7 +215,7 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'test_thread_pool|test_trace|test_parallel_eval|test_failpoint|test_resilience|test_serve'
+    -R 'test_thread_pool|test_trace|test_parallel_eval|test_failpoint|test_resilience|test_cache|test_serve'
 
 print_summary
 echo "==> all checks passed"

@@ -3,14 +3,16 @@
 
 Usage:
   scripts/validate_bench_json.py FILE [FILE ...]
-      Schema-check each report (schema_version 2..5, legacy 1 accepted;
+      Schema-check each report (schema_version 2..6, legacy 1 accepted;
       see bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity
       are not valid JSON) and, when present, validates the "trace"
       section, the schema-3 chaos sections ("trial_failures" and
       "degradations"), the schema-4 "resources" section (per-workload
-      static resource counts) and the schema-5 "serving" section
+      static resource counts), the schema-5 "serving" section
       (per-workload admission counts, latency quantiles and request-id-
-      sorted shed/degradation event arrays).
+      sorted shed/degradation event arrays) and the schema-6 "cache"
+      section (per-layer live hit/miss stats plus per-policy replayed
+      hit rates, with count-conservation and Belady-optimality checks).
 
   scripts/validate_bench_json.py --compare A.json B.json
       Assert two reports from the same bench/config are identical modulo
@@ -25,7 +27,12 @@ import json
 import math
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3, 4, 5)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+
+# The replacement policies every schema-6 cache replay must cover, and
+# the counter keys of one PolicyStats blob (live or replayed).
+CACHE_POLICY_KEYS = ("lru", "lfu", "lti")
+CACHE_STAT_KEYS = ("lookups", "hits", "misses", "inserts", "evictions")
 
 # Required keys of each schema-4 "resources" row; every one is a count
 # from the static resource-analysis engine (qasm/analysis) and must be a
@@ -123,6 +130,11 @@ def check_schema(path: str, doc: dict) -> None:
         check_serving(path, doc)
     elif "serving" in doc:
         fail(f"{path}: 'serving' requires schema_version >= 5")
+
+    if doc["schema_version"] >= 6:
+        check_cache(path, doc)
+    elif "cache" in doc:
+        fail(f"{path}: 'cache' requires schema_version >= 6")
 
 
 def check_trace(path: str, trace) -> None:
@@ -295,6 +307,101 @@ def check_serving(path: str, doc: dict) -> None:
                 previous = request
         if len(row["shed_events"]) != row["shed"]:
             fail(f"{path}: {where}: shed_events length != shed count")
+
+
+def check_policy_stats(path: str, where: str, stats) -> None:
+    """One PolicyStats blob: non-negative exact counters obeying the
+    conservation laws (hits + misses == lookups, inserts <= misses —
+    every insert is a resolved miss, a failed compute is a miss that
+    never inserts — evictions <= inserts), hit_rate in [0, 1]."""
+    if not isinstance(stats, dict):
+        fail(f"{path}: {where} must be an object")
+    for key in CACHE_STAT_KEYS:
+        value = stats.get(key)
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{path}: {where}.{key} must be an int (exact counters)")
+        if value < 0:
+            fail(f"{path}: {where}.{key} is negative")
+    if stats["hits"] + stats["misses"] != stats["lookups"]:
+        fail(f"{path}: {where}: hits + misses != lookups")
+    if stats["inserts"] > stats["misses"]:
+        fail(f"{path}: {where}: inserts exceed misses")
+    if stats["evictions"] > stats["inserts"]:
+        fail(f"{path}: {where}: evictions exceed inserts")
+    rate = stats.get("hit_rate")
+    if not isinstance(rate, (int, float)) or not 0.0 <= rate <= 1.0:
+        fail(f"{path}: {where}.hit_rate must be a number in [0, 1]")
+
+
+def check_cache(path: str, doc: dict) -> None:
+    """Validates the schema-6 "cache" section: one study per case mix,
+    each with one row per memoization layer carrying the live unbounded-
+    cache stats and the per-policy replayed stats at the reported
+    capacity. Everything here derives from the canonical (request-id,
+    sequence)-sorted access trace, so it is deterministic at any
+    --threads value and --compare includes it; uncached-vs-cached
+    wall-clock speedups live under "timing"."""
+    cache = doc.get("cache")
+    if not isinstance(cache, dict):
+        fail(f"{path}: 'cache' must be an object (schema 6)")
+    studies = cache.get("studies")
+    if not isinstance(studies, list) or not studies:
+        fail(f"{path}: cache.studies must be a non-empty array")
+    for i, study in enumerate(studies):
+        where = f"cache.studies[{i}]"
+        if not isinstance(study, dict):
+            fail(f"{path}: {where} must be an object")
+        mix = study.get("mix")
+        if not isinstance(mix, str) or not mix:
+            fail(f"{path}: {where}.mix must be a non-empty string")
+        layers = study.get("layers")
+        if not isinstance(layers, list) or not layers:
+            fail(f"{path}: {where}.layers must be a non-empty array")
+        for j, layer in enumerate(layers):
+            lw = f"{where}.layers[{j}]"
+            if not isinstance(layer, dict):
+                fail(f"{path}: {lw} must be an object")
+            if not isinstance(layer.get("layer"), str) or not layer["layer"]:
+                fail(f"{path}: {lw}.layer must be a non-empty string")
+            check_policy_stats(path, f"{lw}.live", layer.get("live"))
+            for key in ("unique_keys", "trace_length", "replay_capacity"):
+                value = layer.get(key)
+                if not isinstance(value, int) or isinstance(value, bool):
+                    fail(f"{path}: {lw}.{key} must be an int")
+                if value < 0:
+                    fail(f"{path}: {lw}.{key} is negative")
+            # Live caches are unbounded: every unique key misses exactly
+            # once and nothing is ever evicted.
+            live = layer["live"]
+            if live["misses"] != layer["unique_keys"]:
+                fail(f"{path}: {lw}: live misses != unique_keys (live "
+                     f"caches must be unbounded)")
+            if live["evictions"] != 0:
+                fail(f"{path}: {lw}: live cache reported evictions")
+            if layer["trace_length"] != live["lookups"]:
+                fail(f"{path}: {lw}: trace_length != live lookups")
+            if layer["unique_keys"] > layer["trace_length"]:
+                fail(f"{path}: {lw}: unique_keys exceed trace_length")
+            replay = layer.get("replay")
+            if not isinstance(replay, dict):
+                fail(f"{path}: {lw}.replay must be an object")
+            if sorted(replay) != sorted(CACHE_POLICY_KEYS):
+                fail(f"{path}: {lw}.replay must have exactly the keys "
+                     f"{CACHE_POLICY_KEYS}, got {sorted(replay)}")
+            for policy in CACHE_POLICY_KEYS:
+                check_policy_stats(path, f"{lw}.replay.{policy}",
+                                   replay[policy])
+                if replay[policy]["lookups"] != live["lookups"]:
+                    fail(f"{path}: {lw}.replay.{policy}: replayed lookups "
+                         f"!= live lookups (same trace)")
+            # LTI is the clairvoyant Belady oracle: on the same trace at
+            # the same capacity no demand-filling policy can beat it.
+            lti_rate = replay["lti"]["hit_rate"]
+            for policy in ("lru", "lfu"):
+                if replay[policy]["hit_rate"] > lti_rate + 1e-12:
+                    fail(f"{path}: {lw}: replay.{policy} hit_rate "
+                         f"{replay[policy]['hit_rate']} exceeds the LTI "
+                         f"oracle's {lti_rate}")
 
 
 def strip_nondeterministic(doc: dict) -> dict:

@@ -54,6 +54,31 @@ TechniqueConfig TechniqueConfig::with_multipass(llm::ModelProfile profile,
   return c;
 }
 
+std::uint64_t technique_digest(const TechniqueConfig& config) noexcept {
+  cache::KeyHasher hasher;
+  hasher.mix(static_cast<std::uint64_t>(config.profile));
+  hasher.mix(config.fine_tuned);
+  hasher.mix(static_cast<std::uint64_t>(config.finetune.corpus_tokens));
+  hasher.mix(static_cast<std::uint64_t>(config.finetune.upsampled_tokens));
+  hasher.mix(config.finetune.official_source_weight);
+  hasher.mix(config.finetune.fim_rate);
+  hasher.mix(static_cast<std::uint64_t>(config.finetune.steps));
+  hasher.mix(static_cast<std::uint64_t>(config.finetune.batch_size));
+  hasher.mix(config.finetune.peak_learning_rate);
+  hasher.mix(config.rag_api).mix(config.rag_guides);
+  hasher.mix(static_cast<std::uint64_t>(config.chunking));
+  hasher.mix(config.api_stale_fraction);
+  hasher.mix(static_cast<std::uint64_t>(config.rag_top_k));
+  hasher.mix(config.cot.has_value());
+  if (config.cot.has_value()) {
+    hasher.mix(static_cast<std::uint64_t>(*config.cot));
+  }
+  hasher.mix(static_cast<std::uint64_t>(config.cot_hand_written));
+  hasher.mix(static_cast<std::uint64_t>(config.max_passes));
+  hasher.mix(config.syntax_difficulty);
+  return hasher.digest();
+}
+
 namespace {
 const llm::KnowledgeState& checked_knowledge(
     const std::shared_ptr<const TechniqueResources>& resources) {
@@ -106,14 +131,60 @@ llm::GenerationContext CodeGenAgent::make_context(std::size_t prompt_index,
   return ctx;
 }
 
+void CodeGenAgent::set_content_addressed(
+    std::shared_ptr<GenerationCache> cache) {
+  content_addressed_ = true;
+  generation_cache_ = std::move(cache);
+}
+
+std::uint64_t CodeGenAgent::generation_key(const llm::TaskSpec& task,
+                                           std::size_t prompt_index,
+                                           bool use_rag) const {
+  cache::KeyHasher hasher;
+  hasher.mix(llm::prompt_text(task)).mix(task.id());
+  // Only the hand-written-scaffold *decision* feeds generation, not the
+  // raw prompt index — identical prompts past the hand-written window
+  // share a key.
+  hasher.mix(prompt_index < config_.cot_hand_written);
+  hasher.mix(use_rag);
+  hasher.mix(technique_digest(config_));
+  hasher.mix(resources_->knowledge_version());
+  return hasher.digest();
+}
+
+llm::GenerationResult CodeGenAgent::generate_content(const llm::TaskSpec& task,
+                                                     std::size_t prompt_index,
+                                                     bool use_rag,
+                                                     std::uint64_t key) const {
+  // The drawing model is seeded from the content key, never from the
+  // agent's per-request stream: whichever request computes this entry,
+  // the sample comes out byte-identical.
+  std::uint64_t state = key ^ 0x5bf0f5d44c3e91a7ULL;
+  llm::SimLM model(resources_->knowledge(), splitmix64(state));
+  return model.generate(task, make_context(prompt_index, use_rag));
+}
+
 llm::GenerationResult CodeGenAgent::generate(const llm::TaskSpec& task,
                                              std::size_t prompt_index,
                                              bool use_rag) {
   // Trip before the model draws, so an injected error leaves the model's
-  // RNG stream untouched and a retry regenerates identically.
+  // RNG stream untouched and a retry regenerates identically. In
+  // content-addressed mode the corrupt action mutates this request's
+  // copy only — a poisoned sample is never what gets cached.
   const auto hit = failpoint::trip("llm.generate", 0);
-  llm::GenerationResult result =
-      model_.generate(task, make_context(prompt_index, use_rag));
+  llm::GenerationResult result;
+  if (content_addressed_) {
+    const std::uint64_t key = generation_key(task, prompt_index, use_rag);
+    if (generation_cache_ != nullptr) {
+      result = *generation_cache_->get_or_compute(key, [&] {
+        return generate_content(task, prompt_index, use_rag, key);
+      });
+    } else {
+      result = generate_content(task, prompt_index, use_rag, key);
+    }
+  } else {
+    result = model_.generate(task, make_context(prompt_index, use_rag));
+  }
   if (hit.has_value() && hit->action == failpoint::Action::kCorrupt) {
     corrupt_source(result.source, hit->corrupt_seed);
   }

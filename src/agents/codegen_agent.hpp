@@ -10,6 +10,7 @@
 #include <string>
 
 #include "agents/technique_resources.hpp"
+#include "common/cache/cache.hpp"
 #include "llm/cot.hpp"
 #include "llm/finetune.hpp"
 #include "llm/knowledge.hpp"
@@ -49,6 +50,16 @@ struct TechniqueConfig {
                                         int passes);
 };
 
+/// Stable digest of every generation-relevant technique field; one
+/// component of the generation cache key, so two agents sharing a cache
+/// but differing in any configuration knob can never alias entries.
+std::uint64_t technique_digest(const TechniqueConfig& config) noexcept;
+
+/// Memoization layer for generation, keyed on
+/// hash(prompt, technique, knowledge-version); see
+/// CodeGenAgent::set_content_addressed.
+using GenerationCache = cache::Cache<llm::GenerationResult>;
+
 /// The agent: owns the model instance; retrieval indexes are either
 /// owned (standalone construction) or shared with sibling agents.
 class CodeGenAgent {
@@ -68,6 +79,22 @@ class CodeGenAgent {
   const TechniqueConfig& config() const noexcept { return config_; }
   const llm::KnowledgeState& knowledge() const { return model_.knowledge(); }
 
+  /// Content-addressed mode (the serving path): generate() becomes a
+  /// pure function of its cache key — the SimLM that draws the sample is
+  /// seeded from hash(prompt, technique, knowledge-version) instead of
+  /// the agent's per-request stream — which is exactly what makes a
+  /// cache hit byte-identical to the miss that populated it. `cache`
+  /// may be null: the computation stays content-addressed but nothing
+  /// is memoized (the certification bypass tests re-run served results
+  /// through). Off by default, so eval trial matrices are untouched.
+  /// repair() always runs on the per-agent stream (repairs depend on
+  /// the previous artifact and pass number; they are not memoized).
+  void set_content_addressed(std::shared_ptr<GenerationCache> cache);
+
+  /// The generation cache key for one request in content-addressed mode.
+  std::uint64_t generation_key(const llm::TaskSpec& task,
+                               std::size_t prompt_index, bool use_rag) const;
+
   /// Generates one program sample. `prompt_index` selects hand-written
   /// vs. generated CoT scaffolds. `use_rag = false` bypasses the vector
   /// stores — the pipeline's degraded rung when retrieval is down.
@@ -85,10 +112,17 @@ class CodeGenAgent {
  private:
   llm::GenerationContext make_context(std::size_t prompt_index,
                                       bool use_rag) const;
+  /// The pure content-addressed computation behind a cache miss.
+  llm::GenerationResult generate_content(const llm::TaskSpec& task,
+                                         std::size_t prompt_index,
+                                         bool use_rag,
+                                         std::uint64_t key) const;
 
   TechniqueConfig config_;
   std::shared_ptr<const TechniqueResources> resources_;
   llm::SimLM model_;
+  bool content_addressed_ = false;
+  std::shared_ptr<GenerationCache> generation_cache_;
 };
 
 }  // namespace qcgen::agents

@@ -146,11 +146,23 @@ MultiAgentPipeline::MultiAgentPipeline(
   if (qec_options.has_value()) qec_agent_.emplace(*qec_options);
 }
 
+void MultiAgentPipeline::set_caches(PipelineCaches caches) {
+  caches_ = std::move(caches);
+  if (caches_.content_addressed || caches_.generation != nullptr) {
+    codegen_.set_content_addressed(caches_.generation);
+  }
+  analyzer_.set_analysis_cache(caches_.analysis);
+  if (degraded_analyzer_.has_value()) {
+    degraded_analyzer_->set_analysis_cache(caches_.analysis);
+  }
+}
+
 const SemanticAnalyzerAgent& MultiAgentPipeline::degraded_analyzer() {
   if (!degraded_analyzer_.has_value()) {
     SemanticAnalyzerAgent::Options options = analyzer_.options();
     options.analysis.abstract_lints = false;
     degraded_analyzer_.emplace(options);
+    degraded_analyzer_->set_analysis_cache(caches_.analysis);
   }
   return *degraded_analyzer_;
 }

@@ -127,6 +127,18 @@ struct PipelineResult {
   int rejected_repairs = 0;
 };
 
+/// Shared memoization layers handed to a pipeline by the serving path
+/// (off everywhere else: eval trial matrices stay bit-identical to the
+/// uncached pipeline). See CodeGenAgent::set_content_addressed and
+/// SemanticAnalyzerAgent::set_analysis_cache for the exact semantics.
+struct PipelineCaches {
+  /// Engage content-addressed generation even when `generation` is null
+  /// — the pure-recompute bypass certification tests run against.
+  bool content_addressed = false;
+  std::shared_ptr<GenerationCache> generation;
+  std::shared_ptr<AnalysisCache> analysis;
+};
+
 class MultiAgentPipeline {
  public:
   /// `device` enables the QEC agent stage; nullopt skips it (the Fig 3 /
@@ -163,6 +175,12 @@ class MultiAgentPipeline {
   void set_rag_enabled(bool enabled) noexcept { rag_enabled_ = enabled; }
   bool rag_enabled() const noexcept { return rag_enabled_; }
 
+  /// Wires the serving caches through to the agents (the retrieval cache
+  /// rides inside the shared TechniqueResources and needs no per-
+  /// pipeline hookup). The degraded analyzer rung shares the analysis
+  /// cache too; its different lint configuration keys it apart.
+  void set_caches(PipelineCaches caches);
+
   /// Runs generation + analysis (+ repair passes up to the technique's
   /// max_passes) on one task. `reference` enables the behavioural check;
   /// pass an empty distribution to restrict to static verification.
@@ -180,6 +198,7 @@ class MultiAgentPipeline {
 
   CodeGenAgent codegen_;
   SemanticAnalyzerAgent analyzer_;
+  PipelineCaches caches_;
   std::optional<SemanticAnalyzerAgent> degraded_analyzer_;
   std::optional<QecDecoderAgent> qec_agent_;
   std::optional<DeviceTopology> device_;

@@ -1,5 +1,6 @@
 #include "agents/semantic_agent.hpp"
 
+#include "common/cache/hash.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/trace.hpp"
@@ -8,16 +9,99 @@
 
 namespace qcgen::agents {
 
+namespace {
+
+// Key-namespace salts keeping the two entry kinds of the shared analysis
+// cache disjoint.
+constexpr std::uint64_t kAnalyzeSalt = 0x9a1e6f3b2d845c07ULL;
+constexpr std::uint64_t kSimulateSalt = 0x43d78e1f5ab6290cULL;
+
+/// Digest of every analyzer-options field that feeds analyze() output.
+std::uint64_t analyzer_options_digest(const qasm::AnalyzerOptions& options) {
+  cache::KeyHasher hasher;
+  hasher.mix(options.deprecated_import_is_error);
+  hasher.mix(options.deprecated_alias_is_error);
+  hasher.mix(options.warn_unused_qubits);
+  hasher.mix(options.dataflow_lints);
+  hasher.mix(options.abstract_lints);
+  hasher.mix(options.resource_lints);
+  hasher.mix(options.emit_fixits);
+  hasher.mix(options.topology.has_value());
+  if (options.topology.has_value()) {
+    hasher.mix(options.topology->name);
+    hasher.mix(static_cast<std::uint64_t>(options.topology->num_qubits));
+    hasher.mix(static_cast<std::uint64_t>(options.topology->edges.size()));
+    for (const auto& [a, b] : options.topology->edges) {
+      hasher.mix(static_cast<std::uint64_t>(a));
+      hasher.mix(static_cast<std::uint64_t>(b));
+    }
+  }
+  return hasher.digest();
+}
+
+}  // namespace
+
+std::uint64_t circuit_digest(const sim::Circuit& circuit) noexcept {
+  cache::KeyHasher hasher;
+  hasher.mix(static_cast<std::uint64_t>(circuit.num_qubits()));
+  hasher.mix(static_cast<std::uint64_t>(circuit.num_clbits()));
+  hasher.mix(static_cast<std::uint64_t>(circuit.operations().size()));
+  for (const sim::Operation& op : circuit.operations()) {
+    hasher.mix(static_cast<std::uint64_t>(op.kind));
+    hasher.mix(static_cast<std::uint64_t>(op.qubits.size()));
+    for (const std::size_t q : op.qubits) {
+      hasher.mix(static_cast<std::uint64_t>(q));
+    }
+    hasher.mix(static_cast<std::uint64_t>(op.params.size()));
+    for (const double p : op.params) hasher.mix(p);
+    hasher.mix(op.clbit.has_value());
+    if (op.clbit.has_value()) {
+      hasher.mix(static_cast<std::uint64_t>(*op.clbit));
+    }
+    hasher.mix(op.condition.has_value());
+    if (op.condition.has_value()) {
+      hasher.mix(static_cast<std::uint64_t>(op.condition->clbit));
+      hasher.mix(op.condition->value);
+    }
+  }
+  return hasher.digest();
+}
+
 SemanticAnalyzerAgent::SemanticAnalyzerAgent(Options options)
-    : options_(options) {
+    : options_(options),
+      options_digest_(analyzer_options_digest(options_.analysis)) {
   require(options_.shots >= 1, "SemanticAnalyzerAgent: shots >= 1");
   require(options_.tvd_threshold > 0.0 && options_.tvd_threshold < 1.0,
           "SemanticAnalyzerAgent: tvd_threshold in (0,1)");
 }
 
+std::uint64_t SemanticAnalyzerAgent::analysis_key(
+    const std::string& source) const {
+  return cache::KeyHasher()
+      .mix(kAnalyzeSalt)
+      .mix(source)
+      .mix(options_digest_)
+      .digest();
+}
+
 StaticReport SemanticAnalyzerAgent::analyze(const std::string& source) const {
-  StaticReport report;
+  // The fail point fires per call (outside any memoized computation), so
+  // fault-injection behaviour never depends on cache state.
   failpoint::trip("analyzer.parse");
+  if (cache_ != nullptr) {
+    return cache_
+        ->get_or_compute(analysis_key(source),
+                         [&] {
+                           return AnalysisValue{analyze_impl(source), {}};
+                         })
+        ->report;
+  }
+  return analyze_impl(source);
+}
+
+StaticReport SemanticAnalyzerAgent::analyze_impl(
+    const std::string& source) const {
+  StaticReport report;
   qasm::ParseResult parsed = [&] {
     trace::TraceSpan span("analyze.parse");
     return qasm::parse(source);
@@ -59,14 +143,31 @@ BehaviorReport SemanticAnalyzerAgent::check_behavior(
     return report;
   }
   failpoint::trip("analyzer.simulate");
-  const sim::Distribution observed = [&] {
+  const auto simulate = [&] {
     trace::TraceSpan span("analyze.simulate");
     return sim::exact_distribution(circuit);
-  }();
+  };
+  // Keep the shared entry alive while judging against it.
+  std::shared_ptr<const AnalysisValue> entry;
+  sim::Distribution local;
+  const sim::Distribution* observed = nullptr;
+  if (cache_ != nullptr) {
+    const std::uint64_t key = cache::KeyHasher()
+                                  .mix(kSimulateSalt)
+                                  .mix(circuit_digest(circuit))
+                                  .digest();
+    entry = cache_->get_or_compute(
+        key, [&] { return AnalysisValue{{}, simulate()}; });
+    observed = &entry->observed;
+  } else {
+    local = simulate();
+    observed = &local;
+  }
   {
     trace::TraceSpan span("analyze.judge");
-    report.tvd = total_variation_distance(observed, reference);
-    report.matches = !observed.empty() && report.tvd <= options_.tvd_threshold;
+    report.tvd = total_variation_distance(*observed, reference);
+    report.matches =
+        !observed->empty() && report.tvd <= options_.tvd_threshold;
   }
   trace::Metrics::observe("judge.tvd", report.tvd);
   return report;

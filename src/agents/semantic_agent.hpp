@@ -12,10 +12,12 @@
 // Options::analysis.topology (agents::coupling_map) to also check
 // two-qubit gates against a device coupling graph.
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/cache/cache.hpp"
 #include "common/stats.hpp"
 #include "qasm/analysis/resources.hpp"
 #include "qasm/analyzer.hpp"
@@ -45,6 +47,22 @@ struct BehaviorReport {
   double tvd = 1.0;  ///< total variation distance to the reference
 };
 
+/// Cached value of the analysis layer. One cache holds two entry kinds
+/// under salted key namespaces: analyze() entries carry the StaticReport
+/// for hash(source, lint config); check_behavior() entries carry the
+/// exact measurement distribution (the judged distribution) for a
+/// lowered circuit's content digest. The unused half of each entry stays
+/// empty.
+struct AnalysisValue {
+  StaticReport report;
+  sim::Distribution observed;
+};
+using AnalysisCache = cache::Cache<AnalysisValue>;
+
+/// Content digest of a lowered circuit — the key material for judged-
+/// distribution cache entries (and a useful fingerprint in tests).
+std::uint64_t circuit_digest(const sim::Circuit& circuit) noexcept;
+
 class SemanticAnalyzerAgent {
  public:
   struct Options {
@@ -62,6 +80,19 @@ class SemanticAnalyzerAgent {
 
   const Options& options() const noexcept { return options_; }
 
+  /// Attaches a shared analysis cache (null detaches). analyze() and the
+  /// simulation half of check_behavior() are pure functions of their
+  /// inputs plus this agent's static-analysis configuration, so
+  /// memoization is invisible to callers; keys fold in a digest of the
+  /// analyzer options, so differently-configured agents sharing one
+  /// cache never alias entries.
+  void set_analysis_cache(std::shared_ptr<AnalysisCache> cache) {
+    cache_ = std::move(cache);
+  }
+
+  /// Cache key of analyze(source) under this agent's configuration.
+  std::uint64_t analysis_key(const std::string& source) const;
+
   /// Parse + semantic analysis + lowering.
   StaticReport analyze(const std::string& source) const;
 
@@ -71,7 +102,11 @@ class SemanticAnalyzerAgent {
                                 const sim::Distribution& reference) const;
 
  private:
+  StaticReport analyze_impl(const std::string& source) const;
+
   Options options_;
+  std::uint64_t options_digest_ = 0;
+  std::shared_ptr<AnalysisCache> cache_;
 };
 
 }  // namespace qcgen::agents

@@ -1,0 +1,28 @@
+#include "common/cache/cache.hpp"
+
+namespace qcgen::cache {
+
+namespace {
+// Per-thread attribution state. Tag 0 with a process-lifetime sequence
+// is the untagged default (single-threaded tools and tests); scopes save
+// and restore around themselves so nesting behaves.
+thread_local std::uint64_t t_tag = 0;
+thread_local std::uint64_t t_seq = 0;
+}  // namespace
+
+CacheTagScope::CacheTagScope(std::uint64_t tag) noexcept
+    : saved_tag_(t_tag), saved_seq_(t_seq) {
+  t_tag = tag;
+  t_seq = 0;
+}
+
+CacheTagScope::~CacheTagScope() {
+  t_tag = saved_tag_;
+  t_seq = saved_seq_;
+}
+
+std::pair<std::uint64_t, std::uint64_t> CacheTagScope::next() noexcept {
+  return {t_tag, t_seq++};
+}
+
+}  // namespace qcgen::cache

@@ -1,0 +1,254 @@
+#pragma once
+// Sharded, thread-safe, content-addressed cache with single-flight
+// computation.
+//
+// Keys are 64-bit content digests (see hash.hpp); values are immutable
+// once published (handed out as shared_ptr<const V>). The design targets
+// the serving layer's determinism contract:
+//
+//  * Single-flight get_or_compute: concurrent lookups of one missing key
+//    coalesce onto one computation — the first caller computes, the rest
+//    block and receive the published value as hits. Hit/miss totals are
+//    therefore schedule-independent: however the worker threads
+//    interleave, a key's first resolution is exactly one miss and every
+//    other lookup is a hit (with unbounded capacity, misses == unique
+//    keys). Per-request *attribution* of who missed is schedule-shaped;
+//    only the totals are deterministic, which is what the merged
+//    TraceSink summary and Cache::stats() report.
+//  * Live serving caches run unbounded (capacity 0): eviction order
+//    under concurrency is inherently schedule-dependent, so bounded
+//    capacities are for single-shard tests and offline policy replay
+//    (replay.hpp), where the recorded access trace is replayed
+//    deterministically under LRU/LFU/LTI head-to-head.
+//  * Access-trace recording: with CacheOptions::record_trace, every
+//    lookup appends (tag, seq, key), where the tag is the installed
+//    CacheTagScope (the serving layer tags each request with its id) and
+//    seq is a per-tag counter. Sorting by (tag, seq) reconstructs the
+//    canonical single-threaded access order — valid because each
+//    request's execution is itself deterministic — so the replayed
+//    policy stats are bit-identical at any worker thread count.
+//
+// A compute that throws unpublishes the in-flight placeholder and wakes
+// the waiters, which retry (the first becomes the new computer); nothing
+// is ever cached from a failed computation.
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/cache/hash.hpp"
+#include "common/cache/policy.hpp"
+#include "common/error.hpp"
+#include "common/trace.hpp"
+
+namespace qcgen::cache {
+
+/// Tags cache accesses on the current thread for trace attribution
+/// (RAII, nestable; the serving layer installs one per request with the
+/// request id as tag). Entering a scope resets the per-tag sequence
+/// counter, so the (tag, seq) pairs a request produces depend only on
+/// its own execution, never on what ran on the worker thread before it.
+class CacheTagScope {
+ public:
+  explicit CacheTagScope(std::uint64_t tag) noexcept;
+  ~CacheTagScope();
+  CacheTagScope(const CacheTagScope&) = delete;
+  CacheTagScope& operator=(const CacheTagScope&) = delete;
+
+  /// (current tag, next sequence number) for one recorded access.
+  static std::pair<std::uint64_t, std::uint64_t> next() noexcept;
+
+ private:
+  std::uint64_t saved_tag_;
+  std::uint64_t saved_seq_;
+};
+
+struct CacheOptions {
+  /// Metrics prefix: counters surface as cache.<name>.{hits,misses,
+  /// evictions} on the thread-local TraceSink.
+  std::string name = "cache";
+  /// Maximum resident entries per shard; 0 = unbounded. Bounded
+  /// capacities are deterministic only with shards = 1 (policy studies
+  /// run through replay_trace instead of a live bounded cache).
+  std::size_t capacity = 0;
+  /// Online replacement policy (kLru or kLfu; kLti is replay-only).
+  PolicyKind policy = PolicyKind::kLru;
+  std::size_t shards = 8;
+  /// Record the (tag, seq, key) access trace for offline policy replay.
+  bool record_trace = false;
+};
+
+/// One recorded lookup.
+struct TraceEntry {
+  std::uint64_t tag = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t key = 0;
+};
+
+template <typename V>
+class Cache {
+ public:
+  explicit Cache(CacheOptions options) : options_(std::move(options)) {
+    require(options_.shards >= 1, "Cache: shards >= 1");
+    require(options_.policy != PolicyKind::kLti,
+            "Cache: lti is an offline oracle (see replay_trace)");
+    hits_name_ = "cache." + options_.name + ".hits";
+    misses_name_ = "cache." + options_.name + ".misses";
+    evictions_name_ = "cache." + options_.name + ".evictions";
+    shards_ = std::vector<Shard>(options_.shards);
+    for (Shard& shard : shards_) {
+      shard.policy = make_policy(options_.policy);
+    }
+  }
+
+  const CacheOptions& options() const noexcept { return options_; }
+
+  /// Returns the cached value for `key`, computing it via `fn` on a
+  /// miss. `fn` runs outside the shard lock; concurrent callers for the
+  /// same key wait for the in-flight computation instead of duplicating
+  /// it, and count as hits (exactly what a sequential re-lookup would).
+  template <typename Fn>
+  std::shared_ptr<const V> get_or_compute(std::uint64_t key, Fn&& fn) {
+    Shard& shard = shard_for(key);
+    std::unique_lock<std::mutex> lock(shard.mutex);
+    if (options_.record_trace) {
+      const auto [tag, seq] = CacheTagScope::next();
+      shard.trace.push_back({tag, seq, key});
+    }
+    for (;;) {
+      auto it = shard.entries.find(key);
+      if (it == shard.entries.end()) break;  // become the computer
+      if (it->second.value != nullptr) {
+        ++shard.stats.lookups;
+        ++shard.stats.hits;
+        shard.policy->on_access(key);
+        trace::Metrics::counter(hits_name_);
+        return it->second.value;
+      }
+      // In flight on another thread: single-flight wait, then re-check
+      // (the computation may have failed and unpublished itself).
+      shard.cv.wait(lock, [&] {
+        const auto found = shard.entries.find(key);
+        return found == shard.entries.end() || found->second.value != nullptr;
+      });
+    }
+    ++shard.stats.lookups;
+    ++shard.stats.misses;
+    shard.entries.emplace(key, Entry{});  // in-flight placeholder
+    trace::Metrics::counter(misses_name_);
+    lock.unlock();
+
+    std::shared_ptr<const V> value;
+    try {
+      value = std::make_shared<const V>(fn());
+    } catch (...) {
+      lock.lock();
+      shard.entries.erase(key);
+      shard.cv.notify_all();
+      throw;
+    }
+
+    lock.lock();
+    shard.entries[key].value = value;
+    ++shard.stats.inserts;
+    ++shard.resident;
+    shard.policy->on_insert(key);
+    if (options_.capacity > 0) {
+      while (shard.resident > options_.capacity) {
+        const std::uint64_t evicted = shard.policy->victim();
+        shard.policy->on_erase(evicted);
+        shard.entries.erase(evicted);
+        --shard.resident;
+        ++shard.stats.evictions;
+        trace::Metrics::counter(evictions_name_);
+      }
+    }
+    shard.cv.notify_all();
+    return value;
+  }
+
+  /// Resident value for `key`, or nullptr. Does not touch the policy or
+  /// the stats — an observation aid for tests, not a lookup path.
+  std::shared_ptr<const V> peek(std::uint64_t key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    return it == shard.entries.end() ? nullptr : it->second.value;
+  }
+
+  /// Counters aggregated over shards.
+  PolicyStats stats() const {
+    PolicyStats total;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total.merge(shard.stats);
+    }
+    return total;
+  }
+
+  /// Resident (published) entries across shards.
+  std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.resident;
+    }
+    return total;
+  }
+
+  /// The recorded lookup keys in canonical (tag, seq) order — the input
+  /// replay_trace consumes. Empty unless record_trace was set.
+  std::vector<std::uint64_t> access_trace() const {
+    std::vector<TraceEntry> entries;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      entries.insert(entries.end(), shard.trace.begin(), shard.trace.end());
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const TraceEntry& a, const TraceEntry& b) {
+                return a.tag != b.tag ? a.tag < b.tag : a.seq < b.seq;
+              });
+    std::vector<std::uint64_t> keys;
+    keys.reserve(entries.size());
+    for (const TraceEntry& entry : entries) keys.push_back(entry.key);
+    return keys;
+  }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const V> value;  ///< null while the compute is in flight
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::condition_variable cv;
+    std::unordered_map<std::uint64_t, Entry> entries;
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::size_t resident = 0;  ///< published entries (excludes in-flight)
+    PolicyStats stats;
+    std::vector<TraceEntry> trace;
+  };
+
+  Shard& shard_for(std::uint64_t key) noexcept {
+    return const_cast<Shard&>(std::as_const(*this).shard_for(key));
+  }
+  const Shard& shard_for(std::uint64_t key) const noexcept {
+    // Re-mix before sharding so shard choice is independent of any
+    // structure in the key's low bits.
+    std::uint64_t state = key;
+    return shards_[splitmix64(state) % shards_.size()];
+  }
+
+  CacheOptions options_;
+  std::string hits_name_;
+  std::string misses_name_;
+  std::string evictions_name_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace qcgen::cache

@@ -1,0 +1,146 @@
+#include "common/cache/policy.hpp"
+
+#include "common/error.hpp"
+
+namespace qcgen::cache {
+
+std::string_view policy_kind_name(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kLfu: return "lfu";
+    case PolicyKind::kLti: return "lti";
+  }
+  return "unknown";
+}
+
+std::optional<PolicyKind> parse_policy_kind(std::string_view name) noexcept {
+  if (name == "lru") return PolicyKind::kLru;
+  if (name == "lfu") return PolicyKind::kLfu;
+  if (name == "lti") return PolicyKind::kLti;
+  return std::nullopt;
+}
+
+void PolicyStats::merge(const PolicyStats& other) noexcept {
+  lookups += other.lookups;
+  hits += other.hits;
+  misses += other.misses;
+  inserts += other.inserts;
+  evictions += other.evictions;
+}
+
+// --- LRU --------------------------------------------------------------------
+
+void LruPolicy::touch(std::uint64_t key) {
+  if (const auto it = last_use_.find(key); it != last_use_.end()) {
+    by_age_.erase({it->second, key});
+    it->second = clock_;
+  } else {
+    last_use_.emplace(key, clock_);
+  }
+  by_age_.emplace(clock_, key);
+  ++clock_;
+}
+
+void LruPolicy::on_insert(std::uint64_t key) { touch(key); }
+
+void LruPolicy::on_access(std::uint64_t key) { touch(key); }
+
+void LruPolicy::on_erase(std::uint64_t key) {
+  const auto it = last_use_.find(key);
+  ensure(it != last_use_.end(), "LruPolicy: erasing non-resident key");
+  by_age_.erase({it->second, key});
+  last_use_.erase(it);
+}
+
+std::uint64_t LruPolicy::victim() const {
+  ensure(!by_age_.empty(), "LruPolicy: victim() on empty resident set");
+  return by_age_.begin()->second;
+}
+
+// --- LFU --------------------------------------------------------------------
+
+void LfuPolicy::bump(std::uint64_t key) {
+  auto& use = uses_[key];
+  if (use.frequency > 0) order_.erase({use.frequency, use.last_use, key});
+  ++use.frequency;
+  use.last_use = clock_++;
+  order_.emplace(use.frequency, use.last_use, key);
+}
+
+void LfuPolicy::on_insert(std::uint64_t key) { bump(key); }
+
+void LfuPolicy::on_access(std::uint64_t key) { bump(key); }
+
+void LfuPolicy::on_erase(std::uint64_t key) {
+  const auto it = uses_.find(key);
+  ensure(it != uses_.end(), "LfuPolicy: erasing non-resident key");
+  order_.erase({it->second.frequency, it->second.last_use, key});
+  uses_.erase(it);
+}
+
+std::uint64_t LfuPolicy::victim() const {
+  ensure(!order_.empty(), "LfuPolicy: victim() on empty resident set");
+  return std::get<2>(*order_.begin());
+}
+
+// --- LTI (Belady oracle) ----------------------------------------------------
+
+LtiPolicy::LtiPolicy(std::span<const std::uint64_t> trace)
+    : next_use_(trace.size(), kNever) {
+  // Walk backwards so next_use_[i] is the next position of trace[i]
+  // strictly after i (kNever for the final occurrence of a key).
+  std::map<std::uint64_t, std::uint64_t> upcoming;
+  for (std::size_t i = trace.size(); i-- > 0;) {
+    if (const auto it = upcoming.find(trace[i]); it != upcoming.end()) {
+      next_use_[i] = it->second;
+      it->second = i;
+    } else {
+      upcoming.emplace(trace[i], i);
+    }
+  }
+}
+
+void LtiPolicy::place(std::uint64_t key) {
+  ensure(clock_ < next_use_.size(),
+         "LtiPolicy: trace exhausted (lookup past the recorded sequence)");
+  const std::uint64_t next = next_use_[clock_++];
+  if (const auto it = resident_.find(key); it != resident_.end()) {
+    by_next_.erase({it->second, key});
+    it->second = next;
+  } else {
+    resident_.emplace(key, next);
+  }
+  by_next_.emplace(next, key);
+}
+
+void LtiPolicy::on_insert(std::uint64_t key) { place(key); }
+
+void LtiPolicy::on_access(std::uint64_t key) { place(key); }
+
+void LtiPolicy::on_erase(std::uint64_t key) {
+  const auto it = resident_.find(key);
+  ensure(it != resident_.end(), "LtiPolicy: erasing non-resident key");
+  by_next_.erase({it->second, key});
+  resident_.erase(it);
+}
+
+std::uint64_t LtiPolicy::victim() const {
+  ensure(!by_next_.empty(), "LtiPolicy: victim() on empty resident set");
+  // rbegin(): the farthest next use; never-used-again keys sort last
+  // (kNever), exact ties fall to the largest key — all deterministic.
+  return by_next_.rbegin()->second;
+}
+
+std::unique_ptr<ReplacementPolicy> make_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case PolicyKind::kLti: break;
+  }
+  require(false,
+          "make_policy: lti is an offline oracle — construct LtiPolicy from "
+          "a recorded access trace (see replay_trace)");
+  return nullptr;  // unreachable
+}
+
+}  // namespace qcgen::cache

@@ -1,0 +1,40 @@
+#include "common/cache/replay.hpp"
+
+#include <memory>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace qcgen::cache {
+
+PolicyStats replay_trace(std::span<const std::uint64_t> trace,
+                         std::size_t capacity, PolicyKind policy) {
+  require(capacity >= 1, "replay_trace: capacity >= 1");
+  const std::unique_ptr<ReplacementPolicy> impl =
+      policy == PolicyKind::kLti
+          ? std::make_unique<LtiPolicy>(trace)
+          : make_policy(policy);
+  PolicyStats stats;
+  std::unordered_set<std::uint64_t> resident;
+  for (const std::uint64_t key : trace) {
+    ++stats.lookups;
+    if (resident.contains(key)) {
+      ++stats.hits;
+      impl->on_access(key);
+      continue;
+    }
+    ++stats.misses;
+    if (resident.size() == capacity) {
+      const std::uint64_t evicted = impl->victim();
+      impl->on_erase(evicted);
+      resident.erase(evicted);
+      ++stats.evictions;
+    }
+    resident.insert(key);
+    impl->on_insert(key);
+    ++stats.inserts;
+  }
+  return stats;
+}
+
+}  // namespace qcgen::cache

@@ -1,0 +1,27 @@
+#pragma once
+// Offline policy replay: drive a recorded access trace through a
+// replacement policy at a fixed capacity and report the stats it would
+// have produced.
+//
+// This is how policies are evaluated head-to-head (and how LTI — the
+// Belady oracle, which needs the future — participates at all): the
+// live serving caches run unbounded and record their access traces, and
+// the bench replays one trace under LRU, LFU and LTI. Replay is pure
+// and single-threaded, so the resulting stats are bit-identical however
+// many worker threads produced the trace, as long as the trace itself
+// is canonical (Cache::access_trace sorts by request tag).
+
+#include <cstdint>
+#include <span>
+
+#include "common/cache/policy.hpp"
+
+namespace qcgen::cache {
+
+/// Simulates a cache of `capacity` entries under `policy` over the
+/// lookup sequence `trace`. LTI is allowed here (its oracle is built
+/// from the full trace). Requires capacity >= 1.
+PolicyStats replay_trace(std::span<const std::uint64_t> trace,
+                         std::size_t capacity, PolicyKind policy);
+
+}  // namespace qcgen::cache

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/cache/hash.hpp"
 #include "common/error.hpp"
 
 namespace qcgen::llm {
@@ -78,6 +79,16 @@ FaultRates fault_rates(const KnowledgeState& knowledge, AlgorithmId algorithm,
   rates.missing_measure = clamp01(0.06 * syn_gap);
   rates.semantic_slip = clamp01(0.12 * (1.0 - sem));
   return rates;
+}
+
+std::uint64_t knowledge_digest(const KnowledgeState& knowledge) noexcept {
+  cache::KeyHasher hasher;
+  hasher.mix(knowledge.syntax_skill).mix(knowledge.api_recency);
+  hasher.mix(static_cast<std::uint64_t>(knowledge.semantic.size()));
+  for (const auto& [algorithm, value] : knowledge.semantic) {
+    hasher.mix(static_cast<std::uint64_t>(algorithm)).mix(value);
+  }
+  return hasher.digest();
 }
 
 }  // namespace qcgen::llm

@@ -12,6 +12,7 @@
 // strengths; all constants live in knowledge.cpp and are calibrated so
 // the evaluation reproduces the paper's accuracy ordering and deltas.
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -41,6 +42,12 @@ std::string_view model_profile_name(ModelProfile profile);
 
 /// Pre-training knowledge of a base model (before any fine-tuning).
 KnowledgeState base_knowledge(ModelProfile profile);
+
+/// Stable content digest of a knowledge state — the cache layer's
+/// "knowledge version". Generation cache keys fold it in, so any change
+/// to the model's capability axes invalidates by key divergence instead
+/// of explicit flushes.
+std::uint64_t knowledge_digest(const KnowledgeState& knowledge) noexcept;
 
 /// Per-operation fault probabilities derived from a knowledge state.
 struct FaultRates {

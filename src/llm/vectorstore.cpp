@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "common/cache/hash.hpp"
 #include "common/error.hpp"
 #include "common/failpoint.hpp"
 #include "common/strings.hpp"
@@ -68,13 +69,22 @@ VectorStore::VectorStore(std::vector<Chunk> chunks)
   chunk_tokens_.reserve(chunks_.size());
   chunk_len_.reserve(chunks_.size());
   double total_len = 0.0;
+  cache::KeyHasher version;
+  version.mix(static_cast<std::uint64_t>(chunks_.size()));
   for (const Chunk& c : chunks_) {
     vocabulary_.add_document(c.text);
     chunk_tokens_.push_back(tokenize(c.text));
     chunk_len_.push_back(static_cast<double>(chunk_tokens_.back().size()));
     total_len += chunk_len_.back();
+    version.mix(c.doc_id).mix(c.text);
+    version.mix(static_cast<std::uint64_t>(c.freshness));
+    version.mix(c.algorithm.has_value());
+    if (c.algorithm.has_value()) {
+      version.mix(static_cast<std::uint64_t>(*c.algorithm));
+    }
   }
   avg_len_ = total_len / static_cast<double>(chunks_.size());
+  content_version_ = version.digest();
 }
 
 double VectorStore::score(const std::string& query_token,
@@ -93,23 +103,50 @@ double VectorStore::score(const std::string& query_token,
          (static_cast<double>(tf) + norm);
 }
 
-std::vector<Retrieved> VectorStore::retrieve(const std::string& query,
-                                             std::size_t k) const {
-  failpoint::trip("retrieval.query");
-  trace::TraceSpan span("bm25.query");
+std::vector<ScoredIndex> VectorStore::retrieve_uncached(
+    const std::string& query, std::size_t k) const {
   const auto query_tokens = tokenize(query);
-  std::vector<Retrieved> hits;
+  std::vector<ScoredIndex> hits;
   hits.reserve(chunks_.size());
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
     double s = 0.0;
     for (const std::string& qt : query_tokens) s += score(qt, i);
-    if (s > 0.0) hits.push_back(Retrieved{&chunks_[i], s});
+    if (s > 0.0) hits.push_back(ScoredIndex{i, s});
   }
-  std::sort(hits.begin(), hits.end(), [](const Retrieved& a, const Retrieved& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.chunk->doc_id < b.chunk->doc_id;
-  });
+  // Equal scores fall back to chunk index: a total, stable order. The
+  // previous doc_id tie-break left same-document ties in unspecified
+  // order (std::sort is not stable), so retrieval output could depend on
+  // the sort implementation — fatal once these results are cache values.
+  std::sort(hits.begin(), hits.end(),
+            [](const ScoredIndex& a, const ScoredIndex& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.index < b.index;
+            });
   if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+std::vector<Retrieved> VectorStore::retrieve(const std::string& query,
+                                             std::size_t k) const {
+  failpoint::trip("retrieval.query");
+  trace::TraceSpan span("bm25.query");
+  std::vector<ScoredIndex> scored;
+  if (cache_ != nullptr) {
+    const std::uint64_t key = cache::KeyHasher()
+                                  .mix(content_version_)
+                                  .mix(query)
+                                  .mix(static_cast<std::uint64_t>(k))
+                                  .digest();
+    scored = *cache_->get_or_compute(
+        key, [&] { return retrieve_uncached(query, k); });
+  } else {
+    scored = retrieve_uncached(query, k);
+  }
+  std::vector<Retrieved> hits;
+  hits.reserve(scored.size());
+  for (const ScoredIndex& s : scored) {
+    hits.push_back(Retrieved{&chunks_[s.index], s.score});
+  }
   trace::Metrics::counter("bm25.queries");
   trace::Metrics::counter("bm25.hits",
                           static_cast<std::int64_t>(hits.size()));

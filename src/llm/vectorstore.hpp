@@ -7,9 +7,11 @@
 // splitter that respects sentence boundaries — the ABL-RAG ablation
 // compares them.
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/cache/cache.hpp"
 #include "llm/corpus.hpp"
 #include "llm/tokenizer.hpp"
 
@@ -39,6 +41,18 @@ struct Retrieved {
   double score = 0.0;
 };
 
+/// A hit in store-independent form — what the retrieval cache stores
+/// (chunk pointers would dangle across stores; indices rebind cheaply).
+struct ScoredIndex {
+  std::size_t index = 0;
+  double score = 0.0;
+  friend bool operator==(const ScoredIndex&, const ScoredIndex&) = default;
+};
+
+/// Shared memoization layer for BM25 queries, keyed on
+/// hash(corpus version, query, k); see VectorStore::attach_cache.
+using RetrievalCache = cache::Cache<std::vector<ScoredIndex>>;
+
 /// BM25 index over chunks.
 class VectorStore {
  public:
@@ -47,19 +61,38 @@ class VectorStore {
   std::size_t size() const noexcept { return chunks_.size(); }
   const std::vector<Chunk>& chunks() const noexcept { return chunks_; }
 
+  /// Content digest of the indexed corpus. Folded into every retrieval
+  /// cache key, so re-indexing a changed corpus (a "corpus version
+  /// bump") invalidates by key divergence — stale entries from the old
+  /// corpus can never be returned for the new one.
+  std::uint64_t content_version() const noexcept { return content_version_; }
+
+  /// Attaches a shared retrieval cache (null detaches). Retrieval is a
+  /// pure function of (corpus, query, k), so memoization is invisible to
+  /// callers; the cache may be shared across stores because keys carry
+  /// each store's content_version().
+  void attach_cache(std::shared_ptr<RetrievalCache> cache) noexcept {
+    cache_ = std::move(cache);
+  }
+
   /// Top-k chunks for a query, highest score first. Scores <= 0 are
-  /// dropped, so the result may be shorter than k.
+  /// dropped, so the result may be shorter than k. Equal-score hits are
+  /// ordered by chunk index — a stable, deterministic tie-break.
   std::vector<Retrieved> retrieve(const std::string& query,
                                   std::size_t k) const;
 
  private:
   double score(const std::string& query_token, std::size_t chunk_idx) const;
+  std::vector<ScoredIndex> retrieve_uncached(const std::string& query,
+                                             std::size_t k) const;
 
   std::vector<Chunk> chunks_;
   Vocabulary vocabulary_;
   std::vector<std::vector<std::string>> chunk_tokens_;
   std::vector<double> chunk_len_;
   double avg_len_ = 0.0;
+  std::uint64_t content_version_ = 0;
+  std::shared_ptr<RetrievalCache> cache_;
 };
 
 }  // namespace qcgen::llm

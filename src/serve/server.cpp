@@ -19,13 +19,39 @@ const sim::Distribution kEmptyReference;
 
 Server::Server(Options options, const std::vector<eval::TestCase>& catalog)
     : options_(std::move(options)),
-      resources_(std::make_shared<const agents::TechniqueResources>(
-          options_.technique)),
       oracle_(options_.oracle),
       admission_(options_.admission),
       pool_(options_.threads) {
   require(!options_.qec.has_value() || options_.device.has_value(),
           "Server: qec options require a device");
+  require(options_.chaos_scenario.empty() || !options_.cache.enabled,
+          "Server: chaos_scenario and cache.enabled are mutually exclusive "
+          "(injected faults are per-request; memoized computes are shared)");
+  require(options_.cache.shards >= 1, "Server: cache.shards >= 1");
+  // Resources are built mutable so the retrieval cache can be attached
+  // to the BM25 stores, then frozen behind the const shared_ptr every
+  // worker reads through.
+  auto resources =
+      std::make_shared<agents::TechniqueResources>(options_.technique);
+  if (options_.cache.enabled && !options_.cache.bypass) {
+    const auto make = [&](const char* name) {
+      cache::CacheOptions cache_options;
+      cache_options.name = name;
+      cache_options.capacity = options_.cache.capacity;
+      cache_options.policy = options_.cache.policy;
+      cache_options.shards = options_.cache.shards;
+      cache_options.record_trace = options_.cache.record_trace;
+      return cache_options;
+    };
+    generation_cache_ =
+        std::make_shared<agents::GenerationCache>(make("generation"));
+    retrieval_cache_ =
+        std::make_shared<llm::RetrievalCache>(make("retrieval"));
+    analysis_cache_ =
+        std::make_shared<agents::AnalysisCache>(make("analysis"));
+    resources->enable_retrieval_cache(retrieval_cache_);
+  }
+  resources_ = std::move(resources);
   if (!options_.chaos_scenario.empty()) {
     scenario_ = std::make_shared<const failpoint::Scenario>(
         failpoint::Scenario::parse(options_.chaos_scenario));
@@ -136,6 +162,11 @@ RequestResult Server::run_request(const Request& request,
     }
   }
 
+  // Tag this request's cache accesses so recorded traces reconstruct a
+  // canonical (request-id, call-sequence) order at any thread count.
+  std::optional<cache::CacheTagScope> tag_scope;
+  if (options_.cache.enabled) tag_scope.emplace(request.id);
+
   try {
     failpoint::trip("pool.task");
     agents::MultiAgentPipeline pipeline(
@@ -143,6 +174,11 @@ RequestResult Server::run_request(const Request& request,
         request.options.qec ? options_.qec : std::nullopt, options_.device,
         request_seed(options_.seed, request.id));
     pipeline.set_resilience(options_.resilience);
+    if (options_.cache.enabled) {
+      // bypass mode leaves both pointers null: the same content-
+      // addressed computes run, nothing is memoized.
+      pipeline.set_caches({true, generation_cache_, analysis_cache_});
+    }
     // Admission pre-walks the generate/repair ladder's first rung.
     if (ticket.level != AdmissionLevel::kFull) pipeline.set_rag_enabled(false);
     result.pipeline =
@@ -188,6 +224,19 @@ void Server::drain() {
       {current.workers, current.tasks_executed - reported_scheduler_.tasks_executed,
        current.tasks_stolen - reported_scheduler_.tasks_stolen});
   reported_scheduler_ = current;
+}
+
+std::vector<CacheLayerReport> Server::cache_reports() const {
+  std::vector<CacheLayerReport> reports;
+  const auto add = [&](const char* layer, const auto& cache_ptr) {
+    if (cache_ptr == nullptr) return;
+    reports.push_back(
+        {layer, cache_ptr->stats(), cache_ptr->access_trace()});
+  };
+  add("generation", generation_cache_);
+  add("retrieval", retrieval_cache_);
+  add("analysis", analysis_cache_);
+  return reports;
 }
 
 Server::Stats Server::stats() const {

@@ -40,6 +40,41 @@
 
 namespace qcgen::serve {
 
+/// Cross-request memoization configuration. When enabled, the server
+/// shares three content-addressed caches across every session and
+/// worker: generation (hash(prompt, technique, knowledge version) ->
+/// program), retrieval (hash(query, corpus version, k) -> BM25 hits)
+/// and analysis (hash(source, lint config) -> diagnostics; plus judged
+/// distributions keyed by circuit digest). Hits are byte-identical to
+/// misses: cached computes are content-seeded pure functions, so a
+/// cache can only change latency, never results. Mutually exclusive
+/// with chaos scenarios (injected faults are per-request, memoized
+/// computes are not).
+struct CacheConfig {
+  bool enabled = false;
+  cache::PolicyKind policy = cache::PolicyKind::kLru;
+  /// Per-shard entry capacity; 0 = unbounded. Unbounded keeps live
+  /// hit/miss totals thread-count invariant (misses == unique keys);
+  /// bounded-capacity policy studies belong in offline replay of the
+  /// recorded access trace (cache::replay_trace).
+  std::size_t capacity = 0;
+  std::size_t shards = 8;
+  /// Record the per-request-tagged access trace for offline replay.
+  bool record_trace = false;
+  /// Certification mode: run the content-addressed compute path with no
+  /// memoization at all — the "uncached path" tests compare cached runs
+  /// against byte-for-byte.
+  bool bypass = false;
+};
+
+/// Live statistics of one cache layer, plus its canonical access trace
+/// (empty unless CacheConfig::record_trace), for benches and tests.
+struct CacheLayerReport {
+  std::string layer;  ///< "generation", "retrieval", "analysis"
+  cache::PolicyStats stats;
+  std::vector<std::uint64_t> trace;
+};
+
 class Server {
  public:
   struct Options {
@@ -59,7 +94,10 @@ class Server {
     /// Fault-injection scenario armed per request (failpoint::Scenario
     /// grammar; one injector per request seeded from its stream, so
     /// injection decisions are request-deterministic). "" disarms.
+    /// Mutually exclusive with cache.enabled.
     std::string chaos_scenario;
+    /// Cross-request memoization (off by default; serving only).
+    CacheConfig cache;
     /// Optional aggregate sink: every request records into its own
     /// TraceSink, merged into this one in request-id order on drain()
     /// — the merged summary is thread-count invariant.
@@ -99,6 +137,11 @@ class Server {
   void drain();
 
   const AdmissionController& admission() const noexcept { return admission_; }
+  /// Per-layer cache statistics and (when recorded) access traces, in
+  /// fixed layer order generation/retrieval/analysis. Empty when caching
+  /// is disabled or bypassed. Call after drain(): stats totals are only
+  /// schedule-invariant once every in-flight compute has resolved.
+  std::vector<CacheLayerReport> cache_reports() const;
   Stats stats() const;
   /// Wall-clock submit -> completion latency per completed/failed
   /// request id, in seconds (timing-class data).
@@ -114,6 +157,9 @@ class Server {
 
   Options options_;
   std::shared_ptr<const agents::TechniqueResources> resources_;
+  std::shared_ptr<agents::GenerationCache> generation_cache_;
+  std::shared_ptr<llm::RetrievalCache> retrieval_cache_;
+  std::shared_ptr<agents::AnalysisCache> analysis_cache_;
   eval::ReferenceOracle oracle_;
   std::map<std::string, std::size_t> prompt_index_;  ///< catalog order
   std::shared_ptr<const failpoint::Scenario> scenario_;

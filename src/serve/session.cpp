@@ -7,9 +7,14 @@
 namespace qcgen::serve {
 
 Session::Session(Server& server, std::uint32_t session_id,
-                 RequestOptions defaults)
-    : server_(server), session_id_(session_id), defaults_(defaults) {
+                 RequestOptions defaults, std::uint64_t first_auto_id)
+    : server_(server),
+      session_id_(session_id),
+      defaults_(defaults),
+      next_(first_auto_id) {
   require(session_id < (1u << 24), "Session: session_id must be < 2^24");
+  require(first_auto_id <= kAutoIdSpan,
+          "Session: first_auto_id must be <= 2^40");
 }
 
 std::future<RequestResult> Session::submit(std::uint64_t request_id,
@@ -32,9 +37,15 @@ std::future<RequestResult> Session::submit(std::uint64_t request_id,
 
 std::future<RequestResult> Session::submit(eval::TestCase test_case,
                                            double arrival_vt) {
-  const std::uint64_t id =
-      (static_cast<std::uint64_t>(session_id_) << 40) |
-      next_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t n = next_.fetch_add(1, std::memory_order_relaxed);
+  if (n >= kAutoIdSpan) {
+    // Fail loudly: a wrapped counter would OR into the session-id bits
+    // and silently alias another session's request ids (and their
+    // deterministic seed streams).
+    throw QcgenError("Session::submit: per-session auto-id space exhausted "
+                     "(2^40 requests)");
+  }
+  const std::uint64_t id = (static_cast<std::uint64_t>(session_id_) << 40) | n;
   return submit(id, std::move(test_case), arrival_vt, defaults_);
 }
 

@@ -22,10 +22,19 @@ namespace qcgen::serve {
 
 class Session {
  public:
+  /// Auto-id space per session: ids pack the session id into the top
+  /// bits above a 40-bit per-session counter, so a session may
+  /// auto-submit at most this many requests before submit() throws
+  /// (silently overflowing would alias a neighbouring session's ids —
+  /// and with them its request_seed streams).
+  static constexpr std::uint64_t kAutoIdSpan = 1ull << 40;
+
   /// `session_id` must be unique per server and below 2^24 (auto ids
   /// pack it into the top bits above a 40-bit per-session counter).
+  /// `first_auto_id` pre-seeds the auto-id counter (<= kAutoIdSpan);
+  /// tests use it to reach the exhaustion boundary cheaply.
   Session(Server& server, std::uint32_t session_id,
-          RequestOptions defaults = {});
+          RequestOptions defaults = {}, std::uint64_t first_auto_id = 0);
 
   std::uint32_t id() const noexcept { return session_id_; }
 

@@ -55,6 +55,12 @@ std::vector<Arrival> generate_arrivals(const WorkloadOptions& options,
           "generate_arrivals: diurnal_amplitude in [0, 1)");
   require(options.burst_factor >= 1.0,
           "generate_arrivals: burst_factor >= 1");
+  require(options.zipf_exponent > 0.0,
+          "generate_arrivals: zipf_exponent > 0");
+  require(options.burst_phase_mean > 0.0,
+          "generate_arrivals: burst_phase_mean > 0");
+  require(options.diurnal_period > 0.0,
+          "generate_arrivals: diurnal_period > 0");
 
   Rng rng(options.seed);
   std::vector<Arrival> arrivals;

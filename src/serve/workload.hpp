@@ -42,13 +42,13 @@ struct WorkloadOptions {
   double rate = 4.0;         ///< mean arrivals per virtual second
   std::uint64_t seed = 2025;
   CaseMix mix = CaseMix::kUniform;
-  double zipf_exponent = 1.1;
+  double zipf_exponent = 1.1;  ///< must be > 0
   // Bursty (two-state Markov-modulated Poisson) parameters.
-  double burst_factor = 8.0;      ///< on-phase rate multiplier
-  double burst_phase_mean = 2.0;  ///< mean phase length, virtual seconds
+  double burst_factor = 8.0;      ///< on-phase rate multiplier, >= 1
+  double burst_phase_mean = 2.0;  ///< mean phase length (> 0), virtual seconds
   // Diurnal parameters: rate(t) = rate * (1 + amplitude*sin(2*pi*t/period)).
-  double diurnal_period = 30.0;
-  double diurnal_amplitude = 0.8;  ///< must stay below 1
+  double diurnal_period = 30.0;    ///< must be > 0
+  double diurnal_amplitude = 0.8;  ///< must be in [0, 1)
 };
 
 /// Generates `options.count` arrivals over a catalog of `cases` test

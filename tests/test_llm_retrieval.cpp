@@ -168,6 +168,29 @@ TEST(VectorStore, EmptyChunksRejected) {
   EXPECT_THROW(VectorStore({}), InvalidArgumentError);
 }
 
+TEST(VectorStore, EqualScoresTieBreakByChunkIndex) {
+  // Five chunks with identical text score identically on any matching
+  // query; the result order must be the stable chunk-index order, not an
+  // artifact of the sort implementation or the doc-id strings.
+  std::vector<Chunk> chunks;
+  for (int i = 0; i < 5; ++i) {
+    Chunk chunk;
+    // Deliberately anti-sorted ids: index order != lexicographic order.
+    chunk.doc_id = "doc-" + std::to_string(9 - i);
+    chunk.text = "superposition entangle measure";
+    chunks.push_back(chunk);
+  }
+  VectorStore store(std::move(chunks));
+  const auto hits = store.retrieve("superposition entangle", 5);
+  ASSERT_EQ(hits.size(), 5u);
+  for (std::size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].score, hits[0].score);
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].chunk, &store.chunks()[i]) << i;
+  }
+}
+
 TEST(VectorStore, StaleDocsCompeteOnGenericQueries) {
   // With a heavily stale corpus, generic import/run queries must surface
   // stale chunks — the mechanism behind the RAG staleness ablation.

@@ -231,6 +231,41 @@ TEST(Workload, ZipfMixSkewsTowardLowIndices) {
   EXPECT_GT(counts[0], counts[5]);
 }
 
+TEST(Workload, RejectsInvalidOptions) {
+  const auto expect_rejected = [](auto mutate, const char* what) {
+    serve::WorkloadOptions options;
+    mutate(options);
+    EXPECT_THROW((void)serve::generate_arrivals(options, 4),
+                 InvalidArgumentError)
+        << what;
+  };
+  expect_rejected([](auto& o) { o.count = 0; }, "count = 0");
+  expect_rejected([](auto& o) { o.rate = 0.0; }, "rate = 0");
+  expect_rejected([](auto& o) { o.rate = -1.0; }, "rate < 0");
+  expect_rejected([](auto& o) { o.zipf_exponent = 0.0; }, "zipf_exponent = 0");
+  expect_rejected([](auto& o) { o.zipf_exponent = -0.5; },
+                  "zipf_exponent < 0");
+  expect_rejected([](auto& o) { o.burst_factor = 0.5; }, "burst_factor < 1");
+  expect_rejected([](auto& o) { o.burst_phase_mean = 0.0; },
+                  "burst_phase_mean = 0");
+  expect_rejected([](auto& o) { o.diurnal_period = 0.0; },
+                  "diurnal_period = 0");
+  expect_rejected([](auto& o) { o.diurnal_amplitude = 1.0; },
+                  "diurnal_amplitude = 1");
+  expect_rejected([](auto& o) { o.diurnal_amplitude = -0.1; },
+                  "diurnal_amplitude < 0");
+  EXPECT_THROW((void)serve::generate_arrivals({}, 0), InvalidArgumentError);
+  // Validation is unconditional: a bad parameter for one process is
+  // rejected even when another process is selected, so a bench flag typo
+  // can never silently ride along.
+  expect_rejected(
+      [](auto& o) {
+        o.process = serve::ArrivalProcess::kPoisson;
+        o.burst_phase_mean = -2.0;
+      },
+      "bursty parameter under poisson");
+}
+
 // ---------------------------------------------------------------------------
 // Server
 
@@ -383,6 +418,93 @@ TEST(Server, ChaosFailuresAreContainedAsStructuredOutcomes) {
 }
 
 // ---------------------------------------------------------------------------
+// Cross-request caching
+
+TEST(ServerCache, CachedResultsAreByteIdenticalToBypass) {
+  const auto catalog = small_catalog();
+  // Repeated cases so the caches actually earn hits; unlimited admission
+  // so every request runs the full pipeline.
+  auto run = [&](bool bypass) {
+    auto options = server_options(2, serve::AdmissionOptions::unlimited());
+    options.cache.enabled = true;
+    options.cache.bypass = bypass;
+    serve::Server server(options, catalog);
+    std::vector<std::future<serve::RequestResult>> futures;
+    for (std::uint64_t id = 0; id < 9; ++id) {
+      serve::Request request;
+      request.id = id;
+      request.test_case = catalog[id % catalog.size()];
+      request.arrival_vt = 0.1 * static_cast<double>(id);
+      futures.push_back(server.submit(std::move(request)));
+    }
+    server.drain();
+    std::vector<std::string> prints;
+    for (auto& future : futures) prints.push_back(fingerprint(future.get()));
+    if (!bypass) {
+      // The memoized run really did serve hits.
+      std::uint64_t hits = 0;
+      for (const auto& report : server.cache_reports()) {
+        hits += report.stats.hits;
+      }
+      EXPECT_GT(hits, 0u);
+    } else {
+      EXPECT_TRUE(server.cache_reports().empty());
+    }
+    return prints;
+  };
+  // Hit-equals-miss certification: the memoized run must be byte-
+  // identical to the same content-addressed computes with no cache.
+  const auto cached = run(false);
+  const auto uncached = run(true);
+  ASSERT_EQ(cached.size(), uncached.size());
+  for (std::size_t i = 0; i < cached.size(); ++i) {
+    EXPECT_EQ(cached[i], uncached[i]) << "request " << i;
+  }
+}
+
+TEST(ServerCache, CountersAndTracesAreThreadCountInvariant) {
+  const auto catalog = small_catalog();
+  auto run = [&](std::size_t threads) {
+    auto options = server_options(threads, serve::AdmissionOptions::unlimited());
+    options.cache.enabled = true;
+    options.cache.record_trace = true;
+    serve::Server server(options, catalog);
+    serve::Session session(server, /*session_id=*/3);
+    std::vector<std::future<serve::RequestResult>> futures;
+    for (std::uint64_t id = 0; id < 10; ++id) {
+      futures.push_back(
+          session.submit(id, catalog[id % catalog.size()],
+                         0.05 * static_cast<double>(id)));
+    }
+    server.drain();
+    for (auto& future : futures) future.get();
+    return server.cache_reports();
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(parallel.size(), 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].layer, parallel[i].layer);
+    // Live caches are unbounded, so hit/miss totals are a pure function
+    // of the unique key set — identical at any worker interleaving.
+    EXPECT_EQ(serial[i].stats, parallel[i].stats) << serial[i].layer;
+    // And the (request-tag, sequence)-sorted trace is canonical.
+    EXPECT_EQ(serial[i].trace, parallel[i].trace) << serial[i].layer;
+    EXPECT_EQ(serial[i].stats.lookups, serial[i].trace.size());
+    EXPECT_EQ(serial[i].stats.evictions, 0u);
+  }
+}
+
+TEST(ServerCache, ChaosAndCachingAreMutuallyExclusive) {
+  const auto catalog = small_catalog();
+  auto options = server_options(1, serve::AdmissionOptions::unlimited());
+  options.chaos_scenario = "llm.generate=error(1.0)";
+  options.cache.enabled = true;
+  EXPECT_THROW(serve::Server(options, catalog), InvalidArgumentError);
+}
+
+// ---------------------------------------------------------------------------
 // Session
 
 TEST(Session, AutoIdsEmbedTheSessionId) {
@@ -398,6 +520,34 @@ TEST(Session, AutoIdsEmbedTheSessionId) {
   EXPECT_EQ(a0.get().id, (std::uint64_t{1} << 40) | 0);
   EXPECT_EQ(a1.get().id, (std::uint64_t{1} << 40) | 1);
   EXPECT_EQ(b0.get().id, (std::uint64_t{2} << 40) | 0);
+}
+
+TEST(Session, AutoIdExhaustionFailsLoudly) {
+  const auto catalog = small_catalog();
+  serve::Server server(
+      server_options(1, serve::AdmissionOptions::unlimited()), catalog);
+  // Pre-seed the counter one below the 2^40 boundary: the last id in the
+  // session's span is handed out, the next submit throws instead of
+  // wrapping into session 2's id space.
+  serve::Session session(server, /*session_id=*/1, {},
+                         serve::Session::kAutoIdSpan - 1);
+  auto last = session.submit(catalog[0], 0.0);
+  EXPECT_THROW(session.submit(catalog[1], 0.0), QcgenError);
+  server.drain();
+  EXPECT_EQ(last.get().id,
+            (std::uint64_t{1} << 40) | (serve::Session::kAutoIdSpan - 1));
+  // Explicit-id submission is unaffected by auto-id exhaustion.
+  auto explicit_id = session.submit(7, catalog[2], 0.0);
+  server.drain();
+  EXPECT_EQ(explicit_id.get().id, 7u);
+}
+
+TEST(Session, RejectsFirstAutoIdPastTheSpan) {
+  const auto catalog = small_catalog();
+  serve::Server server(
+      server_options(1, serve::AdmissionOptions::unlimited()), catalog);
+  EXPECT_THROW(serve::Session(server, 1, {}, serve::Session::kAutoIdSpan + 1),
+               InvalidArgumentError);
 }
 
 // ---------------------------------------------------------------------------
