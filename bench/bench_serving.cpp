@@ -14,6 +14,12 @@
 // --scenario arms per-request fault injection inside the server, so the
 // chaos grammar composes with serving (failures surface as structured
 // kFailed outcomes, never as lost futures).
+//
+// Every request also runs under the lifecycle policy (schema-7
+// "lifecycle" section): a virtual-time deadline budget with cooperative
+// checkpoints (kDeadlineExceeded outcomes, budget-pressure
+// pre-degradations) and per-site circuit breakers whose transition
+// history is part of the deterministic report.
 
 #include <algorithm>
 #include <chrono>
@@ -44,6 +50,10 @@ struct WorkloadRow {
   serve::ArrivalProcess process;
   double rate = 0.0;
   serve::CaseMix mix = serve::CaseMix::kUniform;
+  /// Row-specific chaos scenario ("" = whatever --scenario armed).
+  std::string scenario;
+  /// Row-specific default deadline (0 = the bench-wide default).
+  double deadline_units = 0.0;
 };
 
 /// Runs one open-loop workload against a fresh server and returns its
@@ -106,16 +116,27 @@ int main(int argc, char** argv) {
   // are tightened below the library defaults so the high-rate rows cross
   // the full ladder (degrade, then shed) even in --quick runs.
   const std::size_t requests_per_row = 30 * harness.samples();
-  const std::vector<WorkloadRow> rows = {
+  std::vector<WorkloadRow> rows = {
       {"poisson-low", serve::ArrivalProcess::kPoisson, 4.0,
-       serve::CaseMix::kUniform},
+       serve::CaseMix::kUniform, "", 0.0},
       {"poisson-high", serve::ArrivalProcess::kPoisson, 12.0,
-       serve::CaseMix::kZipf},
+       serve::CaseMix::kZipf, "", 0.0},
       {"bursty", serve::ArrivalProcess::kBursty, 2.0,
-       serve::CaseMix::kUniform},
+       serve::CaseMix::kUniform, "", 0.0},
       {"diurnal", serve::ArrivalProcess::kDiurnal, 6.0,
-       serve::CaseMix::kUniform},
+       serve::CaseMix::kUniform, "", 0.0},
   };
+  // Lifecycle stress row: hard-down QEC decoding plus a mostly-down
+  // retrieval store under a tight deadline, so the schema-7 lifecycle
+  // section exercises breaker opens, short-circuits and deadline
+  // outcomes in every CI run. Skipped when --scenario already arms a
+  // bench-wide scenario (the row's own scenario would be ambiguous).
+  if (harness.scenario().empty()) {
+    rows.push_back({"chaos-lifecycle", serve::ArrivalProcess::kPoisson, 8.0,
+                    serve::CaseMix::kUniform,
+                    "qec.decode=error(1.0);retrieval.query=error(0.8)",
+                    /*deadline_units=*/6.0});
+  }
 
   serve::Server::Options server_options;
   server_options.technique =
@@ -132,6 +153,11 @@ int main(int argc, char** argv) {
   server_options.threads = harness.threads();
   server_options.chaos_scenario = harness.scenario();
   server_options.trace = harness.trace_sink();
+  // Request-lifecycle policy (schema 7): every request carries a
+  // virtual-time deadline, and per-site circuit breakers short-circuit
+  // persistently failing sites to their degraded paths.
+  server_options.default_deadline_units = 12.0;
+  server_options.breaker.enabled = true;
 
   std::printf("SERVING: open-loop arrival processes vs admission ladder "
               "(servers=%zu, depths %zu/%zu/%zu)\n\n",
@@ -141,9 +167,10 @@ int main(int argc, char** argv) {
               server_options.admission.shed_depth);
 
   Table table({"workload", "rate/s", "reqs", "full", "no-rag", "static",
-               "shed", "sem %", "v-p50", "v-p99"});
+               "shed", "ddl-x", "sem %", "v-p50", "v-p99"});
   table.set_title("Admission outcomes and virtual latency per workload");
   JsonArray serving_rows;
+  JsonArray lifecycle_rows;
   JsonArray timing_rows;
   std::size_t total_requests = 0;
   for (std::size_t row_index = 0; row_index < rows.size(); ++row_index) {
@@ -152,6 +179,10 @@ int main(int argc, char** argv) {
     // alias across rows, yet stay fixed for the CI determinism compare.
     serve::Server::Options options = server_options;
     options.seed = harness.seed() + row_index;
+    if (!row.scenario.empty()) options.chaos_scenario = row.scenario;
+    if (row.deadline_units > 0.0) {
+      options.default_deadline_units = row.deadline_units;
+    }
 
     serve::WorkloadOptions workload;
     workload.process = row.process;
@@ -191,6 +222,7 @@ int main(int argc, char** argv) {
          std::to_string(summary.admitted_no_rag),
          std::to_string(summary.admitted_static_only),
          std::to_string(summary.shed),
+         std::to_string(summary.deadline_exceeded),
          format_double(summary.completed > 0
                            ? 100.0 * static_cast<double>(summary.semantic_ok) /
                                  static_cast<double>(summary.completed)
@@ -199,6 +231,10 @@ int main(int argc, char** argv) {
          format_double(summary.virtual_latency.p50, 2),
          format_double(summary.virtual_latency.p99, 2)});
     serving_rows.push_back(summary.to_json());
+    lifecycle_rows.push_back(
+        serve::LifecycleSummary::from(row.label, options.default_deadline_units,
+                                      server, results)
+            .to_json());
     Json timing_row =
         serve::serving_timing_json(server, summary.semantic_ok, row_wall);
     timing_row["workload"] = row.label;
@@ -213,6 +249,9 @@ int main(int argc, char** argv) {
   Json serving;
   serving["rows"] = Json(std::move(serving_rows));
   harness.record_serving(std::move(serving));
+  Json lifecycle;
+  lifecycle["rows"] = Json(std::move(lifecycle_rows));
+  harness.record_lifecycle(std::move(lifecycle));
   Json timing;
   timing["rows"] = Json(std::move(timing_rows));
   harness.record_timing("serving", std::move(timing));

@@ -124,6 +124,15 @@ class Harness {
   /// serving section defaults to an empty rows object if never recorded.
   void record_cache(Json cache);
 
+  /// Records the report's "lifecycle" section (object with a "rows"
+  /// array of serve::LifecycleSummary::to_json rows — deadline outcomes,
+  /// budget-pressure degradations, breaker transitions; see
+  /// scripts/validate_bench_json.py check_lifecycle) and bumps the
+  /// report to schema_version 7. Schema 7 implies the schema-3/4/5
+  /// sections; the serving section defaults to an empty rows object if
+  /// never recorded, and the cache section stays absent unless recorded.
+  void record_lifecycle(Json lifecycle);
+
   /// Total trials executed, for the trials/sec throughput figure.
   void set_trials(std::size_t trials) noexcept { trials_ = trials; }
 
@@ -150,11 +159,13 @@ class Harness {
   bool resources_section_ = false;
   bool serving_section_ = false;
   bool cache_section_ = false;
+  bool lifecycle_section_ = false;
   Json trial_failures_{JsonArray{}};
   Json degradations_{JsonArray{}};
   Json resources_{JsonArray{}};
   Json serving_;
   Json cache_;
+  Json lifecycle_;
   std::size_t trials_ = 0;
   std::chrono::steady_clock::time_point start_;
 };

@@ -3,17 +3,20 @@
 # translation-validation soundness (verify suites + bench_equivalence
 # thread-determinism), static resource analysis (resources suites +
 # bench_qec_resources thread-determinism), serving determinism (serve
-# suites + bench_serving thread-determinism), clang-tidy, then the heavy
-# stages — a fail-points-off build (the fault-injection macros must
-# compile away cleanly) and two sanitizer builds: ASan+UBSan over the
-# language front-end tests (the part that chews model-corrupted input
-# all day and so is the most UB-prone) plus the fail-point/harness/serve
-# suites, and TSan over the thread-pool / parallel evaluation /
-# resilience / serving tests (the part that actually runs concurrent
-# code, now including the async request engine).
+# suites + bench_serving thread-determinism), request-lifecycle
+# determinism (lifecycle suites + a chaos-armed bench_serving run whose
+# schema-7 deadline/cancellation/breaker sections must be bit-identical
+# across thread counts), clang-tidy, then the heavy stages — a
+# fail-points-off build (the fault-injection macros must compile away
+# cleanly) and two sanitizer builds: ASan+UBSan over the language
+# front-end tests (the part that chews model-corrupted input all day
+# and so is the most UB-prone) plus the fail-point/harness/serve/
+# lifecycle suites, and TSan over the thread-pool / parallel evaluation
+# / resilience / serving tests (the part that actually runs concurrent
+# code, now including the async request engine and its breakers).
 #
 # Tool preflight: the stages assume ccache (build caching) and
-# clang-tidy (stage 7). A missing tool fails fast with an install hint
+# clang-tidy (stage 8). A missing tool fails fast with an install hint
 # instead of silently degrading CI coverage; pass --allow-missing-tools
 # to downgrade that to a recorded skip (developer machines). Every
 # skipped stage is listed in a summary at the end.
@@ -94,15 +97,15 @@ else
   SKIPPED+=("ccache: not installed; builds run uncached")
 fi
 
-echo "==> [1/10] strict build (warnings as errors)"
+echo "==> [1/11] strict build (warnings as errors)"
 cmake -B build-check -S . -DQCGEN_WARNINGS_AS_ERRORS=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "${LAUNCHER_ARGS[@]}" >/dev/null
 cmake --build build-check -j "$JOBS"
 
-echo "==> [2/10] full test suite"
+echo "==> [2/11] full test suite"
 ctest --test-dir build-check --output-on-failure -j "$JOBS"
 
-echo "==> [3/10] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
+echo "==> [3/11] chaos determinism (bench_chaos --quick, threads 1 vs 8)"
 # The fault-injection sweep must be bit-identical at any thread count
 # for a fixed (seed, samples, scenario) — including the schema-3
 # trial_failures/degradations sections, which --compare keeps.
@@ -115,7 +118,7 @@ scripts/validate_bench_json.py \
 scripts/validate_bench_json.py --compare \
   build-check/BENCH_chaos_t1.json build-check/BENCH_chaos_t8.json
 
-echo "==> [4/10] translation validation (verify suites + bench_equivalence)"
+echo "==> [4/11] translation validation (verify suites + bench_equivalence)"
 # Every equivalence verdict is cross-checked against exact simulation;
 # bench_equivalence exits non-zero on any false proved-equal /
 # proved-different or a fix-it prove rate below 0.95, and its JSON
@@ -132,7 +135,7 @@ scripts/validate_bench_json.py --compare \
   build-check/BENCH_equivalence_t1.json \
   build-check/BENCH_equivalence_t8.json
 
-echo "==> [5/10] static resource analysis (resources suites + bench_qec_resources)"
+echo "==> [5/11] static resource analysis (resources suites + bench_qec_resources)"
 # The cost-lattice engine and its QEC ResourcePlan consumer: exact
 # enumeration cross-checks, the certified qubit-reuse fix-it gate, and
 # the schema-4 resource sweep, bit-identical at any thread count.
@@ -148,7 +151,7 @@ scripts/validate_bench_json.py --compare \
   build-check/BENCH_qec_resources_t1.json \
   build-check/BENCH_qec_resources_t8.json
 
-echo "==> [6/10] serving + cache determinism (serve/cache suites + bench_serving)"
+echo "==> [6/11] serving + cache determinism (serve/cache suites + bench_serving)"
 # The async request engine and the content-addressed caching layer:
 # admission decisions, shed/degradation events, virtual-time latency
 # quantiles and the per-layer cache counters/policy-replay stats (the
@@ -166,26 +169,46 @@ scripts/validate_bench_json.py \
 scripts/validate_bench_json.py --compare \
   build-check/BENCH_serving_t1.json build-check/BENCH_serving_t8.json
 
-echo "==> [7/10] clang-tidy (.clang-tidy profile)"
+echo "==> [7/11] request lifecycle (lifecycle suites + chaos-armed bench_serving)"
+# Deadline propagation, cooperative cancellation and per-site circuit
+# breakers: the lifecycle suites replay the breaker state machine at
+# several thread counts, and a bench_serving run with sustained faults
+# armed bench-wide must (a) satisfy the schema-7 validator — outcome
+# conservation, legal breaker transition chains — and (b) stay
+# bit-identical between 1 and 8 workers. --scenario also skips the
+# cache study, covering the validator's cache-optional branch.
+ctest --test-dir build-check --output-on-failure -L lifecycle
+./build-check/bench/bench_serving --quick --seed 7 --threads 1 \
+  --scenario "qec.decode=error(1.0);retrieval.query=error(0.7)" \
+  --json build-check/BENCH_lifecycle_t1.json >/dev/null
+./build-check/bench/bench_serving --quick --seed 7 --threads 8 \
+  --scenario "qec.decode=error(1.0);retrieval.query=error(0.7)" \
+  --json build-check/BENCH_lifecycle_t8.json >/dev/null
+scripts/validate_bench_json.py \
+  build-check/BENCH_lifecycle_t1.json build-check/BENCH_lifecycle_t8.json
+scripts/validate_bench_json.py --compare \
+  build-check/BENCH_lifecycle_t1.json build-check/BENCH_lifecycle_t8.json
+
+echo "==> [8/11] clang-tidy (.clang-tidy profile)"
 if [[ "$HAVE_TIDY" == "1" ]]; then
   # Project sources only; third-party and generated code stay out via
   # the explicit file list (compile_commands.json covers everything).
   mapfile -t TIDY_SOURCES < <(find src bench -name '*.cpp' | sort)
   clang-tidy -p build-check --quiet "${TIDY_SOURCES[@]}"
 else
-  skip_stage "[7/10] clang-tidy" "clang-tidy not installed (profile: .clang-tidy)"
+  skip_stage "[8/11] clang-tidy" "clang-tidy not installed (profile: .clang-tidy)"
 fi
 
 if [[ "$SKIP_SAN" == "1" ]]; then
-  skip_stage "[8/10] fail-points-off build" "--quick"
-  skip_stage "[9/10] ASan+UBSan" "--quick"
-  skip_stage "[10/10] TSan" "--quick"
+  skip_stage "[9/11] fail-points-off build" "--quick"
+  skip_stage "[10/11] ASan+UBSan" "--quick"
+  skip_stage "[11/11] TSan" "--quick"
   print_summary
   echo "==> all checks passed (quick)"
   exit 0
 fi
 
-echo "==> [8/10] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
+echo "==> [9/11] fail-points-off build (-DQCGEN_FAILPOINTS=OFF)"
 # check()/trip() compile to inline no-op stubs; the dormant paths and
 # their tests must build and pass without the injection machinery.
 cmake -B build-nofp -S . -DQCGEN_FAILPOINTS=OFF \
@@ -193,9 +216,9 @@ cmake -B build-nofp -S . -DQCGEN_FAILPOINTS=OFF \
   "${LAUNCHER_ARGS[@]}" >/dev/null
 cmake --build build-nofp -j "$JOBS"
 ctest --test-dir build-nofp --output-on-failure -j "$JOBS" \
-  -R 'test_failpoint|test_resilience|test_parallel_eval|test_serve'
+  -R 'test_failpoint|test_resilience|test_parallel_eval|test_serve|test_lifecycle'
 
-echo "==> [9/10] ASan+UBSan build, qasm/lint/fuzz/chaos/serve tests"
+echo "==> [10/11] ASan+UBSan build, qasm/lint/fuzz/chaos/serve/lifecycle tests"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE="address;undefined" \
@@ -204,9 +227,9 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS"
 ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-asan --output-on-failure -j "$JOBS" \
-    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_resource_analysis|test_qec_resources|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness|test_cache|test_serve'
+    -R 'test_qasm_lexer|test_qasm_parser|test_qasm_analyzer|test_qasm_lint|test_qasm_roundtrip|test_resource_analysis|test_qec_resources|test_verify|test_verify_fuzz|test_fuzz_robustness|test_openqasm|test_failpoint|test_bench_harness|test_cache|test_serve|test_lifecycle'
 
-echo "==> [10/10] TSan build, thread-pool / trace / parallel-eval / chaos / cache / serve tests"
+echo "==> [11/11] TSan build, thread-pool / trace / parallel-eval / chaos / cache / serve / lifecycle tests"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DQCGEN_SANITIZE=thread \
@@ -215,7 +238,7 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "$JOBS"
 TSAN_OPTIONS=halt_on_error=1 \
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" \
-    -R 'test_thread_pool|test_trace|test_parallel_eval|test_failpoint|test_resilience|test_cache|test_serve'
+    -R 'test_thread_pool|test_trace|test_parallel_eval|test_failpoint|test_resilience|test_cache|test_serve|test_lifecycle'
 
 print_summary
 echo "==> all checks passed"

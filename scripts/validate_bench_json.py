@@ -3,16 +3,20 @@
 
 Usage:
   scripts/validate_bench_json.py FILE [FILE ...]
-      Schema-check each report (schema_version 2..6, legacy 1 accepted;
+      Schema-check each report (schema_version 2..7, legacy 1 accepted;
       see bench/harness.hpp). Rejects non-finite numerics (NaN/Infinity
       are not valid JSON) and, when present, validates the "trace"
       section, the schema-3 chaos sections ("trial_failures" and
       "degradations"), the schema-4 "resources" section (per-workload
       static resource counts), the schema-5 "serving" section
       (per-workload admission counts, latency quantiles and request-id-
-      sorted shed/degradation event arrays) and the schema-6 "cache"
+      sorted shed/degradation event arrays), the schema-6 "cache"
       section (per-layer live hit/miss stats plus per-policy replayed
-      hit rates, with count-conservation and Belady-optimality checks).
+      hit rates, with count-conservation and Belady-optimality checks)
+      and the schema-7 "lifecycle" section (per-workload deadline /
+      cancellation outcome counts conserving against admission, budget-
+      consumption quantiles, and per-site circuit-breaker transition
+      chains replayed against the closed/open/half-open state machine).
 
   scripts/validate_bench_json.py --compare A.json B.json
       Assert two reports from the same bench/config are identical modulo
@@ -27,7 +31,25 @@ import json
 import math
 import sys
 
-SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6)
+SCHEMA_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
+
+# Legal circuit-breaker transitions (serve/breaker.hpp): closed trips
+# open, open thaws half-open after the cooldown, a half-open probe
+# either re-opens or closes the breaker.
+BREAKER_STATES = ("closed", "open", "half-open")
+BREAKER_EDGES = {
+    ("closed", "open"),
+    ("open", "half-open"),
+    ("half-open", "open"),
+    ("half-open", "closed"),
+}
+
+# Per-row lifecycle outcome counters; all non-negative exact ints.
+LIFECYCLE_COUNT_KEYS = (
+    "requests", "deadline_exceeded", "cancelled",
+    "budget_pressure_degradations", "breaker_short_circuits",
+    "breaker_probes",
+)
 
 # The replacement policies every schema-6 cache replay must cover, and
 # the counter keys of one PolicyStats blob (live or replayed).
@@ -132,9 +154,18 @@ def check_schema(path: str, doc: dict) -> None:
         fail(f"{path}: 'serving' requires schema_version >= 5")
 
     if doc["schema_version"] >= 6:
-        check_cache(path, doc)
+        # Mandatory at schema 6. Schema-7 chaos-armed runs skip the
+        # cache study (fault injection would poison the replay trace),
+        # so from 7 on the section is validated only when present.
+        if doc["schema_version"] == 6 or "cache" in doc:
+            check_cache(path, doc)
     elif "cache" in doc:
         fail(f"{path}: 'cache' requires schema_version >= 6")
+
+    if doc["schema_version"] >= 7:
+        check_lifecycle(path, doc)
+    elif "lifecycle" in doc:
+        fail(f"{path}: 'lifecycle' requires schema_version >= 7")
 
 
 def check_trace(path: str, trace) -> None:
@@ -229,7 +260,10 @@ def check_serving(path: str, doc: dict) -> None:
     (see serve/report.hpp ServingSummary::to_json). Everything here —
     counts, virtual-time latency quantiles, shed/degradation events — is
     deterministic at any --threads value, so --compare includes it;
-    wall-clock serving latency lives under "timing"."""
+    wall-clock serving latency lives under "timing". From schema 7 the
+    rows also carry deadline_exceeded / cancelled outcome counts and the
+    admission conservation law widens to include them."""
+    schema = doc["schema_version"]
     serving = doc.get("serving")
     if not isinstance(serving, dict):
         fail(f"{path}: 'serving' must be an object (schema 5)")
@@ -245,9 +279,12 @@ def check_serving(path: str, doc: dict) -> None:
             fail(f"{path}: {where}.mix must be a non-empty string")
         if not isinstance(row.get("rate"), (int, float)) or row["rate"] <= 0:
             fail(f"{path}: {where}.rate must be a positive number")
-        for key in ("requests", "completed", "shed", "failed", "semantic_ok",
-                    "admitted_full", "admitted_no_rag",
-                    "admitted_static_only"):
+        count_keys = ["requests", "completed", "shed", "failed",
+                      "semantic_ok", "admitted_full", "admitted_no_rag",
+                      "admitted_static_only"]
+        if schema >= 7:
+            count_keys += ["deadline_exceeded", "cancelled"]
+        for key in count_keys:
             value = row.get(key)
             if not isinstance(value, int) or isinstance(value, bool):
                 fail(f"{path}: {where}.{key} must be an int")
@@ -259,7 +296,16 @@ def check_serving(path: str, doc: dict) -> None:
             fail(f"{path}: {where}: admission counts ({admitted} admitted "
                  f"+ {row['shed']} shed) do not sum to requests "
                  f"({row['requests']})")
-        if row["completed"] + row["failed"] != admitted:
+        # Every admitted request resolves to exactly one outcome: before
+        # schema 7 only completed/failed existed; from 7 on deadline and
+        # cancellation outcomes are first-class and must conserve too.
+        resolved = row["completed"] + row["failed"]
+        if schema >= 7:
+            resolved += row["deadline_exceeded"] + row["cancelled"]
+            if resolved != admitted:
+                fail(f"{path}: {where}: completed + failed + "
+                     f"deadline_exceeded + cancelled != admitted")
+        elif resolved != admitted:
             fail(f"{path}: {where}: completed + failed != admitted")
         if row["semantic_ok"] > row["completed"]:
             fail(f"{path}: {where}: semantic_ok exceeds completed")
@@ -402,6 +448,125 @@ def check_cache(path: str, doc: dict) -> None:
                     fail(f"{path}: {lw}: replay.{policy} hit_rate "
                          f"{replay[policy]['hit_rate']} exceeds the LTI "
                          f"oracle's {lti_rate}")
+
+
+def check_lifecycle(path: str, doc: dict) -> None:
+    """Validates the schema-7 "lifecycle" section: one row per workload
+    (see serve/report.hpp LifecycleSummary::to_json) carrying deadline /
+    cancellation outcome counts, budget-consumption quantiles and the
+    circuit-breaker transition log. Everything here is expressed in
+    serving-layer virtual time, so it is deterministic at any --threads
+    value and --compare includes it. The transition log is replayed per
+    site against the closed/open/half-open state machine: every edge
+    must be legal, chains start closed, and virtual time never runs
+    backwards within a site."""
+    lifecycle = doc.get("lifecycle")
+    if not isinstance(lifecycle, dict):
+        fail(f"{path}: 'lifecycle' must be an object (schema 7)")
+    rows = lifecycle.get("rows")
+    if not isinstance(rows, list):
+        fail(f"{path}: lifecycle.rows must be an array")
+
+    # Lifecycle rows are a second projection of the same Server::Stats
+    # the serving rows summarise, keyed by workload mix; where a mix
+    # appears in both sections the shared counters must agree.
+    serving_rows = {}
+    for row in (doc.get("serving") or {}).get("rows", []):
+        if isinstance(row, dict) and isinstance(row.get("mix"), str):
+            serving_rows.setdefault(row["mix"], row)
+
+    for i, row in enumerate(rows):
+        where = f"lifecycle.rows[{i}]"
+        if not isinstance(row, dict):
+            fail(f"{path}: {where} must be an object")
+        mix = row.get("mix")
+        if not isinstance(mix, str) or not mix:
+            fail(f"{path}: {where}.mix must be a non-empty string")
+        units = row.get("deadline_units")
+        if not isinstance(units, (int, float)) or units < 0:
+            fail(f"{path}: {where}.deadline_units must be a non-negative "
+                 f"number (0 = deadlines disarmed)")
+        for key in LIFECYCLE_COUNT_KEYS:
+            value = row.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(f"{path}: {where}.{key} must be an int")
+            if value < 0:
+                fail(f"{path}: {where}.{key} is negative")
+        if row["deadline_exceeded"] + row["cancelled"] > row["requests"]:
+            fail(f"{path}: {where}: deadline_exceeded + cancelled exceed "
+                 f"requests")
+        serving_row = serving_rows.get(mix)
+        if serving_row is not None:
+            for key in ("requests", "deadline_exceeded", "cancelled"):
+                if serving_row.get(key) != row[key]:
+                    fail(f"{path}: {where}.{key} ({row[key]}) disagrees "
+                         f"with the serving row for mix {mix!r} "
+                         f"({serving_row.get(key)})")
+
+        quantiles = row.get("budget_consumed")
+        if not isinstance(quantiles, dict):
+            fail(f"{path}: {where}.budget_consumed must be an object")
+        for key in ("p50", "p90", "p99", "p999", "mean", "max"):
+            value = quantiles.get(key)
+            if not isinstance(value, (int, float)):
+                fail(f"{path}: {where}.budget_consumed.{key} must be a "
+                     f"number")
+            if value < 0:
+                fail(f"{path}: {where}.budget_consumed.{key} is negative")
+        if not (quantiles["p50"] <= quantiles["p90"] <= quantiles["p99"]
+                <= quantiles["p999"] <= quantiles["max"]):
+            fail(f"{path}: {where}.budget_consumed quantiles are not "
+                 f"monotonic")
+
+        breaker = row.get("breaker")
+        if not isinstance(breaker, dict):
+            fail(f"{path}: {where}.breaker must be an object")
+        for key in ("opened", "half_opened", "closed"):
+            value = breaker.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                fail(f"{path}: {where}.breaker.{key} must be an int")
+            if value < 0:
+                fail(f"{path}: {where}.breaker.{key} is negative")
+        transitions = breaker.get("transitions")
+        if not isinstance(transitions, list):
+            fail(f"{path}: {where}.breaker.transitions must be an array")
+        tallies = {state: 0 for state in BREAKER_STATES}
+        chains = {}  # site -> (current state, last vt)
+        for j, edge in enumerate(transitions):
+            tw = f"{where}.breaker.transitions[{j}]"
+            if not isinstance(edge, dict):
+                fail(f"{path}: {tw} must be an object")
+            site = edge.get("site")
+            if not isinstance(site, str) or not site:
+                fail(f"{path}: {tw}.site must be a non-empty string")
+            for key in ("from", "to"):
+                if edge.get(key) not in BREAKER_STATES:
+                    fail(f"{path}: {tw}.{key} must be one of "
+                         f"{BREAKER_STATES}, got {edge.get(key)!r}")
+            if (edge["from"], edge["to"]) not in BREAKER_EDGES:
+                fail(f"{path}: {tw}: illegal transition "
+                     f"{edge['from']} -> {edge['to']}")
+            vt = edge.get("vt")
+            if not isinstance(vt, (int, float)) or vt < 0:
+                fail(f"{path}: {tw}.vt must be a non-negative number")
+            request = edge.get("request")
+            if not isinstance(request, int) or request < 0:
+                fail(f"{path}: {tw}.request must be a non-negative int "
+                     f"(0 = cooldown thaw, no witnessing request)")
+            state, last_vt = chains.get(site, ("closed", 0.0))
+            if edge["from"] != state:
+                fail(f"{path}: {tw}: transition departs {edge['from']!r} "
+                     f"but site {site!r} is in state {state!r}")
+            if vt < last_vt:
+                fail(f"{path}: {tw}: virtual time runs backwards for "
+                     f"site {site!r} ({vt} < {last_vt})")
+            chains[site] = (edge["to"], vt)
+            tallies[edge["to"]] += 1
+        for key, state in (("opened", "open"), ("half_opened", "half-open"),
+                           ("closed", "closed")):
+            if breaker[key] != tallies[state]:
+                fail(f"{path}: {where}.breaker.{key} ({breaker[key]}) does "
+                     f"not match the transition log ({tallies[state]})")
 
 
 def strip_nondeterministic(doc: dict) -> dict:

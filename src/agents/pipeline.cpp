@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/cancel.hpp"
 #include "common/failpoint.hpp"
 #include "common/trace.hpp"
 #include "qasm/verify/certify.hpp"
@@ -33,6 +34,7 @@ std::optional<StageFailure> run_guarded(const char* stage,
                                         Rng& rng, PipelineResult& result,
                                         const std::function<void()>& body) {
   failpoint::Injector* injector = failpoint::current_injector();
+  cancel::DeadlineBudget* deadline = cancel::current_budget();
   double budget_used = 0.0;
   double delay_mark =
       injector != nullptr ? injector->delay_units_charged() : 0.0;
@@ -42,6 +44,11 @@ std::optional<StageFailure> run_guarded(const char* stage,
     try {
       body();
       ok = true;
+    } catch (const cancel::CancelledError&) {
+      // A cancellation/deadline observed mid-stage is not a stage
+      // failure: never retried, never degraded — it must reach the
+      // serving layer as the structured lifecycle outcome.
+      throw;
     } catch (const failpoint::InjectedFault& fault) {
       failure = {fault.site(), fault.what()};
     } catch (const std::exception& error) {
@@ -51,6 +58,8 @@ std::optional<StageFailure> run_guarded(const char* stage,
       const double now = injector->delay_units_charged();
       budget_used += now - delay_mark;
       result.budget_consumed += now - delay_mark;
+      // Injected delays count against the request's deadline too.
+      if (deadline != nullptr) deadline->charge(now - delay_mark);
       delay_mark = now;
     }
     const bool over_budget = options.stage_budget_units > 0.0 &&
@@ -70,6 +79,7 @@ std::optional<StageFailure> run_guarded(const char* stage,
                            (1.0 + 0.5 * rng.uniform());
     budget_used += backoff;
     result.budget_consumed += backoff;
+    if (deadline != nullptr) deadline->charge(backoff);
     ++result.stage_retries;
     qtrace::Metrics::counter("resilience.retries");
     qtrace::Metrics::observe("resilience.backoff_units", backoff);
@@ -170,9 +180,38 @@ const SemanticAnalyzerAgent& MultiAgentPipeline::degraded_analyzer() {
 PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
                                        const sim::Distribution& reference,
                                        std::size_t prompt_index) {
-  qtrace::TraceSpan run_span("pipeline.run");
   PipelineResult result;
+  last_degradations_.clear();
+  try {
+    run_into(result, task, reference, prompt_index);
+  } catch (...) {
+    // A throwing run leaves its ladder steps behind: the serving layer
+    // attributes per-site fault evidence through them (circuit breakers)
+    // even though the partial result itself is discarded.
+    last_degradations_ = result.degradations;
+    throw;
+  }
+  last_degradations_ = result.degradations;
+  return result;
+}
+
+void MultiAgentPipeline::run_into(PipelineResult& result,
+                                  const llm::TaskSpec& task,
+                                  const sim::Distribution& reference,
+                                  std::size_t prompt_index) {
+  qtrace::TraceSpan run_span("pipeline.run");
   llm::GenerationResult generation;
+  cancel::checkpoint("pipeline.generate");
+  // Tight deadline budget: pre-walk the rag rung before spending any of
+  // the remainder on retrieval (the same reduced configuration a
+  // retrieval failure or a loaded admission controller degrades to).
+  if (resilience_.degrade && rag_enabled_ &&
+      (codegen_.config().rag_api || codegen_.config().rag_guides) &&
+      cancel::budget_pressure() >= resilience_.pressure_no_rag) {
+    note_degradation(result, nullptr,
+                     {0, "generate", "rag", "no-rag", "budget-pressure", ""});
+    rag_enabled_ = false;
+  }
   // Admission control may have pre-walked the rag rung (rag_enabled_
   // false), in which case the ladder has nowhere further to go.
   const bool has_rag =
@@ -193,8 +232,9 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
         });
     if (failed.has_value() && resilience_.degrade &&
         rag_rung_applies(*failed)) {
-      note_degradation(result, nullptr,
-                       {0, "generate", "rag", "no-rag", failed->what});
+      note_degradation(
+          result, nullptr,
+          {0, "generate", "rag", "no-rag", failed->what, failed->site});
       failed = run_guarded("generate", resilience_, resilience_rng_, result,
                            [&] {
                              generation = codegen_.generate(
@@ -206,7 +246,11 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
                                failed->what);
     }
   }
+  cancel::charge("pipeline.generate", resilience_.stage_costs.generate);
   const int max_passes = codegen_.config().max_passes;
+  // Verification pre-degraded to static-only once pressure crossed the
+  // threshold (recorded on the first pass it applies to, held after).
+  bool budget_static_only = false;
 
   // Lowered circuit of the previous pass and whether its repair carried
   // a preservation obligation — the inputs to repair certification.
@@ -217,6 +261,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
   qasm::analysis::ResourceSummary final_resources;
 
   for (int pass = 1; pass <= max_passes; ++pass) {
+    cancel::checkpoint("pipeline.analyze");
     PassTrace trace;
     trace.pass = pass;
     StaticReport static_report;
@@ -228,9 +273,9 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       if (failed.has_value() && resilience_.degrade &&
           analyzer_.options().analysis.abstract_lints) {
         // Ladder: abstract interpretation down -> core lint passes only.
-        note_degradation(
-            result, &trace,
-            {pass, "analyze", "abstract-lints", "core-lints", failed->what});
+        note_degradation(result, &trace,
+                         {pass, "analyze", "abstract-lints", "core-lints",
+                          failed->what, failed->site});
         failed = run_guarded("analyze", resilience_, resilience_rng_, result,
                              [&] {
                                static_report =
@@ -244,6 +289,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
                                  result.stage_retries, failed->what);
       }
     }
+    cancel::charge("pipeline.analyze", resilience_.stage_costs.analyze);
     trace.syntactic_ok = static_report.syntactic_ok;
     trace.error_trace = static_report.error_trace;
     trace.error_count = static_report.diagnostics.size();
@@ -256,26 +302,37 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
 
     bool semantic_ok = false;
     if (static_report.syntactic_ok) {
-      if (reference.empty()) {
+      // Tight budget: pre-degrade behavioural verification to the
+      // static-only verdict before spending the remainder simulating.
+      if (!reference.empty() && !budget_static_only && resilience_.degrade &&
+          cancel::budget_pressure() >= resilience_.pressure_static_only) {
+        budget_static_only = true;
+        note_degradation(result, &trace,
+                         {pass, "verify", "behavioral", "static-only",
+                          "budget-pressure", ""});
+      }
+      if (reference.empty() || budget_static_only) {
         // Static-only mode: semantic verdict mirrors syntactic.
         semantic_ok = true;
         trace.tvd = 0.0;
       } else {
         qtrace::TraceSpan span("pipeline.verify");
+        cancel::checkpoint("pipeline.verify");
         BehaviorReport behavior;
         auto failed = run_guarded("verify", resilience_, resilience_rng_,
                                   result, [&] {
                                     behavior = analyzer_.check_behavior(
                                         *static_report.circuit, reference);
                                   });
+        cancel::charge("pipeline.verify", resilience_.stage_costs.verify);
         if (!failed.has_value()) {
           semantic_ok = behavior.matches;
           trace.tvd = behavior.tvd;
         } else if (resilience_.degrade) {
           // Ladder: behavioural verification down -> static-only verdict.
-          note_degradation(
-              result, &trace,
-              {pass, "verify", "behavioral", "static-only", failed->what});
+          note_degradation(result, &trace,
+                           {pass, "verify", "behavioral", "static-only",
+                            failed->what, failed->site});
           semantic_ok = true;
           trace.tvd = 0.0;
         } else {
@@ -304,6 +361,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
     prev_obligated = repair_is_preservation_obligated(static_report.diagnostics);
     qtrace::TraceSpan span("pipeline.repair");
     qtrace::Metrics::counter("pipeline.repair_passes");
+    cancel::checkpoint("pipeline.repair");
     auto failed = run_guarded(
         "repair", resilience_, resilience_rng_, result, [&] {
           generation = codegen_.repair(
@@ -311,10 +369,12 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
               /*semantic_failure=*/static_report.syntactic_ok, prompt_index,
               pass, rag_enabled_);
         });
+    cancel::charge("pipeline.repair", resilience_.stage_costs.repair);
     if (failed.has_value() && resilience_.degrade &&
         rag_rung_applies(*failed)) {
-      note_degradation(result, &result.trace.back(),
-                       {pass, "repair", "rag", "no-rag", failed->what});
+      note_degradation(
+          result, &result.trace.back(),
+          {pass, "repair", "rag", "no-rag", failed->what, failed->site});
       failed = run_guarded("repair", resilience_, resilience_rng_, result,
                            [&] {
                              generation = codegen_.repair(
@@ -330,8 +390,9 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       }
       // Terminal rung: repair unavailable — keep the best pass so far
       // instead of failing the trial.
-      note_degradation(result, &result.trace.back(),
-                       {pass, "repair", "multi-pass", "abort", failed->what});
+      note_degradation(
+          result, &result.trace.back(),
+          {pass, "repair", "multi-pass", "abort", failed->what, failed->site});
       result.syntactic_ok = trace.syntactic_ok;
       result.semantic_ok = semantic_ok;
       result.generation = generation;
@@ -364,6 +425,7 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
     }
     const std::size_t rungs = resilience_.degrade ? ladder.size() : 1;
     for (std::size_t rung = 0; rung < rungs; ++rung) {
+      cancel::checkpoint("pipeline.qec_plan");
       std::optional<QecPlan> plan;
       auto failed = run_guarded(
           "qec", resilience_, resilience_rng_, result, [&] {
@@ -388,10 +450,10 @@ PipelineResult MultiAgentPipeline::run(const llm::TaskSpec& task,
       note_degradation(result, nullptr,
                        {result.passes_used, "qec",
                         std::string(qec::decoder_kind_name(ladder[rung])),
-                        next, failed->what});
+                        next, failed->what, failed->site});
     }
+    cancel::charge("pipeline.qec_plan", resilience_.stage_costs.qec);
   }
-  return result;
 }
 
 }  // namespace qcgen::agents

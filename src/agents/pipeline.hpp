@@ -26,6 +26,19 @@
 
 namespace qcgen::agents {
 
+/// Virtual cost charged against the request's deadline budget
+/// (cancel::charge) as each stage completes, in the same abstract units
+/// injected delays and retry backoff already consume. Only meaningful
+/// when a serving layer installed a cancel::DeadlineBudget for the run;
+/// without one the charges are no-ops.
+struct StageCostModel {
+  double generate = 1.0;
+  double analyze = 0.5;
+  double verify = 0.75;
+  double repair = 1.0;
+  double qec = 1.5;
+};
+
 /// Resilient-execution policy for the pipeline stages. The defaults are
 /// fail-fast with ladders enabled, which is behaviour-identical to the
 /// pre-resilience pipeline as long as no stage actually fails.
@@ -42,6 +55,17 @@ struct ResilienceOptions {
   double stage_budget_units = 0.0;
   /// Walk degradation ladders when retries are exhausted.
   bool degrade = true;
+  /// Per-stage deadline-budget charges (see StageCostModel).
+  StageCostModel stage_costs;
+  /// Budget-pressure thresholds (cancel::budget_pressure, consumed /
+  /// deadline) above which the ladders pre-degrade *before* the stage
+  /// runs, spending the remaining budget on the cheap configuration
+  /// instead of burning it and hard-cancelling mid-flight: past
+  /// pressure_no_rag generate/repair drop RAG, past
+  /// pressure_static_only verification goes static-only. Only requests
+  /// with an installed deadline ever report pressure > 0.
+  double pressure_no_rag = 0.55;
+  double pressure_static_only = 0.8;
 };
 
 /// One rung taken on a degradation ladder (or a terminal "gave up"
@@ -53,6 +77,10 @@ struct DegradationEvent {
   std::string from;    ///< rung degraded from, e.g. "mwpm", "abstract-lints"
   std::string to;      ///< rung degraded to, e.g. "union-find", "core-lints"
   std::string reason;  ///< the failure that forced the step
+  /// Fail-point site of the failure that forced the step ("" for organic
+  /// failures and for budget-pressure pre-degradations). Circuit
+  /// breakers attribute per-site failures through this field.
+  std::string site;
   friend bool operator==(const DegradationEvent&,
                          const DegradationEvent&) = default;
 };
@@ -191,7 +219,20 @@ class MultiAgentPipeline {
                      const sim::Distribution& reference,
                      std::size_t prompt_index);
 
+  /// Degradation events accumulated by the most recent run(), preserved
+  /// even when the run threw (PipelineStageError / CancelledError): an
+  /// aborted request's ladder steps are its per-site fault evidence, and
+  /// the serving layer's circuit breakers copy them off the wreck.
+  const std::vector<DegradationEvent>& last_degradations() const noexcept {
+    return last_degradations_;
+  }
+
  private:
+  /// run()'s body, writing into a caller-owned result so partial state
+  /// (degradations in particular) survives a mid-run throw.
+  void run_into(PipelineResult& result, const llm::TaskSpec& task,
+                const sim::Distribution& reference, std::size_t prompt_index);
+
   /// Analyzer with the abstract interpreter disabled — the "core lints
   /// only" ladder rung; constructed lazily on first degradation.
   const SemanticAnalyzerAgent& degraded_analyzer();
@@ -205,6 +246,7 @@ class MultiAgentPipeline {
   ResilienceOptions resilience_;
   bool rag_enabled_ = true;  ///< admission pre-degradation (see setter)
   Rng resilience_rng_;  ///< seeded backoff jitter (per-trial stream)
+  std::vector<DegradationEvent> last_degradations_;  ///< see accessor
 };
 
 }  // namespace qcgen::agents

@@ -1,0 +1,108 @@
+#include "common/cancel.hpp"
+
+#include "common/trace.hpp"
+
+namespace qcgen::cancel {
+
+namespace {
+
+thread_local CancellationToken t_token;
+thread_local DeadlineBudget* t_budget = nullptr;
+
+}  // namespace
+
+std::string_view cause_name(Cause cause) noexcept {
+  switch (cause) {
+    case Cause::kCancelled: return "cancelled";
+    case Cause::kDeadlineExceeded: return "deadline_exceeded";
+  }
+  return "unknown";
+}
+
+DeadlineBudget::DeadlineBudget(double total_units) {
+  if (total_units > 0.0) {
+    limited_ = true;
+    total_ = total_units;
+  }
+}
+
+void DeadlineBudget::charge(double units) {
+  if (units <= 0.0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  consumed_ += units;
+}
+
+void DeadlineBudget::tighten(double extra_units) {
+  if (extra_units < 0.0) extra_units = 0.0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double bound = consumed_ + extra_units;
+  if (!limited_ || bound < total_) {
+    limited_ = true;
+    total_ = bound;
+  }
+}
+
+bool DeadlineBudget::limited() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limited_;
+}
+
+double DeadlineBudget::total() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limited_ ? total_ : 0.0;
+}
+
+double DeadlineBudget::consumed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consumed_;
+}
+
+double DeadlineBudget::pressure() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!limited_ || total_ <= 0.0) {
+    // A zero-total limited budget (tighten(0)) is infinitely pressured.
+    return limited_ ? 1.0 : 0.0;
+  }
+  return consumed_ / total_;
+}
+
+bool DeadlineBudget::exhausted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limited_ && consumed_ >= total_;
+}
+
+CancelScope::CancelScope(CancellationToken token,
+                         DeadlineBudget* budget) noexcept
+    : previous_token_(t_token), previous_budget_(t_budget) {
+  t_token = std::move(token);
+  t_budget = budget;
+}
+
+CancelScope::~CancelScope() {
+  t_token = previous_token_;
+  t_budget = previous_budget_;
+}
+
+DeadlineBudget* current_budget() noexcept { return t_budget; }
+
+void checkpoint(std::string_view site) {
+  if (t_token.cancel_requested()) {
+    trace::Metrics::counter("cancel.cancelled");
+    throw CancelledError(Cause::kCancelled, std::string(site));
+  }
+  if (t_budget != nullptr && t_budget->exhausted()) {
+    trace::Metrics::counter("cancel.deadline_exceeded");
+    throw CancelledError(Cause::kDeadlineExceeded, std::string(site));
+  }
+}
+
+void charge(std::string_view site, double units) {
+  if (t_budget != nullptr) t_budget->charge(units);
+  checkpoint(site);
+}
+
+double budget_pressure() noexcept {
+  return t_budget != nullptr ? t_budget->pressure() : 0.0;
+}
+
+}  // namespace qcgen::cancel

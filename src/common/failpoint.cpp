@@ -212,12 +212,23 @@ std::string Scenario::canonical() const {
 
 Scenario Scenario::parse(std::string_view spec) {
   Scenario scenario;
+  if (trim(spec).empty()) return scenario;  // "" / whitespace-only: no sites
   std::size_t begin = 0;
   while (begin <= spec.size()) {
     const std::size_t end = std::min(spec.find(';', begin), spec.size());
     const std::string_view clause = trim(spec.substr(begin, end - begin));
+    const bool last_segment = end == spec.size();
     begin = end + 1;
-    if (clause.empty()) continue;  // empty clauses / trailing ';' are fine
+    if (clause.empty()) {
+      // A single trailing ';' after the final clause is tolerated (shell
+      // loops emit it constantly); every other empty segment — leading
+      // ';', ";;", separator-only specs — is a structured error instead
+      // of a silent skip, so typos like "a=error(;;b=error(" can't drop
+      // clauses.
+      if (last_segment && !scenario.sites.empty()) break;
+      throw InvalidArgumentError("failpoint scenario: empty clause in spec '" +
+                                 std::string(spec) + "'");
+    }
     SitePolicy policy = parse_clause(clause);
     if (scenario.find(policy.site) != nullptr) {
       clause_error(clause, "duplicate clause for site '" + policy.site + "'");

@@ -115,6 +115,7 @@ Json degradations_to_json(const std::vector<DegradationRecord>& records) {
     entry["from"] = Json(record.event.from);
     entry["to"] = Json(record.event.to);
     entry["reason"] = Json(record.event.reason);
+    entry["site"] = Json(record.event.site);
     out.push_back(std::move(entry));
   }
   return out;

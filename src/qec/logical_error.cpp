@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/cancel.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/trace.hpp"
@@ -68,7 +69,15 @@ LogicalErrorEstimate estimate_logical_error(const SurfaceCode& code,
   estimate.trials = config.trials;
   Rng rng(config.seed);
   trace::TraceSpan mc_span("qec.estimate_logical_error");
+  // A decoder estimate is the pipeline's longest uninterruptible stretch,
+  // so the Monte-Carlo loop is a cooperative cancellation point: a
+  // cancelled or past-deadline request aborts between decoder rounds
+  // instead of finishing the full trial budget. Checked every 32 trials
+  // to keep the hot loop unburdened (the RNG stream is untouched, so
+  // completed runs stay bit-identical with or without an armed deadline).
+  constexpr std::size_t kCancelCheckStride = 32;
   for (std::size_t t = 0; t < config.trials; ++t) {
+    if (t % kCancelCheckStride == 0) cancel::checkpoint("qec.decode.round");
     const SyndromeHistory history = [&] {
       trace::TraceSpan span("qec.syndrome_extraction");
       return sample_history(code, config.noise, rounds, rng);

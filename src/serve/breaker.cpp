@@ -1,0 +1,279 @@
+#include "serve/breaker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/trace.hpp"
+
+namespace qcgen::serve {
+
+namespace {
+
+// Salts the breaker seed away from the request / chaos streams derived
+// from the same server seed.
+constexpr std::uint64_t kProbeSalt = 0x6d1c3b59e8f4a273ULL;
+
+}  // namespace
+
+std::string_view breaker_state_name(BreakerState state) noexcept {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "unknown";
+}
+
+BreakerBoard::BreakerBoard(BreakerOptions options,
+                           std::vector<std::string> sites)
+    : options_(options), sites_(std::move(sites)) {
+  require(options_.failure_threshold >= 1,
+          "BreakerBoard: failure_threshold must be >= 1");
+  require(options_.half_open_successes >= 1,
+          "BreakerBoard: half_open_successes must be >= 1");
+  require(options_.cooldown_vt >= 0.0,
+          "BreakerBoard: cooldown_vt must be >= 0");
+  require(options_.probe_probability >= 0.0 &&
+              options_.probe_probability <= 1.0,
+          "BreakerBoard: probe_probability out of [0,1]");
+  std::sort(sites_.begin(), sites_.end());
+  sites_.erase(std::unique(sites_.begin(), sites_.end()), sites_.end());
+}
+
+void BreakerBoard::register_request(std::uint64_t id, double arrival_vt,
+                                    double finish_vt) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  require(entries_.find(id) == entries_.end(),
+          "BreakerBoard: request registered twice");
+  // The completeness argument in the header needs nondecreasing arrival
+  // order and strictly positive virtual service; fail loudly if the
+  // admission contract ever changes under us.
+  if (!order_.empty()) {
+    require(arrival_vt >= entries_.at(order_.back()).arrival_vt,
+            "BreakerBoard: arrivals must be registered in virtual order");
+  }
+  require(finish_vt > arrival_vt,
+          "BreakerBoard: virtual finish must exceed arrival");
+  Entry entry;
+  entry.id = id;
+  entry.index = order_.size();
+  entry.arrival_vt = arrival_vt;
+  entry.finish_vt = finish_vt;
+  entries_.emplace(id, std::move(entry));
+  order_.push_back(id);
+}
+
+bool BreakerBoard::probes(std::string_view site,
+                          std::uint64_t id) const noexcept {
+  std::uint64_t state = (options_.seed ^ kProbeSalt ^ fnv1a64(site)) +
+                        0x9e3779b97f4a7c15ULL * (id + 1);
+  const std::uint64_t mixed = splitmix64(state);
+  // 53-bit mantissa draw in [0, 1), the Rng::uniform discipline.
+  const double u =
+      static_cast<double>(mixed >> 11) * (1.0 / 9007199254740992.0);
+  return u < options_.probe_probability;
+}
+
+void BreakerBoard::thaw(Fold& fold, const std::string& site, double now,
+                        std::vector<BreakerTransition>* sink) const {
+  if (fold.state != BreakerState::kOpen) return;
+  const double ready = fold.opened_at + options_.cooldown_vt;
+  if (now < ready) return;
+  fold.state = BreakerState::kHalfOpen;
+  fold.probe_successes = 0;
+  if (sink != nullptr) {
+    sink->push_back({site, BreakerState::kOpen, BreakerState::kHalfOpen,
+                     ready, 0});
+  }
+}
+
+void BreakerBoard::apply(Fold& fold, const std::string& site,
+                         const Entry& entry,
+                         std::vector<BreakerTransition>* sink) const {
+  thaw(fold, site, entry.finish_vt, sink);
+  if (!entry.decided) return;  // never ran (e.g. cancelled pre-execution)
+  const auto it = entry.decisions.find(site);
+  if (it == entry.decisions.end()) return;
+  const BreakerDecision& decision = it->second;
+  if (decision.short_circuit) return;  // the site was never exercised
+  const auto contains = [&site](const std::vector<std::string>& sites) {
+    return std::find(sites.begin(), sites.end(), site) != sites.end();
+  };
+  const bool failed = contains(entry.failed_sites);
+  const bool succeeded = contains(entry.succeeded_sites);
+  switch (fold.state) {
+    case BreakerState::kClosed:
+      if (failed) {
+        if (++fold.consecutive_failures >= options_.failure_threshold) {
+          fold.state = BreakerState::kOpen;
+          fold.opened_at = entry.finish_vt;
+          if (sink != nullptr) {
+            sink->push_back({site, BreakerState::kClosed, BreakerState::kOpen,
+                             entry.finish_vt, entry.id});
+          }
+        }
+      } else if (succeeded) {
+        // Only a request that demonstrably exercised the site vouches
+        // for it; one that skipped or aborted before the site is
+        // no-signal (see report()).
+        fold.consecutive_failures = 0;
+      }
+      break;
+    case BreakerState::kOpen:
+      // Stragglers decided while the site was still closed may land
+      // here; their signal is stale — the breaker is already open.
+      break;
+    case BreakerState::kHalfOpen:
+      if (!decision.probing) break;
+      if (failed) {
+        fold.state = BreakerState::kOpen;
+        fold.opened_at = entry.finish_vt;
+        fold.consecutive_failures = 0;
+        if (sink != nullptr) {
+          sink->push_back({site, BreakerState::kHalfOpen, BreakerState::kOpen,
+                           entry.finish_vt, entry.id});
+        }
+      } else if (!succeeded) {
+        break;  // probe never reached the site: no-signal either way
+      } else if (++fold.probe_successes >= options_.half_open_successes) {
+        fold.state = BreakerState::kClosed;
+        fold.consecutive_failures = 0;
+        fold.probe_successes = 0;
+        if (sink != nullptr) {
+          sink->push_back({site, BreakerState::kHalfOpen,
+                           BreakerState::kClosed, entry.finish_vt, entry.id});
+        }
+      }
+      break;
+  }
+}
+
+BreakerBoard::Fold BreakerBoard::fold_site_locked(
+    const std::string& site, double up_to_vt,
+    std::vector<BreakerTransition>* sink) const {
+  Fold fold;
+  // order_ is registration order; report events replay ordered by
+  // (finish_vt, registration index).
+  std::vector<const Entry*> events;
+  events.reserve(order_.size());
+  for (const std::uint64_t id : order_) {
+    const Entry& entry = entries_.at(id);
+    if (!entry.reported) continue;
+    if (entry.finish_vt > up_to_vt) continue;
+    events.push_back(&entry);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Entry* a, const Entry* b) {
+                     return a->finish_vt < b->finish_vt;
+                   });
+  for (const Entry* entry : events) apply(fold, site, *entry, sink);
+  // A finite horizon is a decision point: the cooldown may have elapsed
+  // with no report landing since, so materialise the half-open edge the
+  // arriving request observes. The full-log fold (transitions()) keeps
+  // only edges some event actually witnessed.
+  if (std::isfinite(up_to_vt)) thaw(fold, site, up_to_vt, sink);
+  return fold;
+}
+
+std::map<std::string, BreakerDecision> BreakerBoard::decide(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  require(it != entries_.end(), "BreakerBoard: decide for unregistered id");
+  Entry& entry = it->second;
+  if (entry.decided) return entry.decisions;
+  // Gate: the event log below our arrival must be complete. Only
+  // earlier-registered requests can finish at or before our arrival
+  // (admission hands out nondecreasing starts), and under FIFO pop each
+  // of them is already executing on some worker, so this wait is
+  // deadlock-free and bounded by their service times.
+  reported_cv_.wait(lock, [&] {
+    for (const std::uint64_t other_id : order_) {
+      const Entry& other = entries_.at(other_id);
+      if (other.index >= entry.index) break;
+      if (other.finish_vt <= entry.arrival_vt && !other.reported) {
+        return false;
+      }
+    }
+    return true;
+  });
+  std::map<std::string, BreakerDecision> decisions;
+  for (const std::string& site : sites_) {
+    const Fold fold = fold_site_locked(site, entry.arrival_vt, nullptr);
+    BreakerDecision decision;
+    switch (fold.state) {
+      case BreakerState::kClosed:
+        break;
+      case BreakerState::kOpen:
+        decision.short_circuit = true;
+        break;
+      case BreakerState::kHalfOpen:
+        if (probes(site, id)) {
+          decision.probing = true;
+        } else {
+          decision.short_circuit = true;
+        }
+        break;
+    }
+    if (decision.short_circuit) {
+      trace::Metrics::counter("breaker.short_circuit");
+    }
+    if (decision.probing) trace::Metrics::counter("breaker.probe");
+    decisions.emplace(site, decision);
+  }
+  entry.decided = true;
+  entry.decisions = decisions;
+  return decisions;
+}
+
+void BreakerBoard::report(std::uint64_t id,
+                          const std::vector<std::string>& failed_sites,
+                          const std::vector<std::string>& succeeded_sites) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(id);
+    require(it != entries_.end(), "BreakerBoard: report for unregistered id");
+    // After finalize() (abandoned-drain shutdown) late reports are
+    // ignored instead of treated as double-report bugs: finalize already
+    // marked everything reported to release waiters.
+    require(!it->second.reported || finalized_,
+            "BreakerBoard: request reported twice");
+    if (it->second.reported) return;
+    it->second.reported = true;
+    it->second.failed_sites = failed_sites;
+    it->second.succeeded_sites = succeeded_sites;
+  }
+  reported_cv_.notify_all();
+}
+
+void BreakerBoard::finalize() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    finalized_ = true;
+    for (const std::uint64_t id : order_) {
+      entries_.at(id).reported = true;
+    }
+  }
+  reported_cv_.notify_all();
+}
+
+std::vector<BreakerTransition> BreakerBoard::transitions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<BreakerTransition> all;
+  for (const std::string& site : sites_) {
+    (void)fold_site_locked(site, std::numeric_limits<double>::infinity(),
+                           &all);
+  }
+  return all;
+}
+
+BreakerState BreakerBoard::state(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fold_site_locked(std::string(site),
+                          std::numeric_limits<double>::infinity(), nullptr)
+      .state;
+}
+
+}  // namespace qcgen::serve

@@ -55,6 +55,8 @@ ServingSummary ServingSummary::from(const std::string& mix, double rate,
   summary.shed = stats.shed;
   summary.failed = stats.failed;
   summary.semantic_ok = stats.semantic_ok;
+  summary.deadline_exceeded = stats.deadline_exceeded;
+  summary.cancelled = stats.cancelled;
   const AdmissionController& admission = server.admission();
   summary.admitted_full = admission.admitted_at(AdmissionLevel::kFull);
   summary.admitted_no_rag = admission.admitted_at(AdmissionLevel::kNoRag);
@@ -101,6 +103,8 @@ Json ServingSummary::to_json() const {
   row["shed"] = shed;
   row["failed"] = failed;
   row["semantic_ok"] = semantic_ok;
+  row["deadline_exceeded"] = deadline_exceeded;
+  row["cancelled"] = cancelled;
   row["admitted_full"] = admitted_full;
   row["admitted_no_rag"] = admitted_no_rag;
   row["admitted_static_only"] = admitted_static_only;
@@ -126,6 +130,80 @@ Json ServingSummary::to_json() const {
     degradations.push_back(std::move(entry));
   }
   row["degradation_events"] = std::move(degradations);
+  return row;
+}
+
+LifecycleSummary LifecycleSummary::from(
+    const std::string& mix, double deadline_units, const Server& server,
+    const std::vector<RequestResult>& results) {
+  LifecycleSummary summary;
+  summary.mix = mix;
+  summary.deadline_units = deadline_units;
+  const Server::Stats stats = server.stats();
+  summary.requests = stats.submitted;
+  summary.deadline_exceeded = stats.deadline_exceeded;
+  summary.cancelled = stats.cancelled;
+
+  // Per-request figures folded in request-id order so the quantile input
+  // (and with it the row) is worker-schedule invariant.
+  std::vector<std::pair<std::uint64_t, double>> consumed;
+  consumed.reserve(results.size());
+  for (const RequestResult& result : results) {
+    if (result.outcome == RequestOutcome::kShed) continue;
+    consumed.emplace_back(result.id, result.budget_consumed_units);
+    summary.breaker_short_circuits += result.breaker_short_circuits.size();
+    summary.breaker_probes += result.breaker_probes.size();
+    for (const agents::DegradationEvent& event :
+         result.pipeline.degradations) {
+      if (event.reason == "budget-pressure") {
+        ++summary.budget_pressure_degradations;
+      }
+    }
+  }
+  std::sort(consumed.begin(), consumed.end());
+  std::vector<double> units;
+  units.reserve(consumed.size());
+  for (const auto& [id, value] : consumed) units.push_back(value);
+  summary.budget_consumed = LatencyQuantiles::of(std::move(units));
+  summary.transitions = server.breaker_transitions();
+  return summary;
+}
+
+Json LifecycleSummary::to_json() const {
+  Json row;
+  row["mix"] = mix;
+  row["deadline_units"] = deadline_units;
+  row["requests"] = requests;
+  row["deadline_exceeded"] = deadline_exceeded;
+  row["cancelled"] = cancelled;
+  row["budget_pressure_degradations"] = budget_pressure_degradations;
+  row["breaker_short_circuits"] = breaker_short_circuits;
+  row["breaker_probes"] = breaker_probes;
+  row["budget_consumed"] = budget_consumed.to_json();
+  Json breaker;
+  std::size_t opened = 0;
+  std::size_t half_opened = 0;
+  std::size_t closed = 0;
+  Json edges{JsonArray{}};
+  for (const BreakerTransition& transition : transitions) {
+    switch (transition.to) {
+      case BreakerState::kOpen: ++opened; break;
+      case BreakerState::kHalfOpen: ++half_opened; break;
+      case BreakerState::kClosed: ++closed; break;
+    }
+    Json entry;
+    entry["site"] = transition.site;
+    entry["from"] = std::string(breaker_state_name(transition.from));
+    entry["to"] = std::string(breaker_state_name(transition.to));
+    entry["vt"] = transition.vt;
+    entry["request"] = transition.request_id;
+    edges.push_back(std::move(entry));
+  }
+  breaker["opened"] = opened;
+  breaker["half_opened"] = half_opened;
+  breaker["closed"] = closed;
+  breaker["transitions"] = std::move(edges);
+  row["breaker"] = std::move(breaker);
   return row;
 }
 

@@ -41,6 +41,8 @@ struct ServingSummary {
   std::size_t shed = 0;
   std::size_t failed = 0;
   std::size_t semantic_ok = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t cancelled = 0;
   std::size_t admitted_full = 0;
   std::size_t admitted_no_rag = 0;
   std::size_t admitted_static_only = 0;
@@ -65,5 +67,30 @@ struct ServingSummary {
 /// goodput (semantically-correct completions per wall second).
 Json serving_timing_json(const Server& server, std::size_t semantic_ok,
                          double wall_seconds);
+
+/// Deterministic request-lifecycle summary of one serving row: deadline
+/// outcomes, budget-pressure pre-degradations, breaker activity and the
+/// authoritative per-site breaker transition history (schema-7
+/// "lifecycle" section; see validate_bench_json.py check_lifecycle).
+struct LifecycleSummary {
+  std::string mix;
+  double deadline_units = 0.0;  ///< default deadline armed for the row
+  std::size_t requests = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t cancelled = 0;
+  /// Degradation-ladder steps taken with reason "budget-pressure"
+  /// (pre-emptive, before the hard deadline), summed over requests.
+  std::size_t budget_pressure_degradations = 0;
+  std::size_t breaker_short_circuits = 0;
+  std::size_t breaker_probes = 0;
+  /// Virtual budget units consumed, over admitted (executed) requests.
+  LatencyQuantiles budget_consumed;
+  std::vector<BreakerTransition> transitions;
+
+  static LifecycleSummary from(const std::string& mix, double deadline_units,
+                               const Server& server,
+                               const std::vector<RequestResult>& results);
+  Json to_json() const;
+};
 
 }  // namespace qcgen::serve

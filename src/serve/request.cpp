@@ -41,6 +41,8 @@ std::string_view request_outcome_name(RequestOutcome outcome) noexcept {
     case RequestOutcome::kCompleted: return "completed";
     case RequestOutcome::kShed: return "shed";
     case RequestOutcome::kFailed: return "failed";
+    case RequestOutcome::kDeadlineExceeded: return "deadline_exceeded";
+    case RequestOutcome::kCancelled: return "cancelled";
   }
   return "unknown";
 }

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "agents/pipeline.hpp"
 #include "eval/suite.hpp"
@@ -44,6 +45,11 @@ struct RequestOptions {
   /// Run the QEC planning stage (requires the server to have a device;
   /// off skips planning even when one is configured).
   bool qec = true;
+  /// Virtual-time deadline for this request, in the abstract budget
+  /// units injected delays / retry backoff / stage costs consume
+  /// (cancel::DeadlineBudget). <= 0 inherits the server default;
+  /// a server default of 0 means no deadline.
+  double deadline_units = 0.0;
 };
 
 /// One pipeline request. `arrival_vt` is the open-loop virtual arrival
@@ -60,6 +66,12 @@ enum class RequestOutcome {
   kCompleted = 0,  ///< pipeline ran to completion (result in `pipeline`)
   kShed = 1,       ///< rejected at admission; nothing executed
   kFailed = 2,     ///< pipeline threw after its resilience policy
+  /// Virtual-time deadline budget exhausted at a cooperative checkpoint
+  /// (failure_site names the checkpoint that observed it).
+  kDeadlineExceeded = 3,
+  /// Server::cancel observed at a cooperative checkpoint — including
+  /// requests cancelled before they started executing.
+  kCancelled = 4,
 };
 
 std::string_view request_outcome_name(RequestOutcome outcome) noexcept;
@@ -75,10 +87,20 @@ struct RequestResult {
   /// Valid only when outcome == kCompleted.
   agents::PipelineResult pipeline;
   /// Failure detail when outcome == kFailed (stage/site mirror
-  /// eval::TrialFailure; site is "" for organic failures).
+  /// eval::TrialFailure; site is "" for organic failures). For
+  /// kDeadlineExceeded / kCancelled, failure_site names the cooperative
+  /// checkpoint that observed the condition.
   std::string failure_stage;
   std::string failure_site;
   std::string failure_what;
+  /// Deadline armed for this request (0 = none) and the virtual units it
+  /// had consumed when it finished, for any outcome.
+  double deadline_units = 0.0;
+  double budget_consumed_units = 0.0;
+  /// Fail-point sites this request skipped because their circuit breaker
+  /// was open at arrival, and sites it exercised as a half-open probe.
+  std::vector<std::string> breaker_short_circuits;
+  std::vector<std::string> breaker_probes;
   /// Virtual-time queue model figures from the admission ticket (0 for
   /// shed requests): start, finish, and finish - arrival.
   double virtual_start = 0.0;

@@ -1,5 +1,6 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/error.hpp"
@@ -14,6 +15,83 @@ namespace {
 constexpr std::uint64_t kServeChaosSalt = 0x39d2f1b7a85c64e9ULL;
 
 const sim::Distribution kEmptyReference;
+
+/// Every fail-point site in the request path; the breaker board tracks
+/// all of them whether or not a chaos scenario mentions them (organic
+/// failures attribute sites too, via PipelineStageError::site).
+const std::vector<std::string> kBreakerSites = {
+    "analyzer.abstract", "analyzer.parse",   "analyzer.simulate",
+    "llm.generate",      "oracle.reference", "pool.task",
+    "qec.decode",        "retrieval.query"};
+
+/// The sites this request failed at, for the breaker event log: the
+/// terminal failure site (kFailed only) plus every site that forced a
+/// degradation-ladder step (completed-with-degradations requests carry
+/// their fault evidence there). Deduplicated, sorted.
+std::vector<std::string> failed_sites_of(const RequestResult& result) {
+  std::vector<std::string> sites;
+  if (result.outcome == RequestOutcome::kFailed &&
+      !result.failure_site.empty()) {
+    sites.push_back(result.failure_site);
+  }
+  for (const agents::DegradationEvent& event : result.pipeline.degradations) {
+    if (!event.site.empty()) sites.push_back(event.site);
+  }
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  return sites;
+}
+
+/// The sites a completed request demonstrably exercised without
+/// incident — the breaker's *positive* evidence. Sites in neither this
+/// list nor failed_sites are no-signal: a request that skipped a stage
+/// (static-only verify, semantic failure before QEC, rag off) says
+/// nothing about that site's health. oracle.reference never appears:
+/// the catalog is prewarmed at construction, so serving requests only
+/// ever do the const cache lookup.
+std::vector<std::string> succeeded_sites_of(
+    const RequestResult& result, const agents::MultiAgentPipeline* pipeline,
+    const agents::TechniqueConfig& technique, bool behavioral,
+    bool have_reference, bool abstract_lints, bool qec_ran,
+    const std::vector<std::string>& failed_sites) {
+  std::vector<std::string> sites;
+  if (result.outcome != RequestOutcome::kCompleted || pipeline == nullptr) {
+    return sites;  // an abort vouches for nothing
+  }
+  // Stages every completed pipeline run exercises.
+  sites = {"analyzer.parse", "llm.generate", "pool.task"};
+  if (abstract_lints && result.pipeline.syntactic_ok) {
+    sites.push_back("analyzer.abstract");
+  }
+  if (pipeline->rag_enabled() && (technique.rag_api || technique.rag_guides)) {
+    sites.push_back("retrieval.query");
+  }
+  bool verify_degraded = false;
+  bool qec_degraded = false;
+  for (const agents::DegradationEvent& event : result.pipeline.degradations) {
+    if (event.stage == "verify") verify_degraded = true;
+    if (event.stage == "qec") qec_degraded = true;
+  }
+  bool any_syntactic_pass = false;
+  for (const agents::PassTrace& pass : result.pipeline.trace) {
+    if (pass.syntactic_ok) any_syntactic_pass = true;
+  }
+  if (behavioral && have_reference && any_syntactic_pass && !verify_degraded) {
+    sites.push_back("analyzer.simulate");
+  }
+  if (qec_ran && !qec_degraded) sites.push_back("qec.decode");
+  std::sort(sites.begin(), sites.end());
+  // A site cannot be evidence for and against at once: failures win.
+  std::vector<std::string> filtered;
+  filtered.reserve(sites.size());
+  for (std::string& site : sites) {
+    if (std::find(failed_sites.begin(), failed_sites.end(), site) ==
+        failed_sites.end()) {
+      filtered.push_back(std::move(site));
+    }
+  }
+  return filtered;
+}
 
 }  // namespace
 
@@ -57,6 +135,11 @@ Server::Server(Options options, const std::vector<eval::TestCase>& catalog)
         failpoint::Scenario::parse(options_.chaos_scenario));
     if (scenario_->empty()) scenario_.reset();
   }
+  if (options_.breaker.enabled) {
+    BreakerOptions breaker_options = options_.breaker;
+    if (breaker_options.seed == 0) breaker_options.seed = options_.seed;
+    breaker_ = std::make_unique<BreakerBoard>(breaker_options, kBreakerSites);
+  }
   // Prewarm makes reference_for read-only for catalog cases, so worker
   // threads can look references up concurrently; the prompt index fixes
   // each case's scaffold slot independently of request order.
@@ -66,15 +149,37 @@ Server::Server(Options options, const std::vector<eval::TestCase>& catalog)
   }
 }
 
-Server::~Server() { drain(); }
+Server::~Server() {
+  // Destruction-safe: drain() can throw (e.g. an injected "serve.drain"
+  // fault in the destruction tests, or a sink merge failure); contain it
+  // so the destructor never terminates the process. The pool teardown
+  // below still joins every worker — pool_ is the last member, so tasks
+  // finish against live server state either way.
+  try {
+    drain();
+  } catch (...) {
+    trace::Metrics::counter("serve.drain_failures");
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.drain_failures;
+  }
+  if (breaker_ != nullptr) breaker_->finalize();
+}
 
 std::future<RequestResult> Server::submit(Request request) {
   const AdmissionTicket ticket =
       admission_.offer(request.id, request.arrival_vt);
+  const double deadline = request.options.deadline_units > 0.0
+                              ? request.options.deadline_units
+                              : options_.default_deadline_units;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
     if (ticket.level == AdmissionLevel::kShed) ++stats_.shed;
+    // Eager lifecycle booking (may already exist: cancel-before-submit).
+    Lifecycle& lifecycle = lifecycles_[request.id];
+    lifecycle.deadline_units = deadline;
+    lifecycle.budget = std::make_shared<cancel::DeadlineBudget>(deadline);
+    lifecycle.done = ticket.level == AdmissionLevel::kShed;
   }
   std::promise<RequestResult> promise;
   std::future<RequestResult> future = promise.get_future();
@@ -84,13 +189,26 @@ std::future<RequestResult> Server::submit(Request request) {
     result.case_id = request.test_case.id;
     result.outcome = RequestOutcome::kShed;
     result.level = AdmissionLevel::kShed;
+    result.deadline_units = deadline;
     promise.set_value(std::move(result));
     return future;
+  }
+  // Shed requests never execute and must not be registered: the board's
+  // decide() gate waits on registered requests to report.
+  if (breaker_ != nullptr) {
+    breaker_->register_request(request.id, ticket.virtual_start,
+                               ticket.virtual_finish);
   }
   queue_.push({std::move(request), ticket, std::move(promise),
                std::chrono::steady_clock::now()});
   pool_.submit([this] { execute_one(); });
   return future;
+}
+
+void Server::cancel(std::uint64_t request_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lifecycles_[request_id].source.request_cancel();
+  trace::Metrics::counter("serve.cancel_requests");
 }
 
 void Server::execute_one() {
@@ -114,12 +232,22 @@ void Server::execute_one() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     wall_latencies_[result.id] = result.wall_latency_seconds;
-    if (result.outcome == RequestOutcome::kCompleted) {
-      ++stats_.completed;
-      if (result.pipeline.semantic_ok) ++stats_.semantic_ok;
-    } else {
-      ++stats_.failed;
+    switch (result.outcome) {
+      case RequestOutcome::kCompleted:
+        ++stats_.completed;
+        if (result.pipeline.semantic_ok) ++stats_.semantic_ok;
+        break;
+      case RequestOutcome::kDeadlineExceeded:
+        ++stats_.deadline_exceeded;
+        break;
+      case RequestOutcome::kCancelled:
+        ++stats_.cancelled;
+        break;
+      default:
+        ++stats_.failed;
+        break;
     }
+    lifecycles_[result.id].done = true;
     if (sink != nullptr) sinks_[result.id] = std::move(sink);
   }
   item->promise.set_value(std::move(result));
@@ -135,6 +263,23 @@ RequestResult Server::run_request(const Request& request,
   result.virtual_finish = ticket.virtual_finish;
   result.virtual_latency = ticket.virtual_finish - request.arrival_vt;
 
+  // Install this request's cancellation token and deadline budget for
+  // the span of the run (booked at submit; the defensive [] covers only
+  // impossible orderings).
+  cancel::CancellationToken token;
+  std::shared_ptr<cancel::DeadlineBudget> budget;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Lifecycle& lifecycle = lifecycles_[request.id];
+    if (lifecycle.budget == nullptr) {
+      lifecycle.budget = std::make_shared<cancel::DeadlineBudget>();
+    }
+    token = lifecycle.source.token();
+    budget = lifecycle.budget;
+    result.deadline_units = lifecycle.deadline_units;
+  }
+  cancel::CancelScope cancel_scope(token, budget.get());
+
   // Per-request injector on an independent chaos stream: injection
   // decisions depend only on (seed, id), never the worker schedule.
   std::optional<failpoint::Injector> injector;
@@ -145,46 +290,127 @@ RequestResult Server::run_request(const Request& request,
     injector_scope.emplace(&*injector);
   }
 
-  // Static-only admissions verify against an empty reference; so do
-  // requests for cases outside the prewarmed catalog (only the const
-  // cache lookup is worker-safe — reference_for would lazily compile the
-  // gold program, a mutation we must not race across workers).
-  const sim::Distribution* reference = &kEmptyReference;
-  std::size_t prompt_index = prompt_index_.size();
-  if (const auto found = prompt_index_.find(request.test_case.id);
-      found != prompt_index_.end()) {
-    prompt_index = found->second;
-    if (ticket.level != AdmissionLevel::kStaticOnly) {
-      if (const sim::Distribution* cached =
-              oracle_.find(request.test_case.id)) {
-        reference = cached;
-      }
-    }
-  }
-
   // Tag this request's cache accesses so recorded traces reconstruct a
   // canonical (request-id, call-sequence) order at any thread count.
   std::optional<cache::CacheTagScope> tag_scope;
   if (options_.cache.enabled) tag_scope.emplace(request.id);
 
+  // Outlives the try so an aborted run's partial degradation ladder (the
+  // request's per-site fault evidence) can be salvaged in the catches.
+  std::optional<agents::MultiAgentPipeline> pipeline;
+  // Exercise accounting for the breaker's positive evidence (see
+  // succeeded_sites_of): which optional stages this request's
+  // configuration actually ran.
+  bool behavioral = false;
+  bool have_reference = false;
+  bool abstract_lints = false;
+  bool qec_ran = false;
   try {
-    failpoint::trip("pool.task");
-    agents::MultiAgentPipeline pipeline(
-        options_.technique, resources_, options_.analyzer,
-        request.options.qec ? options_.qec : std::nullopt, options_.device,
-        request_seed(options_.seed, request.id));
-    pipeline.set_resilience(options_.resilience);
-    if (options_.cache.enabled) {
-      // bypass mode leaves both pointers null: the same content-
-      // addressed computes run, nothing is memoized.
-      pipeline.set_caches({true, generation_cache_, analysis_cache_});
+    // Born-cancelled requests resolve here, before the breaker gate —
+    // they never block on (or contribute signal to) the event log.
+    cancel::checkpoint("serve.request");
+
+    // Breaker verdicts at this request's virtual arrival. Open sites
+    // short-circuit to their degraded path; half-open probes run the
+    // real path and their outcome drives the close / re-open edge.
+    std::map<std::string, BreakerDecision> verdicts;
+    if (breaker_ != nullptr) verdicts = breaker_->decide(request.id);
+    const auto short_circuited = [&](const char* site) {
+      const auto it = verdicts.find(site);
+      return it != verdicts.end() && it->second.short_circuit;
+    };
+    for (const auto& [site, verdict] : verdicts) {
+      if (verdict.short_circuit) result.breaker_short_circuits.push_back(site);
+      if (verdict.probing) result.breaker_probes.push_back(site);
     }
-    // Admission pre-walks the generate/repair ladder's first rung.
-    if (ticket.level != AdmissionLevel::kFull) pipeline.set_rag_enabled(false);
-    result.pipeline =
-        pipeline.run(request.test_case.task, *reference, prompt_index);
-    result.outcome = RequestOutcome::kCompleted;
-    trace::Metrics::counter("serve.completed");
+    // Sites with no cheaper rung to fall back to fail fast while open:
+    // a structured kFailed beats burning deadline budget on a path that
+    // has been failing persistently.
+    std::string fail_fast_site;
+    for (const char* site : {"llm.generate", "analyzer.parse", "pool.task"}) {
+      if (short_circuited(site)) {
+        fail_fast_site = site;
+        break;
+      }
+    }
+
+    // Static-only admissions verify against an empty reference; so do
+    // requests for cases outside the prewarmed catalog (only the const
+    // cache lookup is worker-safe — reference_for would lazily compile
+    // the gold program, a mutation we must not race across workers) and
+    // requests whose behavioural-verification dependencies
+    // (analyzer.simulate / oracle.reference) have an open breaker.
+    behavioral = ticket.level != AdmissionLevel::kStaticOnly &&
+                 !short_circuited("analyzer.simulate") &&
+                 !short_circuited("oracle.reference");
+    const sim::Distribution* reference = &kEmptyReference;
+    std::size_t prompt_index = prompt_index_.size();
+    if (const auto found = prompt_index_.find(request.test_case.id);
+        found != prompt_index_.end()) {
+      prompt_index = found->second;
+      if (behavioral) {
+        if (const sim::Distribution* cached =
+                oracle_.find(request.test_case.id)) {
+          reference = cached;
+        }
+      }
+    }
+    have_reference = !reference->empty();
+
+    if (!fail_fast_site.empty()) {
+      result.outcome = RequestOutcome::kFailed;
+      result.failure_stage = "request";
+      result.failure_site = fail_fast_site;
+      result.failure_what = "circuit breaker open at " + fail_fast_site;
+      trace::Metrics::counter("breaker.fail_fast");
+      trace::Metrics::counter("serve.request_failures");
+    } else {
+      failpoint::trip("pool.task");
+      // An open qec.decode breaker short-circuits to the "skip QEC
+      // planning" rung; an open analyzer.abstract one pre-walks the
+      // analyzer ladder to core lints only.
+      agents::SemanticAnalyzerAgent::Options analyzer = options_.analyzer;
+      if (short_circuited("analyzer.abstract")) {
+        analyzer.analysis.abstract_lints = false;
+      }
+      abstract_lints = analyzer.analysis.abstract_lints;
+      const bool qec_enabled =
+          request.options.qec && !short_circuited("qec.decode");
+      pipeline.emplace(options_.technique, resources_, analyzer,
+                       qec_enabled ? options_.qec : std::nullopt,
+                       options_.device,
+                       request_seed(options_.seed, request.id));
+      pipeline->set_resilience(options_.resilience);
+      if (options_.cache.enabled) {
+        // bypass mode leaves both pointers null: the same content-
+        // addressed computes run, nothing is memoized.
+        pipeline->set_caches({true, generation_cache_, analysis_cache_});
+      }
+      // Admission pre-walks the generate/repair ladder's first rung; an
+      // open retrieval.query breaker forces the same rung.
+      if (ticket.level != AdmissionLevel::kFull ||
+          short_circuited("retrieval.query")) {
+        pipeline->set_rag_enabled(false);
+      }
+      result.pipeline =
+          pipeline->run(request.test_case.task, *reference, prompt_index);
+      // The QEC stage only runs after a semantically-verified pass (the
+      // same condition the pipeline gates on).
+      qec_ran = qec_enabled && options_.qec.has_value() &&
+                options_.device.has_value() && result.pipeline.semantic_ok;
+      result.outcome = RequestOutcome::kCompleted;
+      trace::Metrics::counter("serve.completed");
+    }
+  } catch (const cancel::CancelledError& error) {
+    result.outcome = error.cause() == cancel::Cause::kDeadlineExceeded
+                         ? RequestOutcome::kDeadlineExceeded
+                         : RequestOutcome::kCancelled;
+    result.failure_stage = "request";
+    result.failure_site = error.site();
+    result.failure_what = error.what();
+    trace::Metrics::counter(result.outcome == RequestOutcome::kCancelled
+                                ? "serve.cancelled"
+                                : "serve.deadline_exceeded");
   } catch (const agents::PipelineStageError& error) {
     result.outcome = RequestOutcome::kFailed;
     result.failure_stage = error.stage();
@@ -203,10 +429,42 @@ RequestResult Server::run_request(const Request& request,
     result.failure_what = error.what();
     trace::Metrics::counter("serve.request_failures");
   }
+  // An aborted run (deadline, cancel, stage error) discards its partial
+  // pipeline result, but the ladder steps it took up to the abort are
+  // this request's per-site fault evidence — copy them off the wreck so
+  // failed_sites_of and the lifecycle report still see them.
+  if (result.outcome != RequestOutcome::kCompleted && pipeline.has_value()) {
+    result.pipeline.degradations = pipeline->last_degradations();
+  }
+  result.budget_consumed_units = budget->consumed();
+  // Every registered request reports exactly once, on every outcome
+  // path — the decide() gate of later-arriving requests depends on it.
+  if (breaker_ != nullptr) {
+    const std::vector<std::string> failed = failed_sites_of(result);
+    breaker_->report(
+        request.id, failed,
+        succeeded_sites_of(result, pipeline.has_value() ? &*pipeline : nullptr,
+                           options_.technique, behavioral, have_reference,
+                           abstract_lints, qec_ran, failed));
+  }
   return result;
 }
 
+void Server::drain(double budget_units) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, lifecycle] : lifecycles_) {
+      if (lifecycle.done || lifecycle.budget == nullptr) continue;
+      lifecycle.budget->tighten(budget_units);
+    }
+  }
+  drain();
+}
+
 void Server::drain() {
+  // Destruction-test hook: an armed "serve.drain" fault makes this throw
+  // before the wait, exercising the destructor's containment path.
+  failpoint::trip("serve.drain");
   pool_.wait_idle();
   if (options_.trace == nullptr) return;
   std::lock_guard<std::mutex> lock(mutex_);
@@ -224,6 +482,11 @@ void Server::drain() {
       {current.workers, current.tasks_executed - reported_scheduler_.tasks_executed,
        current.tasks_stolen - reported_scheduler_.tasks_stolen});
   reported_scheduler_ = current;
+}
+
+std::vector<BreakerTransition> Server::breaker_transitions() const {
+  if (breaker_ == nullptr) return {};
+  return breaker_->transitions();
 }
 
 std::vector<CacheLayerReport> Server::cache_reports() const {

@@ -29,12 +29,14 @@
 #include <vector>
 
 #include "agents/pipeline.hpp"
+#include "common/cancel.hpp"
 #include "common/failpoint.hpp"
 #include "common/thread_pool.hpp"
 #include "common/trace.hpp"
 #include "eval/judge.hpp"
 #include "eval/suite.hpp"
 #include "serve/admission.hpp"
+#include "serve/breaker.hpp"
 #include "serve/queue.hpp"
 #include "serve/request.hpp"
 
@@ -98,6 +100,17 @@ class Server {
     std::string chaos_scenario;
     /// Cross-request memoization (off by default; serving only).
     CacheConfig cache;
+    /// Per-site circuit breakers over the fail-point sites (off by
+    /// default). Verdicts are virtual-time deterministic; seed 0 in the
+    /// nested options inherits the server seed. Composes with both chaos
+    /// scenarios and caching — with no failures every breaker stays
+    /// closed and the configuration is behaviour-identical to off.
+    BreakerOptions breaker;
+    /// Default virtual-time deadline armed for every request whose
+    /// RequestOptions::deadline_units is unset (<= 0 here = no default
+    /// deadline). Measured in abstract budget units (injected delays,
+    /// retry backoff, stage costs), never the wall clock.
+    double default_deadline_units = 0.0;
     /// Optional aggregate sink: every request records into its own
     /// TraceSink, merged into this one in request-id order on drain()
     /// — the merged summary is thread-count invariant.
@@ -111,6 +124,11 @@ class Server {
     std::size_t shed = 0;
     std::size_t failed = 0;
     std::size_t semantic_ok = 0;  ///< completed with a passing verdict
+    std::size_t deadline_exceeded = 0;
+    std::size_t cancelled = 0;
+    /// Destruction-path drains that threw and were contained (the
+    /// destructor must never let an exception escape).
+    std::size_t drain_failures = 0;
   };
 
   /// Builds the shared resources and prewarms the reference oracle over
@@ -120,7 +138,10 @@ class Server {
   /// which feeds the CoT hand-written-scaffold rule.
   Server(Options options, const std::vector<eval::TestCase>& catalog);
 
-  /// Drains in-flight work before tearing down the pool.
+  /// Drains in-flight work before tearing down the pool. Destruction-
+  /// safe: a drain that throws is contained (stats().drain_failures, the
+  /// "serve.drain_failures" trace counter) — never an escaping
+  /// exception; the pool teardown still joins every worker.
   ~Server();
 
   Server(const Server&) = delete;
@@ -132,9 +153,28 @@ class Server {
   /// it is shed. Callers should submit in non-decreasing arrival_vt.
   std::future<RequestResult> submit(Request request);
 
+  /// Requests cooperative cancellation of `request_id`: the request's
+  /// next checkpoint resolves it with RequestOutcome::kCancelled.
+  /// Callable before submit(id) — the request is then "born cancelled"
+  /// and resolves deterministically at its first checkpoint — as well as
+  /// mid-flight (best-effort: it may complete first). Unknown ids are
+  /// remembered, not errors.
+  void cancel(std::uint64_t request_id);
+
   /// Blocks until every queued request finished, then folds per-request
   /// trace sinks into Options::trace in request-id order.
   void drain();
+
+  /// Deadline-bounded drain: tightens every in-flight request's budget
+  /// to at most `budget_units` more virtual units (0 cancels the rest at
+  /// their next checkpoint), then drains. Outcomes on this path depend
+  /// on how far each request had progressed when the tighten landed —
+  /// a shutdown affordance, not a deterministic-report path.
+  void drain(double budget_units);
+
+  /// Breaker transition history (empty when breakers are disabled).
+  /// Deterministic once drained.
+  std::vector<BreakerTransition> breaker_transitions() const;
 
   const AdmissionController& admission() const noexcept { return admission_; }
   /// Per-layer cache statistics and (when recorded) access traces, in
@@ -151,6 +191,15 @@ class Server {
   std::size_t pool_backlog() const { return pool_.pending(); }
 
  private:
+  /// Per-request lifecycle state, created eagerly by cancel() or submit()
+  /// (whichever runs first) so cancel-before-submit is well-defined.
+  struct Lifecycle {
+    cancel::CancelSource source;
+    std::shared_ptr<cancel::DeadlineBudget> budget;  ///< set at submit
+    double deadline_units = 0.0;
+    bool done = false;
+  };
+
   void execute_one();
   RequestResult run_request(const Request& request,
                             const AdmissionTicket& ticket);
@@ -163,11 +212,13 @@ class Server {
   eval::ReferenceOracle oracle_;
   std::map<std::string, std::size_t> prompt_index_;  ///< catalog order
   std::shared_ptr<const failpoint::Scenario> scenario_;
+  std::unique_ptr<BreakerBoard> breaker_;  ///< null unless enabled
   AdmissionController admission_;
   RequestQueue queue_;
 
-  mutable std::mutex mutex_;  ///< stats, latencies, per-request sinks
+  mutable std::mutex mutex_;  ///< stats, latencies, lifecycles, sinks
   Stats stats_;
+  std::map<std::uint64_t, Lifecycle> lifecycles_;
   std::map<std::uint64_t, double> wall_latencies_;
   std::map<std::uint64_t, std::unique_ptr<trace::TraceSink>> sinks_;
   /// Pool counters already folded into Options::trace (drain reports

@@ -50,9 +50,39 @@ TEST(ScenarioParse, FullGrammar) {
   EXPECT_EQ(s.sites[3].probability, 0.1);
 }
 
-TEST(ScenarioParse, EmptyAndSeparatorOnlySpecsAreEmpty) {
+TEST(ScenarioParse, EmptyAndWhitespaceSpecsAreEmpty) {
   EXPECT_TRUE(Scenario::parse("").empty());
-  EXPECT_TRUE(Scenario::parse(" ;; ; ").empty());
+  EXPECT_TRUE(Scenario::parse("   ").empty());
+  EXPECT_TRUE(Scenario::parse("\t \n").empty());
+}
+
+TEST(ScenarioParse, SingleTrailingSemicolonIsTolerated) {
+  const Scenario bare = Scenario::parse("llm.generate=error(0.5)");
+  EXPECT_EQ(Scenario::parse("llm.generate=error(0.5);"), bare);
+  EXPECT_EQ(Scenario::parse("llm.generate=error(0.5); "), bare);
+  EXPECT_EQ(Scenario::parse("a=error;b=delay(1.0);"),
+            Scenario::parse("a=error;b=delay(1.0)"));
+  // Canonical form never emits the trailing ';', so tolerating it keeps
+  // parse(canonical(parse(x))) == parse(x) without widening canonical().
+  EXPECT_EQ(Scenario::parse("a=error;").canonical(), "a=error(1)");
+}
+
+TEST(ScenarioParse, RejectsEmptyClauses) {
+  const std::vector<std::string> bad = {
+      ";",            // separator with no clauses
+      " ;; ; ",       // separator-only
+      ";a=error",     // leading empty clause
+      "a=error;;",    // doubled trailing separator
+      "a=error;;b=error",   // interior empty clause
+      "a=error; ;b=error",  // interior whitespace clause
+  };
+  for (const std::string& spec : bad) {
+    EXPECT_THROW((void)Scenario::parse(spec), InvalidArgumentError)
+        << "accepted: " << spec;
+    std::string error;
+    EXPECT_FALSE(Scenario::try_parse(spec, &error).has_value());
+    EXPECT_NE(error.find("empty clause"), std::string::npos) << error;
+  }
 }
 
 TEST(ScenarioParse, RejectsMalformedSpecs) {

@@ -281,5 +281,47 @@ TEST(ScenarioParserFuzz, MutatedValidSpecsParseOrRejectCleanly) {
   EXPECT_GT(still_valid, 0u);
 }
 
+TEST(ScenarioParserFuzz, TrailingSeparatorVariantsRoundTrip) {
+  // Trailing-';' canonicalization: for any accepted spec, appending one
+  // ';' must parse to the identical scenario (and still round-trip),
+  // while doubling the separator must reject with a structured reason —
+  // fuzzed over mutated seeds so the property holds off the happy path.
+  const std::vector<std::string> seeds = {
+      "llm.generate=error(0.02);qec.decode=error(1.0)@pass>1",
+      "retrieval.query=delay(2.5)@p=0.1;pool.task=error",
+  };
+  Rng rng(0x5e9a7a11u);
+  for (const std::string& seed : seeds) {
+    for (int round = 0; round < 500; ++round) {
+      const std::string spec =
+          round == 0
+              ? seed
+              : mutate(seed,
+                       1 + static_cast<int>(rng.uniform_int(std::uint64_t{3})),
+                       rng);
+      std::string error;
+      const auto bare = failpoint::Scenario::try_parse(spec, &error);
+      check_scenario_input(spec + ";");
+      check_scenario_input(spec + "; \t");
+      // A mutated spec may itself end in the tolerated trailing ';' —
+      // appending onto that builds ";;", a legitimate reject — so the
+      // identity only applies when the spec's last grammar byte isn't ';'.
+      const std::size_t last = spec.find_last_not_of(" \t\n\r");
+      const bool already_trailed =
+          last != std::string::npos && spec[last] == ';';
+      if (bare.has_value() && !bare->empty() && !already_trailed) {
+        const auto trailed = failpoint::Scenario::try_parse(spec + ";", &error);
+        ASSERT_TRUE(trailed.has_value()) << spec << " ;: " << error;
+        EXPECT_EQ(*bare, *trailed) << spec;
+        // ";;" appends an interior empty clause: always a clean reject.
+        EXPECT_FALSE(
+            failpoint::Scenario::try_parse(spec + ";;", &error).has_value())
+            << spec;
+        EXPECT_NE(error.find("empty clause"), std::string::npos) << error;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace qcgen
